@@ -1,0 +1,207 @@
+(* pmdp: command-line driver for the PolyMageDP reproduction.
+
+   Subcommands:
+     list                         — available pipelines
+     schedule <app>               — print the grouping/tiles a scheduler picks
+     run <app>                    — execute a schedule and validate vs reference
+     emit-c <app>                 — generate C++/OpenMP for a schedule
+     cachesim <app>               — simulated L1/L2 hit/miss fractions
+*)
+
+open Cmdliner
+
+let machine_conv =
+  let parse s =
+    match Pmdp_machine.Machine.by_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown machine %S (xeon|opteron)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" m.Pmdp_machine.Machine.name)
+
+let machine_t =
+  Arg.(value & opt machine_conv Pmdp_machine.Machine.xeon & info [ "machine"; "m" ] ~doc:"Machine model (xeon or opteron).")
+
+let scale_t =
+  Arg.(value & opt int 8 & info [ "scale" ] ~doc:"Divide the paper's image extents by this factor.")
+
+let app_t =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Pipeline name (see `pmdp list`).")
+
+let scheduler_t =
+  Arg.(value & opt string "dp" & info [ "scheduler"; "s" ]
+         ~doc:"Scheduler: dp, dp-inc, greedy, autotune, halide, manual.")
+
+let build_app name scale =
+  let app = try Pmdp_apps.Registry.find name with Not_found ->
+    Printf.eprintf "unknown app %S\n" name; exit 2
+  in
+  (app, app.Pmdp_apps.Registry.build ~scale)
+
+let make_schedule scheduler machine pipeline inputs =
+  let config = Pmdp_core.Cost_model.default_config machine in
+  match scheduler with
+  | "dp" -> fst (Pmdp_core.Schedule_spec.dp config pipeline)
+  | "dp-inc" ->
+      let inc = Pmdp_core.Inc_grouping.run ~initial_limit:32 ~config pipeline in
+      Pmdp_core.Schedule_spec.of_grouping config pipeline inc.Pmdp_core.Inc_grouping.groups
+  | "greedy" ->
+      Pmdp_baselines.Polymage_greedy.schedule
+        { Pmdp_baselines.Polymage_greedy.tile = 64; overlap_threshold = 0.4 }
+        pipeline
+  | "autotune" ->
+      let evaluate sched =
+        let plan = Pmdp_exec.Tiled_exec.plan sched in
+        let t0 = Unix.gettimeofday () in
+        ignore (Pmdp_exec.Tiled_exec.run plan ~inputs);
+        Unix.gettimeofday () -. t0
+      in
+      (Pmdp_baselines.Autotune.run ~evaluate pipeline).Pmdp_baselines.Autotune.best
+  | "halide" ->
+      Pmdp_baselines.Halide_auto.schedule (Pmdp_baselines.Halide_auto.params_for machine) pipeline
+  | "manual" -> Pmdp_baselines.Manual.schedule pipeline
+  | other ->
+      Printf.eprintf "unknown scheduler %S\n" other;
+      exit 2
+
+let list_cmd =
+  let doc = "List available pipelines." in
+  let run () =
+    List.iter
+      (fun (a : Pmdp_apps.Registry.app) ->
+        let p = a.Pmdp_apps.Registry.build ~scale:32 in
+        Printf.printf "%-15s %-3s %2d stages (paper: %d)\n" a.Pmdp_apps.Registry.name
+          a.Pmdp_apps.Registry.short (Pmdp_dsl.Pipeline.n_stages p) a.Pmdp_apps.Registry.paper_stages)
+      Pmdp_apps.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let schedule_cmd =
+  let doc = "Print the grouping and tile sizes a scheduler picks." in
+  let run name scale machine scheduler =
+    let app, pipeline = build_app name scale in
+    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline inputs in
+    Format.printf "%a@." Pmdp_core.Schedule_spec.pp sched
+  in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t)
+
+let run_cmd =
+  let doc = "Execute a schedule and validate against the reference executor." in
+  let run name scale machine scheduler workers =
+    let app, pipeline = build_app name scale in
+    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline inputs in
+    let plan = Pmdp_exec.Tiled_exec.plan sched in
+    let pool = if workers > 1 then Some (Pmdp_runtime.Pool.create workers) else None in
+    let t0 = Unix.gettimeofday () in
+    let results = Pmdp_exec.Tiled_exec.run ?pool plan ~inputs in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let reference = Pmdp_exec.Reference.run pipeline ~inputs in
+    let worst =
+      List.fold_left
+        (fun acc (n, b) -> Float.max acc (Pmdp_exec.Buffer.max_abs_diff b (List.assoc n reference)))
+        0.0 results
+    in
+    Format.printf "%s via %s: %.1f ms (%d groups, %d tiles, %d workers), max |diff| = %g@."
+      name scheduler (elapsed *. 1000.0)
+      (Pmdp_core.Schedule_spec.n_groups sched)
+      (Pmdp_exec.Tiled_exec.total_tiles plan) workers worst;
+    if worst <> 0.0 then exit 1
+  in
+  let workers_t = Arg.(value & opt int 1 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t)
+
+let emit_c_cmd =
+  let doc = "Emit C++/OpenMP for a schedule (stdout, or -o FILE)." in
+  let run name scale machine scheduler output =
+    let app, pipeline = build_app name scale in
+    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline inputs in
+    let code = Pmdp_codegen.C_emit.emit sched in
+    match output with
+    | None -> print_string code
+    | Some path ->
+        Pmdp_codegen.C_emit.emit_to_file sched path;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length code)
+  in
+  let out_t = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
+  Cmd.v (Cmd.info "emit-c" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ out_t)
+
+let cachesim_cmd =
+  let doc = "Simulated cache hit/miss fractions for a schedule (Table 5 methodology)." in
+  let run name scale machine scheduler max_tiles =
+    let app, pipeline = build_app name scale in
+    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline inputs in
+    let h = Pmdp_cachesim.Hierarchy.create machine in
+    Pmdp_cachesim.Trace_exec.run ?max_tiles:(Some max_tiles) sched ~hierarchy:h;
+    let f = Pmdp_cachesim.Hierarchy.fractions h in
+    Format.printf "%s via %s: L1 hit %.2f%%  L2 hit %.2f%%  L2 miss %.2f%%  (%d accesses)@."
+      name scheduler
+      (100.0 *. f.Pmdp_cachesim.Hierarchy.l1_hit)
+      (100.0 *. f.Pmdp_cachesim.Hierarchy.l2_hit)
+      (100.0 *. f.Pmdp_cachesim.Hierarchy.l2_miss)
+      (Pmdp_cachesim.Hierarchy.total_accesses h)
+  in
+  let tiles_t = Arg.(value & opt int 256 & info [ "max-tiles" ] ~doc:"Tiles traced per group.") in
+  Cmd.v (Cmd.info "cachesim" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ tiles_t)
+
+let dot_cmd =
+  let doc = "Export the pipeline DAG (optionally with a scheduler's grouping) as Graphviz dot." in
+  let run name scale machine scheduler grouped output =
+    let app, pipeline = build_app name scale in
+    let dot =
+      if grouped then begin
+        let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+        let sched = make_schedule scheduler machine pipeline inputs in
+        Pmdp_dsl.Dot.grouping pipeline
+          (List.map (fun (g : Pmdp_core.Schedule_spec.group) -> g.Pmdp_core.Schedule_spec.stages)
+             sched.Pmdp_core.Schedule_spec.groups)
+      end
+      else Pmdp_dsl.Dot.pipeline pipeline
+    in
+    match output with
+    | None -> print_string dot
+    | Some path ->
+        let oc = open_out path in
+        output_string oc dot;
+        close_out oc
+  in
+  let grouped_t = Arg.(value & flag & info [ "grouped"; "g" ] ~doc:"Cluster by the scheduler's groups.") in
+  let out_t = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.") in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ grouped_t $ out_t)
+
+let storage_cmd =
+  let doc = "Report buffer lifetimes and the memory saved by recycling (storage optimization)." in
+  let run name scale machine scheduler =
+    let app, pipeline = build_app name scale in
+    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline inputs in
+    let r = Pmdp_exec.Storage.report sched in
+    List.iter
+      (fun (l : Pmdp_exec.Storage.lifetime) ->
+        Printf.printf "  %-14s %8d bytes  groups %d..%s\n" l.Pmdp_exec.Storage.stage
+          l.Pmdp_exec.Storage.bytes l.Pmdp_exec.Storage.born
+          (if l.Pmdp_exec.Storage.dies = max_int then "out"
+           else string_of_int l.Pmdp_exec.Storage.dies))
+      r.Pmdp_exec.Storage.lifetimes;
+    Printf.printf "peak resident: naive %d bytes, with recycling %d bytes (%.1fx)\n"
+      r.Pmdp_exec.Storage.peak_naive_bytes r.Pmdp_exec.Storage.peak_reuse_bytes
+      (float_of_int r.Pmdp_exec.Storage.peak_naive_bytes
+      /. float_of_int (max 1 r.Pmdp_exec.Storage.peak_reuse_bytes))
+  in
+  Cmd.v (Cmd.info "storage" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t)
+
+let () =
+  let doc = "PolyMageDP: DP-based fusion and tile-size model (PPoPP'18 reproduction)" in
+  let info = Cmd.info "pmdp" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; schedule_cmd; run_cmd; emit_c_cmd; cachesim_cmd; dot_cmd; storage_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_pipeline.ml: Expr Format List Pipeline Pmdp_apps Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Stage String

@@ -1,0 +1,1 @@
+examples/harris_detect.ml: Array Format List Pmdp_apps Pmdp_baselines Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Sys Unix

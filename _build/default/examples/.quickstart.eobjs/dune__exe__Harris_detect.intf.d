@@ -1,0 +1,1 @@
+examples/harris_detect.mli:

@@ -1,0 +1,1 @@
+examples/pyramid_blend_demo.ml: Array Format List Pmdp_apps Pmdp_baselines Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Sys Unix

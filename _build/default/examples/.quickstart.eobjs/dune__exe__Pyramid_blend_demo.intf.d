@@ -1,0 +1,1 @@
+examples/pyramid_blend_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pmdp_apps Pmdp_codegen Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Pmdp_runtime String Unix

@@ -1,0 +1,1 @@
+examples/tensor_fusion.ml: Expr Format List Pipeline Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Pmdp_util Stage Unix

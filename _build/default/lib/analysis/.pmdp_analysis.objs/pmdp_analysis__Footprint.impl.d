@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Array Float Group_analysis Hashtbl List Option Pmdp_dsl Pmdp_util

@@ -1,0 +1,1 @@
+lib/analysis/group_analysis.ml: Array Format Hashtbl List Option Pmdp_dag Pmdp_dsl Pmdp_util Printf String

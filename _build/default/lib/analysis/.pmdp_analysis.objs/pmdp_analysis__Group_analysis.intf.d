@@ -1,0 +1,1 @@
+lib/analysis/group_analysis.mli: Format Pmdp_dsl

@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Array Group_analysis Hashtbl List Option Pmdp_dsl Pmdp_util

@@ -1,0 +1,1 @@
+lib/analysis/reuse.mli: Group_analysis

@@ -1,0 +1,367 @@
+module Rational = Pmdp_util.Rational
+module Dag = Pmdp_dag.Dag
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Expr = Pmdp_dsl.Expr
+
+type failure =
+  | Dynamic_access of { producer : string; consumer : string }
+  | Misaligned of { producer : string; consumer : string }
+  | Inconsistent_scale of { stage : string; dim : int }
+  | Fused_reduction of string
+  | Rvar_access of { producer : string; consumer : string }
+  | Zero_scale_access of { producer : string; consumer : string }
+  | Not_connected
+
+let pp_failure ppf = function
+  | Dynamic_access { producer; consumer } ->
+      Format.fprintf ppf "dynamic access from %s to %s" consumer producer
+  | Misaligned { producer; consumer } ->
+      Format.fprintf ppf "misaligned dimensions between %s and %s" consumer producer
+  | Inconsistent_scale { stage; dim } ->
+      Format.fprintf ppf "inconsistent scaling for %s along dim %d" stage dim
+  | Fused_reduction s -> Format.fprintf ppf "reduction %s fused with other stages" s
+  | Rvar_access { producer; consumer } ->
+      Format.fprintf ppf "%s indexes %s with a reduction variable" consumer producer
+  | Zero_scale_access { producer; consumer } ->
+      Format.fprintf ppf "%s indexes %s with a constant coordinate" consumer producer
+  | Not_connected -> Format.fprintf ppf "group is not a connected subgraph"
+
+type edge = {
+  e_producer : int;
+  e_consumer : int;
+  offsets : (int * int) array list;
+  hull : (int * int) array;
+}
+
+type t = {
+  pipeline : Pipeline.t;
+  members : int array;
+  n_dims : int;
+  scales : int array array;
+  dim_of_stage : int array array;
+  scaled_lo : int array array;
+  scaled_hi : int array array;
+  dim_lo : int array;
+  dim_hi : int array;
+  edges : edge list;
+  expansions : (int * int) array array;
+  liveouts : bool array;
+}
+
+exception Fail of failure
+
+(* A single scaling constraint derived from one access coordinate:
+   [rs.(consumer).(gdim) = a * rs.(producer).(gdim)]. *)
+type constraint_ = { c_member : int; p_member : int; gdim : int; a : Rational.t }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+(* Collect all (producer-local, consumer-local, coord array) accesses
+   between group members, raising [Fail] on non-affine situations. *)
+let collect_accesses p members local =
+  let accesses = ref [] in
+  Array.iteri
+    (fun ci sid ->
+      let stage = Pipeline.stage p sid in
+      let cname = stage.Stage.name in
+      let cdims = Stage.ndims stage in
+      List.iter
+        (fun prod_sid ->
+          match Hashtbl.find_opt local prod_sid with
+          | None -> ()
+          | Some pi ->
+              let pname = (Pipeline.stage p prod_sid).Stage.name in
+              List.iter
+                (fun coords ->
+                  Array.iter
+                    (fun c ->
+                      match c with
+                      | Expr.Cdyn _ -> raise (Fail (Dynamic_access { producer = pname; consumer = cname }))
+                      | Expr.Cvar { var; scale; _ } ->
+                          if var >= cdims then
+                            raise (Fail (Rvar_access { producer = pname; consumer = cname }));
+                          if Rational.sign scale = 0 then
+                            raise (Fail (Zero_scale_access { producer = pname; consumer = cname })))
+                    coords;
+                  accesses := (pi, ci, coords) :: !accesses)
+                (Pipeline.loads_between p ~consumer:sid ~producer:prod_sid))
+        (Pipeline.producers p sid))
+    members;
+  List.rev !accesses
+
+let analyze ?(allow_fused_reductions = true) p group =
+  match group with
+  | [] -> Error Not_connected
+  | _ when not (Dag.is_connected_subset p.Pipeline.dag group) -> Error Not_connected
+  | _ -> (
+      try
+        let members = Array.of_list (Dag.topo_sort_subset p.Pipeline.dag group) in
+        let n = Array.length members in
+        if n > 1 then
+          Array.iter
+            (fun sid ->
+              let s = Pipeline.stage p sid in
+              if Stage.is_reduction s then begin
+                (* A fused reduction is executable only when it has no
+                   in-group producers (its per-tile region can then be
+                   recomputed from external data alone); when
+                   disallowed entirely (the PolyMage rule the paper
+                   states), any fusion of a reduction fails. *)
+                let producer_in_group =
+                  List.exists (fun pr -> List.mem pr group) (Pipeline.producers p sid)
+                in
+                if (not allow_fused_reductions) || producer_in_group then
+                  raise (Fail (Fused_reduction s.Stage.name))
+              end)
+            members;
+        let local = Hashtbl.create 16 in
+        Array.iteri (fun i sid -> Hashtbl.add local sid i) members;
+        let ndims_of m = Stage.ndims (Pipeline.stage p members.(m)) in
+        let name_of m = (Pipeline.stage p members.(m)).Stage.name in
+        let gdims = Array.fold_left (fun acc sid -> max acc (Stage.ndims (Pipeline.stage p sid))) 0 members in
+        let dim_of_stage =
+          Array.init n (fun m -> Array.init (ndims_of m) (fun k -> k + gdims - ndims_of m))
+        in
+        let accesses = collect_accesses p members local in
+        (* Build scaling constraints, checking alignment. *)
+        let constraints = ref [] in
+        List.iter
+          (fun (pi, ci, coords) ->
+            Array.iteri
+              (fun dp coord ->
+                match coord with
+                | Expr.Cvar { var = dc; scale = a; _ } ->
+                    let gc = dim_of_stage.(ci).(dc) and gp = dim_of_stage.(pi).(dp) in
+                    if gc <> gp then
+                      raise (Fail (Misaligned { producer = name_of pi; consumer = name_of ci }));
+                    constraints := { c_member = ci; p_member = pi; gdim = gc; a } :: !constraints
+                | Expr.Cdyn _ -> assert false)
+              coords)
+          accesses;
+        let constraints = !constraints in
+        (* Solve rs.(m).(g) by fixpoint propagation with on-demand seeding. *)
+        let rs : Rational.t option array array = Array.make_matrix n gdims None in
+        List.iter (fun g -> rs.(0).(g) <- Some Rational.one)
+          (Array.to_list dim_of_stage.(0));
+        let set m g v =
+          if Rational.sign v <= 0 then
+            raise (Fail (Inconsistent_scale { stage = name_of m; dim = g }));
+          match rs.(m).(g) with
+          | None ->
+              rs.(m).(g) <- Some v;
+              true
+          | Some v' ->
+              if not (Rational.equal v v') then
+                raise (Fail (Inconsistent_scale { stage = name_of m; dim = g }));
+              false
+        in
+        let propagate () =
+          let changed = ref true in
+          while !changed do
+            changed := false;
+            List.iter
+              (fun { c_member; p_member; gdim; a } ->
+                match (rs.(c_member).(gdim), rs.(p_member).(gdim)) with
+                | Some sc, _ ->
+                    if set p_member gdim (Rational.div sc a) then changed := true
+                | None, Some sp ->
+                    if set c_member gdim (Rational.mul sp a) then changed := true
+                | None, None -> ())
+              constraints
+          done
+        in
+        propagate ();
+        (* Seed any constraint component untouched by member 0's dims. *)
+        let rec seed_unresolved () =
+          match
+            List.find_opt
+              (fun c -> rs.(c.c_member).(c.gdim) = None && rs.(c.p_member).(c.gdim) = None)
+              constraints
+          with
+          | None -> ()
+          | Some c ->
+              ignore (set c.c_member c.gdim Rational.one);
+              propagate ();
+              seed_unresolved ()
+        in
+        seed_unresolved ();
+        (* Unconstrained dims default to 1. *)
+        let rs =
+          Array.map (Array.map (function Some v -> v | None -> Rational.one)) rs
+        in
+        (* Normalize to integers per group dim. *)
+        let scales = Array.make_matrix n gdims 1 in
+        for g = 0 to gdims - 1 do
+          let den = ref 1 in
+          for m = 0 to n - 1 do
+            den := lcm !den (Rational.div rs.(m).(g) Rational.one).Rational.den
+          done;
+          for m = 0 to n - 1 do
+            scales.(m).(g) <- Rational.to_int_exn (Rational.mul rs.(m).(g) (Rational.of_int !den));
+            rs.(m).(g) <- Rational.of_int scales.(m).(g)
+          done
+        done;
+        (* Scaled-space offset intervals per access. *)
+        let edge_tbl : (int * int, (int * int) array list) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (pi, ci, coords) ->
+            let offs = Array.make gdims (0, 0) in
+            Array.iteri
+              (fun dp coord ->
+                match coord with
+                | Expr.Cvar { var = dc; scale = a; offset = b } ->
+                    let g = dim_of_stage.(ci).(dc) in
+                    ignore dp;
+                    let sp = Rational.of_int scales.(pi).(g) in
+                    let m = a.Rational.den * b.Rational.den / gcd a.Rational.den b.Rational.den in
+                    let center = Rational.mul sp b in
+                    let slack =
+                      Rational.mul sp (Rational.make (m - 1) m)
+                    in
+                    let lo = Rational.ceil (Rational.sub center slack) in
+                    let hi = Rational.floor center in
+                    offs.(g) <- (min lo hi, max lo hi)
+                | Expr.Cdyn _ -> assert false)
+              coords;
+            let key = (pi, ci) in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt edge_tbl key) in
+            Hashtbl.replace edge_tbl key (offs :: prev))
+          accesses;
+        let edges =
+          Hashtbl.fold
+            (fun (pi, ci) offsets acc ->
+              let hull = Array.make gdims (0, 0) in
+              (match offsets with
+              | [] -> ()
+              | first :: rest ->
+                  Array.blit first 0 hull 0 gdims;
+                  List.iter
+                    (fun o ->
+                      Array.iteri
+                        (fun g (lo, hi) ->
+                          let l, h = hull.(g) in
+                          hull.(g) <- (min l lo, max h hi))
+                        o)
+                    rest);
+              { e_producer = pi; e_consumer = ci; offsets; hull } :: acc)
+            edge_tbl []
+        in
+        let edges =
+          List.sort (fun a b -> compare (a.e_producer, a.e_consumer) (b.e_producer, b.e_consumer)) edges
+        in
+        (* Scaled domains and hulls. *)
+        let scaled_lo = Array.make_matrix n gdims 0 in
+        let scaled_hi = Array.make_matrix n gdims (-1) in
+        let dim_lo = Array.make gdims max_int in
+        let dim_hi = Array.make gdims min_int in
+        for m = 0 to n - 1 do
+          let s = Pipeline.stage p members.(m) in
+          Array.iteri
+            (fun k (d : Stage.dim) ->
+              let g = dim_of_stage.(m).(k) in
+              let sc = scales.(m).(g) in
+              scaled_lo.(m).(g) <- sc * d.Stage.lo;
+              scaled_hi.(m).(g) <- (sc * (d.Stage.lo + d.Stage.extent - 1));
+              dim_lo.(g) <- min dim_lo.(g) scaled_lo.(m).(g);
+              dim_hi.(g) <- max dim_hi.(g) scaled_hi.(m).(g))
+            s.Stage.dims
+        done;
+        for g = 0 to gdims - 1 do
+          if dim_lo.(g) > dim_hi.(g) then begin
+            (* no member owns this dim: cannot happen since gdims = max ndims *)
+            dim_lo.(g) <- 0;
+            dim_hi.(g) <- 0
+          end;
+          for m = 0 to n - 1 do
+            if scaled_hi.(m).(g) < scaled_lo.(m).(g) then begin
+              scaled_lo.(m).(g) <- dim_lo.(g);
+              scaled_hi.(m).(g) <- dim_hi.(g)
+            end
+          done
+        done;
+        (* Live-outs: consumed outside the group or pipeline outputs. *)
+        let liveouts =
+          Array.mapi
+            (fun _ sid ->
+              Pipeline.is_output p sid
+              || List.exists (fun c -> not (Hashtbl.mem local c)) (Pipeline.consumers p sid))
+            members
+        in
+        (* Overlap expansions by reverse-topological accumulation. *)
+        let expansions = Array.init n (fun _ -> Array.make gdims (0, 0)) in
+        for mi = n - 1 downto 0 do
+          List.iter
+            (fun e ->
+              if e.e_producer = mi then begin
+                let cexp = expansions.(e.e_consumer) in
+                for g = 0 to gdims - 1 do
+                  let off_lo, off_hi = e.hull.(g) in
+                  let c_lo, c_hi = cexp.(g) in
+                  let p_lo, p_hi = expansions.(mi).(g) in
+                  expansions.(mi).(g) <-
+                    (max p_lo (max 0 (c_lo - off_lo)), max p_hi (max 0 (c_hi + off_hi)))
+                done
+              end)
+            edges
+        done;
+        Ok
+          {
+            pipeline = p;
+            members;
+            n_dims = gdims;
+            scales;
+            dim_of_stage;
+            scaled_lo;
+            scaled_hi;
+            dim_lo;
+            dim_hi;
+            edges;
+            expansions;
+            liveouts;
+          }
+      with Fail f -> Error f)
+
+let member_index t sid =
+  let rec go i =
+    if i >= Array.length t.members then raise Not_found
+    else if t.members.(i) = sid then i
+    else go (i + 1)
+  in
+  go 0
+
+let dim_extent t d = t.dim_hi.(d) - t.dim_lo.(d) + 1
+
+let stage_points_in_scaled_box t m ~lo ~hi =
+  let stage = Pipeline.stage t.pipeline t.members.(m) in
+  let nd = Stage.ndims stage in
+  let points = ref 1 in
+  for k = 0 to nd - 1 do
+    let g = t.dim_of_stage.(m).(k) in
+    let s = t.scales.(m).(g) in
+    let l = max lo.(g) t.scaled_lo.(m).(g) in
+    let h = min hi.(g) t.scaled_hi.(m).(g) in
+    let cnt =
+      if h < l then 0
+      else
+        let first = if l >= 0 then (l + s - 1) / s else -((-l) / s) in
+        let last = if h >= 0 then h / s else -((-h + s - 1) / s) in
+        max 0 (last - first + 1)
+    in
+    points := !points * cnt
+  done;
+  !points
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>group of %d stages, %d dims@," (Array.length t.members) t.n_dims;
+  Array.iteri
+    (fun m sid ->
+      Format.fprintf ppf "  %s scales=[%s] exp=[%s]%s@,"
+        (Pipeline.stage t.pipeline sid).Stage.name
+        (String.concat ";" (Array.to_list (Array.map string_of_int t.scales.(m))))
+        (String.concat ";"
+           (Array.to_list (Array.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) t.expansions.(m))))
+        (if t.liveouts.(m) then " liveout" else ""))
+    t.members;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,92 @@
+(** Scaling, alignment, and dependence analysis of a fused group.
+
+    Given a set of pipeline stages to be fused, this module performs
+    the scaling-and-alignment step of PolyMage's overlapped tiling
+    (paper §2.2): each stage's dimensions are right-aligned into a
+    common group iteration space, and each stage receives an integer
+    per-dimension scaling factor such that all intra-group dependences
+    become constant (bounded) vectors in the scaled space.  Fusing
+    through up/downsampling stages is what makes rational scales
+    necessary; the final factors are normalized to integers.
+
+    The result also carries the per-stage overlap expansions — how far
+    each producer's per-tile region must extend beyond the tile so
+    that all in-group consumers find their inputs locally (the
+    trapezoid widening of the paper's Fig. 2) — because expansions
+    depend only on the dependence vectors, not on tile sizes.
+
+    Analysis fails (returns [Error]) exactly when the paper's cost
+    function assigns infinite cost (Alg. 2 line 2): dynamic
+    (data-dependent) intra-group accesses, inconsistent scaling,
+    misaligned dimensions, reduction-variable indexing of an in-group
+    producer, or a reduction stage fused with anything else. *)
+
+type failure =
+  | Dynamic_access of { producer : string; consumer : string }
+  | Misaligned of { producer : string; consumer : string }
+  | Inconsistent_scale of { stage : string; dim : int }
+  | Fused_reduction of string
+  | Rvar_access of { producer : string; consumer : string }
+  | Zero_scale_access of { producer : string; consumer : string }
+  | Not_connected
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type edge = {
+  e_producer : int;  (** index into [members] *)
+  e_consumer : int;  (** index into [members] *)
+  offsets : (int * int) array list;
+      (** one entry per access; per group dimension, the interval of
+          scaled-space dependence offsets (producer = consumer +
+          offset) *)
+  hull : (int * int) array;  (** per-dimension hull of all accesses *)
+}
+
+type t = {
+  pipeline : Pmdp_dsl.Pipeline.t;
+  members : int array;  (** stage ids in topological order *)
+  n_dims : int;  (** dimensionality of the group iteration space *)
+  scales : int array array;  (** [scales.(m).(d)]: integer scale of member [m] along group dim [d]; 1 for dims the stage lacks *)
+  dim_of_stage : int array array;
+      (** [dim_of_stage.(m).(k)]: group dim of member [m]'s k-th own
+          dimension (right-aligned) *)
+  scaled_lo : int array array;  (** scaled domain bounds per member per group dim; for dims the member lacks, the group hull *)
+  scaled_hi : int array array;
+  dim_lo : int array;  (** per group dim, hull over members *)
+  dim_hi : int array;
+  edges : edge list;
+  expansions : (int * int) array array;
+      (** [(lo, hi)] overlap expansion per member per group dim, in
+          scaled-space units; live-out members have (0, 0) *)
+  liveouts : bool array;
+      (** per member: consumed outside the group, or pipeline output *)
+}
+
+val analyze :
+  ?allow_fused_reductions:bool -> Pmdp_dsl.Pipeline.t -> int list -> (t, failure) result
+(** [analyze p group] analyzes the fused group consisting of the given
+    stage ids.  [Error Not_connected] if the set does not induce a
+    weakly connected subgraph, or is empty.
+
+    [allow_fused_reductions] (default true) admits a reduction stage
+    in a multi-stage group as long as none of its producers are in
+    the group (the reduction then recomputes its tile region from
+    external data, which the executor supports — this is how Halide
+    groups Bilateral Grid's histogram).  Pass [false] to get the
+    PolyMage rule the paper states: reductions are never fused. *)
+
+val member_index : t -> int -> int
+(** Local index of a stage id within [members].
+    @raise Not_found if the stage is not a member. *)
+
+val dim_extent : t -> int -> int
+(** [dim_extent t d] is the scaled-space extent of group dimension
+    [d] (hull). *)
+
+val stage_points_in_scaled_box : t -> int -> lo:int array -> hi:int array -> int
+(** Number of points of member [m]'s own domain that fall inside the
+    scaled-space box [\[lo, hi\]] (inclusive), i.e. the work the
+    member performs per tile of that box. The box is intersected with
+    the member's scaled domain. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module Expr = Pmdp_dsl.Expr
+module Stage = Pmdp_dsl.Stage
+module Pipeline = Pmdp_dsl.Pipeline
+
+let spatial_bonus = 2.0
+
+(* Count distinct offset intervals along dimension [g] across the
+   accesses of one edge; k distinct offsets contribute k-1 reuse. *)
+let edge_reuse_along offsets g =
+  let distinct =
+    List.sort_uniq compare (List.map (fun (o : (int * int) array) -> o.(g)) offsets)
+  in
+  max 0 (List.length distinct - 1)
+
+let scores (ga : Group_analysis.t) =
+  let n = ga.n_dims in
+  let s = Array.make n 1.0 in
+  (* Producer-consumer reuse on intra-group edges. *)
+  List.iter
+    (fun (e : Group_analysis.edge) ->
+      for g = 0 to n - 1 do
+        s.(g) <- s.(g) +. float_of_int (edge_reuse_along e.offsets g)
+      done)
+    ga.edges;
+  (* Input reuse: distinct constant offsets per input per dimension. *)
+  Array.iteri
+    (fun m sid ->
+      let stage = Pipeline.stage ga.pipeline sid in
+      let cdims = Stage.ndims stage in
+      let loads = Pipeline.input_loads ga.pipeline sid in
+      let by_input = Hashtbl.create 8 in
+      List.iter
+        (fun (name, coords) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_input name) in
+          Hashtbl.replace by_input name (coords :: prev))
+        loads;
+      Hashtbl.iter
+        (fun _name accesses ->
+          (* offsets along each group dim, keyed by consumer variable *)
+          let offsets_along = Array.make n [] in
+          List.iter
+            (fun coords ->
+              Array.iter
+                (fun c ->
+                  match c with
+                  | Expr.Cvar { var; scale; offset }
+                    when var < cdims && Pmdp_util.Rational.sign scale <> 0 ->
+                      let g = ga.dim_of_stage.(m).(var) in
+                      offsets_along.(g) <- offset :: offsets_along.(g)
+                  | Expr.Cvar _ | Expr.Cdyn _ -> ())
+                coords)
+            accesses;
+          Array.iteri
+            (fun g offs ->
+              let distinct = List.length (List.sort_uniq Pmdp_util.Rational.compare offs) in
+              if distinct > 1 then s.(g) <- s.(g) +. float_of_int (distinct - 1))
+            offsets_along)
+        by_input)
+    ga.members;
+  if n > 0 then s.(n - 1) <- s.(n - 1) +. spatial_bonus;
+  s

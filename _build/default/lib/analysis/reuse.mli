@@ -1,0 +1,20 @@
+(** Per-dimension reuse scores of a fused group (paper §4.2).
+
+    Tile sizes are assigned proportionally to reuse along each
+    dimension, so the score captures — per group dimension — how much
+    data re-access moving along that dimension exposes:
+
+    - {b group/producer-consumer reuse}: a stencil with [k] distinct
+      offsets along a dimension re-reads [k-1] previously loaded
+      producer values per step along it;
+    - {b input reuse}: the same, for accesses to pipeline inputs;
+    - {b spatial reuse}: the innermost dimension walks contiguous
+      memory, which the model rewards with a fixed bonus.
+
+    Scores are ≥ 1 so ratios are always well defined. *)
+
+val spatial_bonus : float
+(** Bonus added to the innermost dimension's score. *)
+
+val scores : Group_analysis.t -> float array
+(** One score per group dimension. *)

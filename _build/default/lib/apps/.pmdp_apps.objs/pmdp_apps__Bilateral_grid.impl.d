@@ -1,0 +1,1 @@
+lib/apps/bilateral_grid.ml: Array Expr Helpers Images Pipeline Pmdp_dsl Pmdp_util Stage

@@ -1,0 +1,1 @@
+lib/apps/bilateral_grid.mli: Pmdp_dsl Pmdp_exec

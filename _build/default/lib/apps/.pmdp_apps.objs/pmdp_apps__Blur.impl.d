@@ -1,0 +1,1 @@
+lib/apps/blur.ml: Array Helpers Images Pipeline Pmdp_dsl Stage

@@ -1,0 +1,1 @@
+lib/apps/blur.mli: Pmdp_dsl Pmdp_exec

@@ -1,0 +1,1 @@
+lib/apps/camera_pipe.ml: Array Expr Helpers Images Pipeline Pmdp_dsl Pmdp_exec Pmdp_util Stage

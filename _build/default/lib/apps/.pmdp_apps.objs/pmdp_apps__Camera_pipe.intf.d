@@ -1,0 +1,1 @@
+lib/apps/camera_pipe.mli: Pmdp_dsl Pmdp_exec

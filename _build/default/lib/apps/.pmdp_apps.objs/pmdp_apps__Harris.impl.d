@@ -1,0 +1,1 @@
+lib/apps/harris.ml: Array Expr Helpers Images List Option Pipeline Pmdp_dsl Stage

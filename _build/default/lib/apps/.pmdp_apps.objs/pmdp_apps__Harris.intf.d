@@ -1,0 +1,1 @@
+lib/apps/harris.mli: Pmdp_dsl Pmdp_exec

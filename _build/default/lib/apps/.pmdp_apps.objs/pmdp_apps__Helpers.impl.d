@@ -1,0 +1,1 @@
+lib/apps/helpers.ml: Array Expr List Pmdp_dsl Pmdp_util

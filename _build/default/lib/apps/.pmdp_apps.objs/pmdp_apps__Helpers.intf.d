@@ -1,0 +1,1 @@
+lib/apps/helpers.mli: Expr Pmdp_dsl

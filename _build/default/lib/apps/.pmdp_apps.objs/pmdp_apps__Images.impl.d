@@ -1,0 +1,1 @@
+lib/apps/images.ml: Array Float Pmdp_dsl Pmdp_exec Pmdp_util

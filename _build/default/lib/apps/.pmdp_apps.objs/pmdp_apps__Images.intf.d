@@ -1,0 +1,1 @@
+lib/apps/images.mli: Pmdp_exec

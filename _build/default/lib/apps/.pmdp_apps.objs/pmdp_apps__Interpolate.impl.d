@@ -1,0 +1,1 @@
+lib/apps/interpolate.ml: Array Expr Helpers Images List Pipeline Pmdp_dsl Printf Stage

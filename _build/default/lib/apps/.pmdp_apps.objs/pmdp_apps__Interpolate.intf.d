@@ -1,0 +1,1 @@
+lib/apps/interpolate.mli: Pmdp_dsl Pmdp_exec

@@ -1,0 +1,1 @@
+lib/apps/local_laplacian.ml: Array Expr Helpers Images List Pipeline Pmdp_dsl Printf Pyramid_blend Stage

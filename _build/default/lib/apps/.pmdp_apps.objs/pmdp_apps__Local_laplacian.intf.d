@@ -1,0 +1,1 @@
+lib/apps/local_laplacian.mli: Pmdp_dsl Pmdp_exec

@@ -1,0 +1,1 @@
+lib/apps/morphology.ml: Array Expr Helpers Images Pipeline Pmdp_dsl Stage

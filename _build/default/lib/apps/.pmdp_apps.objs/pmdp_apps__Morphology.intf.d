@@ -1,0 +1,1 @@
+lib/apps/morphology.mli: Pmdp_dsl Pmdp_exec

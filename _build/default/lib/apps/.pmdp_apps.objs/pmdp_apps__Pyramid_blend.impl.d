@@ -1,0 +1,1 @@
+lib/apps/pyramid_blend.ml: Array Expr Helpers Images List Pipeline Pmdp_dsl Pmdp_util Printf Stage

@@ -1,0 +1,1 @@
+lib/apps/pyramid_blend.mli: Pmdp_dsl Pmdp_exec

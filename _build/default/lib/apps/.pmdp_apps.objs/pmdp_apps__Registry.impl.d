@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Bilateral_grid Blur Camera_pipe Harris Interpolate List Local_laplacian Morphology Pmdp_dsl Pmdp_exec Pyramid_blend String Unsharp

@@ -1,0 +1,1 @@
+lib/apps/registry.mli: Pmdp_dsl Pmdp_exec

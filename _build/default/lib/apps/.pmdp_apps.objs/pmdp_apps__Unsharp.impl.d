@@ -1,0 +1,1 @@
+lib/apps/unsharp.ml: Array Expr Helpers Images Pipeline Pmdp_dsl Stage

@@ -1,0 +1,1 @@
+lib/apps/unsharp.mli: Pmdp_dsl Pmdp_exec

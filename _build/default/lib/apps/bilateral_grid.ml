@@ -1,0 +1,89 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 1536
+let paper_cols = 2560
+let sigma_s = 8
+let bins = 12
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let gr = ((rows - 1) / sigma_s) + 1 and gc = ((cols - 1) / sigma_s) + 1 in
+  let dims2 = Stage.dim2 rows cols in
+  let grid_dims =
+    [|
+      { Stage.dim_name = "w"; lo = 0; extent = 2 };
+      { Stage.dim_name = "z"; lo = 0; extent = bins };
+      { Stage.dim_name = "gx"; lo = 0; extent = gr };
+      { Stage.dim_name = "gy"; lo = 0; extent = gc };
+    |]
+  in
+  let clamped =
+    Stage.pointwise "clamped" dims2
+      (clamp (load "img" [| cvar 0; cvar 1 |]) ~lo:(const 0.0) ~hi:(const 1.0))
+  in
+  (* grid(w, z, gx, gy): over the sigma_s x sigma_s cell, sum the
+     intensities (w=0) and counts (w=1) of pixels whose bin is z.
+     Vars: 0=w 1=z 2=gx 3=gy; rvars: 4=di 5=dj. *)
+  let cell_value =
+    load "clamped"
+      [|
+        cdyn ((const (float_of_int sigma_s) *: var 2) +: var 4);
+        cdyn ((const (float_of_int sigma_s) *: var 3) +: var 5);
+      |]
+  in
+  let bin_of v = Unop (Floor, (v *: const (float_of_int (bins - 2))) +: const 0.5) in
+  let grid =
+    Stage.reduction "grid" grid_dims ~op:Stage.Rsum ~init:0.0
+      ~rdom:[| (0, sigma_s); (0, sigma_s) |]
+      (select
+         (bin_of cell_value =: var 1)
+         (select (var 0 =: const 0.0) cell_value (const 1.0))
+         (const 0.0))
+  in
+  let blurz = Stage.pointwise "blurz" grid_dims
+      (Helpers.stencil "grid" ~ndims:4 ~dim:1 [ (-1, 0.25); (0, 0.5); (1, 0.25) ])
+  in
+  let blurx = Stage.pointwise "blurx" grid_dims
+      (Helpers.stencil "blurz" ~ndims:4 ~dim:2 [ (-1, 0.25); (0, 0.5); (1, 0.25) ])
+  in
+  let blury = Stage.pointwise "blury" grid_dims
+      (Helpers.stencil "blurx" ~ndims:4 ~dim:3 [ (-1, 0.25); (0, 0.5); (1, 0.25) ])
+  in
+  (* slice(w, x, y): bilinear spatial interpolation at the pixel's
+     intensity bin.  Vars: 0=w 1=x 2=y. *)
+  let zbin = bin_of (load "clamped" [| cvar 1; cvar 2 |]) in
+  let s = float_of_int sigma_s in
+  let gxf k =
+    Cvar { var = 1; scale = Pmdp_util.Rational.make 1 sigma_s; offset = Pmdp_util.Rational.of_int k }
+  in
+  let gyf k =
+    Cvar { var = 2; scale = Pmdp_util.Rational.make 1 sigma_s; offset = Pmdp_util.Rational.of_int k }
+  in
+  let fx = (var 1 /: const s) -: Unop (Floor, var 1 /: const s) in
+  let fy = (var 2 /: const s) -: Unop (Floor, var 2 /: const s) in
+  let corner kx ky = load "blury" [| cvar 0; cdyn zbin; gxf kx; gyf ky |] in
+  let slice_dims =
+    [|
+      { Stage.dim_name = "w"; lo = 0; extent = 2 };
+      { Stage.dim_name = "x"; lo = 0; extent = rows };
+      { Stage.dim_name = "y"; lo = 0; extent = cols };
+    |]
+  in
+  let slice =
+    Stage.pointwise "slice" slice_dims
+      (((const 1.0 -: fx) *: ((const 1.0 -: fy) *: corner 0 0 +: (fy *: corner 0 1)))
+      +: (fx *: ((const 1.0 -: fy) *: corner 1 0 +: (fy *: corner 1 1))))
+  in
+  let at w = load "slice" [| Expr.cscale 0 ~num:0 ~den:1 ~off:w; cvar 0; cvar 1 |] in
+  let out = Stage.pointwise "out" dims2 (at 0 /: max_ (at 1) (const 1e-3)) in
+  Pipeline.build ~name:"bilateral_grid"
+    ~inputs:[ Pipeline.input2 "img" rows cols ]
+    ~stages:[ clamped; grid; blurz; blurx; blury; slice; out ]
+    ~outputs:[ "out" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(0).Stage.extent
+  and cols = i.Pipeline.in_dims.(1).Stage.extent in
+  [ ("img", Images.gray ~seed "img" ~rows ~cols) ]

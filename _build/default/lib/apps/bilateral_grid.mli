@@ -1,0 +1,17 @@
+(** Bilateral Grid (BG): 7 stages, paper size 1536×2560.
+
+    clamped → grid (a histogram-style reduction over each spatial
+    cell, 4-D: homogeneous channel × intensity bin × cell) → blurz →
+    blurx → blury → slice (data-dependent trilinear-style lookup) →
+    out.  The grid construction is a reduction and the slice access
+    is data-dependent, so PolyMage-style fusion cannot group either
+    with its neighbors — the structural reason the paper gives for
+    Halide winning this benchmark. *)
+
+val paper_rows : int
+val paper_cols : int
+(* sigma_s: spatial cell size (8); bins: intensity bins (12). *)
+val sigma_s : int
+val bins : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

@@ -1,0 +1,15 @@
+open Pmdp_dsl
+
+let build ?(rows = 2046) ?(cols = 2048) () =
+  let dims = Stage.dim3 3 rows cols in
+  let blurx = Stage.pointwise "blurx" dims (Helpers.blur3 "img" ~ndims:3 ~dim:1) in
+  let blury = Stage.pointwise "blury" dims (Helpers.blur3 "blurx" ~ndims:3 ~dim:2) in
+  Pipeline.build ~name:"blur"
+    ~inputs:[ Pipeline.input3 "img" 3 rows cols ]
+    ~stages:[ blurx; blury ] ~outputs:[ "blury" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(1).Stage.extent
+  and cols = i.Pipeline.in_dims.(2).Stage.extent in
+  [ ("img", Images.rgb ~seed "img" ~rows ~cols) ]

@@ -1,0 +1,7 @@
+(** The paper's running example (Fig. 1): two-stage separable blur. *)
+
+val build : ?rows:int -> ?cols:int -> unit -> Pmdp_dsl.Pipeline.t
+(** 3-channel blur: blurx then blury (defaults 2046×2048, the sizes
+    of the paper's Fig. 3). *)
+
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

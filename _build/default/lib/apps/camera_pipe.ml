@@ -1,0 +1,135 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 1968
+let paper_cols = 2592
+
+(* Half-resolution access d(2x+a, 2y+b). *)
+let at2 name a b =
+  load name [| Expr.cscale 0 ~num:2 ~den:1 ~off:a; Expr.cscale 1 ~num:2 ~den:1 ~off:b |]
+
+(* Full-resolution stage reading a half-resolution producer at
+   (floor((x+a)/2), floor((y+b)/2)). *)
+let athalf name a b =
+  let half v k =
+    Cvar { var = v; scale = Pmdp_util.Rational.make 1 2; offset = Pmdp_util.Rational.make k 2 }
+  in
+  load name [| half 0 a; half 1 b |]
+
+let even v = Binop (Mod, var v, const 2.0) =: const 0.0
+
+let build ?(scale = 1) () =
+  let rows0 = Helpers.scaled paper_rows scale and cols0 = Helpers.scaled paper_cols scale in
+  let rows = rows0 / 2 * 2 and cols = cols0 / 2 * 2 in
+  let hr = rows / 2 and hc = cols / 2 in
+  let full = Stage.dim2 rows cols and half = Stage.dim2 hr hc in
+  let here name = load name (Helpers.ident_coords 2) in
+  let shifted = Stage.pointwise "shifted" full (load "raw" [| cvar 0; cvar 1 |] /: const 1023.0) in
+  let far k l = load "shifted" [| cshift 0 k; cshift 1 l |] in
+  let denoised =
+    Stage.pointwise "denoised" full
+      (clamp (here "shifted")
+         ~lo:(min_ (min_ (far (-2) 0) (far 2 0)) (min_ (far 0 (-2)) (far 0 2)))
+         ~hi:(max_ (max_ (far (-2) 0) (far 2 0)) (max_ (far 0 (-2)) (far 0 2))))
+  in
+  (* GRBG deinterleave. *)
+  let g_gr = Stage.pointwise "g_gr" half (at2 "denoised" 0 0) in
+  let r_r = Stage.pointwise "r_r" half (at2 "denoised" 0 1) in
+  let b_b = Stage.pointwise "b_b" half (at2 "denoised" 1 0) in
+  let g_gb = Stage.pointwise "g_gb" half (at2 "denoised" 1 1) in
+  let avg a b = (a +: b) /: const 2.0 in
+  let sh name k l = load name [| cshift 0 k; cshift 1 l |] in
+  (* Demosaic interpolations (half resolution). *)
+  let gv_r = Stage.pointwise "gv_r" half (avg (sh "g_gb" (-1) 0) (sh "g_gb" 0 0)) in
+  let gh_r = Stage.pointwise "gh_r" half (avg (sh "g_gr" 0 0) (sh "g_gr" 0 1)) in
+  let g_r = Stage.pointwise "g_r" half (avg (here "gv_r") (here "gh_r")) in
+  let gv_b = Stage.pointwise "gv_b" half (avg (sh "g_gr" 0 0) (sh "g_gr" 1 0)) in
+  let gh_b = Stage.pointwise "gh_b" half (avg (sh "g_gb" 0 (-1)) (sh "g_gb" 0 0)) in
+  let g_b = Stage.pointwise "g_b" half (avg (here "gv_b") (here "gh_b")) in
+  let r_gr = Stage.pointwise "r_gr" half (avg (sh "r_r" 0 (-1)) (sh "r_r" 0 0)) in
+  let b_gr = Stage.pointwise "b_gr" half (avg (sh "b_b" (-1) 0) (sh "b_b" 0 0)) in
+  let r_gb = Stage.pointwise "r_gb" half (avg (sh "r_r" 0 0) (sh "r_r" 1 0)) in
+  let b_gb = Stage.pointwise "b_gb" half (avg (sh "b_b" 0 0) (sh "b_b" 0 1)) in
+  let r_b = Stage.pointwise "r_b" half (avg (here "r_gr") (here "r_gb")) in
+  let b_r = Stage.pointwise "b_r" half (avg (here "b_gr") (here "b_gb")) in
+  (* Interleave back to full resolution by pixel parity (GRBG). *)
+  let interleave gg rr bb gb =
+    select (even 0)
+      (select (even 1) (athalf gg 0 0) (athalf rr 0 (-1)))
+      (select (even 1) (athalf bb (-1) 0) (athalf gb (-1) (-1)))
+  in
+  let out_r = Stage.pointwise "out_r" full (interleave "r_gr" "r_r" "r_b" "r_gb") in
+  let out_g = Stage.pointwise "out_g" full (interleave "g_gr" "g_r" "g_b" "g_gb") in
+  let out_b = Stage.pointwise "out_b" full (interleave "b_gr" "b_r" "b_b" "b_gb") in
+  (* Color-matrix correction; the matrix is a 3x4 input. *)
+  let m i j =
+    load "matrix"
+      [| Expr.cscale 0 ~num:0 ~den:1 ~off:i; Expr.cscale 1 ~num:0 ~den:1 ~off:j |]
+  in
+  let correct row out_name =
+    (m row 0 *: here "out_r") +: (m row 1 *: here "out_g") +: (m row 2 *: here "out_b")
+    +: m row 3
+    |> fun e -> Stage.pointwise out_name full e
+  in
+  let corr_r = correct 0 "corr_r" in
+  let corr_g = correct 1 "corr_g" in
+  let corr_b = correct 2 "corr_b" in
+  (* Tone curve: data-dependent LUT input access. *)
+  let curve src name =
+    Stage.pointwise name full
+      (load "lut"
+         [| cdyn (clamp (here src) ~lo:(const 0.0) ~hi:(const 1.0) *: const 1023.0) |])
+  in
+  let curved_r = curve "corr_r" "curved_r" in
+  let curved_g = curve "corr_g" "curved_g" in
+  let curved_b = curve "corr_b" "curved_b" in
+  (* Luminance sharpening. *)
+  let lum =
+    Stage.pointwise "lum" full
+      ((here "curved_r" +: here "curved_g" +: here "curved_b") /: const 3.0)
+  in
+  let usm_x = Stage.pointwise "usm_x" full (Helpers.blur3 "lum" ~ndims:2 ~dim:0) in
+  let usm_y = Stage.pointwise "usm_y" full (Helpers.blur3 "usm_x" ~ndims:2 ~dim:1) in
+  let detail = Stage.pointwise "detail" full (here "lum" -: here "usm_y") in
+  let chan name = load name [| cvar 1; cvar 2 |] in
+  let output =
+    Stage.pointwise "output" (Stage.dim3 3 rows cols)
+      (select (var 0 =: const 0.0)
+         (chan "curved_r" +: (const 0.5 *: chan "detail"))
+         (select (var 0 =: const 1.0)
+            (chan "curved_g" +: (const 0.5 *: chan "detail"))
+            (chan "curved_b" +: (const 0.5 *: chan "detail"))))
+  in
+  Pipeline.build ~name:"camera_pipe"
+    ~inputs:
+      [
+        Pipeline.input2 "raw" rows cols;
+        Pipeline.input2 "matrix" 3 4;
+        { Pipeline.in_name = "lut"; in_dims = [| { Stage.dim_name = "i"; lo = 0; extent = 1024 } |] };
+      ]
+    ~stages:
+      [
+        shifted; denoised; g_gr; r_r; b_b; g_gb; gv_r; gh_r; g_r; gv_b; gh_b; g_b;
+        r_gr; b_gr; r_gb; b_gb; r_b; b_r; out_r; out_g; out_b; corr_r; corr_g; corr_b;
+        curved_r; curved_g; curved_b; lum; usm_x; usm_y; detail; output;
+      ]
+    ~outputs:[ "output" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "raw" in
+  let rows = i.Pipeline.in_dims.(0).Stage.extent
+  and cols = i.Pipeline.in_dims.(1).Stage.extent in
+  let matrix = Pmdp_exec.Buffer.create "matrix" (Stage.dim2 3 4) in
+  let values =
+    [| [| 1.6697; -0.2693; -0.4004; -0.0078 |];
+       [| -0.2866; 1.0267; 0.1334; -0.0022 |];
+       [| -0.0918; -0.1801; 1.3016; -0.0031 |] |]
+  in
+  Array.iteri
+    (fun r row -> Array.iteri (fun c v -> Pmdp_exec.Buffer.set matrix [| r; c |] v) row)
+    values;
+  [
+    ("raw", Images.bayer ~seed "raw" ~rows ~cols);
+    ("matrix", matrix);
+    ("lut", Images.lut ~seed:(seed + 3) "lut" 1024);
+  ]

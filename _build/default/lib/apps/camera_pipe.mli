@@ -1,0 +1,14 @@
+(** Camera Pipeline (CP): 32 stages, paper size 2592×1968.
+
+    Raw GRBG Bayer mosaic → hot-pixel suppression → 4-way
+    deinterleave (stride-2 accesses) → 12 demosaic interpolation
+    stages → parity-select interleave back to full resolution →
+    color-matrix correction → tone-curve LUT (data-dependent input
+    access) → luminance sharpening → interleaved 3-channel output.
+    Stencil-like, interleaved, and data-dependent access patterns, as
+    the paper describes. *)
+
+val paper_rows : int
+val paper_cols : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

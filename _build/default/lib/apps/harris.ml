@@ -1,0 +1,66 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 2832
+let paper_cols = 4256
+
+(* 3x3 stencil with per-tap weights over a 2-D producer. *)
+let stencil3x3 name weights =
+  let acc = ref None in
+  List.iteri
+    (fun i row ->
+      List.iteri
+        (fun j w ->
+          if w <> 0.0 then begin
+            let term =
+              const w *: load name [| cshift 0 (i - 1); cshift 1 (j - 1) |]
+            in
+            acc := Some (match !acc with None -> term | Some a -> a +: term)
+          end)
+        row)
+    weights;
+  Option.get !acc
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let dims = Stage.dim2 rows cols in
+  let gray =
+    Stage.pointwise "gray" dims
+      ((const 0.299 *: load "img" [| Expr.cscale 0 ~num:0 ~den:1 ~off:0; cvar 0; cvar 1 |])
+      +: (const 0.587 *: load "img" [| Expr.cscale 0 ~num:0 ~den:1 ~off:1; cvar 0; cvar 1 |])
+      +: (const 0.114 *: load "img" [| Expr.cscale 0 ~num:0 ~den:1 ~off:2; cvar 0; cvar 1 |]))
+  in
+  let s = 1.0 /. 12.0 in
+  let ix =
+    Stage.pointwise "ix" dims
+      (stencil3x3 "gray"
+         [ [ -.s; 0.0; s ]; [ -2.0 *. s; 0.0; 2.0 *. s ]; [ -.s; 0.0; s ] ])
+  in
+  let iy =
+    Stage.pointwise "iy" dims
+      (stencil3x3 "gray"
+         [ [ -.s; -2.0 *. s; -.s ]; [ 0.0; 0.0; 0.0 ]; [ s; 2.0 *. s; s ] ])
+  in
+  let here name = load name (Helpers.ident_coords 2) in
+  let ixx = Stage.pointwise "ixx" dims (here "ix" *: here "ix") in
+  let iyy = Stage.pointwise "iyy" dims (here "iy" *: here "iy") in
+  let ixy = Stage.pointwise "ixy" dims (here "ix" *: here "iy") in
+  let box name = stencil3x3 name [ [ 1.; 1.; 1. ]; [ 1.; 1.; 1. ]; [ 1.; 1.; 1. ] ] in
+  let sxx = Stage.pointwise "sxx" dims (box "ixx") in
+  let syy = Stage.pointwise "syy" dims (box "iyy") in
+  let sxy = Stage.pointwise "sxy" dims (box "ixy") in
+  let det = Stage.pointwise "det" dims ((here "sxx" *: here "syy") -: (here "sxy" *: here "sxy")) in
+  let harris =
+    Stage.pointwise "harris" dims
+      (here "det" -: (const 0.04 *: ((here "sxx" +: here "syy") *: (here "sxx" +: here "syy"))))
+  in
+  Pipeline.build ~name:"harris"
+    ~inputs:[ Pipeline.input3 "img" 3 rows cols ]
+    ~stages:[ gray; ix; iy; ixx; iyy; ixy; sxx; syy; sxy; det; harris ]
+    ~outputs:[ "harris" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(1).Stage.extent
+  and cols = i.Pipeline.in_dims.(2).Stage.extent in
+  [ ("img", Images.rgb ~seed "img" ~rows ~cols) ]

@@ -1,0 +1,10 @@
+(** Harris Corner Detection (HC): 11 stages, paper size 4256×2832.
+
+    gray → Sobel gradients → products → 3×3 box sums → determinant →
+    corner response; stencils and point-wise stages mixed, as in the
+    paper's Table 2. *)
+
+val paper_rows : int
+val paper_cols : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

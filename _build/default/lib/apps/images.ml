@@ -1,0 +1,67 @@
+module Buffer = Pmdp_exec.Buffer
+module Stage = Pmdp_dsl.Stage
+module Rng = Pmdp_util.Rng
+
+let value rng ~rows ~cols x y =
+  let fx = float_of_int x /. float_of_int (max 1 rows) in
+  let fy = float_of_int y /. float_of_int (max 1 cols) in
+  let smooth = (0.5 *. fx) +. (0.3 *. fy) in
+  let texture = 0.1 *. sin ((13.0 *. fx) +. (7.0 *. fy)) in
+  let noise = 0.1 *. Rng.float rng 1.0 in
+  Float.max 0.0 (Float.min 1.0 (smooth +. texture +. noise))
+
+let plane ?(seed = 1) ~rows ~cols (b : Buffer.t) =
+  let rng = Rng.create seed in
+  Buffer.fill b (fun idx ->
+      let n = Array.length idx in
+      value rng ~rows ~cols idx.(n - 2) idx.(n - 1))
+
+let gray ?(seed = 1) name ~rows ~cols =
+  let b = Buffer.create name (Stage.dim2 rows cols) in
+  plane ~seed ~rows ~cols b;
+  b
+
+let rgb ?(seed = 1) name ~rows ~cols =
+  let b = Buffer.create name (Stage.dim3 3 rows cols) in
+  let rngs = Array.init 3 (fun c -> Rng.create (seed + (97 * (c + 1)))) in
+  Buffer.fill b (fun idx -> value rngs.(idx.(0)) ~rows ~cols idx.(1) idx.(2));
+  b
+
+let bayer ?(seed = 1) name ~rows ~cols =
+  let b = Buffer.create name (Stage.dim2 rows cols) in
+  let rng = Rng.create seed in
+  Buffer.fill b (fun idx ->
+      let base = value rng ~rows ~cols idx.(0) idx.(1) in
+      (* GRBG mosaic: green is brighter on average. *)
+      let x = idx.(0) and y = idx.(1) in
+      let chan_gain =
+        match (x land 1, y land 1) with
+        | 0, 0 | 1, 1 -> 1.0 (* green *)
+        | 0, 1 -> 0.8 (* red *)
+        | _ -> 0.9 (* blue *)
+      in
+      Float.round (base *. chan_gain *. 1023.0));
+  b
+
+let lut ?(seed = 1) name len =
+  let b = Buffer.create name [| { Stage.dim_name = "i"; lo = 0; extent = len } |] in
+  let rng = Rng.create seed in
+  let acc = ref 0.0 in
+  for i = 0 to len - 1 do
+    acc := !acc +. Rng.float rng 1.0;
+    b.Buffer.data.(i) <- !acc
+  done;
+  let total = Float.max 1e-9 !acc in
+  for i = 0 to len - 1 do
+    b.Buffer.data.(i) <- b.Buffer.data.(i) /. total
+  done;
+  b
+
+let mask ?(seed = 1) name ~rows ~cols =
+  ignore seed;
+  let b = Buffer.create name (Stage.dim2 rows cols) in
+  Buffer.fill b (fun idx ->
+      let fy = float_of_int idx.(1) /. float_of_int (max 1 cols) in
+      1.0 /. (1.0 +. exp (-12.0 *. (fy -. 0.5))))
+  ;
+  b

@@ -1,0 +1,27 @@
+(** Deterministic synthetic input images.
+
+    The paper's benchmarks run on photographs; pipeline runtime is
+    data-independent here (no data-dependent control flow affects the
+    amount of work), so seeded synthetic images — smooth structure
+    plus noise, and a Bayer mosaic for the camera pipeline — exercise
+    identical code paths (see DESIGN.md, substitutions). *)
+
+val plane : ?seed:int -> rows:int -> cols:int -> Pmdp_exec.Buffer.t -> unit
+(** Fill a 2-D buffer with a smooth gradient + sinusoid + noise
+    pattern in [0, 1]. *)
+
+val gray : ?seed:int -> string -> rows:int -> cols:int -> Pmdp_exec.Buffer.t
+(** Fresh filled 2-D image. *)
+
+val rgb : ?seed:int -> string -> rows:int -> cols:int -> Pmdp_exec.Buffer.t
+(** Fresh filled 3-D image (3 × rows × cols), channels decorrelated. *)
+
+val bayer : ?seed:int -> string -> rows:int -> cols:int -> Pmdp_exec.Buffer.t
+(** Raw sensor mosaic (GRBG pattern) in [0, 1024). *)
+
+val lut : ?seed:int -> string -> int -> Pmdp_exec.Buffer.t
+(** Monotone tone-curve lookup table of the given length, values in
+    [0, 1]. *)
+
+val mask : ?seed:int -> string -> rows:int -> cols:int -> Pmdp_exec.Buffer.t
+(** Smooth blend mask in [0, 1] (sigmoid ramp across columns). *)

@@ -1,0 +1,98 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 1536
+let paper_cols = 2560
+let levels = 10
+
+let extent_at e l = max 2 (e lsr l)
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let dims_at l = Stage.dim3 3 (extent_at rows l) (extent_at cols l) in
+  let stages = ref [] in
+  let push s = stages := s :: !stages in
+  let clamped =
+    Stage.pointwise "clamped" (dims_at 0)
+      (clamp (load "img" (Helpers.ident_coords 3)) ~lo:(const 0.0) ~hi:(const 1.0))
+  in
+  push clamped;
+  let premult =
+    Stage.pointwise "premult" (dims_at 0)
+      (load "clamped" (Helpers.ident_coords 3) *: load "alpha" [| cvar 1; cvar 2 |])
+  in
+  push premult;
+  (* Downsampling chain: down0 = premult; per level l >= 1,
+     downx_l decimates x from level l-1, downy_l decimates y. *)
+  let down_name l = if l = 0 then "premult" else Printf.sprintf "downy%d" l in
+  for l = 1 to levels - 1 do
+    let mid_dims =
+      [|
+        { Stage.dim_name = "c"; lo = 0; extent = 3 };
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l - 1) };
+      |]
+    in
+    push
+      (Stage.pointwise
+         (Printf.sprintf "downx%d" l)
+         mid_dims
+         (Helpers.downsample2 (down_name (l - 1)) ~ndims:3 ~dim:1));
+    push
+      (Stage.pointwise
+         (Printf.sprintf "downy%d" l)
+         (dims_at l)
+         (Helpers.downsample2 (Printf.sprintf "downx%d" l) ~ndims:3 ~dim:2))
+  done;
+  (* Upsample-and-blend back: u_(levels-1) = coarsest downy; for
+     l = levels-2 .. 0: upx_l/upy_l upsample u_(l+1), then
+     interp_l blends with down_l. *)
+  let u_name l = if l = levels - 1 then down_name (levels - 1) else Printf.sprintf "interp%d" l in
+  for l = levels - 2 downto 0 do
+    let mid_dims =
+      [|
+        { Stage.dim_name = "c"; lo = 0; extent = 3 };
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l + 1) };
+      |]
+    in
+    push
+      (Stage.pointwise
+         (Printf.sprintf "upx%d" l)
+         mid_dims
+         (Helpers.upsample2 (u_name (l + 1)) ~ndims:3 ~dim:1));
+    push
+      (Stage.pointwise
+         (Printf.sprintf "upy%d" l)
+         (dims_at l)
+         (Helpers.upsample2 (Printf.sprintf "upx%d" l) ~ndims:3 ~dim:2));
+    push
+      (Stage.pointwise
+         (Printf.sprintf "interp%d" l)
+         (dims_at l)
+         ((const 0.5 *: load (down_name l) (Helpers.ident_coords 3))
+         +: (const 0.5 *: load (Printf.sprintf "upy%d" l) (Helpers.ident_coords 3))))
+  done;
+  let unpremult =
+    Stage.pointwise "unpremult" (dims_at 0)
+      (load "interp0" (Helpers.ident_coords 3)
+      /: ((const 0.5 *: load "alpha" [| cvar 1; cvar 2 |]) +: const 0.5))
+  in
+  push unpremult;
+  let output =
+    Stage.pointwise "output" (dims_at 0)
+      (clamp (load "unpremult" (Helpers.ident_coords 3)) ~lo:(const 0.0) ~hi:(const 2.0))
+  in
+  push output;
+  Pipeline.build ~name:"interpolate"
+    ~inputs:[ Pipeline.input3 "img" 3 rows cols; Pipeline.input2 "alpha" rows cols ]
+    ~stages:(List.rev !stages) ~outputs:[ "output" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(1).Stage.extent
+  and cols = i.Pipeline.in_dims.(2).Stage.extent in
+  [
+    ("img", Images.rgb ~seed "img" ~rows ~cols);
+    ("alpha", Images.mask ~seed:(seed + 7) "alpha" ~rows ~cols);
+  ]

@@ -1,0 +1,15 @@
+(** Multiscale Interpolation (MI): 49 stages, paper size 1536×2560×3.
+
+    A 10-level image pyramid: alpha premultiply, 9 levels of
+    separable 2x downsampling (downx/downy), then a separable
+    upsample-and-blend chain back to full resolution (upx/upy/interp
+    per level), and unpremultiply + output.  Fusing across levels
+    requires the rational scaling of the paper's §2.2; overlap grows
+    geometrically with fused depth, which is what bounds group sizes
+    here. *)
+
+val paper_rows : int
+val paper_cols : int
+val levels : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

@@ -1,0 +1,132 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 1536
+let paper_cols = 2560
+let levels = 4
+let intensity_levels = 8
+
+let extent_at e l = max 2 (e lsr l)
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let j = intensity_levels in
+  let jf = float_of_int (j - 1) in
+  let stack_dims_at l =
+    [|
+      { Stage.dim_name = "j"; lo = 0; extent = j };
+      { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+      { Stage.dim_name = "y"; lo = 0; extent = extent_at cols l };
+    |]
+  in
+  let dims2_at l = Stage.dim2 (extent_at rows l) (extent_at cols l) in
+  let stages = ref [] in
+  let push s = stages := s :: !stages in
+  (* Luminance of the RGB input. *)
+  let chan c = load "img" [| Expr.cscale 0 ~num:0 ~den:1 ~off:c; cvar 0; cvar 1 |] in
+  push
+    (Stage.pointwise "gray" (dims2_at 0)
+       ((const 0.299 *: chan 0) +: (const 0.587 *: chan 1) +: (const 0.114 *: chan 2)));
+  (* Remapped intensity stack: one slice per target level k = jj/(J-1),
+     pushing values toward/away from k (detail manipulation). *)
+  let v = load "gray" [| cvar 1; cvar 2 |] in
+  let k = var 0 /: const jf in
+  let d = v -: k in
+  push
+    (Stage.pointwise "remapped" (stack_dims_at 0)
+       (v +: (const 0.4 *: (d *: exp_ (neg (d *: d) *: const 8.0)))));
+  (* Gaussian pyramid of the stack (separable). *)
+  let stack_at l = if l = 0 then "remapped" else Printf.sprintf "gdy%d" l in
+  for l = 1 to levels - 1 do
+    let mid =
+      [|
+        { Stage.dim_name = "j"; lo = 0; extent = j };
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l - 1) };
+      |]
+    in
+    push
+      (Stage.pointwise (Printf.sprintf "gdx%d" l) mid
+         (Helpers.downsample2 (stack_at (l - 1)) ~ndims:3 ~dim:1));
+    push
+      (Stage.pointwise (Printf.sprintf "gdy%d" l) (stack_dims_at l)
+         (Helpers.downsample2 (Printf.sprintf "gdx%d" l) ~ndims:3 ~dim:2))
+  done;
+  (* Laplacian stack: level minus upsampled next level. *)
+  for l = 0 to levels - 2 do
+    push
+      (Stage.pointwise (Printf.sprintf "lup%d" l) (stack_dims_at l)
+         (Pyramid_blend.up2d (stack_at (l + 1)) ~ndims:3));
+    push
+      (Stage.pointwise (Printf.sprintf "lap%d" l) (stack_dims_at l)
+         (load (stack_at l) (Helpers.ident_coords 3)
+         -: load (Printf.sprintf "lup%d" l) (Helpers.ident_coords 3)))
+  done;
+  (* Gaussian pyramid of the input luminance (steering signal). *)
+  let gray_at l = if l = 0 then "gray" else Printf.sprintf "igy%d" l in
+  for l = 1 to levels - 1 do
+    let mid =
+      [|
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l - 1) };
+      |]
+    in
+    push
+      (Stage.pointwise (Printf.sprintf "igx%d" l) mid
+         (Helpers.downsample2 (gray_at (l - 1)) ~ndims:2 ~dim:0));
+    push
+      (Stage.pointwise (Printf.sprintf "igy%d" l) (dims2_at l)
+         (Helpers.downsample2 (Printf.sprintf "igx%d" l) ~ndims:2 ~dim:1))
+  done;
+  (* Output Laplacian pyramid: per pixel, interpolate between the two
+     nearest intensity slices — a data-dependent access along j. *)
+  for l = 0 to levels - 1 do
+    let src = if l = levels - 1 then stack_at l else Printf.sprintf "lap%d" l in
+    let lev =
+      clamp (load (gray_at l) [| cvar 0; cvar 1 |]) ~lo:(const 0.0) ~hi:(const 1.0)
+      *: const jf
+    in
+    let j0 = min_ (Unop (Floor, lev)) (const (float_of_int (j - 2))) in
+    let f = lev -: j0 in
+    let at dj = load src [| cdyn (j0 +: const (float_of_int dj)); cvar 0; cvar 1 |] in
+    push
+      (Stage.pointwise (Printf.sprintf "outl%d" l) (dims2_at l)
+         (((const 1.0 -: f) *: at 0) +: (f *: at 1)))
+  done;
+  (* Collapse the output pyramid (separable upsampling). *)
+  let acc l = if l = levels - 1 then Printf.sprintf "outl%d" l else Printf.sprintf "cadd%d" l in
+  for l = levels - 2 downto 0 do
+    let mid =
+      [|
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l + 1) };
+      |]
+    in
+    push
+      (Stage.pointwise (Printf.sprintf "cx%d" l) mid
+         (Helpers.upsample2 (acc (l + 1)) ~ndims:2 ~dim:0));
+    push
+      (Stage.pointwise (Printf.sprintf "cy%d" l) (dims2_at l)
+         (Helpers.upsample2 (Printf.sprintf "cx%d" l) ~ndims:2 ~dim:1));
+    push
+      (Stage.pointwise (Printf.sprintf "cadd%d" l) (dims2_at l)
+         (load (Printf.sprintf "outl%d" l) (Helpers.ident_coords 2)
+         +: load (Printf.sprintf "cy%d" l) (Helpers.ident_coords 2)))
+  done;
+  (* Color reconstruction: scale each channel by the luminance ratio. *)
+  push
+    (Stage.pointwise "output" (Stage.dim3 3 rows cols)
+       (clamp
+          (load "img" (Helpers.ident_coords 3)
+          *: (load "cadd0" [| cvar 1; cvar 2 |]
+             /: max_ (load "gray" [| cvar 1; cvar 2 |]) (const 0.01)))
+          ~lo:(const 0.0) ~hi:(const 1.0)));
+  Pipeline.build ~name:"local_laplacian"
+    ~inputs:[ Pipeline.input3 "img" 3 rows cols ]
+    ~stages:(List.rev !stages) ~outputs:[ "output" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(1).Stage.extent
+  and cols = i.Pipeline.in_dims.(2).Stage.extent in
+  [ ("img", Images.rgb ~seed "img" ~rows ~cols) ]

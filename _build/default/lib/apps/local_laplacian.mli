@@ -1,0 +1,20 @@
+(** Local Laplacian filter (LL): the classic hard scheduling case from
+    the PolyMage/Halide literature (Paris et al.; Halide's
+    local_laplacian app), included beyond the paper's six benchmarks
+    to stress the DP on a pipeline mixing an intensity-level
+    dimension, two interacting pyramids, and data-dependent
+    level selection.
+
+    Structure: luminance → a remapped image stack (intensity levels as
+    a leading dimension) → Gaussian pyramid of the stack → Laplacian
+    stack → per-pixel, data-dependent interpolation across intensity
+    levels steered by a Gaussian pyramid of the input → collapse →
+    color reconstruction.  34 stages with 4 pyramid levels and 8
+    intensity levels. *)
+
+val paper_rows : int
+val paper_cols : int
+val levels : int  (* pyramid levels *)
+val intensity_levels : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

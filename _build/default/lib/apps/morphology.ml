@@ -1,0 +1,48 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 2832
+let paper_cols = 4256
+let radius = 2
+
+(* Separable running min/max over [-radius, radius] along one dim. *)
+let extremum op name ~ndims ~dim =
+  let at k = load name (Helpers.shifted ndims ~dim k) in
+  let rec go k acc = if k > radius then acc else go (k + 1) (op acc (at k)) in
+  go (-radius + 1) (at (-radius))
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let dims = Stage.dim2 rows cols in
+  let here name = load name [| cvar 0; cvar 1 |] in
+  let stages =
+    [
+      (* erosion (running minimum) *)
+      Stage.pointwise "ero_x" dims (extremum min_ "img" ~ndims:2 ~dim:0);
+      Stage.pointwise "ero_y" dims (extremum min_ "ero_x" ~ndims:2 ~dim:1);
+      (* opening: dilate the eroded image *)
+      Stage.pointwise "open_x" dims (extremum max_ "ero_y" ~ndims:2 ~dim:0);
+      Stage.pointwise "open_y" dims (extremum max_ "open_x" ~ndims:2 ~dim:1);
+      (* dilation of the original *)
+      Stage.pointwise "dil_x" dims (extremum max_ "img" ~ndims:2 ~dim:0);
+      Stage.pointwise "dil_y" dims (extremum max_ "dil_x" ~ndims:2 ~dim:1);
+      (* morphological gradient, top-hat, and a contrast-enhanced output *)
+      Stage.pointwise "gradient" dims (here "dil_y" -: here "ero_y");
+      Stage.pointwise "tophat" dims (load "img" [| cvar 0; cvar 1 |] -: here "open_y");
+      Stage.pointwise "enhanced" dims
+        (clamp
+           (load "img" [| cvar 0; cvar 1 |] +: (const 0.5 *: here "tophat"))
+           ~lo:(const 0.0) ~hi:(const 1.0));
+      Stage.pointwise "output" dims
+        (select (here "gradient" >: const 0.25) (here "gradient") (here "enhanced"));
+    ]
+  in
+  Pipeline.build ~name:"morphology"
+    ~inputs:[ Pipeline.input2 "img" rows cols ]
+    ~stages ~outputs:[ "output" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(0).Stage.extent
+  and cols = i.Pipeline.in_dims.(1).Stage.extent in
+  [ ("img", Images.gray ~seed "img" ~rows ~cols) ]

@@ -1,0 +1,11 @@
+(** Morphological gradient pipeline (MG): erosion/dilation chains with
+    min/max stencils, opening, top-hat, and gradient — a seventh
+    pipeline beyond the paper's benchmarks exercising non-linear
+    stencils (the fusion model treats them like any other constant-
+    dependence stencil). 10 stages. *)
+
+val paper_rows : int
+val paper_cols : int
+val radius : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

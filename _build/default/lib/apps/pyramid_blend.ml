@@ -1,0 +1,141 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 2160
+let paper_cols = 3840
+let levels = 4
+
+let extent_at e l = max 2 (e lsr l)
+
+(* Single-stage bilinear 2x upsampling in both spatial dims of an
+   [ndims]-dim producer (spatial dims are the last two). *)
+let up2d name ~ndims =
+  let half v k =
+    Cvar { var = v; scale = Pmdp_util.Rational.make 1 2; offset = Pmdp_util.Rational.make k 2 }
+  in
+  let xd = ndims - 2 and yd = ndims - 1 in
+  let corner a b =
+    load name
+      (Array.init ndims (fun d ->
+           if d = xd then half xd a else if d = yd then half yd b else Expr.cvar d))
+  in
+  const 0.25 *: (corner 0 0 +: corner 1 0 +: corner 0 1 +: corner 1 1)
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let dims3_at l = Stage.dim3 3 (extent_at rows l) (extent_at cols l) in
+  let dims2_at l = Stage.dim2 (extent_at rows l) (extent_at cols l) in
+  let stages = ref [] in
+  let push s = stages := s :: !stages in
+  let gauss img l = if l = 0 then "img" ^ img else Printf.sprintf "gdy_%s%d" img l in
+  let mask_at l = if l = 0 then "mask" else Printf.sprintf "mdy%d" l in
+  (* Gaussian pyramids of both images (separable decimation). *)
+  List.iter
+    (fun img ->
+      for l = 1 to levels - 1 do
+        let mid =
+          [|
+            { Stage.dim_name = "c"; lo = 0; extent = 3 };
+            { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+            { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l - 1) };
+          |]
+        in
+        push
+          (Stage.pointwise
+             (Printf.sprintf "gdx_%s%d" img l)
+             mid
+             (Helpers.downsample2 (gauss img (l - 1)) ~ndims:3 ~dim:1));
+        push
+          (Stage.pointwise
+             (Printf.sprintf "gdy_%s%d" img l)
+             (dims3_at l)
+             (Helpers.downsample2 (Printf.sprintf "gdx_%s%d" img l) ~ndims:3 ~dim:2))
+      done)
+    [ "a"; "b" ];
+  (* Mask pyramid (2-D). *)
+  for l = 1 to levels - 1 do
+    let mid =
+      [|
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l - 1) };
+      |]
+    in
+    push
+      (Stage.pointwise (Printf.sprintf "mdx%d" l) mid
+         (Helpers.downsample2 (mask_at (l - 1)) ~ndims:2 ~dim:0));
+    push
+      (Stage.pointwise (Printf.sprintf "mdy%d" l) (dims2_at l)
+         (Helpers.downsample2 (Printf.sprintf "mdx%d" l) ~ndims:2 ~dim:1))
+  done;
+  (* Laplacians: level minus upsampled next level. *)
+  List.iter
+    (fun img ->
+      for l = 0 to levels - 2 do
+        push
+          (Stage.pointwise
+             (Printf.sprintf "up_%s%d" img l)
+             (dims3_at l)
+             (up2d (gauss img (l + 1)) ~ndims:3));
+        push
+          (Stage.pointwise
+             (Printf.sprintf "lap_%s%d" img l)
+             (dims3_at l)
+             (load (gauss img l) (Helpers.ident_coords 3)
+             -: load (Printf.sprintf "up_%s%d" img l) (Helpers.ident_coords 3)))
+      done)
+    [ "a"; "b" ];
+  (* Per-level blends under the mask pyramid. *)
+  for l = 0 to levels - 1 do
+    let m = load (mask_at l) [| cvar 1; cvar 2 |] in
+    let part img =
+      if l = levels - 1 then load (gauss img l) (Helpers.ident_coords 3)
+      else load (Printf.sprintf "lap_%s%d" img l) (Helpers.ident_coords 3)
+    in
+    push
+      (Stage.pointwise
+         (Printf.sprintf "blend%d" l)
+         (dims3_at l)
+         ((m *: part "a") +: ((const 1.0 -: m) *: part "b")))
+  done;
+  (* Collapse with separable upsampling. *)
+  let acc l = if l = levels - 1 then Printf.sprintf "blend%d" l else Printf.sprintf "coladd%d" l in
+  for l = levels - 2 downto 0 do
+    let mid =
+      [|
+        { Stage.dim_name = "c"; lo = 0; extent = 3 };
+        { Stage.dim_name = "x"; lo = 0; extent = extent_at rows l };
+        { Stage.dim_name = "y"; lo = 0; extent = extent_at cols (l + 1) };
+      |]
+    in
+    push
+      (Stage.pointwise (Printf.sprintf "colx%d" l) mid
+         (Helpers.upsample2 (acc (l + 1)) ~ndims:3 ~dim:1));
+    push
+      (Stage.pointwise (Printf.sprintf "coly%d" l) (dims3_at l)
+         (Helpers.upsample2 (Printf.sprintf "colx%d" l) ~ndims:3 ~dim:2));
+    push
+      (Stage.pointwise (Printf.sprintf "coladd%d" l) (dims3_at l)
+         (load (Printf.sprintf "blend%d" l) (Helpers.ident_coords 3)
+         +: load (Printf.sprintf "coly%d" l) (Helpers.ident_coords 3)))
+  done;
+  push
+    (Stage.pointwise "output" (dims3_at 0)
+       (clamp (load "coladd0" (Helpers.ident_coords 3)) ~lo:(const 0.0) ~hi:(const 1.0)));
+  Pipeline.build ~name:"pyramid_blend"
+    ~inputs:
+      [
+        Pipeline.input3 "imga" 3 rows cols;
+        Pipeline.input3 "imgb" 3 rows cols;
+        Pipeline.input2 "mask" rows cols;
+      ]
+    ~stages:(List.rev !stages) ~outputs:[ "output" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "imga" in
+  let rows = i.Pipeline.in_dims.(1).Stage.extent
+  and cols = i.Pipeline.in_dims.(2).Stage.extent in
+  [
+    ("imga", Images.rgb ~seed "imga" ~rows ~cols);
+    ("imgb", Images.rgb ~seed:(seed + 11) "imgb" ~rows ~cols);
+    ("mask", Images.mask ~seed:(seed + 23) "mask" ~rows ~cols);
+  ]

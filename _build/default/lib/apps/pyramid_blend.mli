@@ -1,0 +1,18 @@
+(** Pyramid Blending (PB): 44 stages, paper size 3840×2160×3.
+
+    Two images are blended under a mask by constructing 4-level
+    Gaussian pyramids (separable downsampling) for both images and
+    the mask, forming Laplacians, blending per level, and collapsing
+    with separable upsampling — the structure of the paper's Table 2
+    benchmark. *)
+
+val paper_rows : int
+val paper_cols : int
+val levels : int
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list
+
+val up2d : string -> ndims:int -> Pmdp_dsl.Expr.t
+(** Single-stage bilinear 2x upsampling of an [ndims]-dimensional
+    producer in both spatial (last two) dimensions; shared with the
+    Local Laplacian app. *)

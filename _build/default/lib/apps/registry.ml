@@ -1,0 +1,92 @@
+type app = {
+  name : string;
+  short : string;
+  paper_stages : int;
+  build : scale:int -> Pmdp_dsl.Pipeline.t;
+  inputs : seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list;
+}
+
+let benchmarks =
+  [
+    {
+      name = "unsharp";
+      short = "UM";
+      paper_stages = 4;
+      build = (fun ~scale -> Unsharp.build ~scale ());
+      inputs = (fun ~seed p -> Unsharp.inputs ~seed p);
+    };
+    {
+      name = "harris";
+      short = "HC";
+      paper_stages = 11;
+      build = (fun ~scale -> Harris.build ~scale ());
+      inputs = (fun ~seed p -> Harris.inputs ~seed p);
+    };
+    {
+      name = "bilateral_grid";
+      short = "BG";
+      paper_stages = 7;
+      build = (fun ~scale -> Bilateral_grid.build ~scale ());
+      inputs = (fun ~seed p -> Bilateral_grid.inputs ~seed p);
+    };
+    {
+      name = "interpolate";
+      short = "MI";
+      paper_stages = 49;
+      build = (fun ~scale -> Interpolate.build ~scale ());
+      inputs = (fun ~seed p -> Interpolate.inputs ~seed p);
+    };
+    {
+      name = "camera_pipe";
+      short = "CP";
+      paper_stages = 32;
+      build = (fun ~scale -> Camera_pipe.build ~scale ());
+      inputs = (fun ~seed p -> Camera_pipe.inputs ~seed p);
+    };
+    {
+      name = "pyramid_blend";
+      short = "PB";
+      paper_stages = 44;
+      build = (fun ~scale -> Pyramid_blend.build ~scale ());
+      inputs = (fun ~seed p -> Pyramid_blend.inputs ~seed p);
+    };
+  ]
+
+let all =
+  benchmarks
+  @ [
+      {
+        name = "blur";
+        short = "BL";
+        paper_stages = 2;
+        build =
+          (fun ~scale -> Blur.build ~rows:(max 16 (2046 / scale)) ~cols:(max 16 (2048 / scale)) ());
+        inputs = (fun ~seed p -> Blur.inputs ~seed p);
+      };
+      (* beyond the paper's six: the classic hard scheduling case *)
+      {
+        name = "local_laplacian";
+        short = "LL";
+        paper_stages = 34;
+        build = (fun ~scale -> Local_laplacian.build ~scale ());
+        inputs = (fun ~seed p -> Local_laplacian.inputs ~seed p);
+      };
+      (* min/max stencil chains *)
+      {
+        name = "morphology";
+        short = "MG";
+        paper_stages = 10;
+        build = (fun ~scale -> Morphology.build ~scale ());
+        inputs = (fun ~seed p -> Morphology.inputs ~seed p);
+      };
+    ]
+
+let find key =
+  let k = String.lowercase_ascii key in
+  match
+    List.find_opt
+      (fun a -> String.lowercase_ascii a.name = k || String.lowercase_ascii a.short = k)
+      all
+  with
+  | Some a -> a
+  | None -> raise Not_found

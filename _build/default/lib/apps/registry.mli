@@ -1,0 +1,21 @@
+(** Benchmark registry: the six applications of the paper's Table 2
+    plus the blur running example. *)
+
+type app = {
+  name : string;  (** pipeline name, e.g. "unsharp" *)
+  short : string;  (** the paper's abbreviation, e.g. "UM" *)
+  paper_stages : int;  (** stage count reported in Table 2 *)
+  build : scale:int -> Pmdp_dsl.Pipeline.t;
+      (** [scale] divides the paper's image extents *)
+  inputs : seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list;
+}
+
+val benchmarks : app list
+(** The six Table 2 benchmarks, in the paper's order. *)
+
+val all : app list
+(** [benchmarks] plus blur. *)
+
+val find : string -> app
+(** Lookup by [name] or [short] (case-insensitive).
+    @raise Not_found. *)

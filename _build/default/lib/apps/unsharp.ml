@@ -1,0 +1,33 @@
+open Pmdp_dsl
+open Expr
+
+let paper_rows = 2832
+let paper_cols = 4256
+
+let build ?(scale = 1) () =
+  let rows = Helpers.scaled paper_rows scale and cols = Helpers.scaled paper_cols scale in
+  let dims = Stage.dim3 3 rows cols in
+  let weight = 3.0 and threshold = 0.001 in
+  let blurx = Stage.pointwise "blurx" dims (Helpers.blur3 "img" ~ndims:3 ~dim:1) in
+  let blury = Stage.pointwise "blury" dims (Helpers.blur3 "blurx" ~ndims:3 ~dim:2) in
+  let here name = load name (Helpers.ident_coords 3) in
+  let sharpen =
+    Stage.pointwise "sharpen" dims
+      ((const (1.0 +. weight) *: here "img") -: (const weight *: here "blury"))
+  in
+  let masked =
+    Stage.pointwise "masked" dims
+      (select
+         (abs_ (here "img" -: here "blury") <: const threshold)
+         (here "img") (here "sharpen"))
+  in
+  Pipeline.build ~name:"unsharp"
+    ~inputs:[ Pipeline.input3 "img" 3 rows cols ]
+    ~stages:[ blurx; blury; sharpen; masked ]
+    ~outputs:[ "masked" ]
+
+let inputs ?(seed = 1) (p : Pipeline.t) =
+  let i = Pipeline.find_input p "img" in
+  let rows = i.Pipeline.in_dims.(1).Stage.extent
+  and cols = i.Pipeline.in_dims.(2).Stage.extent in
+  [ ("img", Images.rgb ~seed "img" ~rows ~cols) ]

@@ -1,0 +1,12 @@
+(** Unsharp Mask (UM): 4 stages, paper size 4256×2832×3.
+
+    blurx → blury → sharpen → masked; the classic PolyMage/Halide
+    benchmark of the paper's Table 2. *)
+
+val paper_rows : int
+val paper_cols : int
+
+val build : ?scale:int -> unit -> Pmdp_dsl.Pipeline.t
+(** [scale] divides the paper's image size (default 1 = paper size). *)
+
+val inputs : ?seed:int -> Pmdp_dsl.Pipeline.t -> (string * Pmdp_exec.Buffer.t) list

@@ -1,0 +1,1 @@
+lib/baselines/autotune.ml: Array Hashtbl List Pmdp_core Polymage_greedy String

@@ -1,0 +1,1 @@
+lib/baselines/autotune.mli: Pmdp_core Pmdp_dsl Polymage_greedy

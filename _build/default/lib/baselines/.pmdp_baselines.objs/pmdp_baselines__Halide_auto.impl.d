@@ -1,0 +1,1 @@
+lib/baselines/halide_auto.ml: Array Float Hashtbl List Pmdp_analysis Pmdp_core Pmdp_dag Pmdp_dsl Pmdp_machine String

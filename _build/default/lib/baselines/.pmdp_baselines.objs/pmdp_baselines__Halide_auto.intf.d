@@ -1,0 +1,1 @@
+lib/baselines/halide_auto.mli: Pmdp_core Pmdp_dsl Pmdp_machine

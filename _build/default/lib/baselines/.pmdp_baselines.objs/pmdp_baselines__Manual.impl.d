@@ -1,0 +1,1 @@
+lib/baselines/manual.ml: List Pmdp_core Pmdp_dsl Printf

@@ -1,0 +1,1 @@
+lib/baselines/manual.mli: Pmdp_core Pmdp_dsl

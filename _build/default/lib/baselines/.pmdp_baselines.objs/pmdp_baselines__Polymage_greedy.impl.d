@@ -1,0 +1,1 @@
+lib/baselines/polymage_greedy.ml: Array Float Fun List Pmdp_analysis Pmdp_core Pmdp_dag Pmdp_dsl

@@ -1,0 +1,1 @@
+lib/baselines/polymage_greedy.mli: Pmdp_core Pmdp_dsl

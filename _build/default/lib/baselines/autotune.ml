@@ -1,0 +1,50 @@
+module Schedule_spec = Pmdp_core.Schedule_spec
+
+type result = {
+  best : Schedule_spec.t;
+  best_params : Polymage_greedy.params;
+  best_time : float;
+  evaluated : (Polymage_greedy.params * float) list;
+}
+
+let tile_sizes = [ 8; 16; 32; 64; 128; 256 ]
+let thresholds = [ 0.2; 0.4; 0.5 ]
+
+let signature (s : Schedule_spec.t) =
+  String.concat "|"
+    (List.map
+       (fun (g : Schedule_spec.group) ->
+         String.concat "," (List.map string_of_int g.Schedule_spec.stages)
+         ^ ":"
+         ^ String.concat "x" (Array.to_list (Array.map string_of_int g.Schedule_spec.tile_sizes)))
+       s.Schedule_spec.groups)
+
+let run ~evaluate p =
+  let seen : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let best = ref None in
+  let evaluated = ref [] in
+  List.iter
+    (fun tile ->
+      List.iter
+        (fun overlap_threshold ->
+          let params = { Polymage_greedy.tile; overlap_threshold } in
+          let sched = Polymage_greedy.schedule params p in
+          let key = signature sched in
+          let time =
+            match Hashtbl.find_opt seen key with
+            | Some t -> t
+            | None ->
+                let t = evaluate sched in
+                Hashtbl.replace seen key t;
+                t
+          in
+          evaluated := (params, time) :: !evaluated;
+          match !best with
+          | Some (_, _, bt) when bt <= time -> ()
+          | _ -> best := Some (sched, params, time))
+        thresholds)
+    tile_sizes;
+  match !best with
+  | None -> invalid_arg "Autotune.run: empty parameter space"
+  | Some (best, best_params, best_time) ->
+      { best; best_params; best_time; evaluated = List.rev !evaluated }

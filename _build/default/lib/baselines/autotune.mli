@@ -1,0 +1,25 @@
+(** PolyMage-A: the greedy heuristic driven by auto-tuning
+    (paper §6.1).
+
+    The tuner sweeps the same parameter space the paper used — tile
+    sizes {8, 16, 32, 64, 128, 256} for the two tiled dimensions and
+    overlap tolerances {0.2, 0.4, 0.5} — generating one schedule per
+    point and picking the fastest under a caller-supplied evaluator
+    (benchmarks pass real execution time; tests may pass a model). *)
+
+type result = {
+  best : Pmdp_core.Schedule_spec.t;
+  best_params : Polymage_greedy.params;
+  best_time : float;
+  evaluated : (Polymage_greedy.params * float) list;  (** full sweep, in order *)
+}
+
+val tile_sizes : int list
+val thresholds : float list
+
+val run :
+  evaluate:(Pmdp_core.Schedule_spec.t -> float) ->
+  Pmdp_dsl.Pipeline.t ->
+  result
+(** Sweep the space; duplicate schedules (different parameters, same
+    grouping and tiles) are evaluated once. *)

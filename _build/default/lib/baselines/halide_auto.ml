@@ -1,0 +1,183 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Expr = Pmdp_dsl.Expr
+module Dag = Pmdp_dag.Dag
+module Machine = Pmdp_machine.Machine
+module Group_analysis = Pmdp_analysis.Group_analysis
+module Footprint = Pmdp_analysis.Footprint
+module Schedule_spec = Pmdp_core.Schedule_spec
+
+type params = {
+  cache_bytes : int;
+  parallelism : int;
+  vector_width : int;
+  load_cost : float;
+}
+
+let params_for (m : Machine.t) =
+  {
+    cache_bytes = m.Machine.l2_bytes;
+    parallelism = m.Machine.cores;
+    vector_width = 16;
+    load_cost = 40.0;
+  }
+
+(* Power-of-two candidates for one dimension, always including the
+   full extent (untiled). *)
+let dim_candidates extent =
+  let rec go c acc = if c >= extent then List.rev (extent :: acc) else go (c * 2) (c :: acc) in
+  go 4 []
+
+(* Arithmetic work of one tile: expanded points of each member times
+   its per-point operation count. *)
+let tile_work (ga : Group_analysis.t) ~tile =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun m sid ->
+      let stage = Pipeline.stage ga.Group_analysis.pipeline sid in
+      let ops = float_of_int (max 1 (Expr.arith_cost (Stage.body_expr stage))) in
+      let widths =
+        Array.init ga.Group_analysis.n_dims (fun g ->
+            let lo, hi = ga.Group_analysis.expansions.(m).(g) in
+            float_of_int (tile.(g) + lo + hi))
+      in
+      (* member's own-resolution points in the expanded tile box *)
+      let pts = ref 1.0 in
+      Array.iteri
+        (fun k (d : Stage.dim) ->
+          let g = ga.Group_analysis.dim_of_stage.(m).(k) in
+          let s = float_of_int ga.Group_analysis.scales.(m).(g) in
+          let extent =
+            float_of_int
+              (ga.Group_analysis.scaled_hi.(m).(g) - ga.Group_analysis.scaled_lo.(m).(g) + 1)
+          in
+          let w = Float.min widths.(g) extent in
+          pts := !pts *. Float.max 1.0 (Float.min (w /. s) (float_of_int d.Stage.extent)))
+        stage.Stage.dims;
+      (* reductions repeat their body over the reduction domain *)
+      let rmul =
+        match stage.Stage.def with
+        | Stage.Pointwise _ -> 1.0
+        | Stage.Reduction { rdom; _ } ->
+            Array.fold_left (fun a (_, e) -> a *. float_of_int e) 1.0 rdom
+      in
+      acc := !acc +. (!pts *. ops *. rmul))
+    ga.Group_analysis.members;
+  !acc
+
+let cost_with_tiles params (ga : Group_analysis.t) ~tile =
+  let n_tiles = Footprint.n_tiles ga ~tile in
+  if n_tiles < params.parallelism then infinity
+  else begin
+    let innermost = tile.(ga.Group_analysis.n_dims - 1) in
+    let extent_inner = Group_analysis.dim_extent ga (ga.Group_analysis.n_dims - 1) in
+    if innermost < min params.vector_width extent_inner then infinity
+    else begin
+      let work = tile_work ga ~tile in
+      let loads = Footprint.livein_tile_bytes ga ~tile /. float_of_int Footprint.bytes_per_elem in
+      let stores =
+        Footprint.liveout_tile_bytes ga ~tile /. float_of_int Footprint.bytes_per_elem
+      in
+      (* footprint beyond the cache is penalized proportionally *)
+      let footprint =
+        (Footprint.tile_compute_volume ga ~tile +. Footprint.overlap_points ga ~tile)
+        *. float_of_int Footprint.bytes_per_elem
+      in
+      let pressure = Float.max 1.0 (footprint /. float_of_int params.cache_bytes) in
+      let per_tile = work +. (params.load_cost *. pressure *. (loads +. stores)) in
+      per_tile *. float_of_int n_tiles
+    end
+  end
+
+let group_cost params p stages =
+  match Group_analysis.analyze p stages with
+  | Error _ -> (infinity, [||])
+  | Ok ga ->
+      let nd = ga.Group_analysis.n_dims in
+      let cands = Array.init nd (fun g -> dim_candidates (Group_analysis.dim_extent ga g)) in
+      let search params =
+        let best = ref (infinity, Array.init nd (fun g -> Group_analysis.dim_extent ga g)) in
+        let tile = Array.make nd 1 in
+        let rec go d =
+          if d = nd then begin
+            let t = Footprint.clamp_tile ga tile in
+            let c = cost_with_tiles params ga ~tile:t in
+            if c < fst !best then best := (c, Array.copy t)
+          end
+          else
+            List.iter
+              (fun c ->
+                tile.(d) <- c;
+                go (d + 1))
+              cands.(d)
+        in
+        go 0;
+        !best
+      in
+      let best = search params in
+      if fst best < infinity then best
+      else
+        (* On small problem instances no tiling can satisfy the
+           parallelism/vector constraints; relax them rather than
+           refusing to schedule. *)
+        search { params with parallelism = 1; vector_width = 1 }
+
+let schedule params (p : Pipeline.t) =
+  let n = Pipeline.n_stages p in
+  let groups = ref (Array.init n (fun i -> [ i ])) in
+  let costs = Hashtbl.create 64 in
+  let cost_of stages =
+    let key = String.concat "," (List.map string_of_int (List.sort compare stages)) in
+    match Hashtbl.find_opt costs key with
+    | Some c -> c
+    | None ->
+        let c = group_cost params p stages in
+        Hashtbl.replace costs key c;
+        c
+  in
+  let merged = ref true in
+  while !merged do
+    merged := false;
+    let arr = !groups in
+    let k = Array.length arr in
+    let color = Array.make n 0 in
+    Array.iteri (fun gi stages -> List.iter (fun s -> color.(s) <- gi) stages) arr;
+    let qdag, _ = Dag.quotient p.Pipeline.dag color in
+    (* Evaluate each single-child producer's merge benefit. *)
+    let best = ref None in
+    for gi = 0 to k - 1 do
+      match Dag.succs qdag gi with
+      | [ child ] ->
+          let unmerged = fst (cost_of arr.(gi)) +. fst (cost_of arr.(child)) in
+          let merged_cost = fst (cost_of (arr.(gi) @ arr.(child))) in
+          let benefit = unmerged -. merged_cost in
+          if benefit > 0.0 then begin
+            match !best with
+            | Some (b, _, _) when b >= benefit -> ()
+            | _ -> best := Some (benefit, gi, child)
+          end
+      | _ -> ()
+    done;
+    match !best with
+    | Some (_, gi, child) ->
+        let next = ref [] in
+        Array.iteri
+          (fun j stages ->
+            if j = gi then ()
+            else if j = child then next := (arr.(gi) @ stages) :: !next
+            else next := stages :: !next)
+          arr;
+        groups := Array.of_list (List.rev !next);
+        merged := true
+    | None -> ()
+  done;
+  let specs =
+    Array.to_list
+      (Array.map
+         (fun stages ->
+           let stages = List.sort compare stages in
+           let _, tiles = cost_of stages in
+           if Array.length tiles = 0 then (stages, [| 64; 64 |]) else (stages, tiles))
+         !groups)
+  in
+  Schedule_spec.with_tiles p specs

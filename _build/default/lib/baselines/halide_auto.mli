@@ -1,0 +1,34 @@
+(** Reimplementation of Halide's model-driven auto-scheduler
+    (Mullapudi et al., SIGGRAPH 2016), the H-auto baseline of the
+    paper (§2.3, §6.1).
+
+    Greedy pairwise merging: starting from singleton groups, the
+    scheduler repeatedly evaluates every producer group with a unique
+    consumer group, estimates the benefit of merging (cost unmerged −
+    cost merged, each with its analytically-best tile sizes over a
+    power-of-two search space), and commits the highest positive
+    benefit until none remains.
+
+    The cost of a group with given tile sizes is the arithmetic work
+    per tile plus [load_cost] times the data loaded from memory,
+    scaled by the number of tiles, with the paper-described
+    constraints: at least [parallelism] tiles, a footprint penalty
+    beyond the cache size, and at least [vector_width] points along
+    the innermost dimension. *)
+
+type params = {
+  cache_bytes : int;  (** CACHE_SIZE: 256 KB on Xeon, 1 MB on Opteron *)
+  parallelism : int;  (** PARALLELISM threshold = core count *)
+  vector_width : int;  (** VECTOR_WIDTH = 16 *)
+  load_cost : float;  (** LOAD_COST = 40 *)
+}
+
+val params_for : Pmdp_machine.Machine.t -> params
+(** The paper's §6.1 settings for the given machine. *)
+
+val group_cost : params -> Pmdp_dsl.Pipeline.t -> int list -> float * int array
+(** Best (cost, tile sizes) of one group under the Halide model;
+    [infinity] when the group cannot be executed fused. *)
+
+val schedule : params -> Pmdp_dsl.Pipeline.t -> Pmdp_core.Schedule_spec.t
+(** Run the auto-scheduler to a full schedule. *)

@@ -1,0 +1,126 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Schedule_spec = Pmdp_core.Schedule_spec
+
+
+let grouping (p : Pipeline.t) =
+  match p.Pipeline.name with
+  | "blur" -> [ ([ "blurx"; "blury" ], [| 32; 256 |]) ]
+  | "unsharp" -> [ ([ "blurx"; "blury"; "sharpen"; "masked" ], [| 32; 256 |]) ]
+  | "harris" ->
+      [
+        ( [ "gray"; "ix"; "iy"; "ixx"; "iyy"; "ixy"; "sxx"; "syy"; "sxy"; "det"; "harris" ],
+          [| 128; 128 |] );
+      ]
+  | "bilateral_grid" ->
+      [
+        ([ "clamped" ], [| 64; 256 |]);
+        (* the Halide schedules group the histogram with the blurs *)
+        ([ "grid"; "blurz"; "blurx"; "blury" ], [| 2; 12; 32; 32 |]);
+        ([ "slice" ], [| 2; 64; 256 |]);
+        ([ "out" ], [| 64; 256 |]);
+      ]
+  | "interpolate" ->
+      (([ "clamped"; "premult" ], [| 3; 32; 256 |])
+      :: List.concat
+           (List.init 9 (fun i ->
+                let l = i + 1 in
+                [ ([ Printf.sprintf "downx%d" l; Printf.sprintf "downy%d" l ], [| 3; 16; 128 |]) ])))
+      @ List.concat
+          (List.init 9 (fun i ->
+               let l = 8 - i in
+               [
+                 ( [
+                     Printf.sprintf "upx%d" l;
+                     Printf.sprintf "upy%d" l;
+                     Printf.sprintf "interp%d" l;
+                   ],
+                   [| 3; 16; 128 |] );
+               ]))
+      @ [ ([ "unpremult"; "output" ], [| 3; 32; 256 |]) ]
+  | "camera_pipe" ->
+      [
+        ([ "shifted" ], [| 32; 256 |]);
+        ([ "denoised" ], [| 32; 256 |]);
+        ( [
+            "g_gr"; "r_r"; "b_b"; "g_gb"; "gv_r"; "gh_r"; "g_r"; "gv_b"; "gh_b"; "g_b";
+            "r_gr"; "b_gr"; "r_gb"; "b_gb"; "r_b"; "b_r"; "out_r"; "out_g"; "out_b";
+            "corr_r"; "corr_g"; "corr_b"; "curved_r"; "curved_g"; "curved_b";
+          ],
+          [| 32; 256 |] );
+        ([ "lum"; "usm_x"; "usm_y"; "detail"; "output" ], [| 3; 32; 256 |]);
+      ]
+  | "pyramid_blend" ->
+      let per_img img =
+        List.concat
+          (List.init 3 (fun i ->
+               let l = i + 1 in
+               [
+                 ( [ Printf.sprintf "gdx_%s%d" img l; Printf.sprintf "gdy_%s%d" img l ],
+                   [| 3; 16; 128 |] );
+               ]))
+        @ List.concat
+            (List.init 3 (fun l ->
+                 [
+                   ( [ Printf.sprintf "up_%s%d" img l; Printf.sprintf "lap_%s%d" img l ],
+                     [| 3; 16; 128 |] );
+                 ]))
+      in
+      per_img "a" @ per_img "b"
+      @ List.concat
+          (List.init 3 (fun i ->
+               let l = i + 1 in
+               [ ([ Printf.sprintf "mdx%d" l; Printf.sprintf "mdy%d" l ], [| 16; 128 |]) ]))
+      @ List.init 4 (fun l -> ([ Printf.sprintf "blend%d" l ], [| 3; 16; 128 |]))
+      @ List.concat
+          (List.init 3 (fun i ->
+               let l = 2 - i in
+               [
+                 ( [
+                     Printf.sprintf "colx%d" l;
+                     Printf.sprintf "coly%d" l;
+                     Printf.sprintf "coladd%d" l;
+                   ],
+                   [| 3; 16; 128 |] );
+               ]))
+      @ [ ([ "output" ], [| 3; 32; 256 |]) ]
+  | "local_laplacian" ->
+      [ ([ "gray" ], [| 32; 256 |]); ([ "remapped" ], [| 8; 32; 256 |]) ]
+      @ List.concat
+          (List.init 3 (fun i ->
+               let l = i + 1 in
+               [
+                 ([ Printf.sprintf "gdx%d" l; Printf.sprintf "gdy%d" l ], [| 8; 16; 128 |]);
+                 ([ Printf.sprintf "igx%d" l; Printf.sprintf "igy%d" l ], [| 16; 128 |]);
+               ]))
+      @ List.concat
+          (List.init 3 (fun l ->
+               [ ([ Printf.sprintf "lup%d" l; Printf.sprintf "lap%d" l ], [| 8; 16; 128 |]) ]))
+      @ List.init 4 (fun l -> ([ Printf.sprintf "outl%d" l ], [| 16; 128 |]))
+      @ List.concat
+          (List.init 3 (fun i ->
+               let l = 2 - i in
+               [
+                 ( [ Printf.sprintf "cx%d" l; Printf.sprintf "cy%d" l; Printf.sprintf "cadd%d" l ],
+                   [| 16; 128 |] );
+               ]))
+      @ [ ([ "output" ], [| 3; 32; 256 |]) ]
+  | "morphology" ->
+      [
+        ([ "ero_x"; "ero_y" ], [| 32; 256 |]);
+        ([ "open_x"; "open_y" ], [| 32; 256 |]);
+        ([ "dil_x"; "dil_y" ], [| 32; 256 |]);
+        ([ "gradient"; "tophat"; "enhanced"; "output" ], [| 32; 256 |]);
+      ]
+  | _ -> raise Not_found
+
+
+let schedule (p : Pipeline.t) =
+  let specs =
+    List.map
+      (fun (names, tiles) -> (List.map (fun n -> Pipeline.stage_id p n) names, tiles))
+      (grouping p)
+  in
+  Schedule_spec.with_tiles p specs
+
+let has_schedule p =
+  match grouping p with _ -> true | exception Not_found -> false

@@ -1,0 +1,17 @@
+(** Expert manual schedules (the paper's H-manual baseline).
+
+    Hand-written groupings and tile sizes mirroring the schedules
+    shipped in the Halide repository for these benchmarks: deep
+    fusion of stencil chains, per-level fusion for pyramids, fusion
+    of Bilateral Grid's histogram with its blurs, and aggressive
+    fusion through the camera pipeline's demosaic block.  Tile arrays
+    are right-aligned onto each group's dimensions (innermost last).
+
+    @raise Not_found for pipelines without a manual schedule. *)
+
+val grouping : Pmdp_dsl.Pipeline.t -> (string list * int array) list
+(** Stage-name groups with tile sizes, as written by the "expert". *)
+
+val schedule : Pmdp_dsl.Pipeline.t -> Pmdp_core.Schedule_spec.t
+
+val has_schedule : Pmdp_dsl.Pipeline.t -> bool

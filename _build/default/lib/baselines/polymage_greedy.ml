@@ -1,0 +1,82 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Dag = Pmdp_dag.Dag
+module Group_analysis = Pmdp_analysis.Group_analysis
+module Footprint = Pmdp_analysis.Footprint
+module Schedule_spec = Pmdp_core.Schedule_spec
+
+type params = { tile : int; overlap_threshold : float }
+
+(* Uniform tile vector for a group: [tile] on the two innermost
+   dimensions, full extent elsewhere. *)
+let tile_vector params (ga : Group_analysis.t) =
+  Array.init ga.Group_analysis.n_dims (fun d ->
+      let extent = Group_analysis.dim_extent ga d in
+      if d >= ga.Group_analysis.n_dims - 2 then min params.tile extent else extent)
+
+let merge_ok params p union =
+  (* PolyMage never fuses reductions (paper §6.2). *)
+  match Group_analysis.analyze ~allow_fused_reductions:false p union with
+  | Error _ -> false
+  | Ok ga ->
+      let tile = Footprint.clamp_tile ga (tile_vector params ga) in
+      let overlap = Footprint.overlap_points ga ~tile in
+      let volume = Float.max 1.0 (Footprint.tile_compute_volume ga ~tile) in
+      overlap /. volume < params.overlap_threshold
+
+let group params (p : Pipeline.t) =
+  let n = Pipeline.n_stages p in
+  (* group id per stage; groups mutate as merges happen *)
+  let groups = ref (List.init n (fun i -> [ i ])) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let arr = Array.of_list !groups in
+    let color = Array.make n 0 in
+    Array.iteri (fun gi stages -> List.iter (fun s -> color.(s) <- gi) stages) arr;
+    let qdag, k = Dag.quotient p.Pipeline.dag color in
+    (* Candidates: groups with a single child, largest first (by the
+       parameter-estimated domain sizes). *)
+    let size gi =
+      List.fold_left (fun acc s -> acc + Stage.domain_points (Pipeline.stage p s)) 0 arr.(gi)
+    in
+    let candidates =
+      List.init k Fun.id
+      |> List.filter (fun gi -> List.length (Dag.succs qdag gi) = 1)
+      |> List.sort (fun a b -> compare (size b) (size a))
+    in
+    let merged_away = Array.make k false in
+    List.iter
+      (fun gi ->
+        if not merged_away.(gi) then
+          match Dag.succs qdag gi with
+          | [ child ] when not merged_away.(child) ->
+              (* A single-child group cannot create a cycle by merging
+                 into that child: every path leaving it goes through
+                 the child. *)
+              let union = arr.(gi) @ arr.(child) in
+              if merge_ok params p union then begin
+                arr.(child) <- union;
+                arr.(gi) <- [];
+                merged_away.(gi) <- true;
+                changed := true
+              end
+          | _ -> ())
+      candidates;
+    groups := List.filter (fun g -> g <> []) (Array.to_list arr)
+  done;
+  List.map (List.sort compare) !groups
+
+let schedule params (p : Pipeline.t) =
+  let grouping = group params p in
+  let specs =
+    List.map
+      (fun stages ->
+        match Group_analysis.analyze p stages with
+        | Ok ga -> (stages, Footprint.clamp_tile ga (tile_vector params ga))
+        | Error _ ->
+            (* with_tiles will split it; provide a placeholder vector *)
+            (stages, [| params.tile; params.tile |]))
+      grouping
+  in
+  Schedule_spec.with_tiles p specs

@@ -1,0 +1,21 @@
+(** PolyMage's prior greedy fusion heuristic (paper §2.2).
+
+    Iteratively merges a group into its unique child when (a) the
+    dependences between them can be made constant by scaling and
+    alignment and (b) the overlap region, as a fraction of the tile's
+    compute volume, stays below the overlap tolerance.  All groups
+    share one global tile size — the limitation the paper's Table 2
+    auto-tuning space (7 tile sizes × 3 tolerances) works around. *)
+
+type params = {
+  tile : int;  (** tile size used for the two innermost dimensions *)
+  overlap_threshold : float;  (** overlap tolerance, e.g. 0.2 / 0.4 / 0.5 *)
+}
+
+val group : params -> Pmdp_dsl.Pipeline.t -> int list list
+(** The grouping the greedy heuristic produces. *)
+
+val schedule : params -> Pmdp_dsl.Pipeline.t -> Pmdp_core.Schedule_spec.t
+(** The grouping lowered with the uniform tile size: the two
+    innermost dimensions get [tile], outer dimensions are untiled
+    (full extent). *)

@@ -1,0 +1,1 @@
+lib/cachesim/trace_exec.ml: Array Hashtbl Hierarchy List Pmdp_analysis Pmdp_core Pmdp_dsl Pmdp_util

@@ -1,0 +1,1 @@
+lib/cachesim/trace_exec.mli: Hierarchy Pmdp_core

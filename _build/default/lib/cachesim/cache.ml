@@ -1,0 +1,65 @@
+type t = {
+  line_bytes : int;
+  n_sets : int;
+  assoc : int;
+  tags : int array;  (* n_sets * assoc; -1 = invalid *)
+  stamps : int array;  (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  size_bytes : int;
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let create ~size_bytes ~assoc ~line_bytes =
+  if size_bytes <= 0 || assoc <= 0 then invalid_arg "Cache.create: nonpositive size";
+  if not (is_pow2 line_bytes) then invalid_arg "Cache.create: line size not a power of two";
+  let n_sets = size_bytes / (assoc * line_bytes) in
+  if n_sets < 1 then invalid_arg "Cache.create: fewer than one set";
+  {
+    line_bytes;
+    n_sets;
+    assoc;
+    tags = Array.make (n_sets * assoc) (-1);
+    stamps = Array.make (n_sets * assoc) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    size_bytes;
+  }
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.n_sets in
+  let base = set * t.assoc in
+  let rec find w = if w = t.assoc then -1 else if t.tags.(base + w) = line then w else find (w + 1) in
+  match find 0 with
+  | w when w >= 0 ->
+      t.hits <- t.hits + 1;
+      t.stamps.(base + w) <- t.clock;
+      true
+  | _ ->
+      (* LRU victim *)
+      let victim = ref 0 in
+      for w = 1 to t.assoc - 1 do
+        if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+      done;
+      t.tags.(base + !victim) <- line;
+      t.stamps.(base + !victim) <- t.clock;
+      false
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0
+
+let accesses t = t.accesses
+let hits t = t.hits
+let misses t = t.accesses - t.hits
+let line_bytes t = t.line_bytes
+let size_bytes t = t.size_bytes

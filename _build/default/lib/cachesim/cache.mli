@@ -1,0 +1,24 @@
+(** Set-associative LRU cache model.
+
+    The substitute for hardware performance counters: the paper's
+    Table 5 reports L1/L2 hit and miss fractions measured with PMUs;
+    we reproduce the ranking with a software cache simulator fed by
+    the executor's address trace (see DESIGN.md). *)
+
+type t
+
+val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** @raise Invalid_argument unless sizes are positive, the line size
+    a power of two, and the set count works out to at least one. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the byte address; returns [true] on hit.
+    On miss the line is filled (LRU eviction). *)
+
+val flush : t -> unit
+val accesses : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val line_bytes : t -> int
+val size_bytes : t -> int

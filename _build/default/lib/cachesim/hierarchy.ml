@@ -1,0 +1,36 @@
+module Machine = Pmdp_machine.Machine
+
+type t = { l1 : Cache.t; l2 : Cache.t; mutable l1_hits : int; mutable l2_hits : int; mutable l2_misses : int }
+
+let create ?(line_bytes = 64) ?(l1_assoc = 8) ?(l2_assoc = 8) (m : Machine.t) =
+  {
+    l1 = Cache.create ~size_bytes:m.Machine.l1_bytes ~assoc:l1_assoc ~line_bytes;
+    l2 = Cache.create ~size_bytes:m.Machine.l2_bytes ~assoc:l2_assoc ~line_bytes;
+    l1_hits = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+  }
+
+let access t addr =
+  if Cache.access t.l1 addr then t.l1_hits <- t.l1_hits + 1
+  else if Cache.access t.l2 addr then t.l2_hits <- t.l2_hits + 1
+  else t.l2_misses <- t.l2_misses + 1
+
+type fractions = { l1_hit : float; l2_hit : float; l2_miss : float }
+
+let total_accesses t = t.l1_hits + t.l2_hits + t.l2_misses
+
+let fractions t =
+  let total = float_of_int (max 1 (total_accesses t)) in
+  {
+    l1_hit = float_of_int t.l1_hits /. total;
+    l2_hit = float_of_int t.l2_hits /. total;
+    l2_miss = float_of_int t.l2_misses /. total;
+  }
+
+let reset t =
+  Cache.flush t.l1;
+  Cache.flush t.l2;
+  t.l1_hits <- 0;
+  t.l2_hits <- 0;
+  t.l2_misses <- 0

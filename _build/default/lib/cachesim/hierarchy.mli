@@ -1,0 +1,20 @@
+(** Two-level cache hierarchy with the counters of the paper's
+    Table 5: fractions of total accesses that hit in L1, hit in L2,
+    and miss L2. *)
+
+type t
+
+val create : ?line_bytes:int -> ?l1_assoc:int -> ?l2_assoc:int -> Pmdp_machine.Machine.t -> t
+(** L1 and L2 sized from the machine descriptor (defaults: 64-byte
+    lines, 8-way L1 and L2). *)
+
+val access : t -> int -> unit
+(** One load/store at a byte address. *)
+
+type fractions = { l1_hit : float; l2_hit : float; l2_miss : float }
+
+val fractions : t -> fractions
+(** Fractions of all accesses (summing to 1 when any occurred). *)
+
+val total_accesses : t -> int
+val reset : t -> unit

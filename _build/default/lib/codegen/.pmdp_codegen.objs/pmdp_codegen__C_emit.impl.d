@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Array Buffer Format List Pmdp_analysis Pmdp_core Pmdp_dsl Pmdp_util Printf String

@@ -1,0 +1,24 @@
+(** C++/OpenMP code generation for a tiled schedule.
+
+    Emits code with the structure of the paper's Fig. 3: fused
+    tile-space loops parallelized with [#pragma omp parallel for],
+    per-tile scratch buffers for intermediate stages, overlap-expanded
+    region loops per member stage, and [#pragma ivdep] innermost
+    loops.  The emitted code is self-contained C++ (plus OpenMP) and
+    is what PolyMage would hand to icpc/g++; in this repository it
+    serves inspection and testing — execution goes through
+    {!Pmdp_exec.Tiled_exec}. *)
+
+val emit : Pmdp_core.Schedule_spec.t -> string
+(** Full translation unit for the schedule's pipeline.
+    @raise Invalid_argument if a group fails analysis. *)
+
+val emit_to_file : Pmdp_core.Schedule_spec.t -> string -> unit
+(** Write [emit] output to the given path. *)
+
+val emit_with_harness : Pmdp_core.Schedule_spec.t -> string
+(** [emit] plus a [main] that reads every pipeline input from
+    [<name>.bin] (raw little-endian float32, row-major), runs the
+    pipeline, and writes every pipeline output stage to
+    [<name>.out.bin].  Used by the differential test that runs the
+    generated C++ against the OCaml executor. *)

@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Array Float Format Pmdp_analysis Pmdp_dsl Pmdp_machine Pmdp_util String

@@ -1,0 +1,1 @@
+lib/core/cost_model.mli: Format Pmdp_analysis Pmdp_dsl Pmdp_machine

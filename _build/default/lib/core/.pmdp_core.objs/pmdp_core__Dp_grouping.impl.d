@@ -1,0 +1,1 @@
+lib/core/dp_grouping.ml: Array Cost_model Fun Grouping Hashtbl Int List Pmdp_dag Pmdp_dsl Set String Unix

@@ -1,0 +1,1 @@
+lib/core/dp_grouping.mli: Cost_model Pmdp_dsl

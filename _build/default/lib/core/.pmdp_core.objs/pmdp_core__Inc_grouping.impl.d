@@ -1,0 +1,1 @@
+lib/core/inc_grouping.ml: Dp_grouping List Pmdp_dsl

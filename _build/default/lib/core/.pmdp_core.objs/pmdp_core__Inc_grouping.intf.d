@@ -1,0 +1,1 @@
+lib/core/inc_grouping.mli: Cost_model Dp_grouping Pmdp_dsl

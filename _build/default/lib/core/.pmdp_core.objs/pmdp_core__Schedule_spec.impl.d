@@ -1,0 +1,1 @@
+lib/core/schedule_spec.ml: Array Cost_model Dp_grouping Format Fun List Pmdp_analysis Pmdp_dag Pmdp_dsl String

@@ -1,0 +1,1 @@
+lib/core/schedule_spec.mli: Cost_model Dp_grouping Format Pmdp_dsl

@@ -1,0 +1,70 @@
+(** The paper's cost function with integrated tile-size determination
+    (Algorithm 2).
+
+    [cost] evaluates a candidate fused group: it computes the best
+    tile sizes for the L1 cache, falls back to L2 sizing when the
+    overlap at L1 tile sizes exceeds the tile's compute volume, and
+    combines locality, parallelism (cleanup-tile load balance),
+    relative overlap, and dimension-extent mismatch into a single
+    scalar (§4.1):
+
+    {v
+    cost = w1 * (live-in + live-out tile bytes) / tile compute volume
+         - w2 * ((n_tiles + cores - 1) mod cores)
+         + w3 * relative overlap
+         + w4 * dimension size mismatch
+    v}
+
+    Groups whose dependences cannot be made constant by
+    scaling/alignment — or that fuse a reduction with other stages —
+    get infinite cost. *)
+
+module Group_analysis := Pmdp_analysis.Group_analysis
+
+type w2_mode =
+  | Idle_penalty
+      (** default: the equivalent idle-core penalty
+          [w2 * ((C - n_tiles mod C) mod C)].  The paper's printed
+          term equals this minus a per-group constant [w2*(C-1)];
+          summed over groups by the DP, that constant rewards
+          splitting unconditionally, so the well-behaved equivalent
+          drops it. *)
+  | Literal  (** the paper's printed form, kept for the ablation *)
+
+type config = {
+  machine : Pmdp_machine.Machine.t;
+  paper_n_tiles : bool;
+      (** when true, the w2 term uses the paper's footprint-ratio tile
+          count (Alg. 2 line 21) — kept as an ablation, since that
+          count is essentially arbitrary modulo the core count; the
+          default (false) uses the actual per-dimension tile-count
+          product *)
+  w2_mode : w2_mode;
+  fuse_reductions : bool;
+      (** default false, the paper's PolyMage rule ("do not yet group
+          or optimize reductions"); true lets the model consider
+          Halide-style fusion of producer-free reductions *)
+}
+
+val default_config : Pmdp_machine.Machine.t -> config
+
+type level = L1 | L2
+
+type verdict = {
+  cost : float;  (** [infinity] when the group is unfusable *)
+  tile_sizes : int array;  (** scaled-space tile sizes, one per group dim; empty when unfusable *)
+  level : level;  (** which cache level the tiles were sized for *)
+  analysis : Group_analysis.t option;  (** the underlying analysis, when fusable *)
+}
+
+val compute_tile_sizes :
+  Group_analysis.t -> tile_footprint_bytes:float -> innermost_tile_size:int -> int array
+(** COMPUTETILESIZES of Alg. 2: innermost dimension capped at
+    [innermost_tile_size]; remaining dimensions split the allowed
+    tile volume proportionally to per-dimension reuse.  Tile sizes
+    are not restricted to powers of two. *)
+
+val cost : config -> Pmdp_dsl.Pipeline.t -> int list -> verdict
+(** Evaluate one candidate group (list of stage ids). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,223 @@
+module Dag = Pmdp_dag.Dag
+module Set_partition = Pmdp_dag.Set_partition
+module Pipeline = Pmdp_dsl.Pipeline
+
+type outcome = {
+  cost : float;
+  groups : int list list;
+  enumerated : int;
+  cost_evals : int;
+  max_succ : int;
+  elapsed : float;
+  complete : bool;
+}
+
+module Int_set = Set.Make (Int)
+
+let run ?atoms ?group_limit ?state_budget ~config (p : Pipeline.t) =
+  let t0 = Unix.gettimeofday () in
+  let n_stages = Pipeline.n_stages p in
+  let atoms =
+    match atoms with
+    | None -> Array.init n_stages (fun i -> [ i ])
+    | Some a ->
+        let a = Array.of_list a in
+        let covered = List.sort compare (List.concat (Array.to_list a)) in
+        if covered <> List.init n_stages Fun.id then
+          invalid_arg "Dp_grouping.run: atoms do not partition the stages";
+        a
+  in
+  (match group_limit with
+  | Some l when l < 1 -> invalid_arg "Dp_grouping.run: group_limit < 1"
+  | _ -> ());
+  let n_atoms = Array.length atoms in
+  (* Quotient the stage DAG by atoms. *)
+  let color = Array.make n_stages 0 in
+  Array.iteri (fun ai stages -> List.iter (fun s -> color.(s) <- ai) stages) atoms;
+  let adag, _ = Dag.quotient p.Pipeline.dag color in
+  if Dag.has_cycle adag then invalid_arg "Dp_grouping.run: atoms induce a cyclic quotient";
+  (* Reachability matrix for cycle checks. *)
+  let reach = Array.init n_atoms (fun v -> Dag.reachable_set adag v) in
+  let succ_arr = Array.init n_atoms (fun v -> Dag.succs adag v) in
+  (* [block_reaches a b]: some atom of [a] reaches some atom of [b]
+     (atom-level paths, which is exact for quotient-cycle detection). *)
+  let block_reaches a b = List.exists (fun x -> List.exists (fun y -> reach.(x).(y)) b) a in
+  let mutual_reach a b = block_reaches a b && block_reaches b a in
+  (* A partition of a successor set is usable only if no two blocks
+     are mutually reachable — connected blocks alone do not guarantee
+     an acyclic quotient when successors have edges between them. *)
+  let acyclic_partition partition =
+    let rec go = function
+      | [] -> true
+      | b :: rest -> List.for_all (fun b' -> not (mutual_reach b b')) rest && go rest
+    in
+    go partition
+  in
+  (* Cost of a group of atoms, memoized on the underlying stage set. *)
+  let cost_memo : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let cost_evals = ref 0 in
+  let stage_ids_of_group group =
+    List.sort compare (List.concat_map (fun a -> atoms.(a)) group)
+  in
+  let group_cost group =
+    let stages = stage_ids_of_group group in
+    let key = String.concat "," (List.map string_of_int stages) in
+    match Hashtbl.find_opt cost_memo key with
+    | Some c -> c
+    | None ->
+        incr cost_evals;
+        let v = Cost_model.cost config p stages in
+        Hashtbl.replace cost_memo key v.Cost_model.cost;
+        v.Cost_model.cost
+  in
+  let memo : (string, float * Grouping.t) Hashtbl.t = Hashtbl.create 1024 in
+  let enumerated = ref 0 in
+  let truncated = ref false in
+  let max_succ = ref 0 in
+  let within_limit size = match group_limit with None -> true | Some l -> size <= l in
+  let sources = Dag.sources adag in
+  (* DP-GROUPING over frontier groupings of atoms.
+
+     The frontier advances in topological waves: an atom may join the
+     frontier (by Case-I merge or as a Case-II partition block) only
+     when it is READY — none of its predecessors is a strict
+     descendant of the frontier (equivalently, all its predecessors
+     are in the frontier or were finalized earlier).  The paper's
+     recurrence leaves this implicit; without it, on DAGs with skip
+     edges a finalized atom becomes reachable again from a later
+     frontier and would be grouped twice.  Readiness guarantees that
+     finalized atoms are never descendants of the current frontier,
+     so the subproblem — and hence the memo — is fully determined by
+     the frontier grouping alone. *)
+  let rec dp (g : Grouping.t) : float * Grouping.t =
+    let key = Grouping.key g in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        incr enumerated;
+        let over_budget =
+          match state_budget with Some b when !enumerated > b -> true | _ -> false
+        in
+        if over_budget then truncated := true;
+        let in_g = Int_set.of_list (List.concat g) in
+        let descendant v =
+          (not (Int_set.mem v in_g))
+          && Int_set.exists (fun a -> reach.(a).(v)) in_g
+        in
+        let ready s =
+          (not (Int_set.mem s in_g))
+          && List.for_all (fun q -> not (descendant q)) (Dag.preds adag s)
+        in
+        let succ_of hi =
+          List.concat_map (fun a -> succ_arr.(a)) hi
+          |> List.filter ready |> List.sort_uniq compare
+        in
+        let raw_succ_of hi =
+          List.concat_map (fun a -> succ_arr.(a)) hi
+          |> List.filter (fun s -> not (List.mem s hi))
+          |> List.sort_uniq compare
+        in
+        let all_succ = List.sort_uniq compare (List.concat_map succ_of g) in
+        max_succ := max !max_succ (List.length all_succ);
+        let result =
+          if all_succ = [] then
+            let total = List.fold_left (fun acc hi -> acc +. group_cost hi) 0.0 g in
+            (total, g)
+          else begin
+            let best = ref (infinity, []) in
+            let consider (c, grouping) = if c < fst !best then best := (c, grouping) in
+            (* Case I: merge a group with one of its ready successors.
+               Skipped once the state budget is exhausted — the DP then
+               degrades to a forward sweep (finalize + singleton
+               partitions), which stays total and fast. *)
+            if not over_budget then
+            List.iter
+              (fun hi ->
+                if within_limit (List.length hi + 1) then
+                  let raw = raw_succ_of hi in
+                  List.iter
+                    (fun sj ->
+                      if ready sj then begin
+                        (* Merging sj into hi is valid iff the merged
+                           group is not mutually reachable with any
+                           other frontier group.  (The paper's check —
+                           lines 9-13, paths through SUCC(hi) only —
+                           is subsumed: a cycle through a yet-ungrouped
+                           atom u implies, at the time u's group forms,
+                           a mutual-reachability conflict that this
+                           same test rejects there; see dp_grouping
+                           tests.) *)
+                        let merged = sj :: hi in
+                        let cycle =
+                          List.exists
+                            (fun hj -> hj != hi && mutual_reach merged hj)
+                            g
+                        in
+                        if not cycle then begin
+                          let g' =
+                            Grouping.canonical
+                              (List.map (fun h -> if h == hi then sj :: h else h) g)
+                          in
+                          consider (dp g')
+                        end
+                      end)
+                    raw)
+              g;
+            (* Case II: finalize G, restart from partitions of its
+               ready successors. *)
+            let finalized = List.fold_left (fun acc hi -> acc +. group_cost hi) 0.0 g in
+            let block_ok block = Dag.is_connected_subset adag block in
+            (* Successor sets stay small in practice (max 5 in the
+               paper's Table 2); beyond a safety bound the partition
+               space is pruned to singletons. *)
+            let partitions =
+              if finalized = infinity || over_budget then
+                [ List.map (fun s -> [ s ]) all_succ ]
+              else if List.length all_succ <= 12 then
+                List.filter acyclic_partition (Set_partition.enumerate ~block_ok all_succ)
+              else [ List.map (fun s -> [ s ]) all_succ ]
+            in
+            List.iter
+              (fun partition ->
+                let sub_cost, sub_grouping = dp (Grouping.canonical partition) in
+                consider (finalized +. sub_cost, g @ sub_grouping))
+              partitions;
+            (if !best = (infinity, []) then
+               (* every branch is infinite (e.g. an unfusable group in
+                  the frontier): still return a complete grouping *)
+               match partitions with
+               | partition :: _ ->
+                   let _, sub_grouping = dp (Grouping.canonical partition) in
+                   best := (infinity, g @ sub_grouping)
+               | [] -> ());
+            !best
+          end
+        in
+        Hashtbl.replace memo key result;
+        result
+  in
+  (* Start from the source vertex; with multiple sources, a dummy
+     zero-cost source feeds them, which is equivalent to starting from
+     all partitions of the source set. *)
+  let start_cost, atom_groups =
+    match sources with
+    | [ s ] -> dp [ [ s ] ]
+    | sources ->
+        let block_ok block = Dag.is_connected_subset adag block in
+        let partitions = Set_partition.enumerate ~block_ok sources in
+        List.fold_left
+          (fun (bc, bg) partition ->
+            let c, g = dp (Grouping.canonical partition) in
+            if c < bc then (c, g) else (bc, bg))
+          (infinity, []) partitions
+  in
+  let groups = Grouping.canonical (List.map stage_ids_of_group atom_groups) in
+  {
+    cost = start_cost;
+    groups;
+    enumerated = !enumerated;
+    cost_evals = !cost_evals;
+    max_succ = !max_succ;
+    elapsed = Unix.gettimeofday () -. t0;
+    complete = not !truncated;
+  }

@@ -1,0 +1,42 @@
+(** Dynamic-programming grouping (Algorithm 1 / Fig. 5 of the paper).
+
+    The DP evaluates, for a frontier grouping [G], the minimum over
+    (Case I) merging any group of [G] with one of its not-yet-grouped
+    successors — subject to the cycle check — and (Case II)
+    finalizing [G] and restarting from every partition of the union
+    of its successors.  Memoization is keyed on the canonical
+    grouping, so every valid grouping of the DAG is effectively
+    evaluated; for a linear pipeline of n stages this is the full
+    2^(n-1) space explored in O(n^2) DP states.
+
+    The algorithm operates on {e atoms}: indivisible sets of stages.
+    By default every stage is its own atom; the bounded incremental
+    variant (Alg. 3, {!Inc_grouping}) re-runs the DP over coalesced
+    atoms. *)
+
+type outcome = {
+  cost : float;  (** sum of group costs of the optimal grouping *)
+  groups : int list list;  (** stage ids per group, canonical *)
+  enumerated : int;  (** DP states evaluated (memo misses) *)
+  cost_evals : int;  (** distinct groups whose cost was computed *)
+  max_succ : int;  (** max |SUCC(G)| observed (Table 2 column) *)
+  elapsed : float;  (** grouping wall-clock time in seconds *)
+  complete : bool;  (** false when the state budget truncated the search *)
+}
+
+val run :
+  ?atoms:int list list ->
+  ?group_limit:int ->
+  ?state_budget:int ->
+  config:Cost_model.config ->
+  Pmdp_dsl.Pipeline.t ->
+  outcome
+(** [run ~config p] groups the whole pipeline.  [atoms] partitions
+    the stages into indivisible units (default: singletons; must
+    cover all stages with connected, disjoint sets).  [group_limit]
+    bounds the number of atoms per group (DP-GROUPING-BOUNDED).
+    [state_budget] caps the number of DP states; past the cap the
+    search degrades to a greedy forward sweep and the outcome is
+    marked incomplete — the result is still a valid grouping.
+    @raise Invalid_argument if [atoms] is not a partition of the
+    stages or [group_limit < 1]. *)

@@ -1,0 +1,25 @@
+type t = int list list
+
+let canonical groups =
+  List.iter (fun g -> if g = [] then invalid_arg "Grouping.canonical: empty group") groups;
+  let sorted = List.map (List.sort_uniq compare) groups in
+  let all = List.sort compare (List.concat sorted) in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a = b then invalid_arg "Grouping.canonical: overlapping groups";
+        check rest
+    | _ -> ()
+  in
+  check all;
+  List.sort (fun a b -> compare (List.hd a) (List.hd b)) sorted
+
+let key t =
+  String.concat "|" (List.map (fun g -> String.concat "," (List.map string_of_int g)) t)
+
+let members t = List.sort compare (List.concat t)
+let equal a b = canonical a = canonical b
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat " "
+       (List.map (fun g -> "{" ^ String.concat "," (List.map string_of_int g) ^ "}") t))

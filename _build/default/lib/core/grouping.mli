@@ -1,0 +1,23 @@
+(** Canonical representation of groupings.
+
+    A grouping is a set of disjoint groups of node ids.  The DP memo
+    table (Alg. 1) is keyed on groupings, so a canonical order —
+    groups sorted internally and by first element — and a stable
+    string key are provided here. *)
+
+type t = int list list
+
+val canonical : int list list -> t
+(** Sort each group and sort groups by their first element.
+    @raise Invalid_argument if groups overlap or any is empty. *)
+
+val key : t -> string
+(** Stable key, injective on canonical groupings. *)
+
+val members : t -> int list
+(** All node ids of the grouping, sorted. *)
+
+val equal : t -> t -> bool
+(** Equality of canonical forms. *)
+
+val pp : Format.formatter -> t -> unit

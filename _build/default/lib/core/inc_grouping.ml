@@ -1,0 +1,50 @@
+module Pipeline = Pmdp_dsl.Pipeline
+
+type round = { limit : int option; outcome : Dp_grouping.outcome }
+
+type t = {
+  rounds : round list;
+  cost : float;
+  groups : int list list;
+  total_enumerated : int;
+  total_elapsed : float;
+}
+
+let run ~initial_limit ?(step = 2) ?(final_unbounded = true) ?(state_budget = 200_000) ~config
+    (p : Pipeline.t) =
+  if initial_limit < 1 then invalid_arg "Inc_grouping.run: initial_limit < 1";
+  if step < 2 then invalid_arg "Inc_grouping.run: step < 2";
+  let n = Pipeline.n_stages p in
+  let rounds = ref [] in
+  let atoms = ref (List.init n (fun i -> [ i ])) in
+  let group_limit = ref initial_limit in
+  let max_size = ref initial_limit in
+  let continue = ref true in
+  while !continue do
+    let outcome =
+      Dp_grouping.run ~atoms:!atoms ~group_limit:!group_limit ~state_budget ~config p
+    in
+    rounds := { limit = Some !group_limit; outcome } :: !rounds;
+    atoms := outcome.Dp_grouping.groups;
+    if !max_size >= n then continue := false
+    else begin
+      group_limit := step;
+      max_size := step * !max_size
+    end
+  done;
+  if final_unbounded then begin
+    let outcome = Dp_grouping.run ~atoms:!atoms ~state_budget ~config p in
+    rounds := { limit = None; outcome } :: !rounds;
+    atoms := outcome.Dp_grouping.groups
+  end;
+  let rounds = List.rev !rounds in
+  let last = List.nth rounds (List.length rounds - 1) in
+  {
+    rounds;
+    cost = last.outcome.Dp_grouping.cost;
+    groups = last.outcome.Dp_grouping.groups;
+    total_enumerated =
+      List.fold_left (fun acc r -> acc + r.outcome.Dp_grouping.enumerated) 0 rounds;
+    total_elapsed =
+      List.fold_left (fun acc r -> acc +. r.outcome.Dp_grouping.elapsed) 0.0 rounds;
+  }

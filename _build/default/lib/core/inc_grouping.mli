@@ -1,0 +1,38 @@
+(** Bounded incremental grouping (Algorithm 3 of the paper).
+
+    Runs the bounded DP with a group-size limit, coalesces the
+    resulting groups into atoms, and iterates with a multiplicatively
+    growing effective size until groups may span the whole pipeline.
+    This caps the DP's state space for large graphs while still
+    letting large groups form incrementally (paper §5, Table 2). *)
+
+type round = {
+  limit : int option;  (** atom-count limit used this round; [None] = unbounded *)
+  outcome : Dp_grouping.outcome;
+}
+
+type t = {
+  rounds : round list;  (** in execution order *)
+  cost : float;  (** final grouping's cost *)
+  groups : int list list;  (** final grouping (stage ids) *)
+  total_enumerated : int;
+  total_elapsed : float;
+}
+
+val run :
+  initial_limit:int ->
+  ?step:int ->
+  ?final_unbounded:bool ->
+  ?state_budget:int ->
+  config:Cost_model.config ->
+  Pmdp_dsl.Pipeline.t ->
+  t
+(** [run ~initial_limit ~config p] follows Alg. 3: the first round
+    uses [initial_limit], later rounds use [step] (default 2) as the
+    atom-count limit, and the loop stops once the effective reachable
+    group size covers the pipeline.  With [final_unbounded] (default
+    true, the protocol used for the paper's Table 2), one last round
+    runs without any limit over the coalesced atoms.  Every round is
+    protected by [state_budget] (default 200k DP states, see
+    {!Dp_grouping.run}).
+    @raise Invalid_argument if [initial_limit < 1] or [step < 2]. *)

@@ -1,0 +1,1 @@
+lib/dag/set_partition.ml: Array List

@@ -1,0 +1,134 @@
+type t = {
+  n : int;
+  succ : int list array; (* stored reversed; [succs] re-reverses *)
+  pred : int list array;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Dag.create: negative size";
+  { n; succ = Array.make n []; pred = Array.make n [] }
+
+let n_nodes g = g.n
+
+let check_node g v name =
+  if v < 0 || v >= g.n then invalid_arg (Printf.sprintf "Dag.%s: node %d out of range" name v)
+
+let add_edge g u v =
+  check_node g u "add_edge";
+  check_node g v "add_edge";
+  if u = v then invalid_arg "Dag.add_edge: self loop";
+  if not (List.mem v g.succ.(u)) then begin
+    g.succ.(u) <- v :: g.succ.(u);
+    g.pred.(v) <- u :: g.pred.(v)
+  end
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let succs g v =
+  check_node g v "succs";
+  List.rev g.succ.(v)
+
+let preds g v =
+  check_node g v "preds";
+  List.rev g.pred.(v)
+
+let edges g =
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    List.iter (fun w -> acc := (v, w) :: !acc) (succs g v)
+  done;
+  !acc
+
+(* Kahn's algorithm restricted to [nodes]; returns None on cycle. *)
+let topo_of_subset g nodes =
+  let in_set = Array.make g.n false in
+  List.iter (fun v -> check_node g v "topo"; in_set.(v) <- true) nodes;
+  let indeg = Array.make g.n 0 in
+  List.iter
+    (fun v -> indeg.(v) <- List.length (List.filter (fun p -> in_set.(p)) (preds g v)))
+    nodes;
+  let queue = Queue.create () in
+  List.iter (fun v -> if indeg.(v) = 0 then Queue.add v queue) nodes;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        if in_set.(w) then begin
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then Queue.add w queue
+        end)
+      (succs g v)
+  done;
+  if !count = List.length nodes then Some (List.rev !order) else None
+
+let all_nodes g = List.init g.n Fun.id
+
+let has_cycle g = Option.is_none (topo_of_subset g (all_nodes g))
+
+let topo_sort g =
+  match topo_of_subset g (all_nodes g) with
+  | Some order -> order
+  | None -> invalid_arg "Dag.topo_sort: graph has a cycle"
+
+let topo_sort_subset g nodes =
+  match topo_of_subset g nodes with
+  | Some order -> order
+  | None -> invalid_arg "Dag.topo_sort_subset: induced subgraph has a cycle"
+
+let reachable_set g v =
+  check_node g v "reachable_set";
+  let seen = Array.make g.n false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter go (succs g u)
+    end
+  in
+  go v;
+  seen
+
+let is_reachable g ~src ~dst =
+  check_node g dst "is_reachable";
+  (reachable_set g src).(dst)
+
+let sources g = List.filter (fun v -> preds g v = []) (all_nodes g)
+let sinks g = List.filter (fun v -> succs g v = []) (all_nodes g)
+
+let is_connected_subset g nodes =
+  match nodes with
+  | [] -> false
+  | first :: _ ->
+      let in_set = Array.make g.n false in
+      List.iter (fun v -> check_node g v "is_connected_subset"; in_set.(v) <- true) nodes;
+      let seen = Array.make g.n false in
+      let rec go u =
+        if in_set.(u) && not seen.(u) then begin
+          seen.(u) <- true;
+          List.iter go (succs g u);
+          List.iter go (preds g u)
+        end
+      in
+      go first;
+      List.for_all (fun v -> seen.(v)) nodes
+
+let quotient g color =
+  if Array.length color <> g.n then invalid_arg "Dag.quotient: color size mismatch";
+  let k = if g.n = 0 then 0 else 1 + Array.fold_left max 0 color in
+  Array.iter (fun c -> if c < 0 || c >= k then invalid_arg "Dag.quotient: bad color") color;
+  let q = create k in
+  List.iter
+    (fun (u, v) -> if color.(u) <> color.(v) then add_edge q color.(u) color.(v))
+    (edges g);
+  (q, k)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>dag(%d nodes)" g.n;
+  List.iter (fun (u, v) -> Format.fprintf ppf "@,%d -> %d" u v) (edges g);
+  Format.fprintf ppf "@]"

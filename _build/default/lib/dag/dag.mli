@@ -1,0 +1,63 @@
+(** Directed acyclic graphs over dense integer node ids [0 .. n-1].
+
+    This is the graph substrate shared by the DSL (pipeline DAGs), the
+    fusion algorithms (reachability and cycle checks of Alg. 1), and
+    the schedule lowering (topological orders within a fused group). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a graph with [n] nodes and no edges. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph; duplicate edges are kept once.
+    @raise Invalid_argument on out-of-range node ids or self loops. *)
+
+val n_nodes : t -> int
+val add_edge : t -> int -> int -> unit
+(** @raise Invalid_argument on out-of-range ids or self loops. *)
+
+val succs : t -> int -> int list
+(** Successors in insertion order, deduplicated. *)
+
+val preds : t -> int -> int list
+val edges : t -> (int * int) list
+
+val has_cycle : t -> bool
+
+val topo_sort : t -> int list
+(** A topological order of all nodes.
+    @raise Invalid_argument if the graph has a cycle. *)
+
+val topo_sort_subset : t -> int list -> int list
+(** [topo_sort_subset g nodes] topologically orders [nodes] using only
+    edges between members of [nodes].
+    @raise Invalid_argument if that induced subgraph has a cycle. *)
+
+val is_reachable : t -> src:int -> dst:int -> bool
+(** Reflexive-transitive reachability. [is_reachable g ~src:v ~dst:v]
+    is [true]. *)
+
+val reachable_set : t -> int -> bool array
+(** [reachable_set g v] marks all nodes reachable from [v]
+    (including [v]). *)
+
+val sources : t -> int list
+(** Nodes with no predecessors. *)
+
+val sinks : t -> int list
+(** Nodes with no successors. *)
+
+val is_connected_subset : t -> int list -> bool
+(** Whether [nodes] induces a weakly connected subgraph (edges used in
+    both directions). The empty list is not connected; a singleton
+    is. *)
+
+val quotient : t -> int array -> t * int
+(** [quotient g color] contracts nodes with equal colors.  [color]
+    maps each node to a group id in [0 .. k-1] for some [k]; the
+    result is the k-node graph with an edge [c1 -> c2] whenever some
+    [u -> v] has [color.(u) = c1 <> c2 = color.(v)], paired with [k].
+    @raise Invalid_argument if colors are not a prefix of nat. *)
+
+val pp : Format.formatter -> t -> unit

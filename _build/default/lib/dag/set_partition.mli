@@ -1,0 +1,26 @@
+(** Enumeration of set partitions of small sets.
+
+    The DP recurrence of the paper (Fig. 5, Case II) restarts grouping
+    from every partition of the union of successor nodes of the
+    current grouping.  Successor sets are small in practice (max 5 in
+    the paper's Table 2), so exhaustive Bell-number enumeration is
+    appropriate; a per-block acceptance predicate prunes blocks that
+    are not connected subgraphs of the pipeline. *)
+
+val enumerate : ?block_ok:(int list -> bool) -> int list -> int list list list
+(** [enumerate ~block_ok xs] is the list of partitions of [xs], each
+    partition being a list of blocks, each block a sorted list.
+    Partitions containing a block for which [block_ok] is false are
+    skipped ([block_ok] defaults to accepting everything).  Blocks and
+    partitions appear in a deterministic order.  [enumerate []] is
+    [[[]]] (the single empty partition). Duplicate elements in [xs]
+    are an error.
+    @raise Invalid_argument on duplicates. *)
+
+val count : int list -> int
+(** Number of partitions of the set (the Bell number of its size),
+    without any block filter. *)
+
+val bell : int -> int
+(** [bell n] is the nth Bell number. @raise Invalid_argument if
+    [n < 0] or the value would overflow native ints for [n > 24]. *)

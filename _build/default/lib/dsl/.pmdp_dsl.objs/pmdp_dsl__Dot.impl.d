@@ -1,0 +1,1 @@
+lib/dsl/dot.ml: Array Buffer List Pipeline Printf Stage

@@ -1,0 +1,1 @@
+lib/dsl/dot.mli: Pipeline

@@ -1,0 +1,1 @@
+lib/dsl/expr.ml: Array Format Pmdp_util

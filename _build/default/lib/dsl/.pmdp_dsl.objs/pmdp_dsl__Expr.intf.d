@@ -1,0 +1,1 @@
+lib/dsl/expr.mli: Format Pmdp_util

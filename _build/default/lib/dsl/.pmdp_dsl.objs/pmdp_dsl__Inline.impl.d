@@ -1,0 +1,1 @@
+lib/dsl/inline.ml: Array Expr List Pipeline Pmdp_util Stage

@@ -1,0 +1,1 @@
+lib/dsl/pipeline.ml: Array Expr Format Hashtbl List Pmdp_dag Printf Stage String

@@ -1,0 +1,1 @@
+lib/dsl/pipeline.mli: Expr Format Pmdp_dag Stage

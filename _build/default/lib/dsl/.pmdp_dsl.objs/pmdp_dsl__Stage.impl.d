@@ -1,0 +1,1 @@
+lib/dsl/stage.ml: Array Expr Format Printf String

@@ -1,0 +1,1 @@
+lib/dsl/stage.mli: Expr Format

@@ -1,0 +1,56 @@
+let escape name = "\"" ^ name ^ "\""
+
+let edges_of (p : Pipeline.t) =
+  let b = Buffer.create 1024 in
+  Array.iteri
+    (fun ci (s : Stage.t) ->
+      List.iter
+        (fun prod ->
+          Buffer.add_string b
+            (Printf.sprintf "  %s -> %s;\n"
+               (escape (Pipeline.stage p prod).Stage.name)
+               (escape s.Stage.name)))
+        (Pipeline.producers p ci);
+      List.iter
+        (fun (iname, _) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %s -> %s;\n" (escape iname) (escape s.Stage.name)))
+        (List.sort_uniq compare
+           (List.map (fun (n, _) -> (n, ())) (Pipeline.input_loads p ci))))
+    p.Pipeline.stages;
+  Buffer.contents b
+
+let pipeline (p : Pipeline.t) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" (escape p.Pipeline.name));
+  Array.iter
+    (fun (i : Pipeline.input) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s [shape=parallelogram,style=filled,fillcolor=lightgray];\n"
+           (escape i.Pipeline.in_name)))
+    p.Pipeline.inputs;
+  Array.iter
+    (fun (s : Stage.t) ->
+      let shape = if Stage.is_reduction s then "hexagon" else "box" in
+      Buffer.add_string b (Printf.sprintf "  %s [shape=%s];\n" (escape s.Stage.name) shape))
+    p.Pipeline.stages;
+  Buffer.add_string b (edges_of p);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let grouping (p : Pipeline.t) groups =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" (escape p.Pipeline.name));
+  List.iteri
+    (fun gi group ->
+      Buffer.add_string b (Printf.sprintf "  subgraph cluster_%d {\n    label=\"group %d\";\n" gi gi);
+      List.iter
+        (fun sid ->
+          Buffer.add_string b
+            (Printf.sprintf "    %s [shape=box];\n" (escape (Pipeline.stage p sid).Stage.name)))
+        group;
+      Buffer.add_string b "  }\n")
+    groups;
+  Buffer.add_string b (edges_of p);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,8 @@
+(** Graphviz export of pipeline DAGs and groupings (documentation and
+    debugging aid). *)
+
+val pipeline : Pipeline.t -> string
+(** A dot digraph of the stage DAG, inputs included. *)
+
+val grouping : Pipeline.t -> int list list -> string
+(** A dot digraph with one cluster per group of the grouping. *)

@@ -1,0 +1,143 @@
+module Rational = Pmdp_util.Rational
+
+(* The float-expression value of a coordinate: what [Var k] becomes
+   when the producer is evaluated at that index. *)
+let coord_value (c : Expr.coord) : Expr.t =
+  match c with
+  | Expr.Cvar { var = v; scale; offset }
+    when Rational.is_integer scale && Rational.is_integer offset ->
+      let s = Rational.to_int_exn scale and o = Rational.to_int_exn offset in
+      let base = if s = 1 then Expr.var v else Expr.(const (float_of_int s) *: var v) in
+      if o = 0 then base else Expr.(base +: const (float_of_int o))
+  | Expr.Cvar { var = v; scale; offset } ->
+      (* floor(scale * v + offset) computed in floats *)
+      Expr.(
+        Unop
+          ( Floor,
+            (const (Rational.to_float scale) *: var v) +: const (Rational.to_float offset) ))
+  | Expr.Cdyn e -> Expr.(Unop (Floor, e))
+
+(* Compose an inner (consumer-side) coordinate with an outer
+   (producer-side) affine map [floor(scale * i + offset)]. *)
+let compose_coord ~outer_scale ~outer_offset (inner : Expr.coord) : Expr.coord =
+  match inner with
+  | Expr.Cvar { var; scale; offset }
+    when Rational.is_integer scale && Rational.is_integer offset ->
+      (* i = scale*v + offset exactly, so floor(os*i + oo) is affine. *)
+      Expr.Cvar
+        {
+          var;
+          scale = Rational.mul outer_scale scale;
+          offset = Rational.add (Rational.mul outer_scale offset) outer_offset;
+        }
+  | _ ->
+      (* i itself involves a floor: keep the two-level flooring as a
+         dynamic coordinate, which evaluates identically. *)
+      Expr.Cdyn
+        Expr.(
+          (const (Rational.to_float outer_scale) *: coord_value inner)
+          +: const (Rational.to_float outer_offset))
+
+(* Substitute: [body] is the producer's body; [args.(k)] is the
+   consumer coordinate feeding the producer's k-th variable. *)
+let rec subst args (body : Expr.t) : Expr.t =
+  match body with
+  | Expr.Const _ -> body
+  | Expr.Var k -> coord_value args.(k)
+  | Expr.Load (name, coords) ->
+      Expr.Load
+        ( name,
+          Array.map
+            (fun c ->
+              match c with
+              | Expr.Cvar { var; scale; offset } ->
+                  compose_coord ~outer_scale:scale ~outer_offset:offset args.(var)
+              | Expr.Cdyn e -> Expr.Cdyn (subst args e))
+            coords )
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, subst args a, subst args b)
+  | Expr.Unop (op, a) -> Expr.Unop (op, subst args a)
+  | Expr.Select (c, a, b) -> Expr.Select (subst_cond args c, subst args a, subst args b)
+
+and subst_cond args (c : Expr.cond) : Expr.cond =
+  match c with
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, subst args a, subst args b)
+  | Expr.And (a, b) -> Expr.And (subst_cond args a, subst_cond args b)
+  | Expr.Or (a, b) -> Expr.Or (subst_cond args a, subst_cond args b)
+  | Expr.Not a -> Expr.Not (subst_cond args a)
+
+(* Replace loads of [target] in an expression by the substituted body. *)
+let rec replace_loads target body (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Load (name, coords) when name = target -> subst coords body
+  | Expr.Load (name, coords) ->
+      Expr.Load
+        ( name,
+          Array.map
+            (fun c ->
+              match c with
+              | Expr.Cvar _ -> c
+              | Expr.Cdyn ce -> Expr.Cdyn (replace_loads target body ce))
+            coords )
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, replace_loads target body a, replace_loads target body b)
+  | Expr.Unop (op, a) -> Expr.Unop (op, replace_loads target body a)
+  | Expr.Select (c, a, b) ->
+      Expr.Select
+        (replace_cond target body c, replace_loads target body a, replace_loads target body b)
+
+and replace_cond target body (c : Expr.cond) : Expr.cond =
+  match c with
+  | Expr.Cmp (op, a, b) ->
+      Expr.Cmp (op, replace_loads target body a, replace_loads target body b)
+  | Expr.And (a, b) -> Expr.And (replace_cond target body a, replace_cond target body b)
+  | Expr.Or (a, b) -> Expr.Or (replace_cond target body a, replace_cond target body b)
+  | Expr.Not a -> Expr.Not (replace_cond target body a)
+
+let inline_stage (p : Pipeline.t) name =
+  let sid = try Pipeline.stage_id p name with Not_found ->
+    invalid_arg ("Inline.inline_stage: unknown stage " ^ name)
+  in
+  let stage = Pipeline.stage p sid in
+  let body =
+    match stage.Stage.def with
+    | Stage.Pointwise b -> b
+    | Stage.Reduction _ -> invalid_arg ("Inline.inline_stage: " ^ name ^ " is a reduction")
+  in
+  if Pipeline.is_output p sid then
+    invalid_arg ("Inline.inline_stage: " ^ name ^ " is a pipeline output");
+  let stages =
+    Array.to_list p.Pipeline.stages
+    |> List.filter_map (fun (s : Stage.t) ->
+           if s.Stage.name = name then None
+           else
+             let def =
+               match s.Stage.def with
+               | Stage.Pointwise b -> Stage.Pointwise (replace_loads name body b)
+               | Stage.Reduction r ->
+                   Stage.Reduction { r with body = replace_loads name body r.body }
+             in
+             Some { s with Stage.def })
+  in
+  let outputs =
+    List.map (fun o -> (Pipeline.stage p o).Stage.name) p.Pipeline.outputs
+  in
+  Pipeline.build ~name:p.Pipeline.name
+    ~inputs:(Array.to_list p.Pipeline.inputs)
+    ~stages ~outputs
+
+let inline_all ?(max_cost = 4) (p : Pipeline.t) =
+  let rec go p =
+    let candidate =
+      Array.find_opt
+        (fun (s : Stage.t) ->
+          (not (Stage.is_reduction s))
+          && (not (Pipeline.is_output p (Pipeline.stage_id p s.Stage.name)))
+          && Expr.arith_cost (Stage.body_expr s) <= max_cost
+          && Pipeline.consumers p (Pipeline.stage_id p s.Stage.name) <> [])
+        p.Pipeline.stages
+    in
+    match candidate with
+    | Some s -> go (inline_stage p s.Stage.name)
+    | None -> p
+  in
+  go p

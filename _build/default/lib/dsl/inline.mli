@@ -1,0 +1,35 @@
+(** Stage inlining — the extension the paper's §6.2 names as the
+    reason H-manual beats PolyMageDP on Camera Pipeline ("aggressive
+    inlining of several functions, which PolyMage-A and PolyMageDP
+    currently do not support").
+
+    Inlining substitutes a point-wise producer's defining expression
+    into every consumer, composing access coordinates: a consumer
+    access [p(a*v + b)] into a producer body reading [q(c*w + d)]
+    becomes a direct access [q(c*(a*v+b) + d)].  The composition is
+    exact (rational) when the inner coordinate is integral —
+    [floor(c * (a*v+b) + d)] with integer [a*v+b] — and falls back to
+    an equivalent data-dependent coordinate otherwise, which the
+    executors evaluate identically.
+
+    {b Boundary caveat}: out-of-domain reads clamp at the accessed
+    buffer's domain.  Before inlining, a consumer's out-of-range
+    access clamps at the {e producer's} domain; after inlining, the
+    composed access clamps at whatever the producer itself read.  The
+    two agree everywhere except within a stencil-radius of the image
+    border (exactly as inlining interacts with boundary conditions in
+    Halide).  Interior results are bit-identical. *)
+
+val inline_stage : Pipeline.t -> string -> Pipeline.t
+(** [inline_stage p name] removes the named stage, substituting its
+    body into all consumers.
+    @raise Invalid_argument if the stage does not exist, is a
+    reduction, is a pipeline output, or is referenced through a
+    reduction variable in a way that cannot be substituted. *)
+
+val inline_all : ?max_cost:int -> Pipeline.t -> Pipeline.t
+(** Repeatedly inline every point-wise, non-output stage whose body
+    costs at most [max_cost] arithmetic operations (default 4) and
+    whose consumers access it only with pure single-variable
+    coordinates — the cheap "wrapper" stages aggressive Halide
+    schedules inline away.  Stops at a fixed point. *)

@@ -1,0 +1,110 @@
+module Dag = Pmdp_dag.Dag
+
+type input = { in_name : string; in_dims : Stage.dim array }
+
+type t = {
+  name : string;
+  inputs : input array;
+  stages : Stage.t array;
+  outputs : int list;
+  dag : Dag.t;
+}
+
+let input2 name rows cols = { in_name = name; in_dims = Stage.dim2 rows cols }
+let input3 name c rows cols = { in_name = name; in_dims = Stage.dim3 c rows cols }
+
+let build ~name ~inputs ~stages ~outputs =
+  let inputs = Array.of_list inputs in
+  let stages = Array.of_list stages in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (i : input) ->
+      if Hashtbl.mem seen i.in_name then invalid_arg ("duplicate name: " ^ i.in_name);
+      Hashtbl.add seen i.in_name ())
+    inputs;
+  Array.iter
+    (fun (s : Stage.t) ->
+      if Hashtbl.mem seen s.Stage.name then invalid_arg ("duplicate name: " ^ s.Stage.name);
+      Hashtbl.add seen s.Stage.name ())
+    stages;
+  Array.iter Stage.validate stages;
+  let stage_ids = Hashtbl.create 64 in
+  Array.iteri (fun i (s : Stage.t) -> Hashtbl.add stage_ids s.Stage.name i) stages;
+  let input_dims = Hashtbl.create 16 in
+  Array.iter (fun i -> Hashtbl.add input_dims i.in_name (Array.length i.in_dims)) inputs;
+  let dag = Dag.create (Array.length stages) in
+  Array.iteri
+    (fun ci (s : Stage.t) ->
+      let check_load () callee coords =
+        let arity = Array.length coords in
+        match Hashtbl.find_opt stage_ids callee with
+        | Some pi ->
+            let pdims = Stage.ndims stages.(pi) in
+            if arity <> pdims then
+              invalid_arg
+                (Printf.sprintf "%s loads %s with %d coords, expected %d" s.Stage.name callee
+                   arity pdims);
+            if pi = ci then invalid_arg (s.Stage.name ^ ": self reference");
+            Dag.add_edge dag pi ci
+        | None -> (
+            match Hashtbl.find_opt input_dims callee with
+            | Some pdims ->
+                if arity <> pdims then
+                  invalid_arg
+                    (Printf.sprintf "%s loads input %s with %d coords, expected %d" s.Stage.name
+                       callee arity pdims)
+            | None -> invalid_arg (s.Stage.name ^ " references unknown name " ^ callee))
+      in
+      Expr.fold_loads check_load () (Stage.body_expr s))
+    stages;
+  if Dag.has_cycle dag then invalid_arg (name ^ ": cyclic stage references");
+  if outputs = [] then invalid_arg (name ^ ": no outputs");
+  let outputs =
+    List.map
+      (fun o ->
+        match Hashtbl.find_opt stage_ids o with
+        | Some i -> i
+        | None -> invalid_arg (name ^ ": unknown output stage " ^ o))
+      outputs
+  in
+  { name; inputs; stages; outputs; dag }
+
+let n_stages t = Array.length t.stages
+let stage t i = t.stages.(i)
+
+let stage_id t name =
+  let rec go i =
+    if i >= Array.length t.stages then raise Not_found
+    else if t.stages.(i).Stage.name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let is_input t name = Array.exists (fun i -> i.in_name = name) t.inputs
+
+let find_input t name =
+  match Array.find_opt (fun i -> i.in_name = name) t.inputs with
+  | Some i -> i
+  | None -> raise Not_found
+
+let producers t i = Dag.preds t.dag i
+let consumers t i = Dag.succs t.dag i
+
+let loads_between t ~consumer ~producer =
+  let pname = t.stages.(producer).Stage.name in
+  let collect acc name coords = if name = pname then coords :: acc else acc in
+  List.rev (Expr.fold_loads collect [] (Stage.body_expr t.stages.(consumer)))
+
+let input_loads t i =
+  let collect acc name coords = if is_input t name then (name, coords) :: acc else acc in
+  List.rev (Expr.fold_loads collect [] (Stage.body_expr t.stages.(i)))
+
+let is_output t i = List.mem i t.outputs
+
+let total_points t = Array.fold_left (fun acc s -> acc + Stage.domain_points s) 0 t.stages
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>pipeline %s (%d stages)@," t.name (Array.length t.stages);
+  Array.iteri (fun i s -> Format.fprintf ppf "  [%d] %a@," i Stage.pp s) t.stages;
+  Format.fprintf ppf "  outputs: %s@]"
+    (String.concat ", " (List.map (fun i -> t.stages.(i).Stage.name) t.outputs))

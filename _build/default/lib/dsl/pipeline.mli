@@ -1,0 +1,54 @@
+(** Image-processing pipelines: a DAG of stages over named inputs.
+
+    Construction validates the whole program: unique names, resolvable
+    loads with correct arity, in-range iteration variables, and
+    acyclicity.  Stage ids are dense integers in topological-friendly
+    construction order; the producer-consumer DAG is exposed for the
+    fusion algorithms. *)
+
+type input = { in_name : string; in_dims : Stage.dim array }
+
+type t = private {
+  name : string;
+  inputs : input array;
+  stages : Stage.t array;
+  outputs : int list;  (** stage ids of pipeline live-outs *)
+  dag : Pmdp_dag.Dag.t;  (** nodes are stage ids; edge p -> c when c loads p *)
+}
+
+val build :
+  name:string -> inputs:input list -> stages:Stage.t list -> outputs:string list -> t
+(** @raise Invalid_argument on any validation failure (duplicate or
+    unknown names, wrong load arity, cyclic stage references, bad
+    variable indices, unknown outputs, or empty outputs). *)
+
+val input2 : string -> int -> int -> input
+val input3 : string -> int -> int -> int -> input
+
+val n_stages : t -> int
+val stage : t -> int -> Stage.t
+val stage_id : t -> string -> int
+(** @raise Not_found if no stage has that name. *)
+
+val is_input : t -> string -> bool
+val find_input : t -> string -> input
+(** @raise Not_found *)
+
+val producers : t -> int -> int list
+(** Stage ids loaded by the given stage (deduplicated). *)
+
+val consumers : t -> int -> int list
+
+val loads_between : t -> consumer:int -> producer:int -> Expr.coord array list
+(** Every access (coordinate vector) the consumer performs on the
+    producer. Empty if there is no edge. *)
+
+val input_loads : t -> int -> (string * Expr.coord array) list
+(** Accesses of the given stage to pipeline inputs. *)
+
+val is_output : t -> int -> bool
+
+val total_points : t -> int
+(** Sum of all stages' domain points — total computation "volume". *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type dim = { dim_name : string; lo : int; extent : int }
+type redop = Rsum | Rmax | Rmin
+
+type def =
+  | Pointwise of Expr.t
+  | Reduction of { op : redop; init : float; rdom : (int * int) array; body : Expr.t }
+
+type t = { name : string; dims : dim array; def : def }
+
+let pointwise name dims body = { name; dims; def = Pointwise body }
+
+let reduction name dims ~op ~init ~rdom body =
+  { name; dims; def = Reduction { op; init; rdom; body } }
+
+let dim2 ?(name_x = "x") ?(name_y = "y") rows cols =
+  [| { dim_name = name_x; lo = 0; extent = rows }; { dim_name = name_y; lo = 0; extent = cols } |]
+
+let dim3 c rows cols =
+  [|
+    { dim_name = "c"; lo = 0; extent = c };
+    { dim_name = "x"; lo = 0; extent = rows };
+    { dim_name = "y"; lo = 0; extent = cols };
+  |]
+
+let ndims t = Array.length t.dims
+let is_reduction t = match t.def with Reduction _ -> true | Pointwise _ -> false
+let domain_points t = Array.fold_left (fun acc d -> acc * d.extent) 1 t.dims
+
+let body_expr t = match t.def with Pointwise e -> e | Reduction { body; _ } -> body
+
+let n_iter_vars t =
+  ndims t + (match t.def with Pointwise _ -> 0 | Reduction { rdom; _ } -> Array.length rdom)
+
+let validate t =
+  if Array.length t.dims = 0 then invalid_arg (t.name ^ ": stage with no dimensions");
+  Array.iter
+    (fun d ->
+      if d.extent <= 0 then invalid_arg (Printf.sprintf "%s: dim %s has extent %d" t.name d.dim_name d.extent))
+    t.dims;
+  (match t.def with
+  | Pointwise _ -> ()
+  | Reduction { rdom; _ } ->
+      Array.iter
+        (fun (_, ext) -> if ext <= 0 then invalid_arg (t.name ^ ": empty reduction domain"))
+        rdom);
+  let mv = Expr.max_var (body_expr t) in
+  if mv >= n_iter_vars t then
+    invalid_arg
+      (Printf.sprintf "%s: body references variable v%d but only %d iteration variables exist"
+         t.name mv (n_iter_vars t))
+
+let pp ppf t =
+  let kind = if is_reduction t then "reduce" else "func" in
+  Format.fprintf ppf "@[<hov 2>%s %s(%s) =@ %a@]" kind t.name
+    (String.concat ", "
+       (Array.to_list (Array.map (fun d -> Printf.sprintf "%s:%d+%d" d.dim_name d.lo d.extent) t.dims)))
+    Expr.pp (body_expr t)

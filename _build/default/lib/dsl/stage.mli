@@ -1,0 +1,56 @@
+(** Pipeline stages ("Functions" in PolyMage terminology).
+
+    A stage maps a dense rectangular integer domain to float values.
+    Its body is either a pointwise/stencil expression or a reduction
+    over an additional reduction domain (the gather formulation — a
+    reduction stage computes each output point by folding its body
+    over the reduction variables).
+
+    Domains are concrete at pipeline-construction time, mirroring the
+    paper's setting where parameter estimates are available to the
+    grouping algorithm. *)
+
+type dim = { dim_name : string; lo : int; extent : int }
+
+type redop = Rsum | Rmax | Rmin
+
+type def =
+  | Pointwise of Expr.t
+  | Reduction of {
+      op : redop;
+      init : float;
+      rdom : (int * int) array;  (** (lo, extent) per reduction variable *)
+      body : Expr.t;
+          (** may reference [Var (ndims + k)] for the k-th reduction
+              variable *)
+    }
+
+type t = { name : string; dims : dim array; def : def }
+
+val pointwise : string -> dim array -> Expr.t -> t
+val reduction : string -> dim array -> op:redop -> init:float -> rdom:(int * int) array -> Expr.t -> t
+
+val dim2 : ?name_x:string -> ?name_y:string -> int -> int -> dim array
+(** [dim2 rows cols] is a 2-D domain [x:rows, y:cols], zero-based. *)
+
+val dim3 : int -> int -> int -> dim array
+(** [dim3 c rows cols] is a 3-D domain with a leading channel
+    dimension, zero-based. *)
+
+val ndims : t -> int
+val is_reduction : t -> bool
+
+val domain_points : t -> int
+(** Product of extents (number of output points). *)
+
+val body_expr : t -> Expr.t
+(** The defining expression ([Pointwise] body or reduction body). *)
+
+val n_iter_vars : t -> int
+(** Dimensions plus reduction variables. *)
+
+val validate : t -> unit
+(** Checks positive extents and that the body references only valid
+    iteration variables. @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

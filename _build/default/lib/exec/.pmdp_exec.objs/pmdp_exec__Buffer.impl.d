@@ -1,0 +1,1 @@
+lib/exec/buffer.ml: Array Float Pmdp_dsl Printf

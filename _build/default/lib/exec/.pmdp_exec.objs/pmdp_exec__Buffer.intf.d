@@ -1,0 +1,1 @@
+lib/exec/buffer.mli: Pmdp_dsl

@@ -1,0 +1,1 @@
+lib/exec/compile.ml: Array Buffer Float List Pmdp_dsl Pmdp_util

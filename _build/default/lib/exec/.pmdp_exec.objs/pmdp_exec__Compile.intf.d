@@ -1,0 +1,1 @@
+lib/exec/compile.mli: Buffer Pmdp_dsl

@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Array Buffer Compile Float Hashtbl List Option Pmdp_dag Pmdp_dsl

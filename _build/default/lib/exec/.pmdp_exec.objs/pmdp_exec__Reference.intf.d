@@ -1,0 +1,1 @@
+lib/exec/reference.mli: Buffer Pmdp_dsl

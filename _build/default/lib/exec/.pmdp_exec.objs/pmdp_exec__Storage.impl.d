@@ -1,0 +1,1 @@
+lib/exec/storage.ml: Array List Pmdp_analysis Pmdp_core Pmdp_dsl

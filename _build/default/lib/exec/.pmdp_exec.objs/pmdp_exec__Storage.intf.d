@@ -1,0 +1,1 @@
+lib/exec/storage.mli: Pmdp_core

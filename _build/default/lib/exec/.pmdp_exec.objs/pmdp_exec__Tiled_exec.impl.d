@@ -1,0 +1,1 @@
+lib/exec/tiled_exec.ml: Array Buffer Compile Float Format Hashtbl List Option Pmdp_analysis Pmdp_core Pmdp_dsl Pmdp_runtime Reference String Unix

@@ -1,0 +1,1 @@
+lib/exec/tiled_exec.mli: Buffer Format Pmdp_core Pmdp_runtime

@@ -1,0 +1,154 @@
+module Expr = Pmdp_dsl.Expr
+module Stage = Pmdp_dsl.Stage
+module Rational = Pmdp_util.Rational
+
+type view = {
+  data : float array;
+  lo : int array;
+  hi : int array;
+  stride : int array;
+  base : int;
+}
+
+let view_of_buffer (b : Buffer.t) =
+  let n = Array.length b.Buffer.dims in
+  let lo = Array.map (fun d -> d.Stage.lo) b.Buffer.dims in
+  let hi = Array.map (fun d -> d.Stage.lo + d.Stage.extent - 1) b.Buffer.dims in
+  let base = ref 0 in
+  for d = 0 to n - 1 do
+    base := !base - (lo.(d) * b.Buffer.stride.(d))
+  done;
+  { data = b.Buffer.data; lo; hi; stride = b.Buffer.stride; base = !base }
+
+let clamp v d x =
+  let x = if x < v.lo.(d) then v.lo.(d) else x in
+  if x > v.hi.(d) then v.hi.(d) else x
+
+let read1 v x0 = v.data.(v.base + (clamp v 0 x0 * v.stride.(0)))
+
+let read2 v x0 x1 =
+  v.data.(v.base + (clamp v 0 x0 * v.stride.(0)) + (clamp v 1 x1 * v.stride.(1)))
+
+let read3 v x0 x1 x2 =
+  v.data.(v.base
+          + (clamp v 0 x0 * v.stride.(0))
+          + (clamp v 1 x1 * v.stride.(1))
+          + (clamp v 2 x2 * v.stride.(2)))
+
+let read v idx =
+  let off = ref v.base in
+  for d = 0 to Array.length v.stride - 1 do
+    off := !off + (clamp v d idx.(d) * v.stride.(d))
+  done;
+  v.data.(!off)
+
+type compiled = view array -> int array -> float
+
+(* Floor division for possibly negative numerators. *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let slots e =
+  let names = ref [] in
+  let record () name _ = if not (List.mem name !names) then names := name :: !names in
+  Expr.fold_loads record () e;
+  Array.of_list (List.rev !names)
+
+let rec compile ~slot_of (e : Expr.t) : compiled =
+  match e with
+  | Expr.Const f -> fun _ _ -> f
+  | Expr.Var i -> fun _ vars -> float_of_int vars.(i)
+  | Expr.Load (name, coords) -> compile_load ~slot_of name coords
+  | Expr.Binop (op, a, b) ->
+      let ca = compile ~slot_of a and cb = compile ~slot_of b in
+      (match op with
+      | Expr.Add -> fun env vars -> ca env vars +. cb env vars
+      | Expr.Sub -> fun env vars -> ca env vars -. cb env vars
+      | Expr.Mul -> fun env vars -> ca env vars *. cb env vars
+      | Expr.Div -> fun env vars -> ca env vars /. cb env vars
+      | Expr.Min -> fun env vars -> Float.min (ca env vars) (cb env vars)
+      | Expr.Max -> fun env vars -> Float.max (ca env vars) (cb env vars)
+      | Expr.Mod ->
+          fun env vars ->
+            float_of_int (int_of_float (ca env vars) mod int_of_float (cb env vars)))
+  | Expr.Unop (op, a) ->
+      let ca = compile ~slot_of a in
+      (match op with
+      | Expr.Neg -> fun env vars -> -.ca env vars
+      | Expr.Abs -> fun env vars -> Float.abs (ca env vars)
+      | Expr.Sqrt -> fun env vars -> Float.sqrt (ca env vars)
+      | Expr.Exp -> fun env vars -> Float.exp (ca env vars)
+      | Expr.Log -> fun env vars -> Float.log (ca env vars)
+      | Expr.Floor -> fun env vars -> Float.of_int (int_of_float (Float.floor (ca env vars)))
+      | Expr.Sin -> fun env vars -> Float.sin (ca env vars)
+      | Expr.Cos -> fun env vars -> Float.cos (ca env vars))
+  | Expr.Select (c, a, b) ->
+      let cc = compile_cond ~slot_of c and ca = compile ~slot_of a and cb = compile ~slot_of b in
+      fun env vars -> if cc env vars then ca env vars else cb env vars
+
+and compile_cond ~slot_of (c : Expr.cond) : view array -> int array -> bool =
+  match c with
+  | Expr.Cmp (op, a, b) ->
+      let ca = compile ~slot_of a and cb = compile ~slot_of b in
+      (match op with
+      | Expr.Lt -> fun env vars -> ca env vars < cb env vars
+      | Expr.Le -> fun env vars -> ca env vars <= cb env vars
+      | Expr.Gt -> fun env vars -> ca env vars > cb env vars
+      | Expr.Ge -> fun env vars -> ca env vars >= cb env vars
+      | Expr.Eq -> fun env vars -> Float.equal (ca env vars) (cb env vars)
+      | Expr.Ne -> fun env vars -> not (Float.equal (ca env vars) (cb env vars)))
+  | Expr.And (a, b) ->
+      let ca = compile_cond ~slot_of a and cb = compile_cond ~slot_of b in
+      fun env vars -> ca env vars && cb env vars
+  | Expr.Or (a, b) ->
+      let ca = compile_cond ~slot_of a and cb = compile_cond ~slot_of b in
+      fun env vars -> ca env vars || cb env vars
+  | Expr.Not a ->
+      let ca = compile_cond ~slot_of a in
+      fun env vars -> not (ca env vars)
+
+and compile_coord ~slot_of (c : Expr.coord) : view array -> int array -> int =
+  match c with
+  | Expr.Cvar { var; scale; offset }
+    when Rational.equal scale Rational.one && Rational.is_integer offset ->
+      let k = Rational.to_int_exn offset in
+      if k = 0 then fun _ vars -> vars.(var) else fun _ vars -> vars.(var) + k
+  | Expr.Cvar { var; scale; offset } ->
+      (* floor(scale*v + offset) = fdiv (p*v + q) r *)
+      let p = scale.Rational.num * offset.Rational.den in
+      let q = offset.Rational.num * scale.Rational.den in
+      let r = scale.Rational.den * offset.Rational.den in
+      fun _ vars -> fdiv ((p * vars.(var)) + q) r
+  | Expr.Cdyn e ->
+      let ce = compile ~slot_of e in
+      fun env vars -> int_of_float (Float.floor (ce env vars))
+
+and compile_load ~slot_of name coords : compiled =
+  let s = slot_of name in
+  match coords with
+  | [| c0 |] ->
+      let f0 = compile_coord ~slot_of c0 in
+      fun env vars -> read1 env.(s) (f0 env vars)
+  | [| c0; c1 |] ->
+      let f0 = compile_coord ~slot_of c0 and f1 = compile_coord ~slot_of c1 in
+      fun env vars -> read2 env.(s) (f0 env vars) (f1 env vars)
+  | [| c0; c1; c2 |] ->
+      let f0 = compile_coord ~slot_of c0
+      and f1 = compile_coord ~slot_of c1
+      and f2 = compile_coord ~slot_of c2 in
+      fun env vars -> read3 env.(s) (f0 env vars) (f1 env vars) (f2 env vars)
+  | _ ->
+      let fs = Array.map (compile_coord ~slot_of) coords in
+      fun env vars -> read env.(s) (Array.map (fun f -> f env vars) fs)
+
+let compile_stage (stage : Stage.t) =
+  let body = Stage.body_expr stage in
+  let names = slots body in
+  let slot_of name =
+    let rec go i =
+      if i >= Array.length names then raise Not_found
+      else if names.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (names, compile ~slot_of body)

@@ -1,0 +1,37 @@
+(** Compilation of DSL expressions to closures.
+
+    A stage body is compiled once; at execution time it receives an
+    environment of {!view}s (one per distinct loaded name, in a slot
+    order fixed at compile time) and the current iteration variables.
+    Views carry their own bounding box and clamp reads into it —
+    giving both the boundary semantics at domain edges and the
+    scratch-region semantics inside fused tiles. *)
+
+type view = {
+  data : float array;
+  lo : int array;  (** box lower corner, in producer coordinates *)
+  hi : int array;  (** box upper corner, inclusive *)
+  stride : int array;  (** per-dimension stride into [data] *)
+  base : int;  (** offset of coordinate origin: addr = base + Σ idx*stride *)
+}
+
+val view_of_buffer : Buffer.t -> view
+(** Whole-domain view of a full buffer. *)
+
+val read : view -> int array -> float
+(** Clamped read (arity must match the view's rank). *)
+
+type compiled = view array -> int array -> float
+(** [f env vars]: evaluate at iteration point [vars] (stage dims
+    followed by reduction variables). *)
+
+val slots : Pmdp_dsl.Expr.t -> string array
+(** Distinct loaded names in first-occurrence order; the compiled
+    closure expects views in exactly this order. *)
+
+val compile : slot_of:(string -> int) -> Pmdp_dsl.Expr.t -> compiled
+(** Compile with an explicit name-to-slot mapping.
+    @raise Not_found from [slot_of] for unknown names. *)
+
+val compile_stage : Pmdp_dsl.Stage.t -> string array * compiled
+(** [slots] of the stage body paired with its compiled form. *)

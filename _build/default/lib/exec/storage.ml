@@ -1,0 +1,91 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Group_analysis = Pmdp_analysis.Group_analysis
+module Schedule_spec = Pmdp_core.Schedule_spec
+
+type lifetime = { stage : string; bytes : int; born : int; dies : int }
+
+type report = {
+  lifetimes : lifetime list;
+  peak_naive_bytes : int;
+  peak_reuse_bytes : int;
+}
+
+let bytes_per_elem = 4
+
+let lifetimes (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  let groups = Array.of_list spec.Schedule_spec.groups in
+  let group_of_stage = Array.make (Pipeline.n_stages p) 0 in
+  Array.iteri
+    (fun gi (g : Schedule_spec.group) ->
+      List.iter (fun s -> group_of_stage.(s) <- gi) g.Schedule_spec.stages)
+    groups;
+  let acc = ref [] in
+  Array.iteri
+    (fun gi (g : Schedule_spec.group) ->
+      match Group_analysis.analyze p g.Schedule_spec.stages with
+      | Error _ -> invalid_arg "Storage.lifetimes: group failed analysis"
+      | Ok ga ->
+          Array.iteri
+            (fun m sid ->
+              if ga.Group_analysis.liveouts.(m) then begin
+                let stage = Pipeline.stage p sid in
+                let dies =
+                  if Pipeline.is_output p sid then max_int
+                  else
+                    List.fold_left
+                      (fun acc c ->
+                        if group_of_stage.(c) <> gi then max acc group_of_stage.(c) else acc)
+                      gi (Pipeline.consumers p sid)
+                in
+                acc :=
+                  {
+                    stage = stage.Stage.name;
+                    bytes = Stage.domain_points stage * bytes_per_elem;
+                    born = gi;
+                    dies;
+                  }
+                  :: !acc
+              end)
+            ga.Group_analysis.members)
+    groups;
+  List.rev !acc
+
+let report spec =
+  let lifetimes = lifetimes spec in
+  let n_groups = List.length spec.Schedule_spec.groups in
+  (* naive: everything allocated up front and kept *)
+  let peak_naive = List.fold_left (fun acc l -> acc + l.bytes) 0 lifetimes in
+  (* reuse: first-fit from a free list of dead buffers, walking groups
+     in order — mirrors the executor's policy *)
+  let free : int list ref = ref [] in
+  let live = ref [] in
+  let current = ref 0 in
+  let peak = ref 0 in
+  let rec remove_first x = function
+    | [] -> []
+    | y :: rest -> if y = x then rest else y :: remove_first x rest
+  in
+  for gi = 0 to n_groups - 1 do
+    List.iter
+      (fun l ->
+        if l.born = gi then begin
+          (* take the smallest free slot that fits, else allocate *)
+          let fits = List.sort compare (List.filter (fun b -> b >= l.bytes) !free) in
+          (match fits with
+          | b :: _ ->
+              free := remove_first b !free;
+              live := (l, b) :: !live
+          | [] ->
+              current := !current + l.bytes;
+              live := (l, l.bytes) :: !live);
+          if !current > !peak then peak := !current
+        end)
+      lifetimes;
+    (* release buffers whose last reader was this group *)
+    let dead, alive = List.partition (fun ((l : lifetime), _) -> l.dies <= gi) !live in
+    List.iter (fun (_, b) -> free := b :: !free) dead;
+    live := alive
+  done;
+  { lifetimes; peak_naive_bytes = peak_naive; peak_reuse_bytes = !peak }

@@ -1,0 +1,29 @@
+(** Buffer storage optimization (the "storage optimizations performed
+    by PolyMageDP" of the paper's §6.2): full buffers of group
+    live-outs that are dead — already past their last consumer group —
+    are recycled for later live-outs instead of being allocated fresh.
+
+    The analysis is a straightforward lifetime computation over the
+    schedule's group order; the executor applies it with a
+    capacity-keyed free list ({!Tiled_exec.run} with
+    [~reuse_buffers:true]).  Pipeline outputs are never recycled. *)
+
+type lifetime = {
+  stage : string;
+  bytes : int;
+  born : int;  (** group index that produces the buffer *)
+  dies : int;  (** last group index that reads it; [max_int] for pipeline outputs *)
+}
+
+type report = {
+  lifetimes : lifetime list;  (** in group order *)
+  peak_naive_bytes : int;  (** all live-outs resident simultaneously *)
+  peak_reuse_bytes : int;  (** with dead-buffer recycling *)
+}
+
+val lifetimes : Pmdp_core.Schedule_spec.t -> lifetime list
+(** Lifetime of every live-out buffer of the schedule. *)
+
+val report : Pmdp_core.Schedule_spec.t -> report
+(** Peak resident bytes with and without recycling (capacity-keyed
+    first-fit, the same policy the executor applies). *)

@@ -1,0 +1,459 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Group_analysis = Pmdp_analysis.Group_analysis
+module Footprint = Pmdp_analysis.Footprint
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Pool = Pmdp_runtime.Pool
+
+type slot = In_group of int | External of string
+
+type member_plan = {
+  sid : int;
+  stage : Stage.t;
+  liveout : bool;
+  direct : bool;
+      (* live-out whose region is always exactly the tile box: writes
+         go straight to the full buffer *)
+  max_scratch : int;  (* arena size covering any tile's region *)
+  slots : slot array;
+  compiled : Compile.compiled;
+}
+
+type group_plan = {
+  ga : Group_analysis.t;
+  tile : int array;
+  tiles_per_dim : int array;
+  n_tiles : int;
+  members : member_plan array;
+}
+
+type plan = { pipeline : Pipeline.t; groups : group_plan array; liveouts : string list }
+
+let plan (spec : Schedule_spec.t) =
+  Schedule_spec.validate spec;
+  let p = spec.Schedule_spec.pipeline in
+  let groups =
+    List.map
+      (fun (g : Schedule_spec.group) ->
+        let ga =
+          match Group_analysis.analyze p g.Schedule_spec.stages with
+          | Ok ga -> ga
+          | Error f ->
+              invalid_arg
+                (Format.asprintf "Tiled_exec.plan: group failed analysis: %a"
+                   Group_analysis.pp_failure f)
+        in
+        if Array.length g.Schedule_spec.tile_sizes <> ga.Group_analysis.n_dims then
+          invalid_arg "Tiled_exec.plan: tile size arity mismatch";
+        let tile = Footprint.clamp_tile ga g.Schedule_spec.tile_sizes in
+        let tiles_per_dim =
+          Array.init ga.Group_analysis.n_dims (fun d ->
+              let extent = Group_analysis.dim_extent ga d in
+              (extent + tile.(d) - 1) / tile.(d))
+        in
+        let n_tiles = Array.fold_left ( * ) 1 tiles_per_dim in
+        let in_group name =
+          Array.fold_left
+            (fun acc (m, sid) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if (Pipeline.stage p sid).Stage.name = name then Some m else None)
+            None
+            (Array.mapi (fun m sid -> (m, sid)) ga.Group_analysis.members)
+        in
+        let members =
+          Array.map
+            (fun sid ->
+              let stage = Pipeline.stage p sid in
+              let names, compiled = Compile.compile_stage stage in
+              let slots =
+                Array.map
+                  (fun name ->
+                    match in_group name with
+                    | Some m -> In_group m
+                    | None -> External name)
+                  names
+              in
+              let m = Group_analysis.member_index ga sid in
+              let liveout = ga.Group_analysis.liveouts.(m) in
+              let own_nd = Stage.ndims stage in
+              let direct = ref liveout in
+              let max_scratch = ref 1 in
+              for k = 0 to own_nd - 1 do
+                let g = ga.Group_analysis.dim_of_stage.(m).(k) in
+                let s = ga.Group_analysis.scales.(m).(g) in
+                let elo, ehi = ga.Group_analysis.expansions.(m).(g) in
+                if
+                  (elo, ehi) <> (0, 0) || s <> 1
+                  || ga.Group_analysis.scaled_lo.(m).(g) <> ga.Group_analysis.dim_lo.(g)
+                  || ga.Group_analysis.scaled_hi.(m).(g) <> ga.Group_analysis.dim_hi.(g)
+                then direct := false;
+                let widest = ((tile.(g) + elo + ehi + s - 1) / s) + 2 in
+                max_scratch :=
+                  !max_scratch * min stage.Stage.dims.(k).Stage.extent (max 1 widest)
+              done;
+              for g = 0 to ga.Group_analysis.n_dims - 1 do
+                if ga.Group_analysis.expansions.(m).(g) <> (0, 0) then direct := false
+              done;
+              {
+                sid;
+                stage;
+                liveout;
+                direct = !direct;
+                max_scratch = (if !direct then 0 else !max_scratch);
+                slots;
+                compiled;
+              })
+            ga.Group_analysis.members
+        in
+        { ga; tile; tiles_per_dim; n_tiles; members })
+      spec.Schedule_spec.groups
+  in
+  let liveouts =
+    List.concat_map
+      (fun gp ->
+        Array.to_list
+          (Array.map (fun (mp : member_plan) -> mp.stage.Stage.name)
+             (Array.of_list
+                (List.filter (fun (mp : member_plan) -> mp.liveout)
+                   (Array.to_list gp.members)))))
+      groups
+  in
+  { pipeline = p; groups = Array.of_list groups; liveouts }
+
+let liveout_stages plan = plan.liveouts
+let total_tiles plan = Array.fold_left (fun acc g -> acc + g.n_tiles) 0 plan.groups
+
+let ceil_div a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* A per-worker scratch arena: one reusable buffer per non-direct
+   member, sized for the largest possible tile region. *)
+let make_arena gp =
+  Array.map
+    (fun (mp : member_plan) ->
+      if mp.direct then [||] else Array.make mp.max_scratch 0.0)
+    gp.members
+
+(* Execute one tile of one group.  [externals] maps each member to its
+   pre-resolved external views (lazily shared across tiles); [arena]
+   is this worker's reusable scratch store. *)
+let run_tile gp (buffers : (string, Buffer.t) Hashtbl.t) externals arena tile_index =
+  let ga = gp.ga in
+  let nd = ga.Group_analysis.n_dims in
+  (* Decompose the linear tile index, row-major over tiles_per_dim. *)
+  let tlo = Array.make nd 0 and thi = Array.make nd 0 in
+  let rem = ref tile_index in
+  for d = nd - 1 downto 0 do
+    let tc = !rem mod gp.tiles_per_dim.(d) in
+    rem := !rem / gp.tiles_per_dim.(d);
+    tlo.(d) <- ga.Group_analysis.dim_lo.(d) + (tc * gp.tile.(d));
+    thi.(d) <- min (tlo.(d) + gp.tile.(d) - 1) ga.Group_analysis.dim_hi.(d)
+  done;
+  let n_members = Array.length gp.members in
+  let views : Compile.view option array = Array.make n_members None in
+  for mi = 0 to n_members - 1 do
+    let mp = gp.members.(mi) in
+    let stage = mp.stage in
+    let own_nd = Stage.ndims stage in
+    (* Region of this member in its own coordinates: the tile box
+       expanded by the member's overlap expansion, clamped into the
+       member's domain but kept nonempty so boundary clamping matches
+       the reference executor. *)
+    let own_lo = Array.make own_nd 0 and own_hi = Array.make own_nd 0 in
+    for k = 0 to own_nd - 1 do
+      let g = ga.Group_analysis.dim_of_stage.(mi).(k) in
+      let s = ga.Group_analysis.scales.(mi).(g) in
+      let elo, ehi = ga.Group_analysis.expansions.(mi).(g) in
+      let dim = stage.Stage.dims.(k) in
+      let dlo = dim.Stage.lo and dhi = dim.Stage.lo + dim.Stage.extent - 1 in
+      let clamp x = if x < dlo then dlo else if x > dhi then dhi else x in
+      own_lo.(k) <- clamp (floor_div (tlo.(g) - elo) s);
+      own_hi.(k) <- clamp (ceil_div (thi.(g) + ehi) s)
+    done;
+    let env =
+      Array.map
+        (function
+          | In_group m -> (
+              match views.(m) with
+              | Some v -> v
+              | None -> invalid_arg "Tiled_exec: producer region missing")
+          | External name -> List.assoc name externals.(mi))
+        mp.slots
+    in
+    let exts = Array.init own_nd (fun k -> own_hi.(k) - own_lo.(k) + 1) in
+    let stride = Array.make own_nd 1 in
+    for k = own_nd - 2 downto 0 do
+      stride.(k) <- stride.(k + 1) * exts.(k + 1)
+    done;
+    let direct = mp.direct in
+    let dest_data, dest_stride, dest_base =
+      if direct then begin
+        let buf = Hashtbl.find buffers stage.Stage.name in
+        let base = ref 0 in
+        Array.iteri
+          (fun k (d : Stage.dim) -> base := !base - (d.Stage.lo * buf.Buffer.stride.(k)))
+          buf.Buffer.dims;
+        (buf.Buffer.data, buf.Buffer.stride, !base)
+      end
+      else begin
+        let data = arena.(mi) in
+        assert (Array.fold_left ( * ) 1 exts <= Array.length data);
+        let base = ref 0 in
+        for k = 0 to own_nd - 1 do
+          base := !base - (own_lo.(k) * stride.(k))
+        done;
+        (data, stride, !base)
+      end
+    in
+    (* Compute the region. *)
+    let vars = Array.make (Stage.n_iter_vars stage) 0 in
+    (match stage.Stage.def with
+    | Stage.Pointwise _ ->
+        let rec go k off =
+          if k = own_nd then dest_data.(off) <- mp.compiled env vars
+          else
+            for x = own_lo.(k) to own_hi.(k) do
+              vars.(k) <- x;
+              go (k + 1) (off + (x * dest_stride.(k)))
+            done
+        in
+        go 0 dest_base
+    | Stage.Reduction { op; init; rdom; _ } ->
+        let nr = Array.length rdom in
+        let fold =
+          match op with
+          | Stage.Rsum -> ( +. )
+          | Stage.Rmax -> Float.max
+          | Stage.Rmin -> Float.min
+        in
+        let rec red r acc =
+          if r = nr then fold acc (mp.compiled env vars)
+          else begin
+            let lo, ext = rdom.(r) in
+            let acc = ref acc in
+            for x = lo to lo + ext - 1 do
+              vars.(own_nd + r) <- x;
+              acc := red (r + 1) !acc
+            done;
+            !acc
+          end
+        in
+        let rec go k off =
+          if k = own_nd then dest_data.(off) <- red 0 init
+          else
+            for x = own_lo.(k) to own_hi.(k) do
+              vars.(k) <- x;
+              go (k + 1) (off + (x * dest_stride.(k)))
+            done
+        in
+        go 0 dest_base);
+    views.(mi) <-
+      Some
+        {
+          Compile.data = dest_data;
+          lo = own_lo;
+          hi = own_hi;
+          stride = dest_stride;
+          base = dest_base;
+        };
+    (* Live-outs computed in scratch copy their exact tile box out. *)
+    if mp.liveout && not direct then begin
+      let buf = Hashtbl.find buffers stage.Stage.name in
+      (* Intersection of the member's own points with this tile: the
+         only points this tile legitimately owns.  May be empty. *)
+      let exact_lo = Array.make own_nd 0 and exact_hi = Array.make own_nd 0 in
+      let empty = ref false in
+      for k = 0 to own_nd - 1 do
+        let g = ga.Group_analysis.dim_of_stage.(mi).(k) in
+        let s = ga.Group_analysis.scales.(mi).(g) in
+        let dim = stage.Stage.dims.(k) in
+        let dlo = dim.Stage.lo and dhi = dim.Stage.lo + dim.Stage.extent - 1 in
+        exact_lo.(k) <- max dlo (ceil_div tlo.(g) s);
+        exact_hi.(k) <- min dhi (floor_div thi.(g) s);
+        if exact_hi.(k) < exact_lo.(k) then empty := true
+      done;
+      if not !empty then begin
+      let idx = Array.copy exact_lo in
+      let rec copy k src_off =
+        if k = own_nd then begin
+          let dst = ref 0 in
+          for d = 0 to own_nd - 1 do
+            dst := !dst + ((idx.(d) - buf.Buffer.dims.(d).Stage.lo) * buf.Buffer.stride.(d))
+          done;
+          buf.Buffer.data.(!dst) <- dest_data.(src_off)
+        end
+        else
+          for x = exact_lo.(k) to exact_hi.(k) do
+            idx.(k) <- x;
+            copy (k + 1) (src_off + (x * dest_stride.(k)))
+          done
+      in
+      copy 0 dest_base
+      end
+    end
+  done
+
+let prepare plan ~inputs =
+  let buffers : (string, Buffer.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (name, b) -> Hashtbl.replace buffers name b) inputs;
+  Array.iter
+    (fun gp ->
+      Array.iter
+        (fun (mp : member_plan) ->
+          if mp.liveout then Hashtbl.replace buffers mp.stage.Stage.name (Buffer.of_stage mp.stage))
+        gp.members)
+    plan.groups;
+  buffers
+
+(* External views must be resolved per group, after earlier groups
+   have allocated their live-out buffers. *)
+let externals_for gp buffers =
+  Array.map
+    (fun (mp : member_plan) ->
+      Array.to_list
+        (Array.map
+           (fun slot ->
+             match slot with
+             | In_group _ -> ("", Compile.view_of_buffer (Buffer.create "unused" [| { Stage.dim_name = "d"; lo = 0; extent = 1 } |]))
+             | External name -> (
+                 match Hashtbl.find_opt buffers name with
+                 | Some b -> (name, Compile.view_of_buffer b)
+                 | None -> invalid_arg ("Tiled_exec: unresolved external " ^ name)))
+           mp.slots))
+    gp.members
+
+let collect_results plan buffers =
+  List.map (fun name -> (name, Hashtbl.find buffers name)) plan.liveouts
+
+let run_group ?pool gp buffers =
+  let externals = externals_for gp buffers in
+  match pool with
+  | Some pool when gp.n_tiles > 1 ->
+      Pool.parallel_for_init pool ~n:gp.n_tiles
+        ~init:(fun () -> make_arena gp)
+        (fun arena t -> run_tile gp buffers externals arena t)
+  | _ ->
+      let arena = make_arena gp in
+      for t = 0 to gp.n_tiles - 1 do
+        run_tile gp buffers externals arena t
+      done
+
+let run ?pool ?(reuse_buffers = false) plan ~inputs =
+  Reference.check_inputs plan.pipeline inputs;
+  if not reuse_buffers then begin
+    let buffers = prepare plan ~inputs in
+    Array.iter (fun gp -> run_group ?pool gp buffers) plan.groups;
+    collect_results plan buffers
+  end
+  else begin
+    (* Storage optimization: live-out buffers past their last consumer
+       group are recycled (capacity-keyed first fit).  Only pipeline
+       outputs survive to the result list. *)
+    let p = plan.pipeline in
+    let buffers : (string, Buffer.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter (fun (name, b) -> Hashtbl.replace buffers name b) inputs;
+    let group_of_stage = Array.make (Pipeline.n_stages p) 0 in
+    Array.iteri
+      (fun gi gp ->
+        Array.iter (fun (mp : member_plan) -> group_of_stage.(mp.sid) <- gi) gp.members)
+      plan.groups;
+    let dies sid =
+      if Pipeline.is_output p sid then max_int
+      else
+        List.fold_left
+          (fun acc c -> max acc group_of_stage.(c))
+          group_of_stage.(sid) (Pipeline.consumers p sid)
+    in
+    let free : Buffer.t list ref = ref [] in
+    let rec remove_first x = function
+      | [] -> []
+      | y :: rest -> if y == x then rest else y :: remove_first x rest
+    in
+    let alloc (stage : Stage.t) =
+      let needed = Stage.domain_points stage in
+      (* pipeline outputs keep exact-size fresh buffers (they are
+         returned to the caller and never recycled anyway) *)
+      if Pipeline.is_output p (Pipeline.stage_id p stage.Stage.name) then Buffer.of_stage stage
+      else begin
+        let fits =
+          List.filter (fun (b : Buffer.t) -> Array.length b.Buffer.data >= needed) !free
+        in
+        match
+          List.sort
+            (fun (a : Buffer.t) b -> compare (Array.length a.Buffer.data) (Array.length b.Buffer.data))
+            fits
+        with
+        | b :: _ ->
+            free := remove_first b !free;
+            Buffer.with_data stage.Stage.name stage.Stage.dims b.Buffer.data
+        | [] -> Buffer.of_stage stage
+      end
+    in
+    Array.iteri
+      (fun gi gp ->
+        Array.iter
+          (fun (mp : member_plan) ->
+            if mp.liveout then Hashtbl.replace buffers mp.stage.Stage.name (alloc mp.stage))
+          gp.members;
+        run_group ?pool gp buffers;
+        (* release buffers whose last consumer group just ran *)
+        Array.iteri
+          (fun gj gp' ->
+            if gj <= gi then
+              Array.iter
+                (fun (mp : member_plan) ->
+                  if mp.liveout && dies mp.sid = gi then
+                    match Hashtbl.find_opt buffers mp.stage.Stage.name with
+                    | Some b ->
+                        free := b :: !free;
+                        Hashtbl.remove buffers mp.stage.Stage.name
+                    | None -> ())
+                gp'.members)
+          plan.groups)
+      plan.groups;
+    List.filter_map
+      (fun sid ->
+        let name = (Pipeline.stage p sid).Stage.name in
+        Option.map (fun b -> (name, b)) (Hashtbl.find_opt buffers name))
+      p.Pipeline.outputs
+  end
+
+type group_timing = { group_stages : string list; tile_durations : float array }
+
+let run_timed plan ~inputs =
+  Reference.check_inputs plan.pipeline inputs;
+  let buffers = prepare plan ~inputs in
+  let timings =
+    Array.map
+      (fun gp ->
+        let externals = externals_for gp buffers in
+        let arena = make_arena gp in
+        let durations = Array.make gp.n_tiles 0.0 in
+        for t = 0 to gp.n_tiles - 1 do
+          let t0 = Unix.gettimeofday () in
+          run_tile gp buffers externals arena t;
+          durations.(t) <- Unix.gettimeofday () -. t0
+        done;
+        {
+          group_stages =
+            Array.to_list (Array.map (fun (mp : member_plan) -> mp.stage.Stage.name) gp.members);
+          tile_durations = durations;
+        })
+      plan.groups
+  in
+  (collect_results plan buffers, Array.to_list timings)
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v>plan for %s: %d groups, %d tiles@," plan.pipeline.Pipeline.name
+    (Array.length plan.groups) (total_tiles plan);
+  Array.iteri
+    (fun i gp ->
+      Format.fprintf ppf "  group %d: {%s} tile=[%s] tiles=%d@," i
+        (String.concat ","
+           (Array.to_list (Array.map (fun (mp : member_plan) -> mp.stage.Stage.name) gp.members)))
+        (String.concat "x" (Array.to_list (Array.map string_of_int gp.tile)))
+        gp.n_tiles)
+    plan.groups;
+  Format.fprintf ppf "@]"

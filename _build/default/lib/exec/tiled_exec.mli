@@ -1,0 +1,52 @@
+(** Overlapped-tiling executor.
+
+    Executes a {!Pmdp_core.Schedule_spec.t}: groups run in order;
+    within a group, the fused tile-space loop runs every member stage
+    over its overlap-expanded region (paper Fig. 2/3).  Non-live-out
+    members compute into per-tile scratch buffers (the producer-
+    consumer locality the fusion model optimizes for); live-outs
+    write to full buffers.  Tiles of a group are independent — the
+    overlap recomputation breaks inter-tile dependences — so they can
+    run in parallel.
+
+    Results are bitwise-equal to {!Reference.run} for the live-out
+    stages. *)
+
+type plan
+
+val plan : Pmdp_core.Schedule_spec.t -> plan
+(** Lower a schedule: analyze each group, fit tile sizes, compile
+    member bodies, and resolve load slots.
+    @raise Invalid_argument if a group fails analysis (schedules from
+    {!Pmdp_core.Schedule_spec} never do). *)
+
+val liveout_stages : plan -> string list
+(** Names of stages materialized into full buffers (group live-outs,
+    including all pipeline outputs). *)
+
+val run :
+  ?pool:Pmdp_runtime.Pool.t ->
+  ?reuse_buffers:bool ->
+  plan ->
+  inputs:(string * Buffer.t) list ->
+  (string * Buffer.t) list
+(** Execute; returns the live-out buffers by stage name.  With
+    [pool], each group's tiles are distributed over the pool's
+    workers.  With [reuse_buffers] (default false), full buffers past
+    their last consumer group are recycled — the paper's §6.2
+    "storage optimizations" — and only the pipeline's declared
+    outputs are returned (see {!Storage} for the analysis/report). *)
+
+type group_timing = {
+  group_stages : string list;
+  tile_durations : float array;  (** measured sequentially, seconds *)
+}
+
+val run_timed :
+  plan -> inputs:(string * Buffer.t) list -> (string * Buffer.t) list * group_timing list
+(** Execute sequentially, recording per-tile wall-clock durations per
+    group — the input to {!Pmdp_runtime.Pool.simulate_makespan} for
+    simulated multicore timings. *)
+
+val total_tiles : plan -> int
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  l1_bytes : int;
+  l2_bytes : int;
+  l3_bytes : int;
+  cores : int;
+  vector_width : int;
+  innermost_tile_size : int;
+  w1 : float;
+  w2 : float;
+  w3 : float;
+  w4 : float;
+}
+
+let xeon =
+  {
+    name = "xeon";
+    l1_bytes = 32 * 1024;
+    l2_bytes = 256 * 1024;
+    l3_bytes = 20 * 1024 * 1024;
+    cores = 16;
+    vector_width = 16;
+    innermost_tile_size = 256;
+    w1 = 1.0;
+    w2 = 100.0;
+    w3 = 46875.0;
+    w4 = 1.5;
+  }
+
+let opteron =
+  {
+    name = "opteron";
+    l1_bytes = 16 * 1024;
+    l2_bytes = 1024 * 1024;
+    l3_bytes = 12 * 1024 * 1024;
+    cores = 16;
+    vector_width = 16;
+    innermost_tile_size = 128;
+    w1 = 0.3;
+    w2 = 100.0;
+    w3 = 46875.0;
+    w4 = 2.0;
+  }
+
+let by_name s =
+  match String.lowercase_ascii s with
+  | "xeon" | "haswell" -> Some xeon
+  | "opteron" | "amd" -> Some opteron
+  | _ -> None
+
+let with_cores t cores = { t with cores }

@@ -1,0 +1,35 @@
+(** Machine descriptors consumed by the cost models.
+
+    The paper evaluates on two systems (§6.1) and fixes the cost
+    function weights per system (Table 1); both are provided as
+    presets.  All model inputs are plain parameters, so the model can
+    be evaluated for any machine regardless of the host running it. *)
+
+type t = {
+  name : string;
+  l1_bytes : int;
+  l2_bytes : int;
+  l3_bytes : int;
+  cores : int;
+  vector_width : int;  (** in 32-bit lanes, as Halide's auto-scheduler counts it *)
+  innermost_tile_size : int;  (** INNERMOSTTILESIZE of Alg. 2 *)
+  w1 : float;  (** weight of live-data to computation ratio *)
+  w2 : float;  (** weight of the cleanup-tile (load balance) bonus *)
+  w3 : float;  (** weight of relative overlap (redundant computation) *)
+  w4 : float;  (** weight of dimension-extent mismatch *)
+}
+
+val xeon : t
+(** Intel Xeon E5-2630 v3 (Haswell): 32 KB L1, 256 KB L2, 20 MB L3,
+    16 cores (dual socket), AVX2; weights of Table 1. *)
+
+val opteron : t
+(** AMD Opteron 6386 SE: 16 KB L1, 1 MB effective L2 (half of the
+    2-core-shared 2 MB), 12 MB L3, 16 cores; weights of Table 1. *)
+
+val by_name : string -> t option
+(** Lookup by case-insensitive name ("xeon" or "opteron"). *)
+
+val with_cores : t -> int -> t
+(** Same machine with a different core count (used for the scaling
+    experiment of Fig. 7). *)

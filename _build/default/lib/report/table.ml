@@ -1,0 +1,35 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  let nh = List.length t.headers and nr = List.length row in
+  if nr > nh then invalid_arg "Table.add_row: too many cells";
+  let row = row @ List.init (nh - nr) (fun _ -> "") in
+  t.rows <- row :: t.rows
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let render row =
+    String.concat "  "
+      (List.map2 (fun cell w -> cell ^ String.make (w - String.length cell) ' ') row widths)
+  in
+  print_endline (render t.headers);
+  print_endline (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (render row)) rows
+
+let fms v = if v >= 100.0 then Printf.sprintf "%.0f" v else Printf.sprintf "%.2f" v
+let fx v = Printf.sprintf "%.2fx" v

@@ -1,0 +1,19 @@
+(** Aligned text tables for the benchmark harness. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer
+    rows raise. @raise Invalid_argument. *)
+
+val print : ?title:string -> t -> unit
+(** Render to stdout with column alignment and a separator rule. *)
+
+val fms : float -> string
+(** Milliseconds with sensible precision ("8.83" / "191"). *)
+
+val fx : float -> string
+(** A speedup factor ("2.31x"). *)

@@ -1,0 +1,75 @@
+type t = { workers : int }
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one worker";
+  { workers = n }
+
+let n_workers t = t.workers
+
+let parallel_for_init t ~n ~init f =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative count";
+  if t.workers = 1 || n <= 1 then begin
+    let state = init () in
+    for i = 0 to n - 1 do
+      f state i
+    done
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let error = Atomic.make None in
+    let worker () =
+      let state = init () in
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          try f state i
+          with e ->
+            ignore (Atomic.compare_and_set error None (Some e));
+            continue := false
+      done
+    in
+    let spawned = min (t.workers - 1) (n - 1) in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get error with Some e -> raise e | None -> ()
+  end
+
+let parallel_for t ~n f = parallel_for_init t ~n ~init:(fun () -> ()) (fun () i -> f i)
+
+type sched = Static | Dynamic
+
+let simulate_makespan ?(sched = Static) ~workers durations =
+  if workers < 1 then invalid_arg "Pool.simulate_makespan: workers < 1";
+  let n = Array.length durations in
+  match sched with
+  | Static ->
+      (* OpenMP schedule(static): contiguous chunks of ~n/workers. *)
+      let makespan = ref 0.0 in
+      let chunk = (n + workers - 1) / workers in
+      let w = ref 0 in
+      while !w * chunk < n do
+        let lo = !w * chunk and hi = min n ((!w + 1) * chunk) in
+        let sum = ref 0.0 in
+        for i = lo to hi - 1 do
+          sum := !sum +. durations.(i)
+        done;
+        if !sum > !makespan then makespan := !sum;
+        incr w
+      done;
+      !makespan
+  | Dynamic ->
+      (* Self-scheduling: each next tile goes to the earliest-free
+         worker (a min-heap would be overkill at these sizes). *)
+      let free = Array.make workers 0.0 in
+      Array.iter
+        (fun d ->
+          let best = ref 0 in
+          for w = 1 to workers - 1 do
+            if free.(w) < free.(!best) then best := w
+          done;
+          free.(!best) <- free.(!best) +. d)
+        durations;
+      Array.fold_left Float.max 0.0 free

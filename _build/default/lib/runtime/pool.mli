@@ -1,0 +1,45 @@
+(** Multicore work distribution over OCaml 5 domains.
+
+    The tile-space loops of overlapped tiling are embarrassingly
+    parallel (no inter-tile dependences, paper §2.1), so a simple
+    fork-join [parallel_for] suffices.  Work is claimed with an
+    atomic counter (dynamic self-scheduling), which also matches how
+    cleanup tiles spread over cores.
+
+    Since real speedups require real cores — which the evaluation
+    host may not have — {!simulate_makespan} reconstructs the
+    multicore execution time from measured per-tile durations under
+    either OpenMP-style static scheduling (what PolyMage generates:
+    [schedule(static)]) or dynamic self-scheduling.  This is the
+    multicore-hardware substitution documented in DESIGN.md. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a pool targeting [n]-way parallelism ([n >= 1]).
+    Domains are spawned per [parallel_for] call and joined before it
+    returns, so a pool holds no threads while idle.
+    @raise Invalid_argument if [n < 1]. *)
+
+val n_workers : t -> int
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f 0 .. f (n-1)], distributing indices
+    over the pool's workers; the calling domain participates.
+    Exceptions raised by [f] are re-raised in the caller after all
+    workers finish. *)
+
+val parallel_for_init : t -> n:int -> init:(unit -> 'a) -> ('a -> int -> unit) -> unit
+(** Like {!parallel_for} but each worker first creates private state
+    with [init] (e.g. a scratch arena) that is passed to every index
+    it executes. *)
+
+type sched = Static | Dynamic
+
+val simulate_makespan : ?sched:sched -> workers:int -> float array -> float
+(** [simulate_makespan ~workers durations] is the simulated parallel
+    wall-clock of executing tiles with the given measured durations
+    on [workers] cores.  [Static] (default) splits the index range
+    into [workers] contiguous chunks; [Dynamic] assigns each next
+    tile to the earliest-free worker.
+    @raise Invalid_argument if [workers < 1]. *)

@@ -1,0 +1,1 @@
+lib/util/rational.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/util/rational.mli: Format

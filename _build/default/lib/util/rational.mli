@@ -1,0 +1,47 @@
+(** Exact rational arithmetic on machine integers.
+
+    Used by the scaling/alignment analysis to represent per-dimension
+    scaling factors of pipeline stages (up/downsampling introduces
+    factors such as 1/2 or 2).  Values are kept in canonical form:
+    positive denominator, numerator and denominator coprime. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the canonical rational [num/den].
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on [inv zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val floor : t -> int
+val ceil : t -> int
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

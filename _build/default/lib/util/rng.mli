@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All synthetic inputs in the repository (images, workloads) are
+    produced through this generator so results are reproducible across
+    runs and machines. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal
+    streams. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** [split t] is a new independent generator derived from [t];
+    [t] advances. *)

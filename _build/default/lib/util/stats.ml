@@ -1,0 +1,30 @@
+let check xs = if Array.length xs = 0 then invalid_arg "Stats: empty input"
+
+let mean xs =
+  check xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  check xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. m
+
+let min xs =
+  check xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let median xs =
+  check xs;
+  let s = Array.copy xs in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0

@@ -1,0 +1,19 @@
+(** Small statistics helpers used by the benchmark harness and the
+    cost model (standard deviation of dimension extents, Alg. 2). *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on empty input. *)
+
+val stddev : float array -> float
+(** Population standard deviation. @raise Invalid_argument on empty
+    input. *)
+
+val coefficient_of_variation : float array -> float
+(** [stddev xs /. mean xs]; 0 when the mean is 0. Used as the
+    scale-free "relative difference between sizes of dimensions" term
+    of the paper's cost function. *)
+
+val min : float array -> float
+val max : float array -> float
+val median : float array -> float
+(** @raise Invalid_argument on empty input. *)

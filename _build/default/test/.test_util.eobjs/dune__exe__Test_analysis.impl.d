@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Expr List Pipeline Pmdp_analysis Pmdp_apps Pmdp_dsl Stage

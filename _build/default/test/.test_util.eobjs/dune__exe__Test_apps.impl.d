@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float List Pipeline Pmdp_apps Pmdp_dsl Pmdp_exec Printf Stage

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Expr Float Fun List Pipeline Pmdp_apps Pmdp_baselines Pmdp_core Pmdp_dsl Pmdp_machine Stage

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Float Fun List Pmdp_apps Pmdp_cachesim Pmdp_core Pmdp_dsl Pmdp_machine Printf

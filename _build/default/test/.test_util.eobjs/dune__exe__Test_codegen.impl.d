@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Filename List Pmdp_apps Pmdp_codegen Pmdp_core Pmdp_dsl Pmdp_machine Printf String Sys

@@ -1,0 +1,1 @@
+test/test_codegen_diff.ml: Alcotest Array Char Filename Float Int32 List Pipeline Pmdp_apps Pmdp_codegen Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Printf Stage Sys Unix

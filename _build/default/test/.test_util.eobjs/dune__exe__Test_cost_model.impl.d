@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Expr Fun List Option Pipeline Pmdp_analysis Pmdp_apps Pmdp_core Pmdp_dsl Pmdp_machine Printf Stage

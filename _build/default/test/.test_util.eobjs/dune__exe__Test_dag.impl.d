@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Fun List Pmdp_dag Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Expr Float Fun List Pipeline Pmdp_apps Pmdp_core Pmdp_dag Pmdp_dsl Pmdp_machine Printf QCheck QCheck_alcotest Stage String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Expr Format List Pipeline Pmdp_apps Pmdp_dsl Pmdp_util Stage String

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Expr List Pipeline Pmdp_apps Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Pmdp_util Printf QCheck QCheck_alcotest Stage

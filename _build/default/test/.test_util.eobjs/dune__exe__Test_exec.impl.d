@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Expr List Pipeline Pmdp_apps Pmdp_baselines Pmdp_core Pmdp_dag Pmdp_dsl Pmdp_exec Pmdp_machine Pmdp_runtime QCheck QCheck_alcotest Stage

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Array Dot Expr Float Inline List Pipeline Pmdp_apps Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Stage String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Expr Format Fun List Pipeline Pmdp_apps Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Pmdp_report Pmdp_util Printf Stage String

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Atomic Float List Pmdp_runtime Printf QCheck QCheck_alcotest

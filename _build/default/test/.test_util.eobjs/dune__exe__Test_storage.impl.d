@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Fun List Pipeline Pmdp_apps Pmdp_core Pmdp_dsl Pmdp_exec Pmdp_machine Printf Stage

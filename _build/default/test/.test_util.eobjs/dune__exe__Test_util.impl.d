@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Pmdp_util QCheck QCheck_alcotest

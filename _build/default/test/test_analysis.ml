@@ -1,0 +1,245 @@
+(* Tests for the scaling/alignment/dependence analysis, reuse scores,
+   and footprint math. *)
+
+open Pmdp_dsl
+open Expr
+module GA = Pmdp_analysis.Group_analysis
+module Reuse = Pmdp_analysis.Reuse
+module Footprint = Pmdp_analysis.Footprint
+
+let dims = Stage.dim2 64 64
+let here name = load name [| cvar 0; cvar 1 |]
+
+let blur () =
+  let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
+  let blury = Stage.pointwise "blury" dims (Pmdp_apps.Helpers.blur3 "blurx" ~ndims:2 ~dim:1) in
+  Pipeline.build ~name:"blur2"
+    ~inputs:[ Pipeline.input2 "img" 64 64 ]
+    ~stages:[ blurx; blury ] ~outputs:[ "blury" ]
+
+(* Two-level downsampling pyramid. *)
+let pyramid () =
+  let base = Stage.pointwise "base" dims (here "img") in
+  let down1 =
+    Stage.pointwise "down1" (Stage.dim2 32 64) (Pmdp_apps.Helpers.downsample2 "base" ~ndims:2 ~dim:0)
+  in
+  let down2 =
+    Stage.pointwise "down2" (Stage.dim2 16 64) (Pmdp_apps.Helpers.downsample2 "down1" ~ndims:2 ~dim:0)
+  in
+  Pipeline.build ~name:"pyr"
+    ~inputs:[ Pipeline.input2 "img" 64 64 ]
+    ~stages:[ base; down1; down2 ] ~outputs:[ "down2" ]
+
+let ok = function Ok ga -> ga | Error f -> Alcotest.failf "analysis failed: %a" GA.pp_failure f
+
+(* -------------------- scaling & expansions -------------------- *)
+
+let test_blur_fused () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  Alcotest.(check int) "2 dims" 2 ga.GA.n_dims;
+  Alcotest.(check bool) "unit scales" true
+    (Array.for_all (fun row -> Array.for_all (fun s -> s = 1) row) ga.GA.scales);
+  (* blurx (member 0) must expand by 1 on each side along y (dim 1)
+     because blury reads blurx(y-1..y+1); blury is a live-out. *)
+  Alcotest.(check (pair int int)) "blurx y expansion" (1, 1) ga.GA.expansions.(0).(1);
+  Alcotest.(check (pair int int)) "blurx x expansion" (0, 0) ga.GA.expansions.(0).(0);
+  Alcotest.(check (pair int int)) "blury no expansion" (0, 0) ga.GA.expansions.(1).(1);
+  Alcotest.(check bool) "blurx not liveout" false ga.GA.liveouts.(0);
+  Alcotest.(check bool) "blury liveout" true ga.GA.liveouts.(1)
+
+let test_blur_edge_offsets () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  match ga.GA.edges with
+  | [ e ] ->
+      Alcotest.(check int) "three accesses" 3 (List.length e.GA.offsets);
+      Alcotest.(check (pair int int)) "hull along y" (-1, 1) e.GA.hull.(1);
+      Alcotest.(check (pair int int)) "hull along x" (0, 0) e.GA.hull.(0)
+  | es -> Alcotest.failf "expected 1 edge, got %d" (List.length es)
+
+let test_pyramid_scales () =
+  let p = pyramid () in
+  let ga = ok (GA.analyze p [ 0; 1; 2 ]) in
+  (* base:down1:down2 scale 1:2:4 along x (dim 0) after normalization. *)
+  let scale_of name = ga.GA.scales.(GA.member_index ga (Pipeline.stage_id p name)) in
+  Alcotest.(check int) "base x scale" 1 (scale_of "base").(0);
+  Alcotest.(check int) "down1 x scale" 2 (scale_of "down1").(0);
+  Alcotest.(check int) "down2 x scale" 4 (scale_of "down2").(0);
+  Alcotest.(check int) "y scales stay 1" 1 (scale_of "down2").(1);
+  (* scaled hull along x covers the base resolution *)
+  Alcotest.(check int) "hull extent x" 64 (GA.dim_extent ga 0)
+
+let test_partial_group () =
+  let p = pyramid () in
+  let ga = ok (GA.analyze p [ 1; 2 ]) in
+  Alcotest.(check int) "two members" 2 (Array.length ga.GA.members);
+  (* within {down1, down2}: scales 1:2 *)
+  let s1 = ga.GA.scales.(GA.member_index ga 1).(0)
+  and s2 = ga.GA.scales.(GA.member_index ga 2).(0) in
+  Alcotest.(check int) "relative scale" 2 (s2 / s1)
+
+let test_not_connected () =
+  let p = pyramid () in
+  match GA.analyze p [ 0; 2 ] with
+  | Error GA.Not_connected -> ()
+  | Ok _ -> Alcotest.fail "base+down2 should not be connected"
+  | Error f -> Alcotest.failf "wrong failure: %a" GA.pp_failure f
+
+let test_singleton_always_ok () =
+  let p = pyramid () in
+  List.iter (fun i -> ignore (ok (GA.analyze p [ i ]))) [ 0; 1; 2 ]
+
+let test_dynamic_access_fails () =
+  let a = Stage.pointwise "a" dims (here "img") in
+  let b = Stage.pointwise "b" dims (load "a" [| cdyn (here "img"); cvar 1 |]) in
+  let p =
+    Pipeline.build ~name:"dyn" ~inputs:[ Pipeline.input2 "img" 64 64 ] ~stages:[ a; b ]
+      ~outputs:[ "b" ]
+  in
+  match GA.analyze p [ 0; 1 ] with
+  | Error (GA.Dynamic_access _) -> ()
+  | _ -> Alcotest.fail "expected Dynamic_access"
+
+let test_zero_scale_fails () =
+  let a = Stage.pointwise "a" dims (here "img") in
+  let b = Stage.pointwise "b" dims (load "a" [| cscale 0 ~num:0 ~den:1 ~off:3; cvar 1 |]) in
+  let p =
+    Pipeline.build ~name:"zs" ~inputs:[ Pipeline.input2 "img" 64 64 ] ~stages:[ a; b ]
+      ~outputs:[ "b" ]
+  in
+  match GA.analyze p [ 0; 1 ] with
+  | Error (GA.Zero_scale_access _) -> ()
+  | _ -> Alcotest.fail "expected Zero_scale_access"
+
+let test_misaligned_fails () =
+  (* b reads a transposed: a's dim 0 indexed by b's var 1. *)
+  let a = Stage.pointwise "a" dims (here "img") in
+  let b = Stage.pointwise "b" dims (load "a" [| cvar 1; cvar 0 |]) in
+  let p =
+    Pipeline.build ~name:"mis" ~inputs:[ Pipeline.input2 "img" 64 64 ] ~stages:[ a; b ]
+      ~outputs:[ "b" ]
+  in
+  match GA.analyze p [ 0; 1 ] with
+  | Error (GA.Misaligned _) -> ()
+  | _ -> Alcotest.fail "expected Misaligned"
+
+let test_fused_reduction_policy () =
+  let a = Stage.pointwise "a" dims (here "img") in
+  let r =
+    Stage.reduction "r" dims ~op:Stage.Rsum ~init:0.0 ~rdom:[| (0, 2) |]
+      (load "img" [| cdyn (var 0 +: var 2); cvar 1 |])
+  in
+  let b = Stage.pointwise "b" dims (here "r" +: here "a") in
+  let p =
+    Pipeline.build ~name:"red" ~inputs:[ Pipeline.input2 "img" 64 64 ] ~stages:[ a; r; b ]
+      ~outputs:[ "b" ]
+  in
+  (* r has no in-group producer: fusable when allowed... *)
+  (match GA.analyze ~allow_fused_reductions:true p [ 1; 2 ] with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "reduction with external producers should fuse: %a" GA.pp_failure f);
+  (* ...but never under the PolyMage rule. *)
+  (match GA.analyze ~allow_fused_reductions:false p [ 1; 2 ] with
+  | Error (GA.Fused_reduction _) -> ()
+  | _ -> Alcotest.fail "expected Fused_reduction under the PolyMage rule");
+  (* and never when a producer is in the group (here it has none, so
+     build one: group {a, r, b} still has no a->r edge; use {r} alone ok) *)
+  match GA.analyze ~allow_fused_reductions:true p [ 0; 1; 2 ] with
+  | Ok _ -> () (* a is not a producer of r, so this is fine *)
+  | Error f -> Alcotest.failf "unexpected failure: %a" GA.pp_failure f
+
+let test_reduction_with_in_group_producer_fails () =
+  let a = Stage.pointwise "a" dims (here "img") in
+  let r =
+    Stage.reduction "r" dims ~op:Stage.Rsum ~init:0.0 ~rdom:[| (0, 2) |]
+      (load "a" [| cdyn (var 0 +: var 2); cvar 1 |])
+  in
+  let p =
+    Pipeline.build ~name:"red2" ~inputs:[ Pipeline.input2 "img" 64 64 ] ~stages:[ a; r ]
+      ~outputs:[ "r" ]
+  in
+  match GA.analyze ~allow_fused_reductions:true p [ 0; 1 ] with
+  | Error (GA.Fused_reduction _) -> ()
+  | _ -> Alcotest.fail "reduction reading an in-group producer must not fuse"
+
+let test_points_in_scaled_box () =
+  let p = pyramid () in
+  let ga = ok (GA.analyze p [ 0; 1; 2 ]) in
+  let m1 = GA.member_index ga 1 in
+  (* down1 has scale 2 along x: in scaled box x in [0,15], y in [0,63],
+     it owns x in {0,2,...,14} -> 8 rows of 64. *)
+  let n = GA.stage_points_in_scaled_box ga m1 ~lo:[| 0; 0 |] ~hi:[| 15; 63 |] in
+  Alcotest.(check int) "down1 points in box" (8 * 64) n
+
+(* -------------------- reuse -------------------- *)
+
+let test_reuse_blur () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  let r = Reuse.scores ga in
+  (* y (innermost): blury's 3-tap stencil (+2) plus spatial bonus;
+     x: blurx's 3-tap input stencil (+2). *)
+  Alcotest.(check bool) "y reuse highest" true (r.(1) > r.(0));
+  Alcotest.(check bool) "x has input reuse" true (r.(0) > 1.0)
+
+let test_reuse_min_one () =
+  let p = pyramid () in
+  let ga = ok (GA.analyze p [ 0 ]) in
+  let r = Reuse.scores ga in
+  Alcotest.(check bool) "scores >= 1" true (Array.for_all (fun s -> s >= 1.0) r)
+
+(* -------------------- footprint -------------------- *)
+
+let test_footprint_blur () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  Alcotest.(check (Alcotest.float 1.0)) "liveouts 64*64*4" (64.0 *. 64.0 *. 4.0)
+    (Footprint.liveouts_bytes ga);
+  Alcotest.(check (Alcotest.float 1.0)) "intermediates" (64.0 *. 64.0 *. 4.0)
+    (Footprint.intermediates_bytes ga);
+  Alcotest.(check int) "buffers" 2 (Footprint.n_buffers ga);
+  let tile = [| 16; 16 |] in
+  Alcotest.(check (Alcotest.float 1.0)) "compute volume 2 tiles' points" (2.0 *. 256.0)
+    (Footprint.tile_compute_volume ga ~tile);
+  (* overlap: blurx computes 2 extra columns along y -> 32 points *)
+  Alcotest.(check (Alcotest.float 0.5)) "overlap" 32.0 (Footprint.overlap_points ga ~tile);
+  Alcotest.(check int) "16 tiles" 16 (Footprint.n_tiles ga ~tile);
+  Alcotest.(check bool) "livein > 0" true (Footprint.livein_tile_bytes ga ~tile > 0.0);
+  Alcotest.(check (Alcotest.float 1.0)) "liveout tile" (256.0 *. 4.0)
+    (Footprint.liveout_tile_bytes ga ~tile)
+
+let test_clamp_tile () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  Alcotest.(check (array int)) "clamped" [| 64; 1 |] (Footprint.clamp_tile ga [| 1000; 0 |])
+
+let () =
+  Alcotest.run "pmdp_analysis"
+    [
+      ( "scaling",
+        [
+          Alcotest.test_case "blur fused" `Quick test_blur_fused;
+          Alcotest.test_case "blur edge offsets" `Quick test_blur_edge_offsets;
+          Alcotest.test_case "pyramid scales" `Quick test_pyramid_scales;
+          Alcotest.test_case "partial group scales" `Quick test_partial_group;
+          Alcotest.test_case "not connected" `Quick test_not_connected;
+          Alcotest.test_case "singletons ok" `Quick test_singleton_always_ok;
+          Alcotest.test_case "dynamic access" `Quick test_dynamic_access_fails;
+          Alcotest.test_case "zero-scale access" `Quick test_zero_scale_fails;
+          Alcotest.test_case "misaligned" `Quick test_misaligned_fails;
+          Alcotest.test_case "reduction policy" `Quick test_fused_reduction_policy;
+          Alcotest.test_case "reduction w/ producer" `Quick test_reduction_with_in_group_producer_fails;
+          Alcotest.test_case "points in scaled box" `Quick test_points_in_scaled_box;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "blur reuse" `Quick test_reuse_blur;
+          Alcotest.test_case "scores >= 1" `Quick test_reuse_min_one;
+        ] );
+      ( "footprint",
+        [
+          Alcotest.test_case "blur quantities" `Quick test_footprint_blur;
+          Alcotest.test_case "clamp tile" `Quick test_clamp_tile;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+(* Tests for the benchmark applications: stage counts of the paper's
+   Table 2, buildability across scales, DAG shapes, and sane outputs. *)
+
+open Pmdp_dsl
+module Registry = Pmdp_apps.Registry
+module Buffer = Pmdp_exec.Buffer
+module Reference = Pmdp_exec.Reference
+
+let test_stage_counts () =
+  List.iter
+    (fun (app : Registry.app) ->
+      let p = app.Registry.build ~scale:32 in
+      Alcotest.(check int)
+        (app.Registry.name ^ " matches Table 2")
+        app.Registry.paper_stages (Pipeline.n_stages p))
+    Registry.benchmarks
+
+let test_builds_at_scales () =
+  List.iter
+    (fun (app : Registry.app) ->
+      List.iter
+        (fun scale -> ignore (app.Registry.build ~scale))
+        [ 1; 4; 16; 64 ])
+    Registry.all
+
+let test_registry_find () =
+  Alcotest.(check string) "by name" "unsharp" (Registry.find "unsharp").Registry.name;
+  Alcotest.(check string) "by short" "harris" (Registry.find "HC").Registry.name;
+  Alcotest.(check string) "case insensitive" "camera_pipe" (Registry.find "cp").Registry.name;
+  Alcotest.(check bool) "unknown raises" true
+    (try ignore (Registry.find "nope"); false with Not_found -> true)
+
+let test_inputs_match_pipelines () =
+  List.iter
+    (fun (app : Registry.app) ->
+      let p = app.Registry.build ~scale:32 in
+      let inputs = app.Registry.inputs ~seed:1 p in
+      (* Reference.run validates shapes; it raises on mismatch. *)
+      ignore (Reference.run p ~inputs))
+    Registry.all
+
+let test_inputs_deterministic () =
+  let app = Registry.find "unsharp" in
+  let p = app.Registry.build ~scale:32 in
+  let a = List.assoc "img" (app.Registry.inputs ~seed:9 p) in
+  let b = List.assoc "img" (app.Registry.inputs ~seed:9 p) in
+  Alcotest.(check (float 0.0)) "same seed, same image" 0.0 (Buffer.max_abs_diff a b);
+  let c = List.assoc "img" (app.Registry.inputs ~seed:10 p) in
+  Alcotest.(check bool) "different seed differs" true (Buffer.max_abs_diff a c > 0.0)
+
+let finite buf = Array.for_all Float.is_finite buf.Buffer.data
+
+let nonconstant buf =
+  let v0 = buf.Buffer.data.(0) in
+  Array.exists (fun v -> v <> v0) buf.Buffer.data
+
+let test_outputs_sane () =
+  List.iter
+    (fun (app : Registry.app) ->
+      let p = app.Registry.build ~scale:48 in
+      let inputs = app.Registry.inputs ~seed:2 p in
+      let results = Reference.run p ~inputs in
+      List.iter
+        (fun out_id ->
+          let name = (Pipeline.stage p out_id).Stage.name in
+          let buf = List.assoc name results in
+          Alcotest.(check bool) (app.Registry.name ^ " output finite") true (finite buf);
+          Alcotest.(check bool) (app.Registry.name ^ " output varies") true (nonconstant buf))
+        p.Pipeline.outputs)
+    Registry.all
+
+let test_unsharp_dag () =
+  let p = Pmdp_apps.Unsharp.build ~scale:32 () in
+  let id = Pipeline.stage_id p in
+  Alcotest.(check (list int)) "blurx feeds blury" [ id "blury" ] (Pipeline.consumers p (id "blurx"));
+  Alcotest.(check bool) "masked reads sharpen" true
+    (List.mem (id "sharpen") (Pipeline.producers p (id "masked")));
+  Alcotest.(check bool) "masked reads blury" true
+    (List.mem (id "blury") (Pipeline.producers p (id "masked")))
+
+let test_harris_dag () =
+  let p = Pmdp_apps.Harris.build ~scale:32 () in
+  let id = Pipeline.stage_id p in
+  Alcotest.(check int) "gray has 2 consumers" 2 (List.length (Pipeline.consumers p (id "gray")));
+  Alcotest.(check int) "harris reads 3" 3 (List.length (Pipeline.producers p (id "harris")));
+  Alcotest.(check bool) "gray is source" true (Pipeline.producers p (id "gray") = [])
+
+let test_bilateral_structure () =
+  let p = Pmdp_apps.Bilateral_grid.build ~scale:32 () in
+  let id = Pipeline.stage_id p in
+  Alcotest.(check bool) "grid is a reduction" true
+    (Stage.is_reduction (Pipeline.stage p (id "grid")));
+  Alcotest.(check int) "grid is 4-D" 4 (Stage.ndims (Pipeline.stage p (id "grid")));
+  (* slice reads blury data-dependently: the edge exists *)
+  Alcotest.(check bool) "slice reads blury" true
+    (List.mem (id "blury") (Pipeline.producers p (id "slice")))
+
+let test_interpolate_structure () =
+  let p = Pmdp_apps.Interpolate.build ~scale:16 () in
+  let id = Pipeline.stage_id p in
+  (* downy9 is the coarsest level; its extents are ~512x smaller *)
+  let coarse = Pipeline.stage p (id "downy9") in
+  let fine = Pipeline.stage p (id "clamped") in
+  Alcotest.(check bool) "coarse much smaller" true
+    (Stage.domain_points coarse * 100 < Stage.domain_points fine);
+  Alcotest.(check int) "interp0 reads premult and upy0" 2
+    (List.length (Pipeline.producers p (id "interp0")))
+
+let test_camera_structure () =
+  let p = Pmdp_apps.Camera_pipe.build ~scale:16 () in
+  let id = Pipeline.stage_id p in
+  (* deinterleaved planes are half resolution *)
+  let full = Stage.domain_points (Pipeline.stage p (id "denoised")) in
+  let halfp = Stage.domain_points (Pipeline.stage p (id "g_gr")) in
+  Alcotest.(check int) "quarter points" full (4 * halfp);
+  Alcotest.(check int) "output 3 channels" 3
+    (Pipeline.stage p (id "output")).Stage.dims.(0).Stage.extent
+
+let test_pyramid_blend_structure () =
+  let p = Pmdp_apps.Pyramid_blend.build ~scale:16 () in
+  let id = Pipeline.stage_id p in
+  (* blend at every level; level 3 blends the gaussians directly *)
+  List.iter (fun l -> ignore (id (Printf.sprintf "blend%d" l))) [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "blend3 reads gdy_a3" true
+    (List.mem (id "gdy_a3") (Pipeline.producers p (id "blend3")))
+
+let test_camera_demosaic_values () =
+  (* The interleave must place deinterleaved values back at the right
+     parity: out_g(0,0) = g_gr(0,0) = denoised(0,0). *)
+  let p = Pmdp_apps.Camera_pipe.build ~scale:64 () in
+  let app = Registry.find "camera_pipe" in
+  let inputs = app.Registry.inputs ~seed:1 p in
+  let results = Reference.run p ~inputs in
+  let den = List.assoc "denoised" results and outg = List.assoc "out_g" results in
+  Alcotest.(check (float 0.0)) "g at gr site" (Buffer.get_clamped den [| 0; 0 |])
+    (Buffer.get_clamped outg [| 0; 0 |]);
+  Alcotest.(check (float 0.0)) "g at gb site" (Buffer.get_clamped den [| 1; 1 |])
+    (Buffer.get_clamped outg [| 1; 1 |])
+
+let test_pyramid_blend_mask_extremes () =
+  (* Where the mask is ~1 the output follows image A's blend path; we
+     check the level-3 blend honors the mask ordering. *)
+  let p = Pmdp_apps.Pyramid_blend.build ~scale:32 () in
+  let app = Registry.find "pyramid_blend" in
+  let inputs = app.Registry.inputs ~seed:1 p in
+  let results = Reference.run p ~inputs in
+  let b3 = List.assoc "blend3" results in
+  Alcotest.(check bool) "blend3 finite" true (finite b3)
+
+let () =
+  Alcotest.run "pmdp_apps"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "Table 2 stage counts" `Quick test_stage_counts;
+          Alcotest.test_case "builds at all scales" `Quick test_builds_at_scales;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "inputs match" `Quick test_inputs_match_pipelines;
+          Alcotest.test_case "inputs deterministic" `Quick test_inputs_deterministic;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "unsharp DAG" `Quick test_unsharp_dag;
+          Alcotest.test_case "harris DAG" `Quick test_harris_dag;
+          Alcotest.test_case "bilateral grid" `Quick test_bilateral_structure;
+          Alcotest.test_case "interpolate pyramid" `Quick test_interpolate_structure;
+          Alcotest.test_case "camera pipe" `Quick test_camera_structure;
+          Alcotest.test_case "pyramid blend" `Quick test_pyramid_blend_structure;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "outputs sane" `Slow test_outputs_sane;
+          Alcotest.test_case "demosaic parity" `Quick test_camera_demosaic_values;
+          Alcotest.test_case "blend mask" `Quick test_pyramid_blend_mask_extremes;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the baseline schedulers: PolyMage greedy (+ auto-tuning)
+   and the Halide auto-scheduler reimplementation, plus the manual
+   schedules. *)
+
+open Pmdp_dsl
+module Greedy = Pmdp_baselines.Polymage_greedy
+module Autotune = Pmdp_baselines.Autotune
+module Halide = Pmdp_baselines.Halide_auto
+module Manual = Pmdp_baselines.Manual
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Machine = Pmdp_machine.Machine
+
+let is_partition p groups =
+  List.sort compare (List.concat groups) = List.init (Pipeline.n_stages p) Fun.id
+
+(* -------------------- PolyMage greedy -------------------- *)
+
+let test_greedy_fuses_blur () =
+  let p = Pmdp_apps.Blur.build ~rows:128 ~cols:128 () in
+  let g = Greedy.group { Greedy.tile = 32; overlap_threshold = 0.5 } p in
+  Alcotest.(check int) "single group" 1 (List.length g)
+
+let test_greedy_threshold_zero_blocks_fusion () =
+  (* With zero tolerance, any overlap blocks merging of stencil chains. *)
+  let p = Pmdp_apps.Blur.build ~rows:128 ~cols:128 () in
+  let g = Greedy.group { Greedy.tile = 32; overlap_threshold = 0.0 } p in
+  Alcotest.(check int) "no fusion" 2 (List.length g)
+
+let test_greedy_partition () =
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.Pmdp_apps.Registry.build ~scale:32 in
+      let g = Greedy.group { Greedy.tile = 64; overlap_threshold = 0.4 } p in
+      Alcotest.(check bool) (app.Pmdp_apps.Registry.name ^ " partition") true (is_partition p g))
+    Pmdp_apps.Registry.all
+
+let test_greedy_schedule_valid () =
+  let p = Pmdp_apps.Harris.build ~scale:32 () in
+  let sched = Greedy.schedule { Greedy.tile = 64; overlap_threshold = 0.4 } p in
+  Schedule_spec.validate sched
+
+let test_greedy_does_not_fuse_reductions () =
+  let p = Pmdp_apps.Bilateral_grid.build ~scale:32 () in
+  let g = Greedy.group { Greedy.tile = 32; overlap_threshold = 0.5 } p in
+  let grid = Pipeline.stage_id p "grid" in
+  let grid_group = List.find (fun gg -> List.mem grid gg) g in
+  Alcotest.(check (list int)) "grid stays alone" [ grid ] grid_group
+
+(* -------------------- Autotune -------------------- *)
+
+let test_autotune_picks_minimum () =
+  let p = Pmdp_apps.Blur.build ~rows:64 ~cols:64 () in
+  (* a fake evaluator that prefers tile 16 *)
+  let calls = ref [] in
+  let evaluate sched =
+    let t =
+      List.fold_left
+        (fun acc (g : Schedule_spec.group) ->
+          acc + Array.fold_left ( + ) 0 g.Schedule_spec.tile_sizes)
+        0 sched.Schedule_spec.groups
+    in
+    calls := t :: !calls;
+    Float.abs (float_of_int t -. 35.0)
+  in
+  let r = Autotune.run ~evaluate p in
+  Alcotest.(check bool) "explored the space" true (List.length r.Autotune.evaluated >= 18);
+  let best_time = r.Autotune.best_time in
+  List.iter
+    (fun (_, t) -> Alcotest.(check bool) "best is min" true (best_time <= t))
+    r.Autotune.evaluated
+
+let test_autotune_dedups_schedules () =
+  let p = Pmdp_apps.Blur.build ~rows:64 ~cols:64 () in
+  let count = ref 0 in
+  let evaluate _ = incr count; 1.0 in
+  ignore (Autotune.run ~evaluate p);
+  (* 18 parameter points but far fewer distinct schedules *)
+  Alcotest.(check bool) "deduplicated" true (!count < 18)
+
+let test_autotune_space () =
+  Alcotest.(check int) "6 tile sizes" 6 (List.length Autotune.tile_sizes);
+  Alcotest.(check int) "3 thresholds" 3 (List.length Autotune.thresholds)
+
+(* -------------------- Halide auto-scheduler -------------------- *)
+
+let test_halide_params () =
+  let px = Halide.params_for Machine.xeon in
+  Alcotest.(check int) "xeon cache" (256 * 1024) px.Halide.cache_bytes;
+  Alcotest.(check int) "parallelism" 16 px.Halide.parallelism;
+  let po = Halide.params_for Machine.opteron in
+  Alcotest.(check int) "opteron cache" (1024 * 1024) po.Halide.cache_bytes
+
+let test_halide_fuses_unsharp () =
+  let p = Pmdp_apps.Unsharp.build ~scale:8 () in
+  let sched = Halide.schedule (Halide.params_for Machine.xeon) p in
+  (* the stencil chain merges into few groups *)
+  Alcotest.(check bool) "fused" true (Schedule_spec.n_groups sched < 4);
+  Schedule_spec.validate sched
+
+let test_halide_group_cost_monotone_smoke () =
+  let p = Pmdp_apps.Blur.build ~rows:512 ~cols:512 () in
+  let params = Halide.params_for Machine.xeon in
+  let fused, tiles = Halide.group_cost params p [ 0; 1 ] in
+  Alcotest.(check bool) "finite" true (fused < infinity);
+  Alcotest.(check bool) "tiles returned" true (Array.length tiles > 0);
+  let a, _ = Halide.group_cost params p [ 0 ] in
+  let b, _ = Halide.group_cost params p [ 1 ] in
+  (* merging the blur chain is profitable under the Halide model *)
+  Alcotest.(check bool) "merge beneficial" true (fused < a +. b)
+
+let test_halide_all_apps_valid () =
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.Pmdp_apps.Registry.build ~scale:32 in
+      let sched = Halide.schedule (Halide.params_for Machine.xeon) p in
+      Schedule_spec.validate sched)
+    Pmdp_apps.Registry.all
+
+(* -------------------- Manual -------------------- *)
+
+let test_manual_all_benchmarks () =
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.Pmdp_apps.Registry.build ~scale:32 in
+      Alcotest.(check bool) (app.Pmdp_apps.Registry.name ^ " has manual") true
+        (Manual.has_schedule p);
+      Schedule_spec.validate (Manual.schedule p))
+    Pmdp_apps.Registry.all
+
+let test_manual_unknown_pipeline () =
+  let open Expr in
+  let p =
+    Pipeline.build ~name:"mystery"
+      ~inputs:[ Pipeline.input2 "img" 8 8 ]
+      ~stages:[ Stage.pointwise "s" (Stage.dim2 8 8) (load "img" [| cvar 0; cvar 1 |]) ]
+      ~outputs:[ "s" ]
+  in
+  Alcotest.(check bool) "no schedule" false (Manual.has_schedule p)
+
+let test_manual_bilateral_fuses_reduction () =
+  (* The expert schedule groups the histogram with the blurs — the
+     structural advantage the paper credits Halide with on BG. *)
+  let p = Pmdp_apps.Bilateral_grid.build ~scale:32 () in
+  let groups = List.map fst (Manual.grouping p) in
+  Alcotest.(check bool) "grid grouped with blurs" true
+    (List.exists (fun g -> List.mem "grid" g && List.mem "blurz" g) groups)
+
+let () =
+  Alcotest.run "pmdp_baselines"
+    [
+      ( "greedy",
+        [
+          Alcotest.test_case "fuses blur" `Quick test_greedy_fuses_blur;
+          Alcotest.test_case "zero tolerance blocks" `Quick test_greedy_threshold_zero_blocks_fusion;
+          Alcotest.test_case "always a partition" `Quick test_greedy_partition;
+          Alcotest.test_case "schedule valid" `Quick test_greedy_schedule_valid;
+          Alcotest.test_case "reductions unfused" `Quick test_greedy_does_not_fuse_reductions;
+        ] );
+      ( "autotune",
+        [
+          Alcotest.test_case "picks minimum" `Quick test_autotune_picks_minimum;
+          Alcotest.test_case "dedups" `Quick test_autotune_dedups_schedules;
+          Alcotest.test_case "parameter space" `Quick test_autotune_space;
+        ] );
+      ( "halide",
+        [
+          Alcotest.test_case "params" `Quick test_halide_params;
+          Alcotest.test_case "fuses unsharp" `Quick test_halide_fuses_unsharp;
+          Alcotest.test_case "group cost" `Quick test_halide_group_cost_monotone_smoke;
+          Alcotest.test_case "all apps valid" `Slow test_halide_all_apps_valid;
+        ] );
+      ( "manual",
+        [
+          Alcotest.test_case "all benchmarks" `Quick test_manual_all_benchmarks;
+          Alcotest.test_case "unknown pipeline" `Quick test_manual_unknown_pipeline;
+          Alcotest.test_case "bilateral fuses reduction" `Quick test_manual_bilateral_fuses_reduction;
+        ] );
+    ]

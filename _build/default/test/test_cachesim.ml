@@ -1,0 +1,137 @@
+(* Tests for the cache simulator and the address-trace executor. *)
+
+module Cache = Pmdp_cachesim.Cache
+module Hierarchy = Pmdp_cachesim.Hierarchy
+module Trace_exec = Pmdp_cachesim.Trace_exec
+module Machine = Pmdp_machine.Machine
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Cost_model = Pmdp_core.Cost_model
+
+let config = Cost_model.default_config Machine.xeon
+
+let test_cache_create_bad () =
+  Alcotest.(check bool) "bad line size" true
+    (try ignore (Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:48); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too small" true
+    (try ignore (Cache.create ~size_bytes:64 ~assoc:4 ~line_bytes:64); false
+     with Invalid_argument _ -> true)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0);
+  Alcotest.(check bool) "second hits" true (Cache.access c 0);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64);
+  Alcotest.(check int) "accesses" 4 (Cache.accesses c);
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  (* 2 sets x 2 ways x 64B lines = 256B.  Addresses 0, 128, 256 map to
+     set 0; the third fill evicts the LRU (line 0). *)
+  let c = Cache.create ~size_bytes:256 ~assoc:2 ~line_bytes:64 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 128);
+  Alcotest.(check bool) "0 still cached" true (Cache.access c 0);
+  ignore (Cache.access c 256);
+  (* now 128 (LRU) was evicted, 0 retained *)
+  Alcotest.(check bool) "0 retained" true (Cache.access c 0);
+  Alcotest.(check bool) "128 evicted" false (Cache.access c 128)
+
+let test_cache_flush () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  ignore (Cache.access c 0);
+  Cache.flush c;
+  Alcotest.(check int) "counters reset" 0 (Cache.accesses c);
+  Alcotest.(check bool) "contents gone" false (Cache.access c 0)
+
+let test_cache_working_set () =
+  (* A working set fitting in the cache gives 100% hits after warmup. *)
+  let c = Cache.create ~size_bytes:4096 ~assoc:8 ~line_bytes:64 in
+  for _ = 1 to 10 do
+    for a = 0 to 63 do
+      ignore (Cache.access c (a * 64))
+    done
+  done;
+  Alcotest.(check int) "only compulsory misses" 64 (Cache.misses c)
+
+let test_hierarchy_fractions () =
+  let h = Hierarchy.create Machine.xeon in
+  (* touch a 64 KB buffer twice: first pass misses L1+L2, second pass
+     misses L1 (32 KB) but hits L2 (256 KB). *)
+  for _ = 1 to 2 do
+    for a = 0 to 1023 do
+      Hierarchy.access h (a * 64)
+    done
+  done;
+  let f = Hierarchy.fractions h in
+  Alcotest.(check (Alcotest.float 1e-9)) "half L2 hits" 0.5 f.Hierarchy.l2_hit;
+  Alcotest.(check (Alcotest.float 1e-9)) "half L2 misses" 0.5 f.Hierarchy.l2_miss;
+  Alcotest.(check int) "total" 2048 (Hierarchy.total_accesses h)
+
+let test_hierarchy_reset () =
+  let h = Hierarchy.create Machine.xeon in
+  Hierarchy.access h 0;
+  Hierarchy.reset h;
+  Alcotest.(check int) "reset" 0 (Hierarchy.total_accesses h)
+
+(* -------------------- trace executor -------------------- *)
+
+let unsharp_sched tx ty =
+  let p = Pmdp_apps.Unsharp.build ~scale:16 () in
+  let stages = List.init (Pmdp_dsl.Pipeline.n_stages p) Fun.id in
+  (p, Schedule_spec.with_tiles p [ (stages, [| 3; tx; ty |]) ])
+
+let test_trace_runs_and_counts () =
+  let _, sched = unsharp_sched 8 64 in
+  let h = Hierarchy.create Machine.xeon in
+  Trace_exec.run ~max_tiles:8 sched ~hierarchy:h;
+  Alcotest.(check bool) "accesses recorded" true (Hierarchy.total_accesses h > 1000)
+
+let test_trace_small_tiles_better_l1 () =
+  (* The Table 5 effect: a tile whose working set fits L1 has a higher
+     L1 hit fraction than one that spills it. *)
+  let frac tx ty =
+    let _, sched = unsharp_sched tx ty in
+    let h = Hierarchy.create Machine.xeon in
+    Trace_exec.run ~max_tiles:16 sched ~hierarchy:h;
+    (Hierarchy.fractions h).Hierarchy.l1_hit
+  in
+  let small = frac 5 64 and large = frac 64 128 in
+  Alcotest.(check bool)
+    (Printf.sprintf "L1 hit: small-tile %.3f > large-tile %.3f" small large)
+    true (small > large)
+
+let test_trace_dp_schedule () =
+  let p = Pmdp_apps.Harris.build ~scale:32 () in
+  let sched = fst (Schedule_spec.dp config p) in
+  let h = Hierarchy.create Machine.xeon in
+  Trace_exec.run sched ~hierarchy:h;
+  let f = Hierarchy.fractions h in
+  Alcotest.(check bool) "fractions sum to 1" true
+    (Float.abs (f.Hierarchy.l1_hit +. f.Hierarchy.l2_hit +. f.Hierarchy.l2_miss -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "pmdp_cachesim"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "bad params" `Quick test_cache_create_bad;
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "working set" `Quick test_cache_working_set;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "fractions" `Quick test_hierarchy_fractions;
+          Alcotest.test_case "reset" `Quick test_hierarchy_reset;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "runs and counts" `Quick test_trace_runs_and_counts;
+          Alcotest.test_case "tile size effect (Table 5)" `Quick test_trace_small_tiles_better_l1;
+          Alcotest.test_case "dp schedule trace" `Quick test_trace_dp_schedule;
+        ] );
+    ]

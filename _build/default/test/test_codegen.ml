@@ -1,0 +1,114 @@
+(* Tests for the C++/OpenMP emitter, including a compile check with
+   the system g++ when one is available. *)
+
+module C_emit = Pmdp_codegen.C_emit
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Cost_model = Pmdp_core.Cost_model
+module Machine = Pmdp_machine.Machine
+
+let config = Cost_model.default_config Machine.xeon
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let blur_code () =
+  let p = Pmdp_apps.Blur.build ~rows:62 ~cols:64 () in
+  let sched = fst (Schedule_spec.dp config p) in
+  (p, C_emit.emit sched)
+
+let test_structure () =
+  let _, code = blur_code () in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) ("contains " ^ marker) true (contains code marker))
+    [
+      "#pragma omp parallel for schedule(static)";
+      "#pragma ivdep";
+      "tile of function blurx";
+      "tile of function blury";
+      "float scr_blurx";
+      "static float buf_blury";
+      "void pipeline_blur(const float *buf_img)";
+      "CLAMPI";
+    ]
+
+let test_liveouts_copy_out () =
+  let _, code = blur_code () in
+  (* live-outs compute into scratch and copy their exact tile part *)
+  Alcotest.(check bool) "blury scratch exists" true (contains code "float scr_blury[");
+  Alcotest.(check bool) "copy-out loop" true (contains code "copy exact tile of blury")
+
+let test_unfused_schedule_code () =
+  let p = Pmdp_apps.Blur.build ~rows:32 ~cols:32 () in
+  let sched = Schedule_spec.with_tiles p [ ([ 0 ], [| 3; 16; 16 |]); ([ 1 ], [| 3; 16; 16 |]) ] in
+  let code = C_emit.emit sched in
+  (* both stages become live-outs with full buffers *)
+  Alcotest.(check bool) "blurx full buffer" true (contains code "static float buf_blurx");
+  Alcotest.(check bool) "blury full buffer" true (contains code "static float buf_blury")
+
+let test_reduction_codegen () =
+  let p = Pmdp_apps.Bilateral_grid.build ~scale:32 () in
+  let sched = fst (Schedule_spec.dp config p) in
+  let code = C_emit.emit sched in
+  Alcotest.(check bool) "accumulator loop" true (contains code "acc +=")
+
+let test_emit_to_file () =
+  let p = Pmdp_apps.Blur.build ~rows:32 ~cols:32 () in
+  let sched = fst (Schedule_spec.dp config p) in
+  let path = Filename.temp_file "pmdp_test" ".cpp" in
+  C_emit.emit_to_file sched path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (len > 500)
+
+let gpp_available () = Sys.command "which g++ > /dev/null 2>&1" = 0
+
+let compile_with_gpp code name =
+  let path = Filename.temp_file ("pmdp_" ^ name) ".cpp" in
+  let oc = open_out path in
+  output_string oc code;
+  close_out oc;
+  let rc =
+    Sys.command
+      (Printf.sprintf "g++ -fsyntax-only -fopenmp -Wno-unknown-pragmas %s 2>/dev/null" path)
+  in
+  Sys.remove path;
+  rc = 0
+
+let test_gpp_compiles_all_apps () =
+  if not (gpp_available ()) then ()
+  else
+    List.iter
+      (fun (app : Pmdp_apps.Registry.app) ->
+        let p = app.Pmdp_apps.Registry.build ~scale:32 in
+        let sched =
+          if Pmdp_dsl.Pipeline.n_stages p >= 30 then begin
+            let inc = Pmdp_core.Inc_grouping.run ~initial_limit:8 ~config p in
+            Schedule_spec.of_grouping config p inc.Pmdp_core.Inc_grouping.groups
+          end
+          else fst (Schedule_spec.dp config p)
+        in
+        let code = C_emit.emit sched in
+        Alcotest.(check bool)
+          (app.Pmdp_apps.Registry.name ^ " compiles with g++")
+          true
+          (compile_with_gpp code app.Pmdp_apps.Registry.name))
+      Pmdp_apps.Registry.all
+
+let () =
+  Alcotest.run "pmdp_codegen"
+    [
+      ( "emit",
+        [
+          Alcotest.test_case "structure markers" `Quick test_structure;
+          Alcotest.test_case "live-out copy-out" `Quick test_liveouts_copy_out;
+          Alcotest.test_case "unfused schedule" `Quick test_unfused_schedule_code;
+          Alcotest.test_case "reduction" `Quick test_reduction_codegen;
+          Alcotest.test_case "emit to file" `Quick test_emit_to_file;
+          Alcotest.test_case "g++ compiles all apps" `Slow test_gpp_compiles_all_apps;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Differential test: compile the generated C++ with g++, run it, and
+   compare its outputs numerically against the OCaml executors.
+
+   The OCaml executor evaluates in double precision while the
+   generated C++ uses 32-bit floats, so comparisons use a relative
+   tolerance instead of exact equality. *)
+
+open Pmdp_dsl
+module Buffer_ = Pmdp_exec.Buffer
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Cost_model = Pmdp_core.Cost_model
+module Machine = Pmdp_machine.Machine
+
+let config = Cost_model.default_config Machine.xeon
+let gpp_available () = Sys.command "which g++ > /dev/null 2>&1" = 0
+
+let write_f32 path (b : Buffer_.t) =
+  let oc = open_out_bin path in
+  Array.iter
+    (fun v ->
+      let bits = Int32.bits_of_float v in
+      for k = 0 to 3 do
+        output_char oc (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical bits (8 * k)) 0xFFl)))
+      done)
+    b.Buffer_.data;
+  close_out oc
+
+let read_f32 path n =
+  let ic = open_in_bin path in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let bits = ref 0l in
+    for k = 0 to 3 do
+      bits := Int32.logor !bits (Int32.shift_left (Int32.of_int (Char.code (input_char ic))) (8 * k))
+    done;
+    out.(i) <- Int32.float_of_bits !bits
+  done;
+  close_in ic;
+  out
+
+let rel_diff a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) /. scale
+
+let run_diff (app : Pmdp_apps.Registry.app) scale tolerance =
+  let p = app.Pmdp_apps.Registry.build ~scale in
+  let inputs = app.Pmdp_apps.Registry.inputs ~seed:21 p in
+  let sched =
+    if Pipeline.n_stages p >= 30 then begin
+      let inc = Pmdp_core.Inc_grouping.run ~initial_limit:8 ~config p in
+      Schedule_spec.of_grouping config p inc.Pmdp_core.Inc_grouping.groups
+    end
+    else fst (Schedule_spec.dp config p)
+  in
+  let code = Pmdp_codegen.C_emit.emit_with_harness sched in
+  let dir = Filename.temp_file "pmdp_diff" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cpp = Filename.concat dir "gen.cpp" in
+  let exe = Filename.concat dir "gen.exe" in
+  let oc = open_out cpp in
+  output_string oc code;
+  close_out oc;
+  List.iter (fun (name, buf) -> write_f32 (Filename.concat dir (name ^ ".bin")) buf) inputs;
+  let compile =
+    Printf.sprintf "g++ -O1 -fopenmp -Wno-unknown-pragmas -o %s %s 2>/dev/null" exe cpp
+  in
+  Alcotest.(check int) (app.Pmdp_apps.Registry.name ^ " compiles") 0 (Sys.command compile);
+  Alcotest.(check int)
+    (app.Pmdp_apps.Registry.name ^ " runs")
+    0
+    (Sys.command (Printf.sprintf "cd %s && OMP_NUM_THREADS=2 %s" dir exe));
+  (* Compare against the OCaml reference executor. *)
+  let reference = Pmdp_exec.Reference.run p ~inputs in
+  List.iter
+    (fun out_id ->
+      let name = (Pipeline.stage p out_id).Stage.name in
+      let expected = List.assoc name reference in
+      let actual = read_f32 (Filename.concat dir (name ^ ".out.bin")) (Buffer_.size expected) in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          let d = rel_diff v expected.Buffer_.data.(i) in
+          if d > !worst then worst := d)
+        actual;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s output %s within %.0e (got %.2e)" app.Pmdp_apps.Registry.name name
+           tolerance !worst)
+        true (!worst <= tolerance))
+    p.Pipeline.outputs;
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir))
+
+let diff_test name scale tolerance =
+  Alcotest.test_case name `Slow (fun () ->
+      if gpp_available () then run_diff (Pmdp_apps.Registry.find name) scale tolerance)
+
+let () =
+  Alcotest.run "pmdp_codegen_diff"
+    [
+      ( "c++-vs-ocaml",
+        [
+          diff_test "blur" 16 1e-4;
+          diff_test "unsharp" 16 1e-4;
+          diff_test "harris" 16 1e-3;
+          diff_test "bilateral_grid" 16 1e-3;
+          (* the tone-curve LUT quantizes its index, so a 1-ulp float32
+             difference in the corrected color can step one LUT entry
+             (~2e-3 with our synthetic curve) *)
+          diff_test "camera_pipe" 16 1e-2;
+          diff_test "pyramid_blend" 16 1e-3;
+          diff_test "interpolate" 16 1e-3;
+          diff_test "local_laplacian" 16 1e-3;
+          diff_test "morphology" 16 1e-4;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the cost model (Alg. 2): tile size determination, cache
+   level selection, and the cost terms. *)
+
+open Pmdp_dsl
+module Cost_model = Pmdp_core.Cost_model
+module GA = Pmdp_analysis.Group_analysis
+module Machine = Pmdp_machine.Machine
+
+let machine = Machine.xeon
+let config = Cost_model.default_config machine
+
+let blur ?(rows = 512) ?(cols = 512) () =
+  let dims = Stage.dim2 rows cols in
+  let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
+  let blury = Stage.pointwise "blury" dims (Pmdp_apps.Helpers.blur3 "blurx" ~ndims:2 ~dim:1) in
+  Pipeline.build ~name:"blur2"
+    ~inputs:[ Pipeline.input2 "img" rows cols ]
+    ~stages:[ blurx; blury ] ~outputs:[ "blury" ]
+
+let ok = function Ok ga -> ga | Error _ -> Alcotest.fail "analysis failed"
+
+let test_tile_sizes_bounds () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  let tile =
+    Cost_model.compute_tile_sizes ga ~tile_footprint_bytes:32768.0 ~innermost_tile_size:256
+  in
+  Alcotest.(check int) "dims" 2 (Array.length tile);
+  Array.iteri
+    (fun g t ->
+      Alcotest.(check bool) "tile >= 1" true (t >= 1);
+      Alcotest.(check bool) "tile <= extent" true (t <= GA.dim_extent ga g))
+    tile;
+  Alcotest.(check int) "innermost respects IMTS" 256 tile.(1)
+
+let test_innermost_capped_by_extent () =
+  let p = blur ~rows:64 ~cols:64 () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  let tile =
+    Cost_model.compute_tile_sizes ga ~tile_footprint_bytes:32768.0 ~innermost_tile_size:256
+  in
+  Alcotest.(check int) "innermost = extent" 64 tile.(1)
+
+let test_larger_footprint_larger_tiles () =
+  let p = blur () in
+  let ga = ok (GA.analyze p [ 0; 1 ]) in
+  let small =
+    Cost_model.compute_tile_sizes ga ~tile_footprint_bytes:8192.0 ~innermost_tile_size:256
+  in
+  let large =
+    Cost_model.compute_tile_sizes ga ~tile_footprint_bytes:262144.0 ~innermost_tile_size:256
+  in
+  Alcotest.(check bool) "outer tile grows with footprint" true (large.(0) >= small.(0))
+
+let test_cost_finite_for_fusable () =
+  let p = blur () in
+  let v = Cost_model.cost config p [ 0; 1 ] in
+  Alcotest.(check bool) "finite" true (v.Cost_model.cost < infinity);
+  Alcotest.(check bool) "analysis present" true (Option.is_some v.Cost_model.analysis);
+  Alcotest.(check int) "tile arity" 2 (Array.length v.Cost_model.tile_sizes)
+
+let test_cost_infinite_for_invalid () =
+  let p = blur () in
+  (* not connected: single-stage sets are fine, so craft a transposed consumer *)
+  let open Expr in
+  let dims = Stage.dim2 32 32 in
+  let a = Stage.pointwise "a" dims (load "img" [| cvar 0; cvar 1 |]) in
+  let b = Stage.pointwise "b" dims (load "a" [| cvar 1; cvar 0 |]) in
+  let p2 =
+    Pipeline.build ~name:"mis" ~inputs:[ Pipeline.input2 "img" 32 32 ] ~stages:[ a; b ]
+      ~outputs:[ "b" ]
+  in
+  let v = Cost_model.cost config p2 [ 0; 1 ] in
+  Alcotest.(check bool) "infinite" true (v.Cost_model.cost = infinity);
+  ignore p
+
+let test_fusion_beats_no_fusion_on_blur () =
+  let p = blur () in
+  let fused = (Cost_model.cost config p [ 0; 1 ]).Cost_model.cost in
+  let split =
+    (Cost_model.cost config p [ 0 ]).Cost_model.cost
+    +. (Cost_model.cost config p [ 1 ]).Cost_model.cost
+  in
+  Alcotest.(check bool) "fusing the blur chain is cheaper" true (fused < split)
+
+let test_reduction_rule () =
+  let open Expr in
+  let dims = Stage.dim2 32 32 in
+  let r =
+    Stage.reduction "r" dims ~op:Stage.Rsum ~init:0.0 ~rdom:[| (0, 2) |]
+      (load "img" [| cdyn (var 0 +: var 2); cvar 1 |])
+  in
+  let b = Stage.pointwise "b" dims (load "r" [| cvar 0; cvar 1 |]) in
+  let p =
+    Pipeline.build ~name:"red" ~inputs:[ Pipeline.input2 "img" 32 32 ] ~stages:[ r; b ]
+      ~outputs:[ "b" ]
+  in
+  let v = Cost_model.cost config p [ 0; 1 ] in
+  Alcotest.(check bool) "PolyMage rule: no reduction fusion" true (v.Cost_model.cost = infinity);
+  let v' = Cost_model.cost { config with Cost_model.fuse_reductions = true } p [ 0; 1 ] in
+  Alcotest.(check bool) "relaxed rule admits it" true (v'.Cost_model.cost < infinity)
+
+let test_w2_modes_differ () =
+  let p = blur () in
+  let literal = { config with Cost_model.w2_mode = Cost_model.Literal } in
+  let c_default = (Cost_model.cost config p [ 0 ]).Cost_model.cost in
+  let c_literal = (Cost_model.cost literal p [ 0 ]).Cost_model.cost in
+  (* the literal form subtracts the per-group constant, so it is
+     strictly smaller whenever the idle penalty and bonus disagree *)
+  Alcotest.(check bool) "literal <= default" true (c_literal <= c_default)
+
+let test_machines_give_different_tiles () =
+  let p = blur () in
+  let x = Cost_model.cost (Cost_model.default_config Machine.xeon) p [ 0; 1 ] in
+  let o = Cost_model.cost (Cost_model.default_config Machine.opteron) p [ 0; 1 ] in
+  (* Opteron's IMTS is 128 vs Xeon's 256 *)
+  Alcotest.(check bool) "innermost differs" true
+    (x.Cost_model.tile_sizes.(1) <> o.Cost_model.tile_sizes.(1))
+
+let test_level_switch_on_heavy_overlap () =
+  (* A deep stencil chain forces large overlap at L1-size tiles; the
+     model must be able to fall back to L2 sizing (or at least return
+     a finite verdict). *)
+  let dims = Stage.dim2 2048 2048 in
+  let rec chain acc prev i =
+    if i = 12 then List.rev acc
+    else
+      let name = Printf.sprintf "s%d" i in
+      let s =
+        Stage.pointwise name dims
+          (Pmdp_apps.Helpers.stencil prev ~ndims:2 ~dim:0
+             [ (-4, 0.1); (-1, 0.2); (0, 0.4); (1, 0.2); (4, 0.1) ])
+      in
+      chain (s :: acc) name (i + 1)
+  in
+  let stages = chain [] "img" 0 in
+  let p =
+    Pipeline.build ~name:"deep"
+      ~inputs:[ Pipeline.input2 "img" 2048 2048 ]
+      ~stages
+      ~outputs:[ "s11" ]
+  in
+  let v = Cost_model.cost config p (List.init 12 Fun.id) in
+  Alcotest.(check bool) "finite verdict" true (v.Cost_model.cost < infinity)
+
+let () =
+  Alcotest.run "pmdp_cost_model"
+    [
+      ( "tile_sizes",
+        [
+          Alcotest.test_case "bounds" `Quick test_tile_sizes_bounds;
+          Alcotest.test_case "innermost capped" `Quick test_innermost_capped_by_extent;
+          Alcotest.test_case "footprint monotone" `Quick test_larger_footprint_larger_tiles;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "finite for fusable" `Quick test_cost_finite_for_fusable;
+          Alcotest.test_case "infinite for invalid" `Quick test_cost_infinite_for_invalid;
+          Alcotest.test_case "fusion beats splitting on blur" `Quick test_fusion_beats_no_fusion_on_blur;
+          Alcotest.test_case "reduction rule" `Quick test_reduction_rule;
+          Alcotest.test_case "w2 modes" `Quick test_w2_modes_differ;
+          Alcotest.test_case "machine-specific tiles" `Quick test_machines_give_different_tiles;
+          Alcotest.test_case "deep chain stays finite" `Quick test_level_switch_on_heavy_overlap;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Unit and property tests for Pmdp_dag: DAG operations and set
+   partitions. *)
+
+module Dag = Pmdp_dag.Dag
+module Set_partition = Pmdp_dag.Set_partition
+
+(* A random DAG generator: edges always go from lower to higher ids,
+   guaranteeing acyclicity. *)
+let arb_dag =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 2 10) (fun n ->
+          let* edges =
+            list_size (int_range 0 (n * 2))
+              (let* u = int_range 0 (n - 2) in
+               let* v = int_range (u + 1) (n - 1) in
+               return (u, v))
+          in
+          return (n, List.sort_uniq compare edges)))
+  in
+  QCheck.make gen ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges)))
+
+let diamond () = Dag.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+let chain n = Dag.of_edges n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+(* -------------------- basics -------------------- *)
+
+let test_build () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (Dag.n_nodes g);
+  Alcotest.(check (list int)) "succs 0" [ 1; 2 ] (List.sort compare (Dag.succs g 0));
+  Alcotest.(check (list int)) "preds 3" [ 1; 2 ] (List.sort compare (Dag.preds g 3));
+  Alcotest.(check int) "edges" 4 (List.length (Dag.edges g))
+
+let test_duplicate_edges () =
+  let g = Dag.of_edges 2 [ (0, 1); (0, 1); (0, 1) ] in
+  Alcotest.(check int) "dedup" 1 (List.length (Dag.edges g))
+
+let test_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Dag.add_edge: self loop") (fun () ->
+      ignore (Dag.of_edges 2 [ (1, 1) ]))
+
+let test_out_of_range () =
+  Alcotest.(check bool) "range check raises" true
+    (try ignore (Dag.of_edges 2 [ (0, 5) ]); false with Invalid_argument _ -> true)
+
+let test_topo () =
+  let order = Dag.topo_sort (diamond ()) in
+  Alcotest.(check int) "all nodes" 4 (List.length order);
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  Alcotest.(check bool) "0 before 3" true (pos.(0) < pos.(3))
+
+let test_topo_subset () =
+  let g = diamond () in
+  let order = Dag.topo_sort_subset g [ 3; 1; 0 ] in
+  Alcotest.(check (list int)) "subset order" [ 0; 1; 3 ] order
+
+let test_cycle_detection () =
+  let g = Dag.create 3 in
+  Dag.add_edge g 0 1;
+  Dag.add_edge g 1 2;
+  Alcotest.(check bool) "acyclic" false (Dag.has_cycle g);
+  Dag.add_edge g 2 0;
+  Alcotest.(check bool) "cyclic" true (Dag.has_cycle g)
+
+let test_reachability () =
+  let g = diamond () in
+  Alcotest.(check bool) "0 reaches 3" true (Dag.is_reachable g ~src:0 ~dst:3);
+  Alcotest.(check bool) "reflexive" true (Dag.is_reachable g ~src:2 ~dst:2);
+  Alcotest.(check bool) "1 not to 2" false (Dag.is_reachable g ~src:1 ~dst:2)
+
+let test_sources_sinks () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Dag.sinks g)
+
+let test_connected_subset () =
+  let g = diamond () in
+  Alcotest.(check bool) "0,1 connected" true (Dag.is_connected_subset g [ 0; 1 ]);
+  Alcotest.(check bool) "1,2 not connected" false (Dag.is_connected_subset g [ 1; 2 ]);
+  Alcotest.(check bool) "1,2,3 connected (weakly)" true (Dag.is_connected_subset g [ 1; 2; 3 ]);
+  Alcotest.(check bool) "singleton" true (Dag.is_connected_subset g [ 2 ]);
+  Alcotest.(check bool) "empty" false (Dag.is_connected_subset g [])
+
+let test_quotient () =
+  let g = diamond () in
+  (* groups {0,1} and {2,3} *)
+  let q, k = Dag.quotient g [| 0; 0; 1; 1 |] in
+  Alcotest.(check int) "two groups" 2 k;
+  Alcotest.(check (list int)) "edge between groups" [ 1 ] (Dag.succs q 0);
+  Alcotest.(check bool) "no self edges" true (Dag.succs q 1 = [])
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topo order respects edges" ~count:200 arb_dag (fun (n, edges) ->
+      let g = Dag.of_edges n edges in
+      let order = Dag.topo_sort g in
+      let pos = Array.make n 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      List.for_all (fun (u, v) -> pos.(u) < pos.(v)) edges)
+
+let prop_reachability_transitive =
+  QCheck.Test.make ~name:"reachability contains edges and is transitive" ~count:100 arb_dag
+    (fun (n, edges) ->
+      let g = Dag.of_edges n edges in
+      List.for_all (fun (u, v) -> Dag.is_reachable g ~src:u ~dst:v) edges
+      && List.for_all
+           (fun (u, v) ->
+             List.for_all
+               (fun (x, y) -> x <> v || Dag.is_reachable g ~src:u ~dst:y)
+               edges)
+           edges)
+
+let prop_quotient_acyclic_on_intervals =
+  QCheck.Test.make ~name:"interval coloring of a chain quotient is acyclic" ~count:100
+    QCheck.(pair (int_range 2 12) (int_range 1 4))
+    (fun (n, w) ->
+      let g = chain n in
+      let color = Array.init n (fun i -> i / w) in
+      let q, _ = Dag.quotient g color in
+      not (Dag.has_cycle q))
+
+(* -------------------- set partitions -------------------- *)
+
+let test_partition_counts () =
+  List.iter
+    (fun (n, bell) ->
+      let xs = List.init n Fun.id in
+      Alcotest.(check int)
+        (Printf.sprintf "Bell(%d)" n)
+        bell
+        (List.length (Set_partition.enumerate xs)))
+    [ (0, 1); (1, 1); (2, 2); (3, 5); (4, 15); (5, 52) ]
+
+let test_bell () =
+  Alcotest.(check int) "bell 6" 203 (Set_partition.bell 6);
+  Alcotest.(check int) "bell 10" 115975 (Set_partition.bell 10);
+  Alcotest.(check bool) "bell negative raises" true
+    (try ignore (Set_partition.bell (-1)); false with Invalid_argument _ -> true)
+
+let test_partition_duplicates () =
+  Alcotest.(check bool) "duplicates rejected" true
+    (try ignore (Set_partition.enumerate [ 1; 1 ]); false with Invalid_argument _ -> true)
+
+let test_partition_block_filter () =
+  (* Only singletons pass: exactly one partition remains. *)
+  let only_singletons b = List.length b = 1 in
+  Alcotest.(check int) "singleton filter" 1
+    (List.length (Set_partition.enumerate ~block_ok:only_singletons [ 1; 2; 3; 4 ]))
+
+let prop_partitions_cover =
+  QCheck.Test.make ~name:"each partition covers the set exactly" ~count:50
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let xs = List.init n Fun.id in
+      List.for_all
+        (fun p -> List.sort compare (List.concat p) = xs)
+        (Set_partition.enumerate xs))
+
+let prop_partitions_distinct =
+  QCheck.Test.make ~name:"partitions are pairwise distinct" ~count:20
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let xs = List.init n Fun.id in
+      let ps = Set_partition.enumerate xs in
+      List.length (List.sort_uniq compare ps) = List.length ps)
+
+let prop_filter_is_subset =
+  QCheck.Test.make ~name:"block filter selects a subset of all partitions" ~count:50
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let xs = List.init n Fun.id in
+      let all = Set_partition.enumerate xs in
+      let filtered = Set_partition.enumerate ~block_ok:(fun b -> List.length b <= 2) xs in
+      List.for_all (fun p -> List.mem p all) filtered
+      && List.for_all (fun p -> List.for_all (fun b -> List.length b <= 2) p) filtered)
+
+let () =
+  Alcotest.run "pmdp_dag"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "build/succs/preds" `Quick test_build;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges;
+          Alcotest.test_case "self loop" `Quick test_self_loop;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "topo sort" `Quick test_topo;
+          Alcotest.test_case "topo subset" `Quick test_topo_subset;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+          Alcotest.test_case "sources/sinks" `Quick test_sources_sinks;
+          Alcotest.test_case "connected subsets" `Quick test_connected_subset;
+          Alcotest.test_case "quotient" `Quick test_quotient;
+          QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+          QCheck_alcotest.to_alcotest prop_reachability_transitive;
+          QCheck_alcotest.to_alcotest prop_quotient_acyclic_on_intervals;
+        ] );
+      ( "set_partition",
+        [
+          Alcotest.test_case "Bell counts" `Quick test_partition_counts;
+          Alcotest.test_case "bell numbers" `Quick test_bell;
+          Alcotest.test_case "duplicates rejected" `Quick test_partition_duplicates;
+          Alcotest.test_case "block filter" `Quick test_partition_block_filter;
+          QCheck_alcotest.to_alcotest prop_partitions_cover;
+          QCheck_alcotest.to_alcotest prop_partitions_distinct;
+          QCheck_alcotest.to_alcotest prop_filter_is_subset;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for the DP grouping (Alg. 1), bounded incremental variant
+   (Alg. 3), and the canonical grouping representation. *)
+
+open Pmdp_dsl
+module Cost_model = Pmdp_core.Cost_model
+module Dp = Pmdp_core.Dp_grouping
+module Inc = Pmdp_core.Inc_grouping
+module Grouping = Pmdp_core.Grouping
+module Machine = Pmdp_machine.Machine
+
+let config = Cost_model.default_config Machine.xeon
+
+(* A linear chain of n pointwise stencil stages. *)
+let linear n =
+  let dims = Stage.dim2 128 128 in
+  let stages =
+    List.init n (fun i ->
+        let src = if i = 0 then "img" else Printf.sprintf "s%d" (i - 1) in
+        Stage.pointwise (Printf.sprintf "s%d" i) dims
+          (Pmdp_apps.Helpers.blur3 src ~ndims:2 ~dim:(i mod 2)))
+  in
+  Pipeline.build ~name:(Printf.sprintf "linear%d" n)
+    ~inputs:[ Pipeline.input2 "img" 128 128 ]
+    ~stages
+    ~outputs:[ Printf.sprintf "s%d" (n - 1) ]
+
+(* -------------------- Grouping -------------------- *)
+
+let test_canonical () =
+  let g = Grouping.canonical [ [ 3; 1 ]; [ 2 ] ] in
+  Alcotest.(check (list (list int))) "sorted" [ [ 1; 3 ]; [ 2 ] ] g;
+  Alcotest.(check string) "key" "1,3|2" (Grouping.key g);
+  Alcotest.(check (list int)) "members" [ 1; 2; 3 ] (Grouping.members g);
+  Alcotest.(check bool) "equal mod order" true (Grouping.equal [ [ 2 ]; [ 1; 3 ] ] [ [ 3; 1 ]; [ 2 ] ])
+
+let test_canonical_overlap () =
+  Alcotest.(check bool) "overlap rejected" true
+    (try ignore (Grouping.canonical [ [ 1; 2 ]; [ 2; 3 ] ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty group rejected" true
+    (try ignore (Grouping.canonical [ []; [ 1 ] ]); false with Invalid_argument _ -> true)
+
+(* -------------------- DP states -------------------- *)
+
+let test_linear_state_count () =
+  (* For a linear pipeline of n stages the DP evaluates exactly
+     n(n+1)/2 states (§3.3 of the paper; all 2^(n-1) groupings are
+     covered by these states). *)
+  List.iter
+    (fun n ->
+      let o = Dp.run ~config (linear n) in
+      Alcotest.(check int) (Printf.sprintf "states for n=%d" n) (n * (n + 1) / 2) o.Dp.enumerated;
+      Alcotest.(check bool) "complete" true o.Dp.complete)
+    [ 2; 3; 4; 5; 8 ]
+
+let test_unsharp_matches_paper () =
+  (* Table 2 reports exactly 10 groupings enumerated for Unsharp. *)
+  let p = Pmdp_apps.Unsharp.build ~scale:32 () in
+  let o = Dp.run ~config p in
+  Alcotest.(check int) "unsharp enumerations" 10 o.Dp.enumerated
+
+let valid_partition p groups =
+  List.sort compare (List.concat groups) = List.init (Pipeline.n_stages p) Fun.id
+
+let test_result_is_partition () =
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.Pmdp_apps.Registry.build ~scale:32 in
+      if Pipeline.n_stages p < 30 then begin
+        let o = Dp.run ~config p in
+        Alcotest.(check bool)
+          (app.Pmdp_apps.Registry.name ^ " partition")
+          true (valid_partition p o.Dp.groups)
+      end)
+    Pmdp_apps.Registry.all
+
+let test_groups_connected_and_acyclic () =
+  let p = Pmdp_apps.Harris.build ~scale:32 () in
+  let o = Dp.run ~config p in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "connected" true
+        (Pmdp_dag.Dag.is_connected_subset p.Pipeline.dag g))
+    o.Dp.groups;
+  (* the quotient by groups must be acyclic *)
+  let color = Array.make (Pipeline.n_stages p) 0 in
+  List.iteri (fun gi g -> List.iter (fun s -> color.(s) <- gi) g) o.Dp.groups;
+  let q, _ = Pmdp_dag.Dag.quotient p.Pipeline.dag color in
+  Alcotest.(check bool) "acyclic quotient" false (Pmdp_dag.Dag.has_cycle q)
+
+let test_dp_beats_or_matches_manual_groupings () =
+  (* DP cost must be <= the cost of the all-singletons grouping and of
+     the fuse-everything grouping (when valid). *)
+  let p = linear 6 in
+  let o = Dp.run ~config p in
+  let cost_of groups =
+    List.fold_left
+      (fun acc g -> acc +. (Cost_model.cost config p g).Cost_model.cost)
+      0.0 groups
+  in
+  let singletons = List.init 6 (fun i -> [ i ]) in
+  let everything = [ List.init 6 Fun.id ] in
+  Alcotest.(check bool) "dp <= singletons" true (o.Dp.cost <= cost_of singletons +. 1e-9);
+  Alcotest.(check bool) "dp <= everything" true (o.Dp.cost <= cost_of everything +. 1e-9)
+
+let prop_dp_optimal_on_linear =
+  (* On short linear pipelines, enumerate ALL 2^(n-1) contiguous
+     groupings by brute force and check the DP found the minimum. *)
+  QCheck.Test.make ~name:"dp optimal vs brute force on linear chains" ~count:6
+    (QCheck.int_range 2 6) (fun n ->
+      let p = linear n in
+      let o = Dp.run ~config p in
+      let cost_of groups =
+        List.fold_left
+          (fun acc g -> acc +. (Cost_model.cost config p g).Cost_model.cost)
+          0.0 groups
+      in
+      (* enumerate splits via bitmask over the n-1 boundaries *)
+      let best = ref infinity in
+      for mask = 0 to (1 lsl (n - 1)) - 1 do
+        let groups = ref [] and current = ref [ 0 ] in
+        for i = 1 to n - 1 do
+          if mask land (1 lsl (i - 1)) <> 0 then begin
+            groups := List.rev !current :: !groups;
+            current := [ i ]
+          end
+          else current := i :: !current
+        done;
+        groups := List.rev !current :: !groups;
+        let c = cost_of (List.rev !groups) in
+        if c < !best then best := c
+      done;
+      Float.abs (o.Dp.cost -. !best) <= 1e-6 *. Float.max 1.0 (Float.abs !best))
+
+(* Synthesize a pipeline from an arbitrary DAG shape: every stage
+   reads each of its predecessors (or the input, for sources) with a
+   small stencil, so any connected group is fusable and the DP
+   explores the full merge space. *)
+let pipeline_of_dag n edges =
+  let dims = Stage.dim2 64 64 in
+  let preds = Array.make n [] in
+  List.iter (fun (u, v) -> preds.(v) <- u :: preds.(v)) edges;
+  let stages =
+    List.init n (fun i ->
+        let srcs = if preds.(i) = [] then [ "img" ] else List.map (Printf.sprintf "s%d") preds.(i) in
+        let body =
+          List.fold_left
+            (fun acc src -> Expr.(acc +: Pmdp_apps.Helpers.blur3 src ~ndims:2 ~dim:(i mod 2)))
+            (Expr.const 0.0) srcs
+        in
+        Stage.pointwise (Printf.sprintf "s%d" i) dims body)
+  in
+  let sinks =
+    List.filter (fun v -> not (List.exists (fun (u, _) -> u = v) edges)) (List.init n Fun.id)
+  in
+  Pipeline.build ~name:"random"
+    ~inputs:[ Pipeline.input2 "img" 64 64 ]
+    ~stages
+    ~outputs:(List.map (Printf.sprintf "s%d") sinks)
+
+let arb_dag =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 3 8) (fun n ->
+          let* edges =
+            list_size (int_range n (n * 2))
+              (let* u = int_range 0 (n - 2) in
+               let* v = int_range (u + 1) (n - 1) in
+               return (u, v))
+          in
+          return (n, List.sort_uniq compare edges)))
+  in
+  QCheck.make gen ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) edges)))
+
+let prop_dp_valid_on_random_dags =
+  QCheck.Test.make ~name:"dp yields acyclic connected partitions on random DAGs" ~count:60
+    arb_dag (fun (n, edges) ->
+      let p = pipeline_of_dag n edges in
+      let o = Dp.run ~state_budget:20_000 ~config p in
+      valid_partition p o.Dp.groups
+      && List.for_all (fun g -> Pmdp_dag.Dag.is_connected_subset p.Pipeline.dag g) o.Dp.groups
+      &&
+      let color = Array.make n 0 in
+      List.iteri (fun gi g -> List.iter (fun s -> color.(s) <- gi) g) o.Dp.groups;
+      let q, _ = Pmdp_dag.Dag.quotient p.Pipeline.dag color in
+      not (Pmdp_dag.Dag.has_cycle q))
+
+let prop_inc_valid_on_random_dags =
+  QCheck.Test.make ~name:"inc grouping valid on random DAGs" ~count:30 arb_dag
+    (fun (n, edges) ->
+      let p = pipeline_of_dag n edges in
+      let o = Inc.run ~initial_limit:2 ~state_budget:20_000 ~config p in
+      valid_partition p o.Inc.groups
+      &&
+      let color = Array.make n 0 in
+      List.iteri (fun gi g -> List.iter (fun s -> color.(s) <- gi) g) o.Inc.groups;
+      let q, _ = Pmdp_dag.Dag.quotient p.Pipeline.dag color in
+      not (Pmdp_dag.Dag.has_cycle q))
+
+let test_group_limit_respected () =
+  let p = linear 8 in
+  let o = Dp.run ~group_limit:2 ~config p in
+  List.iter
+    (fun g -> Alcotest.(check bool) "group <= 2" true (List.length g <= 2))
+    o.Dp.groups
+
+let test_atoms_respected () =
+  let p = linear 6 in
+  let atoms = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let o = Dp.run ~atoms ~config p in
+  (* every result group must be a union of atoms *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun atom ->
+          let inter = List.exists (fun s -> List.mem s g) atom in
+          let subset = List.for_all (fun s -> List.mem s g) atom in
+          Alcotest.(check bool) "atom not split" true ((not inter) || subset))
+        atoms)
+    o.Dp.groups
+
+let test_bad_atoms_rejected () =
+  let p = linear 4 in
+  Alcotest.(check bool) "non-partition atoms" true
+    (try ignore (Dp.run ~atoms:[ [ 0; 1 ]; [ 1; 2; 3 ] ] ~config p); false
+     with Invalid_argument _ -> true)
+
+let test_state_budget () =
+  let p = Pmdp_apps.Camera_pipe.build ~scale:32 () in
+  let o = Dp.run ~state_budget:1000 ~config p in
+  Alcotest.(check bool) "incomplete" false o.Dp.complete;
+  Alcotest.(check bool) "still a partition" true (valid_partition p o.Dp.groups);
+  Alcotest.(check bool) "bounded states" true (o.Dp.enumerated < 50_000)
+
+let test_multi_source () =
+  (* Two sources feeding one sink: the dummy-source handling. *)
+  let open Expr in
+  let dims = Stage.dim2 32 32 in
+  let a = Stage.pointwise "a" dims (load "img1" [| cvar 0; cvar 1 |]) in
+  let b = Stage.pointwise "b" dims (load "img2" [| cvar 0; cvar 1 |]) in
+  let c = Stage.pointwise "c" dims (load "a" [| cvar 0; cvar 1 |] +: load "b" [| cvar 0; cvar 1 |]) in
+  let p =
+    Pipeline.build ~name:"two_src"
+      ~inputs:[ Pipeline.input2 "img1" 32 32; Pipeline.input2 "img2" 32 32 ]
+      ~stages:[ a; b; c ] ~outputs:[ "c" ]
+  in
+  let o = Dp.run ~config p in
+  Alcotest.(check bool) "partition" true (valid_partition p o.Dp.groups);
+  Alcotest.(check bool) "finite" true (o.Dp.cost < infinity)
+
+(* -------------------- Inc grouping -------------------- *)
+
+let test_inc_matches_dp_on_small () =
+  let p = linear 6 in
+  let dp = Dp.run ~config p in
+  let inc = Inc.run ~initial_limit:8 ~config p in
+  (* with limit >= n the first round is already unbounded-equivalent *)
+  Alcotest.(check bool) "same cost" true (Float.abs (dp.Dp.cost -. inc.Inc.cost) < 1e-9)
+
+let test_inc_partition_and_rounds () =
+  let p = Pmdp_apps.Pyramid_blend.build ~scale:32 () in
+  let inc = Inc.run ~initial_limit:8 ~config p in
+  Alcotest.(check bool) "partition" true (valid_partition p inc.Inc.groups);
+  Alcotest.(check bool) "multiple rounds" true (List.length inc.Inc.rounds >= 2);
+  Alcotest.(check bool) "enumerated aggregated" true
+    (inc.Inc.total_enumerated
+    = List.fold_left (fun acc r -> acc + r.Inc.outcome.Dp.enumerated) 0 inc.Inc.rounds)
+
+let test_inc_bad_args () =
+  let p = linear 3 in
+  Alcotest.(check bool) "limit < 1" true
+    (try ignore (Inc.run ~initial_limit:0 ~config p); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "step < 2" true
+    (try ignore (Inc.run ~initial_limit:2 ~step:1 ~config p); false
+     with Invalid_argument _ -> true)
+
+(* -------------------- Schedule_spec -------------------- *)
+
+let test_schedule_of_grouping () =
+  let p = linear 5 in
+  let sched = Pmdp_core.Schedule_spec.of_grouping config p [ [ 0; 1; 2 ]; [ 3; 4 ] ] in
+  Pmdp_core.Schedule_spec.validate sched;
+  Alcotest.(check int) "2 groups" 2 (Pmdp_core.Schedule_spec.n_groups sched)
+
+let test_schedule_splits_unfusable () =
+  let open Expr in
+  let dims = Stage.dim2 32 32 in
+  let a = Stage.pointwise "a" dims (load "img" [| cvar 0; cvar 1 |]) in
+  let b = Stage.pointwise "b" dims (load "a" [| cvar 1; cvar 0 |]) in
+  let p =
+    Pipeline.build ~name:"mis" ~inputs:[ Pipeline.input2 "img" 32 32 ] ~stages:[ a; b ]
+      ~outputs:[ "b" ]
+  in
+  let sched = Pmdp_core.Schedule_spec.of_grouping config p [ [ 0; 1 ] ] in
+  Alcotest.(check int) "split into singletons" 2 (Pmdp_core.Schedule_spec.n_groups sched)
+
+let test_schedule_non_partition_rejected () =
+  let p = linear 3 in
+  Alcotest.(check bool) "non partition" true
+    (try ignore (Pmdp_core.Schedule_spec.of_grouping config p [ [ 0; 1 ] ]); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "pmdp_dp"
+    [
+      ( "grouping",
+        [
+          Alcotest.test_case "canonical" `Quick test_canonical;
+          Alcotest.test_case "overlap rejected" `Quick test_canonical_overlap;
+        ] );
+      ( "dp",
+        [
+          Alcotest.test_case "linear state count" `Quick test_linear_state_count;
+          Alcotest.test_case "unsharp matches paper" `Quick test_unsharp_matches_paper;
+          Alcotest.test_case "result is a partition" `Quick test_result_is_partition;
+          Alcotest.test_case "groups connected, quotient acyclic" `Quick test_groups_connected_and_acyclic;
+          Alcotest.test_case "beats naive groupings" `Quick test_dp_beats_or_matches_manual_groupings;
+          QCheck_alcotest.to_alcotest prop_dp_optimal_on_linear;
+          QCheck_alcotest.to_alcotest prop_dp_valid_on_random_dags;
+          QCheck_alcotest.to_alcotest prop_inc_valid_on_random_dags;
+          Alcotest.test_case "group limit respected" `Quick test_group_limit_respected;
+          Alcotest.test_case "atoms respected" `Quick test_atoms_respected;
+          Alcotest.test_case "bad atoms rejected" `Quick test_bad_atoms_rejected;
+          Alcotest.test_case "state budget" `Quick test_state_budget;
+          Alcotest.test_case "multi source" `Quick test_multi_source;
+        ] );
+      ( "inc",
+        [
+          Alcotest.test_case "matches dp on small" `Quick test_inc_matches_dp_on_small;
+          Alcotest.test_case "partition and rounds" `Quick test_inc_partition_and_rounds;
+          Alcotest.test_case "bad args" `Quick test_inc_bad_args;
+        ] );
+      ( "schedule_spec",
+        [
+          Alcotest.test_case "of_grouping" `Quick test_schedule_of_grouping;
+          Alcotest.test_case "splits unfusable" `Quick test_schedule_splits_unfusable;
+          Alcotest.test_case "non partition rejected" `Quick test_schedule_non_partition_rejected;
+        ] );
+    ]

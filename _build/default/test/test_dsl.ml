@@ -1,0 +1,179 @@
+(* Tests for the DSL layer: expressions, stages, pipeline validation. *)
+
+open Pmdp_dsl
+open Expr
+
+let dims = Stage.dim2 8 8
+let here name = load name [| cvar 0; cvar 1 |]
+
+let blur_pipeline () =
+  let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
+  let blury = Stage.pointwise "blury" dims (Pmdp_apps.Helpers.blur3 "blurx" ~ndims:2 ~dim:1) in
+  Pipeline.build ~name:"blur2"
+    ~inputs:[ Pipeline.input2 "img" 8 8 ]
+    ~stages:[ blurx; blury ] ~outputs:[ "blury" ]
+
+(* -------------------- Expr -------------------- *)
+
+let test_arith_cost () =
+  Alcotest.(check int) "const" 0 (arith_cost (const 1.0));
+  Alcotest.(check int) "var" 0 (arith_cost (var 0));
+  Alcotest.(check int) "add" 1 (arith_cost (const 1.0 +: var 0));
+  Alcotest.(check int) "nested" 3 (arith_cost ((var 0 +: var 1) *: (var 0 -: var 1)));
+  (* select: condition + 1 + max of branches *)
+  Alcotest.(check int) "select" 3
+    (arith_cost (select (var 0 <: const 1.0) (var 1 +: var 2) (var 1)))
+
+let test_max_var () =
+  Alcotest.(check int) "none" (-1) (max_var (const 1.0));
+  Alcotest.(check int) "load coords" 2 (max_var (load "f" [| cvar 2; cvar 0 |]));
+  Alcotest.(check int) "dyn coord" 5 (max_var (load "f" [| cdyn (var 5) |]));
+  Alcotest.(check int) "cond" 3 (max_var (select (var 3 >: const 0.0) (var 1) (var 0)))
+
+let test_fold_loads () =
+  let e = here "a" +: select (here "b" <: const 0.5) (here "a") (load "c" [| cdyn (here "d") |]) in
+  let names = fold_loads (fun acc n _ -> n :: acc) [] e in
+  Alcotest.(check (list string)) "all loads incl nested dyn" [ "a"; "b"; "a"; "c"; "d" ]
+    (List.rev names)
+
+let test_smart_constructors () =
+  (match cshift 1 (-2) with
+  | Cvar { var = 1; scale; offset } ->
+      Alcotest.(check bool) "shift scale 1" true (Pmdp_util.Rational.equal scale Pmdp_util.Rational.one);
+      Alcotest.(check int) "shift offset" (-2) (Pmdp_util.Rational.to_int_exn offset)
+  | _ -> Alcotest.fail "cshift shape");
+  match cscale 0 ~num:1 ~den:2 ~off:0 with
+  | Cvar { scale; _ } ->
+      Alcotest.(check bool) "half scale" true
+        (Pmdp_util.Rational.equal scale (Pmdp_util.Rational.make 1 2))
+  | _ -> Alcotest.fail "cscale shape"
+
+let test_pp_roundtrip_smoke () =
+  let e = clamp (here "a" *: const 2.0) ~lo:(const 0.0) ~hi:(const 1.0) in
+  let s = Format.asprintf "%a" pp e in
+  Alcotest.(check bool) "pp nonempty" true (String.length s > 0)
+
+(* -------------------- Stage -------------------- *)
+
+let test_stage_validate_ok () =
+  let s = Stage.pointwise "ok" dims (here "img") in
+  Stage.validate s;
+  Alcotest.(check int) "ndims" 2 (Stage.ndims s);
+  Alcotest.(check int) "points" 64 (Stage.domain_points s)
+
+let test_stage_validate_bad_var () =
+  let s = Stage.pointwise "bad" dims (var 5) in
+  Alcotest.(check bool) "bad var raises" true
+    (try Stage.validate s; false with Invalid_argument _ -> true)
+
+let test_stage_validate_bad_extent () =
+  let s = Stage.pointwise "bad" [| { Stage.dim_name = "x"; lo = 0; extent = 0 } |] (const 1.0) in
+  Alcotest.(check bool) "zero extent raises" true
+    (try Stage.validate s; false with Invalid_argument _ -> true)
+
+let test_stage_reduction_vars () =
+  let r =
+    Stage.reduction "r" dims ~op:Stage.Rsum ~init:0.0 ~rdom:[| (0, 3) |]
+      (load "img" [| cdyn (var 0 +: var 2); cvar 1 |])
+  in
+  Stage.validate r;
+  Alcotest.(check int) "iter vars" 3 (Stage.n_iter_vars r);
+  Alcotest.(check bool) "is reduction" true (Stage.is_reduction r)
+
+(* -------------------- Pipeline -------------------- *)
+
+let test_pipeline_build () =
+  let p = blur_pipeline () in
+  Alcotest.(check int) "stages" 2 (Pipeline.n_stages p);
+  Alcotest.(check int) "blurx id" 0 (Pipeline.stage_id p "blurx");
+  Alcotest.(check (list int)) "producers of blury" [ 0 ] (Pipeline.producers p 1);
+  Alcotest.(check (list int)) "consumers of blurx" [ 1 ] (Pipeline.consumers p 0);
+  Alcotest.(check bool) "blury is output" true (Pipeline.is_output p 1);
+  Alcotest.(check bool) "img is input" true (Pipeline.is_input p "img");
+  Alcotest.(check int) "loads between" 3
+    (List.length (Pipeline.loads_between p ~consumer:1 ~producer:0));
+  Alcotest.(check int) "input loads of blurx" 3 (List.length (Pipeline.input_loads p 0));
+  Alcotest.(check int) "total points" 128 (Pipeline.total_points p)
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true)
+
+let test_pipeline_duplicate_names () =
+  expect_invalid "duplicate stage names" (fun () ->
+      Pipeline.build ~name:"dup"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "s" dims (here "img"); Stage.pointwise "s" dims (here "img") ]
+        ~outputs:[ "s" ])
+
+let test_pipeline_unknown_load () =
+  expect_invalid "unknown load" (fun () ->
+      Pipeline.build ~name:"unk"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "s" dims (here "ghost") ]
+        ~outputs:[ "s" ])
+
+let test_pipeline_wrong_arity () =
+  expect_invalid "wrong arity" (fun () ->
+      Pipeline.build ~name:"arity"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "s" dims (load "img" [| cvar 0 |]) ]
+        ~outputs:[ "s" ])
+
+let test_pipeline_unknown_output () =
+  expect_invalid "unknown output" (fun () ->
+      Pipeline.build ~name:"out"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "s" dims (here "img") ]
+        ~outputs:[ "nope" ])
+
+let test_pipeline_no_outputs () =
+  expect_invalid "no outputs" (fun () ->
+      Pipeline.build ~name:"none"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "s" dims (here "img") ]
+        ~outputs:[])
+
+let test_pipeline_self_reference () =
+  expect_invalid "self reference" (fun () ->
+      Pipeline.build ~name:"self"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "s" dims (here "s") ]
+        ~outputs:[ "s" ])
+
+let test_pipeline_input_stage_clash () =
+  expect_invalid "input/stage name clash" (fun () ->
+      Pipeline.build ~name:"clash"
+        ~inputs:[ Pipeline.input2 "img" 8 8 ]
+        ~stages:[ Stage.pointwise "img" dims (const 0.0) ]
+        ~outputs:[ "img" ])
+
+let () =
+  Alcotest.run "pmdp_dsl"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "arith cost" `Quick test_arith_cost;
+          Alcotest.test_case "max var" `Quick test_max_var;
+          Alcotest.test_case "fold loads" `Quick test_fold_loads;
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "pretty printer" `Quick test_pp_roundtrip_smoke;
+        ] );
+      ( "stage",
+        [
+          Alcotest.test_case "validate ok" `Quick test_stage_validate_ok;
+          Alcotest.test_case "bad variable" `Quick test_stage_validate_bad_var;
+          Alcotest.test_case "bad extent" `Quick test_stage_validate_bad_extent;
+          Alcotest.test_case "reduction vars" `Quick test_stage_reduction_vars;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "build and query" `Quick test_pipeline_build;
+          Alcotest.test_case "duplicate names" `Quick test_pipeline_duplicate_names;
+          Alcotest.test_case "unknown load" `Quick test_pipeline_unknown_load;
+          Alcotest.test_case "wrong arity" `Quick test_pipeline_wrong_arity;
+          Alcotest.test_case "unknown output" `Quick test_pipeline_unknown_output;
+          Alcotest.test_case "no outputs" `Quick test_pipeline_no_outputs;
+          Alcotest.test_case "self reference" `Quick test_pipeline_self_reference;
+          Alcotest.test_case "name clash" `Quick test_pipeline_input_stage_clash;
+        ] );
+    ]

@@ -1,0 +1,272 @@
+(* Tests for buffers, the expression compiler, and the executors —
+   including the central property: any valid schedule executes
+   bit-identically to the unfused reference. *)
+
+open Pmdp_dsl
+module Buffer = Pmdp_exec.Buffer
+module Compile = Pmdp_exec.Compile
+module Reference = Pmdp_exec.Reference
+module Tiled_exec = Pmdp_exec.Tiled_exec
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Cost_model = Pmdp_core.Cost_model
+module Machine = Pmdp_machine.Machine
+
+let config = Cost_model.default_config Machine.xeon
+
+(* -------------------- Buffer -------------------- *)
+
+let test_buffer_basic () =
+  let b = Buffer.create "b" (Stage.dim2 3 4) in
+  Alcotest.(check int) "size" 12 (Buffer.size b);
+  Buffer.set b [| 1; 2 |] 7.5;
+  Alcotest.(check (float 0.0)) "get" 7.5 (Buffer.get_clamped b [| 1; 2 |]);
+  Alcotest.(check (float 0.0)) "clamp lo" (Buffer.get_clamped b [| 0; 0 |])
+    (Buffer.get_clamped b [| -5; -5 |]);
+  Alcotest.(check (float 0.0)) "clamp hi" (Buffer.get_clamped b [| 2; 3 |])
+    (Buffer.get_clamped b [| 99; 99 |])
+
+let test_buffer_set_out_of_range () =
+  let b = Buffer.create "b" (Stage.dim2 3 4) in
+  Alcotest.(check bool) "set out of range" true
+    (try Buffer.set b [| 3; 0 |] 1.0; false with Invalid_argument _ -> true)
+
+let test_buffer_fill_checksum () =
+  let b = Buffer.create "b" (Stage.dim2 4 4) in
+  Buffer.fill b (fun idx -> float_of_int (idx.(0) + idx.(1)));
+  Alcotest.(check (float 1e-9)) "checksum" 48.0 (Buffer.checksum b)
+
+let test_buffer_diff () =
+  let a = Buffer.create "a" (Stage.dim2 2 2) and b = Buffer.create "b" (Stage.dim2 2 2) in
+  Buffer.set b [| 1; 1 |] 3.0;
+  Alcotest.(check (float 0.0)) "max diff" 3.0 (Buffer.max_abs_diff a b)
+
+(* -------------------- Compile -------------------- *)
+
+let test_compile_constants_and_ops () =
+  let open Expr in
+  let e = (const 2.0 *: var 0) +: Unop (Floor, const 2.7) in
+  let c = Compile.compile ~slot_of:(fun _ -> assert false) e in
+  Alcotest.(check (float 0.0)) "eval" 8.0 (c [||] [| 3 |])
+
+let test_compile_coord_floor_division () =
+  let open Expr in
+  (* f(floor(x/2)) over a 1-D buffer [0..3] = [10,11,12,13] *)
+  let b = Buffer.create "f" [| { Stage.dim_name = "x"; lo = 0; extent = 4 } |] in
+  Array.iteri (fun i _ -> b.Buffer.data.(i) <- 10.0 +. float_of_int i) b.Buffer.data;
+  let e = load "f" [| cscale 0 ~num:1 ~den:2 ~off:0 |] in
+  let c = Compile.compile ~slot_of:(fun _ -> 0) e in
+  let env = [| Compile.view_of_buffer b |] in
+  Alcotest.(check (float 0.0)) "x=0" 10.0 (c env [| 0 |]);
+  Alcotest.(check (float 0.0)) "x=1" 10.0 (c env [| 1 |]);
+  Alcotest.(check (float 0.0)) "x=5" 12.0 (c env [| 5 |]);
+  (* clamped above the extent *)
+  Alcotest.(check (float 0.0)) "x=9 clamps" 13.0 (c env [| 9 |])
+
+let test_compile_select_and_mod () =
+  let open Expr in
+  let e = select (Binop (Mod, var 0, const 2.0) =: const 0.0) (const 1.0) (const (-1.0)) in
+  let c = Compile.compile ~slot_of:(fun _ -> assert false) e in
+  Alcotest.(check (float 0.0)) "even" 1.0 (c [||] [| 4 |]);
+  Alcotest.(check (float 0.0)) "odd" (-1.0) (c [||] [| 5 |])
+
+let test_compile_dyn_coord () =
+  let open Expr in
+  let b = Buffer.create "lut" [| { Stage.dim_name = "i"; lo = 0; extent = 4 } |] in
+  Array.iteri (fun i _ -> b.Buffer.data.(i) <- float_of_int (i * i)) b.Buffer.data;
+  let e = load "lut" [| cdyn (var 0 /: const 2.0) |] in
+  let c = Compile.compile ~slot_of:(fun _ -> 0) e in
+  let env = [| Compile.view_of_buffer b |] in
+  Alcotest.(check (float 0.0)) "floor(5/2)=2 -> 4" 4.0 (c env [| 5 |])
+
+let test_slots_order () =
+  let open Expr in
+  let e = load "b" [| cvar 0 |] +: (load "a" [| cvar 0 |] *: load "b" [| cvar 0 |]) in
+  Alcotest.(check (array string)) "first occurrence order" [| "b"; "a" |] (Compile.slots e)
+
+(* -------------------- Reference vs hand values -------------------- *)
+
+let test_reference_blur_values () =
+  let dims = Stage.dim2 3 3 in
+  let s =
+    Stage.pointwise "avg" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:1)
+  in
+  let p =
+    Pipeline.build ~name:"avg" ~inputs:[ Pipeline.input2 "img" 3 3 ] ~stages:[ s ]
+      ~outputs:[ "avg" ]
+  in
+  let img = Buffer.create "img" dims in
+  Buffer.fill img (fun idx -> float_of_int ((idx.(0) * 3) + idx.(1)));
+  let results = Reference.run p ~inputs:[ ("img", img) ] in
+  let out = List.assoc "avg" results in
+  (* center point (1,1): (3+4+5)/3 = 4 *)
+  Alcotest.(check (float 1e-6)) "center" 4.0 (Buffer.get_clamped out [| 1; 1 |]);
+  (* boundary (1,0): clamps to (3+3+4)/3 *)
+  Alcotest.(check (float 1e-6)) "boundary clamps" (10.0 /. 3.0) (Buffer.get_clamped out [| 1; 0 |])
+
+let test_reference_reduction () =
+  let open Expr in
+  let dims = [| { Stage.dim_name = "x"; lo = 0; extent = 2 } |] in
+  let s =
+    Stage.reduction "sum" dims ~op:Stage.Rsum ~init:0.0 ~rdom:[| (0, 3) |]
+      (load "img" [| cdyn (var 1) |] +: var 0)
+  in
+  let p =
+    Pipeline.build ~name:"sum"
+      ~inputs:[ { Pipeline.in_name = "img"; in_dims = [| { Stage.dim_name = "i"; lo = 0; extent = 3 } |] } ]
+      ~stages:[ s ] ~outputs:[ "sum" ]
+  in
+  let img = Buffer.create "img" [| { Stage.dim_name = "i"; lo = 0; extent = 3 } |] in
+  Array.iteri (fun i _ -> img.Buffer.data.(i) <- float_of_int (i + 1)) img.Buffer.data;
+  let results = Reference.run p ~inputs:[ ("img", img) ] in
+  let out = List.assoc "sum" results in
+  (* x=0: (1+0)+(2+0)+(3+0)=6 ; x=1: 6+3=9 *)
+  Alcotest.(check (float 0.0)) "x=0" 6.0 out.Buffer.data.(0);
+  Alcotest.(check (float 0.0)) "x=1" 9.0 out.Buffer.data.(1)
+
+let test_reference_missing_input () =
+  let p = Pmdp_apps.Blur.build ~rows:16 ~cols:16 () in
+  Alcotest.(check bool) "missing input" true
+    (try ignore (Reference.run p ~inputs:[]); false with Invalid_argument _ -> true)
+
+(* -------------------- Tiled vs reference -------------------- *)
+
+let check_schedule_exact p inputs sched =
+  let plan = Tiled_exec.plan sched in
+  let tiled = Tiled_exec.run plan ~inputs in
+  let reference = Reference.run p ~inputs in
+  List.iter
+    (fun (name, buf) ->
+      let expected = List.assoc name reference in
+      Alcotest.(check (float 0.0)) ("exact: " ^ name) 0.0 (Buffer.max_abs_diff buf expected))
+    tiled
+
+let test_all_apps_dp_exact () =
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.Pmdp_apps.Registry.build ~scale:48 in
+      let inputs = app.Pmdp_apps.Registry.inputs ~seed:3 p in
+      let sched =
+        if Pipeline.n_stages p >= 30 then begin
+          let inc = Pmdp_core.Inc_grouping.run ~initial_limit:8 ~config p in
+          Schedule_spec.of_grouping config p inc.Pmdp_core.Inc_grouping.groups
+        end
+        else fst (Schedule_spec.dp config p)
+      in
+      check_schedule_exact p inputs sched)
+    Pmdp_apps.Registry.all
+
+let test_all_apps_manual_exact () =
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.Pmdp_apps.Registry.build ~scale:48 in
+      let inputs = app.Pmdp_apps.Registry.inputs ~seed:5 p in
+      check_schedule_exact p inputs (Pmdp_baselines.Manual.schedule p))
+    Pmdp_apps.Registry.all
+
+let prop_random_tiles_exact =
+  (* ANY tile sizes must give exact results on the fused blur group. *)
+  QCheck.Test.make ~name:"random tile sizes execute exactly" ~count:25
+    QCheck.(triple (int_range 1 40) (int_range 1 40) (int_range 1 70))
+    (fun (tc, tx, ty) ->
+      let p = Pmdp_apps.Blur.build ~rows:33 ~cols:37 () in
+      let sched = Schedule_spec.with_tiles p [ ([ 0; 1 ], [| tc; tx; ty |]) ] in
+      let inputs = Pmdp_apps.Blur.inputs ~seed:7 p in
+      let plan = Tiled_exec.plan sched in
+      let tiled = Tiled_exec.run plan ~inputs in
+      let reference = Reference.run p ~inputs in
+      Buffer.max_abs_diff (List.assoc "blury" tiled) (List.assoc "blury" reference) = 0.0)
+
+let prop_random_grouping_exact =
+  (* Random contiguous groupings of the Harris chain execute exactly. *)
+  QCheck.Test.make ~name:"random groupings execute exactly" ~count:15
+    QCheck.(int_bound 1023)
+    (fun mask ->
+      let p = Pmdp_apps.Harris.build ~scale:64 () in
+      let n = Pipeline.n_stages p in
+      (* split the topological order at mask bits to form a grouping;
+         invalid (unfusable) groups are split by of_grouping *)
+      let order = Pmdp_dag.Dag.topo_sort p.Pipeline.dag in
+      let groups = ref [] and current = ref [] in
+      List.iteri
+        (fun i s ->
+          current := s :: !current;
+          if i < n - 1 && mask land (1 lsl i) <> 0 then begin
+            groups := List.rev !current :: !groups;
+            current := []
+          end)
+        order;
+      if !current <> [] then groups := List.rev !current :: !groups;
+      (* groups must be connected to pass analysis; of_grouping splits
+         anything the cost model rejects, so this is always runnable *)
+      let sched = Schedule_spec.of_grouping config p (List.rev !groups) in
+      let inputs = Pmdp_apps.Harris.inputs ~seed:11 p in
+      let plan = Tiled_exec.plan sched in
+      let tiled = Tiled_exec.run plan ~inputs in
+      let reference = Reference.run p ~inputs in
+      Buffer.max_abs_diff (List.assoc "harris" tiled) (List.assoc "harris" reference) = 0.0)
+
+let test_parallel_equals_serial () =
+  let p = Pmdp_apps.Unsharp.build ~scale:32 () in
+  let inputs = Pmdp_apps.Unsharp.inputs ~seed:13 p in
+  let sched = fst (Schedule_spec.dp config p) in
+  let plan = Tiled_exec.plan sched in
+  let serial = Tiled_exec.run plan ~inputs in
+  let pool = Pmdp_runtime.Pool.create 4 in
+  let parallel = Tiled_exec.run ~pool plan ~inputs in
+  List.iter
+    (fun (name, buf) ->
+      Alcotest.(check (float 0.0)) ("parallel " ^ name) 0.0
+        (Buffer.max_abs_diff buf (List.assoc name parallel)))
+    serial
+
+let test_run_timed_consistent () =
+  let p = Pmdp_apps.Blur.build ~rows:64 ~cols:64 () in
+  let inputs = Pmdp_apps.Blur.inputs p in
+  let sched = fst (Schedule_spec.dp config p) in
+  let plan = Tiled_exec.plan sched in
+  let results, timings = Tiled_exec.run_timed plan ~inputs in
+  let reference = Reference.run p ~inputs in
+  Alcotest.(check (float 0.0)) "timed run exact" 0.0
+    (Buffer.max_abs_diff (List.assoc "blury" results) (List.assoc "blury" reference));
+  Alcotest.(check int) "one timing per group" (List.length timings)
+    (Schedule_spec.n_groups sched);
+  List.iter
+    (fun (g : Tiled_exec.group_timing) ->
+      Alcotest.(check bool) "durations nonnegative" true
+        (Array.for_all (fun d -> d >= 0.0) g.Tiled_exec.tile_durations))
+    timings
+
+let () =
+  Alcotest.run "pmdp_exec"
+    [
+      ( "buffer",
+        [
+          Alcotest.test_case "basic" `Quick test_buffer_basic;
+          Alcotest.test_case "set out of range" `Quick test_buffer_set_out_of_range;
+          Alcotest.test_case "fill/checksum" `Quick test_buffer_fill_checksum;
+          Alcotest.test_case "max diff" `Quick test_buffer_diff;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "constants/ops" `Quick test_compile_constants_and_ops;
+          Alcotest.test_case "floor-division coords" `Quick test_compile_coord_floor_division;
+          Alcotest.test_case "select/mod" `Quick test_compile_select_and_mod;
+          Alcotest.test_case "dynamic coord" `Quick test_compile_dyn_coord;
+          Alcotest.test_case "slot order" `Quick test_slots_order;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "blur values" `Quick test_reference_blur_values;
+          Alcotest.test_case "reduction" `Quick test_reference_reduction;
+          Alcotest.test_case "missing input" `Quick test_reference_missing_input;
+        ] );
+      ( "tiled",
+        [
+          Alcotest.test_case "all apps, DP schedule" `Slow test_all_apps_dp_exact;
+          Alcotest.test_case "all apps, manual schedule" `Slow test_all_apps_manual_exact;
+          QCheck_alcotest.to_alcotest prop_random_tiles_exact;
+          QCheck_alcotest.to_alcotest prop_random_grouping_exact;
+          Alcotest.test_case "parallel equals serial" `Quick test_parallel_equals_serial;
+          Alcotest.test_case "run_timed" `Quick test_run_timed_consistent;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Coverage of the smaller modules and code paths the main suites
+   skip: machine lookup, report tables, pretty printers, the generic
+   (arity > 3) load path of the compiler, the L1->L2 fallback, and
+   Inc_grouping round bookkeeping. *)
+
+open Pmdp_dsl
+module Machine = Pmdp_machine.Machine
+module Cost_model = Pmdp_core.Cost_model
+module Table = Pmdp_report.Table
+module Buffer = Pmdp_exec.Buffer
+module Compile = Pmdp_exec.Compile
+
+(* -------------------- machine -------------------- *)
+
+let test_machine_lookup () =
+  Alcotest.(check bool) "xeon" true (Machine.by_name "XEON" = Some Machine.xeon);
+  Alcotest.(check bool) "haswell alias" true (Machine.by_name "haswell" = Some Machine.xeon);
+  Alcotest.(check bool) "opteron" true (Machine.by_name "Opteron" = Some Machine.opteron);
+  Alcotest.(check bool) "amd alias" true (Machine.by_name "amd" = Some Machine.opteron);
+  Alcotest.(check bool) "unknown" true (Machine.by_name "m1" = None)
+
+let test_machine_with_cores () =
+  let m = Machine.with_cores Machine.xeon 4 in
+  Alcotest.(check int) "cores changed" 4 m.Machine.cores;
+  Alcotest.(check int) "rest unchanged" Machine.xeon.Machine.l1_bytes m.Machine.l1_bytes
+
+let test_table1_weights () =
+  (* the exact Table 1 values *)
+  Alcotest.(check (float 0.0)) "xeon w1" 1.0 Machine.xeon.Machine.w1;
+  Alcotest.(check (float 0.0)) "xeon w3" 46875.0 Machine.xeon.Machine.w3;
+  Alcotest.(check (float 0.0)) "opteron w1" 0.3 Machine.opteron.Machine.w1;
+  Alcotest.(check (float 0.0)) "opteron w4" 2.0 Machine.opteron.Machine.w4;
+  Alcotest.(check int) "xeon IMTS" 256 Machine.xeon.Machine.innermost_tile_size;
+  Alcotest.(check int) "opteron IMTS" 128 Machine.opteron.Machine.innermost_tile_size
+
+(* -------------------- report table -------------------- *)
+
+let test_table_renders () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "22"; "333" ];
+  Table.print ~title:"test" t;
+  Alcotest.(check bool) "too many cells raises" true
+    (try Table.add_row t [ "1"; "2"; "3" ]; false with Invalid_argument _ -> true)
+
+let test_table_formats () =
+  Alcotest.(check string) "fms small" "8.83" (Table.fms 8.83);
+  Alcotest.(check string) "fms large" "191" (Table.fms 191.2);
+  Alcotest.(check string) "fx" "2.31x" (Table.fx 2.31)
+
+(* -------------------- pretty printers -------------------- *)
+
+let test_expr_pp_all_ops () =
+  let open Expr in
+  let e =
+    select
+      ((var 0 <=: const 1.0) &&: ((var 1 >: const 0.0) ||: Not (var 0 =: var 1)))
+      (min_ (abs_ (neg (var 0))) (max_ (sqrt_ (var 1)) (exp_ (var 0))))
+      (Binop (Mod, Unop (Log, var 0) +: Unop (Sin, var 1) +: Unop (Cos, var 0), const 2.0))
+  in
+  let s = Format.asprintf "%a" pp e in
+  List.iter
+    (fun frag -> Alcotest.(check bool) ("pp contains " ^ frag) true
+        (Pmdp_util.Rng.int (Pmdp_util.Rng.create 1) 2 >= 0
+        &&
+        let nh = String.length s and nn = String.length frag in
+        let rec go i = i + nn <= nh && (String.sub s i nn = frag || go (i + 1)) in
+        go 0))
+    [ "select"; "min("; "max("; "sqrt"; "exp"; "mod("; "&&"; "||"; "!(" ]
+
+let test_stage_pp () =
+  let s = Stage.pointwise "f" (Stage.dim2 4 4) (Expr.const 1.0) in
+  let str = Format.asprintf "%a" Stage.pp s in
+  Alcotest.(check bool) "mentions name" true (String.length str > 5)
+
+let test_coord_pp () =
+  let open Expr in
+  let e = load "p" [| cscale 0 ~num:1 ~den:2 ~off:1; cshift 1 (-3); cdyn (var 0) |] in
+  let s = Format.asprintf "%a" pp e in
+  Alcotest.(check bool) "rational scale printed" true (String.length s > 10)
+
+(* -------------------- generic load path (arity 4) -------------------- *)
+
+let test_compile_arity4 () =
+  let open Expr in
+  let dims =
+    [|
+      { Stage.dim_name = "a"; lo = 0; extent = 2 };
+      { Stage.dim_name = "b"; lo = 0; extent = 3 };
+      { Stage.dim_name = "c"; lo = 0; extent = 4 };
+      { Stage.dim_name = "d"; lo = 0; extent = 5 };
+    |]
+  in
+  let b = Buffer.create "t4" dims in
+  Buffer.fill b (fun idx ->
+      float_of_int ((1000 * idx.(0)) + (100 * idx.(1)) + (10 * idx.(2)) + idx.(3)));
+  let e = load "t4" [| cvar 0; cshift 1 1; cvar 2; cshift 3 (-1) |] in
+  let c = Compile.compile ~slot_of:(fun _ -> 0) e in
+  let env = [| Compile.view_of_buffer b |] in
+  (* (1, 2+1 -> clamps to 2, 1, 3-1) *)
+  Alcotest.(check (float 0.0)) "4-D indexing" 1212.0 (c env [| 1; 2; 1; 3 |]);
+  (* clamped on two dims at once *)
+  Alcotest.(check (float 0.0)) "4-D clamping" 1210.0 (c env [| 1; 9; 1; 0 |])
+
+(* -------------------- L1 -> L2 fallback -------------------- *)
+
+let test_l2_fallback_exists () =
+  (* A very deep wide-stencil chain: L1-sized tiles overflow with
+     overlap, pushing the verdict to L2. *)
+  let dims = Stage.dim2 4096 4096 in
+  let rec build acc prev i =
+    if i = 24 then List.rev acc
+    else
+      let name = Printf.sprintf "t%d" i in
+      let s =
+        Stage.pointwise name dims
+          (Pmdp_apps.Helpers.stencil prev ~ndims:2 ~dim:0
+             [ (-8, 0.2); (0, 0.6); (8, 0.2) ])
+      in
+      build (s :: acc) name (i + 1)
+  in
+  let p =
+    Pipeline.build ~name:"deep24"
+      ~inputs:[ Pipeline.input2 "img" 4096 4096 ]
+      ~stages:(build [] "img" 0)
+      ~outputs:[ "t23" ]
+  in
+  let config = Cost_model.default_config Machine.xeon in
+  let v = Cost_model.cost config p (List.init 24 Fun.id) in
+  Alcotest.(check bool) "finite" true (v.Cost_model.cost < infinity);
+  (* whichever level it lands on, the choice must be recorded sanely *)
+  Alcotest.(check bool) "level recorded" true
+    (match v.Cost_model.level with Cost_model.L1 | Cost_model.L2 -> true)
+
+(* -------------------- inc rounds bookkeeping -------------------- *)
+
+let test_inc_round_limits () =
+  let p = Pmdp_apps.Interpolate.build ~scale:32 () in
+  let config = Cost_model.default_config Machine.xeon in
+  let inc = Pmdp_core.Inc_grouping.run ~initial_limit:4 ~config p in
+  (match inc.Pmdp_core.Inc_grouping.rounds with
+  | first :: rest ->
+      Alcotest.(check (option int)) "first round limit" (Some 4) first.Pmdp_core.Inc_grouping.limit;
+      (match List.rev rest with
+      | last :: _ ->
+          Alcotest.(check (option int)) "final round unbounded" None
+            last.Pmdp_core.Inc_grouping.limit
+      | [] -> Alcotest.fail "expected several rounds")
+  | [] -> Alcotest.fail "no rounds");
+  Alcotest.(check bool) "cost finite" true (inc.Pmdp_core.Inc_grouping.cost < infinity)
+
+(* -------------------- buffer with_data -------------------- *)
+
+let test_buffer_with_data () =
+  let dims = Stage.dim2 2 3 in
+  let big = Array.make 100 7.0 in
+  let b = Buffer.with_data "w" dims big in
+  Alcotest.(check (float 0.0)) "reads storage" 7.0 (Buffer.get_clamped b [| 1; 2 |]);
+  Alcotest.(check bool) "too small raises" true
+    (try ignore (Buffer.with_data "w" dims (Array.make 3 0.0)); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "pmdp_misc"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "lookup" `Quick test_machine_lookup;
+          Alcotest.test_case "with_cores" `Quick test_machine_with_cores;
+          Alcotest.test_case "Table 1 values" `Quick test_table1_weights;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_table_renders;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "all expr operators" `Quick test_expr_pp_all_ops;
+          Alcotest.test_case "stage" `Quick test_stage_pp;
+          Alcotest.test_case "coords" `Quick test_coord_pp;
+        ] );
+      ( "compile",
+        [ Alcotest.test_case "generic arity-4 loads" `Quick test_compile_arity4 ] );
+      ( "cost",
+        [ Alcotest.test_case "deep chain cache level" `Quick test_l2_fallback_exists ] );
+      ( "inc",
+        [ Alcotest.test_case "round limits" `Quick test_inc_round_limits ] );
+      ( "buffer",
+        [ Alcotest.test_case "with_data" `Quick test_buffer_with_data ] );
+    ]

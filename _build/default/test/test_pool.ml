@@ -1,0 +1,104 @@
+(* Tests for the domain pool and makespan simulation. *)
+
+module Pool = Pmdp_runtime.Pool
+
+let test_create_bad () =
+  Alcotest.(check bool) "zero workers" true
+    (try ignore (Pool.create 0); false with Invalid_argument _ -> true)
+
+let test_parallel_for_covers_all () =
+  let pool = Pool.create 4 in
+  let n = 1000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_for pool ~n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i a -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get a))
+    hits
+
+let test_parallel_for_sum () =
+  let pool = Pool.create 3 in
+  let acc = Atomic.make 0 in
+  Pool.parallel_for pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add acc i));
+  Alcotest.(check int) "sum" 4950 (Atomic.get acc)
+
+let test_parallel_for_single_worker () =
+  let pool = Pool.create 1 in
+  let order = ref [] in
+  Pool.parallel_for pool ~n:5 (fun i -> order := i :: !order);
+  Alcotest.(check (list int)) "sequential order" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let test_parallel_for_zero () =
+  let pool = Pool.create 4 in
+  Pool.parallel_for pool ~n:0 (fun _ -> Alcotest.fail "must not run")
+
+exception Boom
+
+let test_exception_propagates () =
+  let pool = Pool.create 4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Pool.parallel_for pool ~n:100 (fun i -> if i = 50 then raise Boom);
+       false
+     with Boom -> true)
+
+let feq = Alcotest.float 1e-12
+
+let test_makespan_static () =
+  (* 4 tiles on 2 workers, static: chunks [0;1] and [2;3] *)
+  let d = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.check feq "static" 7.0 (Pool.simulate_makespan ~sched:Pool.Static ~workers:2 d);
+  Alcotest.check feq "1 worker = sum" 10.0 (Pool.simulate_makespan ~workers:1 d);
+  Alcotest.check feq "many workers = max" 4.0
+    (Pool.simulate_makespan ~sched:Pool.Static ~workers:8 d)
+
+let test_makespan_dynamic () =
+  (* dynamic: [3;1;1;1] on 2 workers: w0=3, w1=1+1+1=3 *)
+  let d = [| 3.0; 1.0; 1.0; 1.0 |] in
+  Alcotest.check feq "dynamic balances" 3.0
+    (Pool.simulate_makespan ~sched:Pool.Dynamic ~workers:2 d);
+  (* static on the same input: chunks [3;1] and [1;1] -> 4 *)
+  Alcotest.check feq "static is worse here" 4.0
+    (Pool.simulate_makespan ~sched:Pool.Static ~workers:2 d)
+
+let test_makespan_empty () =
+  Alcotest.check feq "no tiles" 0.0 (Pool.simulate_makespan ~workers:4 [||])
+
+let test_makespan_bad_workers () =
+  Alcotest.(check bool) "workers < 1" true
+    (try ignore (Pool.simulate_makespan ~workers:0 [| 1.0 |]); false
+     with Invalid_argument _ -> true)
+
+let prop_makespan_bounds =
+  QCheck.Test.make ~name:"makespan between max and sum" ~count:200
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_range 1 30) (float_range 0.0 10.0)))
+    (fun (workers, durations) ->
+      let d = Array.of_list durations in
+      let sum = Array.fold_left ( +. ) 0.0 d in
+      let mx = Array.fold_left Float.max 0.0 d in
+      List.for_all
+        (fun sched ->
+          let m = Pool.simulate_makespan ~sched ~workers d in
+          m >= mx -. 1e-9 && m <= sum +. 1e-9)
+        [ Pool.Static; Pool.Dynamic ])
+
+let () =
+  Alcotest.run "pmdp_runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "bad size" `Quick test_create_bad;
+          Alcotest.test_case "covers all indices" `Quick test_parallel_for_covers_all;
+          Alcotest.test_case "sum" `Quick test_parallel_for_sum;
+          Alcotest.test_case "single worker" `Quick test_parallel_for_single_worker;
+          Alcotest.test_case "zero iterations" `Quick test_parallel_for_zero;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        ] );
+      ( "makespan",
+        [
+          Alcotest.test_case "static" `Quick test_makespan_static;
+          Alcotest.test_case "dynamic" `Quick test_makespan_dynamic;
+          Alcotest.test_case "empty" `Quick test_makespan_empty;
+          Alcotest.test_case "bad workers" `Quick test_makespan_bad_workers;
+          QCheck_alcotest.to_alcotest prop_makespan_bounds;
+        ] );
+    ]

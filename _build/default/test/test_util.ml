@@ -1,0 +1,166 @@
+(* Unit and property tests for Pmdp_util: rationals, RNG, stats. *)
+
+module Rational = Pmdp_util.Rational
+module Rng = Pmdp_util.Rng
+module Stats = Pmdp_util.Stats
+
+let rat = Alcotest.testable Rational.pp Rational.equal
+
+let arb_rational =
+  QCheck.map
+    (fun (n, d) -> Rational.make n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-50) 50))
+
+(* -------------------- Rational -------------------- *)
+
+let test_make_canonical () =
+  Alcotest.check rat "6/4 = 3/2" (Rational.make 3 2) (Rational.make 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (Rational.make 3 2) (Rational.make (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (Rational.make (-3) 2) (Rational.make 6 (-4));
+  Alcotest.check rat "0/7 = 0" Rational.zero (Rational.make 0 7)
+
+let test_make_zero_den () =
+  Alcotest.check_raises "zero denominator" (Invalid_argument "Rational.make: zero denominator")
+    (fun () -> ignore (Rational.make 1 0))
+
+let test_arith () =
+  let half = Rational.make 1 2 and third = Rational.make 1 3 in
+  Alcotest.check rat "1/2+1/3" (Rational.make 5 6) (Rational.add half third);
+  Alcotest.check rat "1/2-1/3" (Rational.make 1 6) (Rational.sub half third);
+  Alcotest.check rat "1/2*1/3" (Rational.make 1 6) (Rational.mul half third);
+  Alcotest.check rat "1/2 / 1/3" (Rational.make 3 2) (Rational.div half third);
+  Alcotest.check rat "neg" (Rational.make (-1) 2) (Rational.neg half);
+  Alcotest.check rat "inv" (Rational.of_int 2) (Rational.inv half)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rational.div Rational.one Rational.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Rational.inv Rational.zero))
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rational.floor (Rational.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rational.floor (Rational.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rational.ceil (Rational.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rational.ceil (Rational.make (-7) 2));
+  Alcotest.(check int) "floor int" 5 (Rational.floor (Rational.of_int 5));
+  Alcotest.(check int) "ceil int" 5 (Rational.ceil (Rational.of_int 5))
+
+let test_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true (Rational.compare (Rational.make 1 2) (Rational.make 2 3) < 0);
+  Alcotest.(check int) "sign neg" (-1) (Rational.sign (Rational.make (-1) 9));
+  Alcotest.(check int) "sign zero" 0 (Rational.sign Rational.zero)
+
+let test_to_int () =
+  Alcotest.(check int) "4/2 is 2" 2 (Rational.to_int_exn (Rational.make 4 2));
+  Alcotest.(check bool) "1/2 not integer" false (Rational.is_integer (Rational.make 1 2));
+  Alcotest.check_raises "to_int_exn 1/2"
+    (Invalid_argument "Rational.to_int_exn: not an integer") (fun () ->
+      ignore (Rational.to_int_exn (Rational.make 1 2)))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"rational add commutative" ~count:500
+    (QCheck.pair arb_rational arb_rational) (fun (a, b) ->
+      Rational.equal (Rational.add a b) (Rational.add b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"rational mul associative" ~count:500
+    (QCheck.triple arb_rational arb_rational arb_rational) (fun (a, b, c) ->
+      Rational.equal (Rational.mul a (Rational.mul b c)) (Rational.mul (Rational.mul a b) c))
+
+let prop_canonical =
+  QCheck.Test.make ~name:"rational always canonical" ~count:500 arb_rational (fun r ->
+      let { Rational.num; den } = r in
+      den > 0
+      &&
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      gcd (abs num) den = 1 || num = 0)
+
+let prop_floor_le =
+  QCheck.Test.make ~name:"floor <= value <= ceil" ~count:500 arb_rational (fun r ->
+      let f = float_of_int (Rational.floor r) and c = float_of_int (Rational.ceil r) in
+      let v = Rational.to_float r in
+      f <= v && v <= c && c -. f <= 1.0)
+
+(* -------------------- Rng -------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_bad_bound () =
+  Alcotest.check_raises "nonpositive bound" (Invalid_argument "Rng.int: nonpositive bound")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let test_rng_split () =
+  let r = Rng.create 3 in
+  let s = Rng.split r in
+  Alcotest.(check bool) "split independent" true (Rng.next_int64 s <> Rng.next_int64 s)
+
+(* -------------------- Stats -------------------- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basic () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "stddev const" 0.0 (Stats.stddev [| 5.; 5.; 5. |]);
+  Alcotest.check (Alcotest.float 1e-6) "stddev" (sqrt 1.25) (Stats.stddev [| 1.; 2.; 3.; 4. |]);
+  Alcotest.check feq "median odd" 2.0 (Stats.median [| 3.; 1.; 2. |]);
+  Alcotest.check feq "median even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  Alcotest.check feq "min" 1.0 (Stats.min [| 3.; 1.; 2. |]);
+  Alcotest.check feq "max" 3.0 (Stats.max [| 3.; 1.; 2. |])
+
+let test_stats_cv () =
+  Alcotest.check feq "cv of constant" 0.0 (Stats.coefficient_of_variation [| 7.; 7. |]);
+  Alcotest.(check bool) "cv positive" true (Stats.coefficient_of_variation [| 1.; 3. |] > 0.0)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats: empty input") (fun () ->
+      ignore (Stats.mean [||]))
+
+let () =
+  Alcotest.run "pmdp_util"
+    [
+      ( "rational",
+        [
+          Alcotest.test_case "canonical form" `Quick test_make_canonical;
+          Alcotest.test_case "zero denominator" `Quick test_make_zero_den;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "compare/sign" `Quick test_compare;
+          Alcotest.test_case "to_int" `Quick test_to_int;
+          QCheck_alcotest.to_alcotest prop_add_commutative;
+          QCheck_alcotest.to_alcotest prop_mul_assoc;
+          QCheck_alcotest.to_alcotest prop_canonical;
+          QCheck_alcotest.to_alcotest prop_floor_le;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bad bound" `Quick test_rng_bad_bound;
+          Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "coefficient of variation" `Quick test_stats_cv;
+          Alcotest.test_case "empty input" `Quick test_stats_empty;
+        ] );
+    ]

@@ -1,0 +1,42 @@
+(* Cross-validation driver: every app's DP schedule must reproduce
+   the reference executor bitwise.  Run directly during development;
+   the alcotest suites cover the same ground. *)
+let () =
+  let scale = try int_of_string Sys.argv.(1) with _ -> 32 in
+  let config = Pmdp_core.Cost_model.default_config Pmdp_machine.Machine.xeon in
+  List.iter
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let t0 = Unix.gettimeofday () in
+      let p = app.build ~scale in
+      let n = Pmdp_dsl.Pipeline.n_stages p in
+      Printf.printf "%-14s stages=%d (paper %d)%!" app.name n app.paper_stages;
+      let inputs = app.inputs ~seed:1 p in
+      let refr = Pmdp_exec.Reference.run p ~inputs in
+      (* Large pipelines use the paper's bounded incremental DP
+         (Alg. 3), exactly as the paper does for CP and PB. *)
+      let sched, enumerated, elapsed =
+        if n >= 30 then begin
+          let inc = Pmdp_core.Inc_grouping.run ~initial_limit:8 ~config p in
+          ( Pmdp_core.Schedule_spec.of_grouping config p inc.Pmdp_core.Inc_grouping.groups,
+            inc.Pmdp_core.Inc_grouping.total_enumerated,
+            inc.Pmdp_core.Inc_grouping.total_elapsed )
+        end
+        else begin
+          let sched, outcome = Pmdp_core.Schedule_spec.dp config p in
+          (sched, outcome.Pmdp_core.Dp_grouping.enumerated, outcome.Pmdp_core.Dp_grouping.elapsed)
+        end
+      in
+      Printf.printf " groups=%d enumerated=%d dp_time=%.2fs%!"
+        (Pmdp_core.Schedule_spec.n_groups sched) enumerated elapsed;
+      let plan = Pmdp_exec.Tiled_exec.plan sched in
+      let tiled = Pmdp_exec.Tiled_exec.run plan ~inputs in
+      let worst =
+        List.fold_left
+          (fun acc (name, buf) ->
+            Float.max acc (Pmdp_exec.Buffer.max_abs_diff buf (List.assoc name refr)))
+          0.0 tiled
+      in
+      Printf.printf " maxdiff=%g total=%.2fs\n%!" worst (Unix.gettimeofday () -. t0);
+      assert (worst = 0.0))
+    Pmdp_apps.Registry.all;
+  print_endline "all apps validated"
