@@ -6,6 +6,7 @@
      run <app>                    — execute a schedule and validate vs reference
      emit-c <app>                 — generate C++/OpenMP for a schedule
      cachesim <app>               — simulated L1/L2 hit/miss fractions
+     check [app]                  — static legality/bounds/race/lint verification
 *)
 
 open Cmdliner
@@ -176,6 +177,64 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ grouped_t $ out_t)
 
+let check_cmd =
+  let doc =
+    "Statically verify schedules (legality, bounds, races, lint) without running them."
+  in
+  let run name scale machine schedulers =
+    let apps =
+      match name with
+      | Some n -> (
+          try [ Pmdp_apps.Registry.find n ]
+          with Not_found ->
+            Printf.eprintf "unknown app %S\n" n;
+            exit 2)
+      | None -> Pmdp_apps.Registry.benchmarks
+    in
+    let scheds =
+      String.split_on_char ',' schedulers
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if scheds = [] then begin
+      Printf.eprintf "no schedulers given\n";
+      exit 2
+    end;
+    let had_errors = ref false in
+    List.iter
+      (fun (app : Pmdp_apps.Registry.app) ->
+        let pipeline = app.Pmdp_apps.Registry.build ~scale in
+        let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+        List.iter
+          (fun scheduler ->
+            (* Full DP is exponential in practice on the big pipelines;
+               use the incremental variant there, as the tests do. *)
+            let scheduler =
+              if scheduler = "dp" && Pmdp_dsl.Pipeline.n_stages pipeline >= 30 then
+                "dp-inc"
+              else scheduler
+            in
+            let sched = make_schedule scheduler machine pipeline inputs in
+            let ds = Pmdp_verify.Verify.check_schedule sched in
+            if Pmdp_verify.Verify.errors ds <> [] then had_errors := true;
+            Format.printf "%-15s %-8s %s@." app.Pmdp_apps.Registry.name scheduler
+              (Pmdp_verify.Diagnostic.summary ds);
+            List.iter (fun d -> Format.printf "  %a@." Pmdp_verify.Diagnostic.pp d) ds)
+          scheds)
+      apps;
+    if !had_errors then exit 1
+  in
+  let app_opt_t =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"APP" ~doc:"Pipeline name (default: all six benchmarks).")
+  in
+  let scheds_t =
+    Arg.(value & opt string "dp,greedy,halide"
+         & info [ "scheduler"; "s" ] ~doc:"Comma-separated schedulers to check.")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ app_opt_t $ scale_t $ machine_t $ scheds_t)
+
 let storage_cmd =
   let doc = "Report buffer lifetimes and the memory saved by recycling (storage optimization)." in
   let run name scale machine scheduler =
@@ -199,9 +258,13 @@ let storage_cmd =
     Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t)
 
 let () =
+  (* Executors validate schedules on entry; with the oracle installed
+     they also refuse illegal or racy ones. *)
+  Pmdp_verify.Verify.install ();
   let doc = "PolyMageDP: DP-based fusion and tile-size model (PPoPP'18 reproduction)" in
   let info = Cmd.info "pmdp" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; schedule_cmd; run_cmd; emit_c_cmd; cachesim_cmd; dot_cmd; storage_cmd ]))
+          [ list_cmd; schedule_cmd; run_cmd; emit_c_cmd; cachesim_cmd; dot_cmd;
+            storage_cmd; check_cmd ]))

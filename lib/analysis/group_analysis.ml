@@ -13,19 +13,34 @@ type failure =
   | Zero_scale_access of { producer : string; consumer : string }
   | Not_connected
 
-let pp_failure ppf = function
-  | Dynamic_access { producer; consumer } ->
-      Format.fprintf ppf "dynamic access from %s to %s" consumer producer
-  | Misaligned { producer; consumer } ->
-      Format.fprintf ppf "misaligned dimensions between %s and %s" consumer producer
-  | Inconsistent_scale { stage; dim } ->
-      Format.fprintf ppf "inconsistent scaling for %s along dim %d" stage dim
-  | Fused_reduction s -> Format.fprintf ppf "reduction %s fused with other stages" s
-  | Rvar_access { producer; consumer } ->
-      Format.fprintf ppf "%s indexes %s with a reduction variable" consumer producer
-  | Zero_scale_access { producer; consumer } ->
-      Format.fprintf ppf "%s indexes %s with a constant coordinate" consumer producer
-  | Not_connected -> Format.fprintf ppf "group is not a connected subgraph"
+let failure_kind = function
+  | Dynamic_access _ -> "dynamic-access"
+  | Misaligned _ -> "misaligned"
+  | Inconsistent_scale _ -> "inconsistent-scale"
+  | Fused_reduction _ -> "fused-reduction"
+  | Rvar_access _ -> "rvar-access"
+  | Zero_scale_access _ -> "zero-scale-access"
+  | Not_connected -> "not-connected"
+
+(* One line, [kind: detail], no embedded newlines — consumed verbatim
+   by tooling (pmdp check diagnostics), so keep the format stable. *)
+let pp_failure ppf f =
+  let detail =
+    match f with
+    | Dynamic_access { producer; consumer } ->
+        Printf.sprintf "dynamic access from %s to %s" consumer producer
+    | Misaligned { producer; consumer } ->
+        Printf.sprintf "misaligned dimensions between %s and %s" consumer producer
+    | Inconsistent_scale { stage; dim } ->
+        Printf.sprintf "inconsistent scaling for %s along dim %d" stage dim
+    | Fused_reduction s -> Printf.sprintf "reduction %s fused with other stages" s
+    | Rvar_access { producer; consumer } ->
+        Printf.sprintf "%s indexes %s with a reduction variable" consumer producer
+    | Zero_scale_access { producer; consumer } ->
+        Printf.sprintf "%s indexes %s with a constant coordinate" consumer producer
+    | Not_connected -> "group is not a connected subgraph"
+  in
+  Format.fprintf ppf "%s: %s" (failure_kind f) detail
 
 type edge = {
   e_producer : int;

@@ -30,7 +30,13 @@ type failure =
   | Zero_scale_access of { producer : string; consumer : string }
   | Not_connected
 
+val failure_kind : failure -> string
+(** Stable kebab-case slug per constructor (e.g. ["dynamic-access"]),
+    for machine consumption. *)
+
 val pp_failure : Format.formatter -> failure -> unit
+(** One line, [kind: detail] with [kind] = {!failure_kind}, no
+    embedded newlines — safe to parse and to embed in diagnostics. *)
 
 type edge = {
   e_producer : int;  (** index into [members] *)

@@ -133,6 +133,14 @@ and cond_to_c ctx (c : Expr.cond) =
   | Expr.Or (a, b) -> spf "(%s || %s)" (cond_to_c ctx a) (cond_to_c ctx b)
   | Expr.Not a -> spf "(!%s)" (cond_to_c ctx a)
 
+let scratch_alloc_extents (ga : Group_analysis.t) ~member:m ~tile =
+  let stage = Pipeline.stage ga.Group_analysis.pipeline ga.Group_analysis.members.(m) in
+  Array.init (Stage.ndims stage) (fun k ->
+      let g = ga.Group_analysis.dim_of_stage.(m).(k) in
+      let s = ga.Group_analysis.scales.(m).(g) in
+      let elo, ehi = ga.Group_analysis.expansions.(m).(g) in
+      min stage.Stage.dims.(k).Stage.extent (((tile.(g) + elo + ehi) / s) + 2))
+
 let emit (spec : Schedule_spec.t) =
   Schedule_spec.validate spec;
   let p = spec.Schedule_spec.pipeline in
@@ -215,7 +223,8 @@ let emit (spec : Schedule_spec.t) =
           let own_nd = Stage.ndims stage in
           out "  %s// tile of function %s" ind sname;
           (* Region bounds in own coordinates. *)
-          let max_ext = ref 1 in
+          let allocs = scratch_alloc_extents ga ~member:m ~tile in
+          let max_ext = Array.fold_left ( * ) 1 allocs in
           for k = 0 to own_nd - 1 do
             let g = ga.Group_analysis.dim_of_stage.(m).(k) in
             let s = ga.Group_analysis.scales.(m).(g) in
@@ -224,9 +233,7 @@ let emit (spec : Schedule_spec.t) =
             out "  %sint %s_lo%d = CLAMPI(FDIV(tlo%d - %d, %d), %d, %d);" ind (scratch sname) k g
               elo s lo hi;
             out "  %sint %s_hi%d = CLAMPI(CDIV(thi%d + %d, %d), %d, %d);" ind (scratch sname) k g
-              ehi s lo hi;
-            let g_ext = (tile.(g) + elo + ehi) / s + 2 in
-            max_ext := !max_ext * min stage.Stage.dims.(k).Stage.extent g_ext
+              ehi s lo hi
           done;
           let liveout = ga.Group_analysis.liveouts.(m) in
           (* Every member computes into a tile-local scratch region;
@@ -239,7 +246,7 @@ let emit (spec : Schedule_spec.t) =
               out "  %sint %s_st%d = %s_st%d * (%s_hi%d - %s_lo%d + 1);" ind (scratch sname) k
                 (scratch sname) (k + 1) (scratch sname) (k + 1) (scratch sname) (k + 1)
           done;
-          out "  %sfloat %s[%d];" ind (scratch sname) !max_ext;
+          out "  %sfloat %s[%d];" ind (scratch sname) max_ext;
           for k = 0 to own_nd - 1 do
             let pragma = if k = own_nd - 1 then spf "#pragma ivdep\n" else "" in
             if pragma <> "" then out "%s" "#pragma ivdep";

@@ -9,6 +9,14 @@
     serves inspection and testing — execution goes through
     {!Pmdp_exec.Tiled_exec}. *)
 
+val scratch_alloc_extents :
+  Pmdp_analysis.Group_analysis.t -> member:int -> tile:int array -> int array
+(** Per own-dimension extents of the on-stack scratch array the
+    emitted code allocates for a member's per-tile region (the
+    [float scr_f[N]] declaration uses their product).  Exposed so the
+    static bounds checker ({!Pmdp_verify}) can prove every tile's
+    region fits the allocation. *)
+
 val emit : Pmdp_core.Schedule_spec.t -> string
 (** Full translation unit for the schedule's pipeline.
     @raise Invalid_argument if a group fails analysis. *)

@@ -69,8 +69,26 @@ let dp config p =
 
 let n_groups t = List.length t.groups
 
+(* Optional deeper legality check (dependence/overlap/race analysis),
+   registered by Pmdp_verify.install.  Kept as a hook so this module
+   does not depend on the checker (which depends on the executors,
+   which depend on this module). *)
+let legality_oracle : (t -> string option) option ref = ref None
+let set_legality_oracle o = legality_oracle := o
+
 let validate t =
   check_partition t.pipeline (List.map (fun g -> g.stages) t.groups);
+  List.iter
+    (fun g ->
+      if g.stages <> [] && Array.length g.tile_sizes = 0 then
+        invalid_arg "Schedule_spec.validate: empty tile-size array for nonempty group";
+      Array.iter
+        (fun ts ->
+          if ts <= 0 then
+            invalid_arg
+              (Printf.sprintf "Schedule_spec.validate: non-positive tile size %d" ts))
+        g.tile_sizes)
+    t.groups;
   (* Groups must appear in topological order. *)
   let seen = Array.make (Pipeline.n_stages t.pipeline) false in
   List.iter
@@ -84,7 +102,13 @@ let validate t =
             (Pipeline.producers t.pipeline s))
         g.stages;
       List.iter (fun s -> seen.(s) <- true) g.stages)
-    t.groups
+    t.groups;
+  match !legality_oracle with
+  | None -> ()
+  | Some oracle -> (
+      match oracle t with
+      | None -> ()
+      | Some msg -> invalid_arg ("Schedule_spec.validate: " ^ msg))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>schedule for %s (%d groups)@," t.pipeline.Pipeline.name

@@ -29,6 +29,18 @@ type group_plan = {
 
 type plan = { pipeline : Pipeline.t; groups : group_plan array; liveouts : string list }
 
+(* Per own-dimension extents of the reusable arena slot that covers
+   any tile's region of a member; exposed so the static bounds checker
+   can prove no region ever exceeds it. *)
+let member_scratch_extents (ga : Group_analysis.t) ~member:m ~tile =
+  let stage = Pipeline.stage ga.Group_analysis.pipeline ga.Group_analysis.members.(m) in
+  Array.init (Stage.ndims stage) (fun k ->
+      let g = ga.Group_analysis.dim_of_stage.(m).(k) in
+      let s = ga.Group_analysis.scales.(m).(g) in
+      let elo, ehi = ga.Group_analysis.expansions.(m).(g) in
+      let widest = ((tile.(g) + elo + ehi + s - 1) / s) + 2 in
+      min stage.Stage.dims.(k).Stage.extent (max 1 widest))
+
 let plan (spec : Schedule_spec.t) =
   Schedule_spec.validate spec;
   let p = spec.Schedule_spec.pipeline in
@@ -79,7 +91,6 @@ let plan (spec : Schedule_spec.t) =
               let liveout = ga.Group_analysis.liveouts.(m) in
               let own_nd = Stage.ndims stage in
               let direct = ref liveout in
-              let max_scratch = ref 1 in
               for k = 0 to own_nd - 1 do
                 let g = ga.Group_analysis.dim_of_stage.(m).(k) in
                 let s = ga.Group_analysis.scales.(m).(g) in
@@ -88,11 +99,11 @@ let plan (spec : Schedule_spec.t) =
                   (elo, ehi) <> (0, 0) || s <> 1
                   || ga.Group_analysis.scaled_lo.(m).(g) <> ga.Group_analysis.dim_lo.(g)
                   || ga.Group_analysis.scaled_hi.(m).(g) <> ga.Group_analysis.dim_hi.(g)
-                then direct := false;
-                let widest = ((tile.(g) + elo + ehi + s - 1) / s) + 2 in
-                max_scratch :=
-                  !max_scratch * min stage.Stage.dims.(k).Stage.extent (max 1 widest)
+                then direct := false
               done;
+              let max_scratch =
+                Array.fold_left ( * ) 1 (member_scratch_extents ga ~member:m ~tile)
+              in
               for g = 0 to ga.Group_analysis.n_dims - 1 do
                 if ga.Group_analysis.expansions.(m).(g) <> (0, 0) then direct := false
               done;
@@ -101,7 +112,7 @@ let plan (spec : Schedule_spec.t) =
                 stage;
                 liveout;
                 direct = !direct;
-                max_scratch = (if !direct then 0 else !max_scratch);
+                max_scratch = (if !direct then 0 else max_scratch);
                 slots;
                 compiled;
               })

@@ -14,6 +14,13 @@
 
 type plan
 
+val member_scratch_extents :
+  Pmdp_analysis.Group_analysis.t -> member:int -> tile:int array -> int array
+(** Per own-dimension extents of the reusable arena slot allocated for
+    a member's per-tile region (the executor sizes its scratch arena
+    by their product).  Exposed so the static bounds checker
+    ({!Pmdp_verify}) can prove every tile's region fits the slot. *)
+
 val plan : Pmdp_core.Schedule_spec.t -> plan
 (** Lower a schedule: analyze each group, fit tile sizes, compile
     member bodies, and resolve load slots.

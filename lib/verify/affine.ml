@@ -1,0 +1,41 @@
+module Rational = Pmdp_util.Rational
+module Stage = Pmdp_dsl.Stage
+
+let right_align ~gdims ~ndims k = k + gdims - ndims
+
+let var_domain (s : Stage.t) v =
+  let nd = Stage.ndims s in
+  if v < 0 then invalid_arg "Affine.var_domain: negative variable";
+  if v < nd then begin
+    let d = s.Stage.dims.(v) in
+    (d.Stage.lo, d.Stage.lo + d.Stage.extent - 1)
+  end
+  else
+    match s.Stage.def with
+    | Stage.Reduction { rdom; _ } when v - nd < Array.length rdom ->
+        let lo, ext = rdom.(v - nd) in
+        (lo, lo + ext - 1)
+    | _ -> invalid_arg "Affine.var_domain: variable out of range"
+
+let eval_floor a b c = Rational.floor (Rational.add (Rational.mul a (Rational.of_int c)) b)
+
+let index_interval ~a ~b ~clo ~chi =
+  if clo > chi then invalid_arg "Affine.index_interval: empty range";
+  let x = eval_floor a b clo and y = eval_floor a b chi in
+  (min x y, max x y)
+
+let exact_offsets ~s_p ~s_c ~a ~b ~clo ~chi =
+  if clo > chi then invalid_arg "Affine.exact_offsets: empty range";
+  let off c = (s_p * eval_floor a b c) - (s_c * c) in
+  let period = a.Rational.den in
+  let last_sample = min chi (clo + period - 1) in
+  let lo = ref (off clo) and hi = ref (off clo) in
+  let see v =
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  in
+  for c = clo + 1 to last_sample do
+    see (off c)
+  done;
+  see (off chi);
+  (!lo, !hi)

@@ -1,0 +1,35 @@
+(** Exact interval arithmetic over the DSL's single-variable affine
+    access coordinates, shared by the checker passes.
+
+    All computations use the repository's exact rationals — no
+    floating point — so the intervals are sound and tight. *)
+
+val right_align : gdims:int -> ndims:int -> int -> int
+(** Group dimension of a stage's [k]-th own dimension under the
+    right-alignment convention of the scaling analysis. *)
+
+val var_domain : Pmdp_dsl.Stage.t -> int -> int * int
+(** Inclusive [(lo, hi)] domain of iteration variable [v] of a stage:
+    its own dimension for [v < ndims], the reduction domain otherwise.
+    @raise Invalid_argument if [v] is out of range. *)
+
+val index_interval :
+  a:Pmdp_util.Rational.t -> b:Pmdp_util.Rational.t -> clo:int -> chi:int -> int * int
+(** Inclusive interval of [floor (a*c + b)] as [c] ranges over
+    [\[clo, chi\]] (requires [clo <= chi]).  Exact: the map is
+    monotone in [c], so the endpoints realize the extremes. *)
+
+val exact_offsets :
+  s_p:int ->
+  s_c:int ->
+  a:Pmdp_util.Rational.t ->
+  b:Pmdp_util.Rational.t ->
+  clo:int ->
+  chi:int ->
+  int * int
+(** Inclusive interval of the scaled-space dependence offset
+    [s_p * floor (a*c + b) - s_c * c] over [c] in [\[clo, chi\]].
+    Exact when [s_c = a * s_p] (the scaling-consistency invariant):
+    the offset is then periodic in [c] with period [den a], and every
+    residue is sampled.  The endpoints are always included, so the
+    result is still a sound under-approximation hull otherwise. *)

@@ -1,0 +1,297 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Expr = Pmdp_dsl.Expr
+module GA = Pmdp_analysis.Group_analysis
+module Footprint = Pmdp_analysis.Footprint
+module Schedule_spec = Pmdp_core.Schedule_spec
+module D = Diagnostic
+
+let err = D.make D.Bounds D.Error
+
+let ceil_div a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let clamp x lo hi = if x < lo then lo else if x > hi then hi else x
+
+(* A read whose index interval never meets the producer's domain can
+   only observe boundary-clamped values: flag it.  Partial overshoot
+   is the normal stencil-boundary case and is not flagged. *)
+let domain_diags p gi (ga : GA.t) =
+  let diags = ref [] in
+  Array.iteri
+    (fun _ sid ->
+      let cstage = Pipeline.stage p sid in
+      let cname = cstage.Stage.name in
+      List.iter
+        (fun prod ->
+          let pstage = Pipeline.stage p prod in
+          List.iter
+            (fun (coords : Expr.coord array) ->
+              Array.iteri
+                (fun dp coord ->
+                  match coord with
+                  | Expr.Cdyn _ -> ()
+                  | Expr.Cvar { var; scale = a; offset = b } -> (
+                      match Affine.var_domain cstage var with
+                      | exception Invalid_argument _ -> ()
+                      | clo, chi ->
+                          let ilo, ihi = Affine.index_interval ~a ~b ~clo ~chi in
+                          let d = pstage.Stage.dims.(dp) in
+                          let dlo = d.Stage.lo and dhi = d.Stage.lo + d.Stage.extent - 1 in
+                          if ihi < dlo || ilo > dhi then
+                            diags :=
+                              err ~kind:"out-of-domain" ~group:gi ~stage:cname ~dim:dp
+                                (Printf.sprintf
+                                   "reads %s at indices [%d, %d], entirely outside its domain [%d, %d]"
+                                   pstage.Stage.name ilo ihi dlo dhi)
+                              :: !diags))
+                coords)
+            (Pipeline.loads_between p ~consumer:sid ~producer:prod))
+        (Pipeline.producers p sid))
+    ga.GA.members;
+  List.rev !diags
+
+(* Exact per-tile interval model of the executor, per group dimension.
+
+   The executors compute each member over the box
+   [floor((tlo-elo)/s), ceil((thi+ehi)/s)] (clamped to the domain);
+   edge points of that box may be garbage — their own reads can fall
+   outside what the tile computed — but the copy-out takes only the
+   exact tile points [ceil(tlo/s), floor(thi/s)].  So the invariant
+   that must hold is: every copied-out point is *provably correct*,
+   where a point is correct iff every in-group read it issues lands in
+   the producer's correct sub-interval.  We compute that correct
+   sub-interval exactly, member by member in execution order:
+
+     correct(m) = computed-box(m) ∩ { c | forall reads (a,b) of p:
+                                          floor(a*c+b) ∈ correct(p) }
+
+   Since each access maps one consumer var to one producer dim, the
+   model decomposes exactly per group dimension, and the inverse image
+   of an interval under c ↦ floor(a*c+b) is an interval.
+
+   Reads are border-clamped: {!Compile.read} clamps each index into
+   the view's own box, and the reference executor clamps into the full
+   domain.  An out-of-region read therefore still matches the
+   reference when the region's edge coincides with the domain's edge
+   (both clamp to the same point) and that edge point is itself
+   correct — which is how tile 0 of a stencil stays exact at the
+   image border. *)
+let containment_diags p gi (ga : GA.t) ~tile =
+  let diags = ref [] in
+  let gdims = ga.GA.n_dims in
+  let n = Array.length ga.GA.members in
+  let local = Hashtbl.create 16 in
+  Array.iteri (fun i sid -> Hashtbl.add local sid i) ga.GA.members;
+  (* In-group read constraints per consumer member per group dim. *)
+  let constraints : (int * Pmdp_util.Rational.t * Pmdp_util.Rational.t) list array array =
+    Array.init n (fun _ -> Array.make gdims [])
+  in
+  let order_ok = ref true in
+  Array.iteri
+    (fun ci sid ->
+      let cstage = Pipeline.stage p sid in
+      let cnd = Stage.ndims cstage in
+      List.iter
+        (fun prod ->
+          match Hashtbl.find_opt local prod with
+          | None -> ()
+          | Some pi ->
+              if pi >= ci then begin
+                (* run_tile resolves producer views by member order; a
+                   producer at or after its consumer has no view yet *)
+                order_ok := false;
+                diags :=
+                  err ~kind:"member-order" ~group:gi ~stage:cstage.Stage.name
+                    (Printf.sprintf "in-group producer %s is not computed before its consumer"
+                       (Pipeline.stage p prod).Stage.name)
+                  :: !diags
+              end
+              else
+                let pnd = Stage.ndims (Pipeline.stage p prod) in
+                List.iter
+                  (fun (coords : Expr.coord array) ->
+                    Array.iteri
+                      (fun dp coord ->
+                        match coord with
+                        | Expr.Cdyn _ -> ()
+                        | Expr.Cvar { var = dc; scale = a; offset = b } ->
+                            if dc < cnd then begin
+                              let g = Affine.right_align ~gdims ~ndims:cnd dc in
+                              if g = Affine.right_align ~gdims ~ndims:pnd dp then
+                                constraints.(ci).(g) <- (pi, a, b) :: constraints.(ci).(g)
+                            end)
+                      coords)
+                  (Pipeline.loads_between p ~consumer:sid ~producer:prod))
+        (Pipeline.producers p sid))
+    ga.GA.members;
+  if !order_ok then begin
+    let neg_inf = min_int / 2 and pos_inf = max_int / 2 in
+    let unconstrained = (neg_inf, pos_inf) in
+    let own_dim m g =
+      let nd = Stage.ndims (Pipeline.stage p ga.GA.members.(m)) in
+      let k = g - (gdims - nd) in
+      if k >= 0 && k < nd then Some k else None
+    in
+    for g = 0 to gdims - 1 do
+      let n_tiles = (GA.dim_extent ga g + tile.(g) - 1) / tile.(g) in
+      let region = Array.make n unconstrained in
+      let domain = Array.make n unconstrained in
+      let correct = Array.make n unconstrained in
+      let reported = Array.make n false in
+      for t = 0 to n_tiles - 1 do
+        let tlo = ga.GA.dim_lo.(g) + (t * tile.(g)) in
+        let thi = min (tlo + tile.(g) - 1) ga.GA.dim_hi.(g) in
+        for mi = 0 to n - 1 do
+          match own_dim mi g with
+          | None ->
+              region.(mi) <- unconstrained;
+              domain.(mi) <- unconstrained;
+              correct.(mi) <- unconstrained
+          | Some k ->
+              let stage = Pipeline.stage p ga.GA.members.(mi) in
+              let s = ga.GA.scales.(mi).(g) in
+              let elo, ehi = ga.GA.expansions.(mi).(g) in
+              let d = stage.Stage.dims.(k) in
+              let dlo = d.Stage.lo and dhi = d.Stage.lo + d.Stage.extent - 1 in
+              let rlo = clamp (floor_div (tlo - elo) s) dlo dhi
+              and rhi = clamp (ceil_div (thi + ehi) s) dlo dhi in
+              region.(mi) <- (rlo, rhi);
+              domain.(mi) <- (dlo, dhi);
+              let lo = ref rlo and hi = ref rhi in
+              List.iter
+                (fun (pi, a, b) ->
+                  let plo, phi = correct.(pi) in
+                  let prlo, prhi = region.(pi) in
+                  let pdlo, pdhi = domain.(pi) in
+                  (* A read at y < region-lo clamps to region-lo; the
+                     reference clamps to domain-lo.  They agree (and
+                     are correct) only when region-lo = domain-lo and
+                     that point is itself correct — then any y below
+                     is fine.  Symmetrically above. *)
+                  let l = if prlo = pdlo && plo <= prlo && prlo <= phi then neg_inf else plo
+                  and u = if prhi = pdhi && plo <= prhi && prhi <= phi then pos_inf else phi in
+                  let r = Pmdp_util.Rational.of_int in
+                  (* floor(a*c+b) >= l  <=>  a*c+b >= l
+                     floor(a*c+b) <= u  <=>  a*c+b <  u+1 *)
+                  match Pmdp_util.Rational.sign a with
+                  | 1 ->
+                      if l > neg_inf then begin
+                        let cmin =
+                          Pmdp_util.Rational.ceil
+                            (Pmdp_util.Rational.div (Pmdp_util.Rational.sub (r l) b) a)
+                        in
+                        if cmin > !lo then lo := cmin
+                      end;
+                      if u < pos_inf then begin
+                        let cmax =
+                          Pmdp_util.Rational.ceil
+                            (Pmdp_util.Rational.div (Pmdp_util.Rational.sub (r (u + 1)) b) a)
+                          - 1
+                        in
+                        if cmax < !hi then hi := cmax
+                      end
+                  | -1 ->
+                      if u < pos_inf then begin
+                        let cmin =
+                          Pmdp_util.Rational.floor
+                            (Pmdp_util.Rational.div (Pmdp_util.Rational.sub (r (u + 1)) b) a)
+                          + 1
+                        in
+                        if cmin > !lo then lo := cmin
+                      end;
+                      if l > neg_inf then begin
+                        let cmax =
+                          Pmdp_util.Rational.floor
+                            (Pmdp_util.Rational.div (Pmdp_util.Rational.sub (r l) b) a)
+                        in
+                        if cmax < !hi then hi := cmax
+                      end
+                  | _ ->
+                      let v = Pmdp_util.Rational.floor b in
+                      if v < l || v > u then hi := !lo - 1)
+                constraints.(mi).(g);
+              correct.(mi) <- (!lo, !hi);
+              if ga.GA.liveouts.(mi) && not reported.(mi) then begin
+                let exact_lo = max dlo (ceil_div tlo s)
+                and exact_hi = min dhi (floor_div thi s) in
+                if exact_lo <= exact_hi && not (!lo <= exact_lo && exact_hi <= !hi) then begin
+                  reported.(mi) <- true;
+                  diags :=
+                    err ~kind:"region-containment" ~group:gi ~stage:stage.Stage.name ~dim:g
+                      (Printf.sprintf
+                         "tile %d: copied-out points [%d, %d] exceed the provably-correct region [%d, %d]"
+                         t exact_lo exact_hi !lo !hi)
+                    :: !diags
+                end
+              end
+        done
+      done
+    done
+  end;
+  List.rev !diags
+
+(* The largest per-tile region extent of each member, per own dim,
+   must fit both executors' scratch allocations. *)
+let scratch_diags p gi (ga : GA.t) ~tile =
+  let diags = ref [] in
+  Array.iteri
+    (fun m sid ->
+      let stage = Pipeline.stage p sid in
+      let own_nd = Stage.ndims stage in
+      let exec_alloc = Pmdp_exec.Tiled_exec.member_scratch_extents ga ~member:m ~tile in
+      let c_alloc = Pmdp_codegen.C_emit.scratch_alloc_extents ga ~member:m ~tile in
+      for k = 0 to own_nd - 1 do
+        let g = ga.GA.dim_of_stage.(m).(k) in
+        let s = ga.GA.scales.(m).(g) in
+        let elo, ehi = ga.GA.expansions.(m).(g) in
+        let d = stage.Stage.dims.(k) in
+        let dlo = d.Stage.lo and dhi = d.Stage.lo + d.Stage.extent - 1 in
+        let n_tiles = (GA.dim_extent ga g + tile.(g) - 1) / tile.(g) in
+        let widest = ref 0 in
+        for t = 0 to n_tiles - 1 do
+          let tlo = ga.GA.dim_lo.(g) + (t * tile.(g)) in
+          let thi = min (tlo + tile.(g) - 1) ga.GA.dim_hi.(g) in
+          let lo = clamp (floor_div (tlo - elo) s) dlo dhi in
+          let hi = clamp (ceil_div (thi + ehi) s) dlo dhi in
+          if hi - lo + 1 > !widest then widest := hi - lo + 1
+        done;
+        if !widest > exec_alloc.(k) then
+          diags :=
+            err ~kind:"scratch-overflow" ~group:gi ~stage:stage.Stage.name ~dim:k
+              (Printf.sprintf
+                 "region extent %d exceeds the runtime arena allocation %d" !widest
+                 exec_alloc.(k))
+            :: !diags;
+        if !widest > c_alloc.(k) then
+          diags :=
+            err ~kind:"scratch-overflow" ~group:gi ~stage:stage.Stage.name ~dim:k
+              (Printf.sprintf
+                 "region extent %d exceeds the generated C scratch allocation %d" !widest
+                 c_alloc.(k))
+            :: !diags
+      done)
+    ga.GA.members;
+  List.rev !diags
+
+let check (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  List.concat
+    (List.mapi
+       (fun gi (g : Schedule_spec.group) ->
+         if
+           not
+             (List.for_all
+                (fun sid -> sid >= 0 && sid < Pipeline.n_stages p)
+                g.Schedule_spec.stages)
+         then []
+         else
+           match GA.analyze p g.Schedule_spec.stages with
+           | Error _ -> []  (* the legality pass reports this *)
+           | Ok ga ->
+               let dd = domain_diags p gi ga in
+               if Array.length g.Schedule_spec.tile_sizes <> ga.GA.n_dims then dd
+               else begin
+                 let tile = Footprint.clamp_tile ga g.Schedule_spec.tile_sizes in
+                 dd @ containment_diags p gi ga ~tile @ scratch_diags p gi ga ~tile
+               end)
+       spec.Schedule_spec.groups)

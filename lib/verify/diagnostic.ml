@@ -1,0 +1,43 @@
+type pass = Legality | Bounds | Race | Lint
+type severity = Error | Warning
+
+type t = {
+  pass : pass;
+  severity : severity;
+  kind : string;
+  group : int option;
+  stage : string option;
+  dim : int option;
+  detail : string;
+}
+
+let make pass severity ~kind ?group ?stage ?dim detail =
+  { pass; severity; kind; group; stage; dim; detail }
+
+let pass_name = function
+  | Legality -> "legality"
+  | Bounds -> "bounds"
+  | Race -> "race"
+  | Lint -> "lint"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let of_pass p ds = List.filter (fun d -> d.pass = p) ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s/%s" (severity_name d.severity) (pass_name d.pass) d.kind;
+  Option.iter (fun g -> Format.fprintf ppf " group=%d" g) d.group;
+  Option.iter (fun s -> Format.fprintf ppf " stage=%s" s) d.stage;
+  Option.iter (fun k -> Format.fprintf ppf " dim=%d" k) d.dim;
+  Format.fprintf ppf ": %s" d.detail
+
+let to_string d = Format.asprintf "%a" pp d
+
+let pp_report ppf ds =
+  let order = errors ds @ warnings ds in
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp d) order
+
+let summary ds =
+  Printf.sprintf "%d error(s), %d warning(s)" (List.length (errors ds))
+    (List.length (warnings ds))

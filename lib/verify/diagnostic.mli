@@ -1,0 +1,47 @@
+(** Structured diagnostics shared by the four static-checker passes.
+
+    Every finding is attributed to a pass, has a stable kebab-case
+    [kind] slug that tests and tooling can match on, a severity, and
+    optional stage/group/dimension provenance.  The printed form is a
+    stable one-line machine-readable format:
+
+    {v <severity> <pass>/<kind> [group=N] [stage=S] [dim=D]: <detail> v} *)
+
+type pass = Legality | Bounds | Race | Lint
+type severity = Error | Warning
+
+type t = {
+  pass : pass;
+  severity : severity;
+  kind : string;  (** stable kebab-case slug, e.g. ["degenerate-overlap"] *)
+  group : int option;  (** index into the schedule's group list *)
+  stage : string option;
+  dim : int option;  (** group dimension, unless [stage] implies own dims *)
+  detail : string;  (** human-readable, single line *)
+}
+
+val make :
+  pass ->
+  severity ->
+  kind:string ->
+  ?group:int ->
+  ?stage:string ->
+  ?dim:int ->
+  string ->
+  t
+
+val pass_name : pass -> string
+val errors : t list -> t list
+val warnings : t list -> t list
+val of_pass : pass -> t list -> t list
+
+val pp : Format.formatter -> t -> unit
+(** The stable one-line format above. *)
+
+val to_string : t -> string
+
+val pp_report : Format.formatter -> t list -> unit
+(** One diagnostic per line, errors first. *)
+
+val summary : t list -> string
+(** ["N error(s), M warning(s)"]. *)

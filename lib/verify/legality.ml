@@ -1,0 +1,289 @@
+module Rational = Pmdp_util.Rational
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module Expr = Pmdp_dsl.Expr
+module GA = Pmdp_analysis.Group_analysis
+module Footprint = Pmdp_analysis.Footprint
+module Schedule_spec = Pmdp_core.Schedule_spec
+module D = Diagnostic
+
+let err = D.make D.Legality D.Error
+let warn = D.make D.Legality D.Warning
+
+let stage_name p sid = (Pipeline.stage p sid).Stage.name
+
+let in_range p sid = sid >= 0 && sid < Pipeline.n_stages p
+
+(* The grouping must be a partition of the pipeline's stage ids. *)
+let partition_diags (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  let n = Pipeline.n_stages p in
+  let count = Array.make n 0 in
+  let diags = ref [] in
+  List.iteri
+    (fun gi (g : Schedule_spec.group) ->
+      List.iter
+        (fun sid ->
+          if not (in_range p sid) then
+            diags := err ~kind:"partition" ~group:gi
+                       (Printf.sprintf "stage id %d out of range [0, %d)" sid n)
+                     :: !diags
+          else count.(sid) <- count.(sid) + 1)
+        g.Schedule_spec.stages)
+    spec.Schedule_spec.groups;
+  Array.iteri
+    (fun sid c ->
+      if c = 0 then
+        diags := err ~kind:"partition" ~stage:(stage_name p sid)
+                   "stage missing from the grouping" :: !diags
+      else if c > 1 then
+        diags := err ~kind:"partition" ~stage:(stage_name p sid)
+                   (Printf.sprintf "stage appears in %d groups" c) :: !diags)
+    count;
+  List.rev !diags
+
+(* Groups must be listed producers-before-consumers. *)
+let order_diags (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  let n = Pipeline.n_stages p in
+  let seen = Array.make n false in
+  let diags = ref [] in
+  List.iteri
+    (fun gi (g : Schedule_spec.group) ->
+      let here sid = List.mem sid g.Schedule_spec.stages in
+      List.iter
+        (fun sid ->
+          if in_range p sid then
+            List.iter
+              (fun prod ->
+                if (not seen.(prod)) && not (here prod) then
+                  diags := err ~kind:"group-order" ~group:gi ~stage:(stage_name p sid)
+                             (Printf.sprintf "consumes %s, which is scheduled later"
+                                (stage_name p prod))
+                           :: !diags)
+              (Pipeline.producers p sid))
+        g.Schedule_spec.stages;
+      List.iter (fun sid -> if in_range p sid then seen.(sid) <- true) g.Schedule_spec.stages)
+    spec.Schedule_spec.groups;
+  List.rev !diags
+
+(* One in-group access, resolved to local member indices. *)
+type access = { pi : int; ci : int; coords : Expr.coord array }
+
+let group_accesses p (ga : GA.t) =
+  let local = Hashtbl.create 16 in
+  Array.iteri (fun i sid -> Hashtbl.add local sid i) ga.GA.members;
+  let acc = ref [] in
+  Array.iteri
+    (fun ci sid ->
+      List.iter
+        (fun prod ->
+          match Hashtbl.find_opt local prod with
+          | None -> ()
+          | Some pi ->
+              List.iter
+                (fun coords -> acc := { pi; ci; coords } :: !acc)
+                (Pipeline.loads_between p ~consumer:sid ~producer:prod))
+        (Pipeline.producers p sid))
+    ga.GA.members;
+  List.rev !acc
+
+(* Cross-check one analyzed group against its schedule entry. *)
+let group_diags p gi (g : Schedule_spec.group) (ga : GA.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n = Array.length ga.GA.members in
+  let gdims = ga.GA.n_dims in
+  let name m = stage_name p ga.GA.members.(m) in
+  (* --- tile-size sanity ------------------------------------------- *)
+  let tiles = g.Schedule_spec.tile_sizes in
+  let tiles_ok = ref true in
+  if Array.length tiles <> gdims then begin
+    tiles_ok := false;
+    add
+      (err ~kind:"tile-arity" ~group:gi
+         (Printf.sprintf "tile array has %d entries, group iteration space has %d dims"
+            (Array.length tiles) gdims))
+  end
+  else
+    Array.iteri
+      (fun d t ->
+        if t <= 0 then begin
+          tiles_ok := false;
+          add (err ~kind:"tile-nonpositive" ~group:gi ~dim:d (Printf.sprintf "tile size %d" t))
+        end
+        else if t > GA.dim_extent ga d then
+          add
+            (err ~kind:"tile-exceeds-extent" ~group:gi ~dim:d
+               (Printf.sprintf "tile size %d exceeds scaled extent %d" t (GA.dim_extent ga d))))
+      tiles;
+  (* --- scale positivity ------------------------------------------- *)
+  Array.iteri
+    (fun m row ->
+      Array.iteri
+        (fun d s ->
+          if s < 1 then
+            add
+              (err ~kind:"scale-mismatch" ~group:gi ~stage:(name m) ~dim:d
+                 (Printf.sprintf "non-positive integer scale %d" s)))
+        row)
+    ga.GA.scales;
+  (* --- per-access re-derivation ----------------------------------- *)
+  (* Exact dependence hulls per (producer, consumer) edge, built from
+     residue-sampled offsets; used below to re-derive the expansions. *)
+  let exact_hulls : (int * int, (int * int) array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun { pi; ci; coords } ->
+      let cstage = Pipeline.stage p ga.GA.members.(ci) in
+      let pstage = Pipeline.stage p ga.GA.members.(pi) in
+      let cnd = Stage.ndims cstage and pnd = Stage.ndims pstage in
+      (* Offsets this one access realizes, per group dim; [None] means
+         the access does not move along that dim (offset 0). *)
+      let offs : (int * int) option array = Array.make gdims None in
+      Array.iteri
+        (fun dp coord ->
+          match coord with
+          | Expr.Cdyn _ ->
+              add
+                (err ~kind:"analysis-disagreement" ~group:gi ~stage:(name ci)
+                   (Printf.sprintf "analysis accepted a dynamic access to %s" (name pi)))
+          | Expr.Cvar { var = dc; scale = a; offset = b } ->
+              if dc >= cnd then
+                add
+                  (err ~kind:"analysis-disagreement" ~group:gi ~stage:(name ci)
+                     (Printf.sprintf "analysis accepted a reduction-variable access to %s"
+                        (name pi)))
+              else begin
+                let g_c = Affine.right_align ~gdims ~ndims:cnd dc in
+                let g_p = Affine.right_align ~gdims ~ndims:pnd dp in
+                if g_c <> g_p then
+                  add
+                    (err ~kind:"alignment" ~group:gi ~stage:(name ci) ~dim:g_c
+                       (Printf.sprintf
+                          "access to %s maps consumer dim %d to group dim %d but producer dim %d to %d"
+                          (name pi) dc g_c dp g_p))
+                else begin
+                  let s_c = ga.GA.scales.(ci).(g_c) and s_p = ga.GA.scales.(pi).(g_p) in
+                  if not (Rational.equal (Rational.of_int s_c) (Rational.mul a (Rational.of_int s_p)))
+                  then
+                    add
+                      (err ~kind:"scale-mismatch" ~group:gi ~stage:(name ci) ~dim:g_c
+                         (Printf.sprintf "access to %s with factor %s: %d <> %s * %d" (name pi)
+                            (Rational.to_string a) s_c (Rational.to_string a) s_p))
+                  else begin
+                    let clo, chi = Affine.var_domain cstage dc in
+                    let olo, ohi = Affine.exact_offsets ~s_p ~s_c ~a ~b ~clo ~chi in
+                    (* the analysis's per-edge hull must cover every
+                       offset the access can actually realize *)
+                    (match
+                       List.find_opt
+                         (fun (e : GA.edge) -> e.GA.e_producer = pi && e.GA.e_consumer = ci)
+                         ga.GA.edges
+                     with
+                    | None ->
+                        add
+                          (err ~kind:"analysis-disagreement" ~group:gi ~stage:(name ci)
+                             (Printf.sprintf "analysis records no edge for access to %s" (name pi)))
+                    | Some e ->
+                        let hlo, hhi = e.GA.hull.(g_c) in
+                        if olo < hlo || ohi > hhi then
+                          add
+                            (err ~kind:"dependence-hull" ~group:gi ~stage:(name ci) ~dim:g_c
+                               (Printf.sprintf
+                                  "exact offsets [%d, %d] of access to %s escape analysis hull [%d, %d]"
+                                  olo ohi (name pi) hlo hhi)));
+                    offs.(g_c) <-
+                      (match offs.(g_c) with
+                      | None -> Some (olo, ohi)
+                      | Some (lo, hi) -> Some (min lo olo, max hi ohi))
+                  end
+                end
+              end)
+        coords;
+      (* Merge this access into the edge's exact hull: per-dim min/max
+         over accesses, exactly as the analysis builds its hulls. *)
+      let this = Array.map (Option.value ~default:(0, 0)) offs in
+      match Hashtbl.find_opt exact_hulls (pi, ci) with
+      | None -> Hashtbl.add exact_hulls (pi, ci) this
+      | Some hull ->
+          Array.iteri
+            (fun d (olo, ohi) ->
+              let lo, hi = hull.(d) in
+              hull.(d) <- (min lo olo, max hi ohi))
+            this)
+    (group_accesses p ga);
+  (* --- expansion soundness ----------------------------------------- *)
+  (* Re-accumulate the overlap expansions each producer needs so that
+     every in-group consumer's (analysis-sized) region finds its reads
+     locally, using the exact hulls; the analysis's expansions must
+     dominate them. *)
+  let required = Array.init n (fun _ -> Array.make gdims (0, 0)) in
+  for mi = n - 1 downto 0 do
+    Hashtbl.iter
+      (fun (pi, ci) hull ->
+        if pi = mi then
+          for d = 0 to gdims - 1 do
+            let off_lo, off_hi = hull.(d) in
+            let c_lo, c_hi = ga.GA.expansions.(ci).(d) in
+            let r_lo, r_hi = required.(mi).(d) in
+            required.(mi).(d) <-
+              (max r_lo (max 0 (c_lo - off_lo)), max r_hi (max 0 (c_hi + off_hi)))
+          done)
+      exact_hulls
+  done;
+  for m = 0 to n - 1 do
+    for d = 0 to gdims - 1 do
+      let elo, ehi = ga.GA.expansions.(m).(d) in
+      if elo < 0 || ehi < 0 then
+        add
+          (err ~kind:"expansion" ~group:gi ~stage:(name m) ~dim:d
+             (Printf.sprintf "negative overlap expansion (%d, %d)" elo ehi));
+      let r_lo, r_hi = required.(m).(d) in
+      if elo < r_lo || ehi < r_hi then
+        add
+          (err ~kind:"expansion" ~group:gi ~stage:(name m) ~dim:d
+             (Printf.sprintf
+                "analysis expansion (%d, %d) does not cover required overlap (%d, %d)" elo ehi
+                r_lo r_hi))
+    done
+  done;
+  (* --- degenerate overlap trapezoids ------------------------------- *)
+  if !tiles_ok then begin
+    let tile = Footprint.clamp_tile ga tiles in
+    for m = 0 to n - 1 do
+      for d = 0 to gdims - 1 do
+        let elo, ehi = ga.GA.expansions.(m).(d) in
+        let extent = GA.dim_extent ga d in
+        let n_tiles = (extent + tile.(d) - 1) / tile.(d) in
+        if n_tiles > 1 && elo + ehi > 0 && elo + ehi >= tile.(d) then
+          add
+            (warn ~kind:"degenerate-overlap" ~group:gi ~stage:(name m) ~dim:d
+               (Printf.sprintf
+                  "overlap %d+%d is at least the tile width %d: each tile recomputes more than it produces"
+                  elo ehi tile.(d)))
+      done
+    done
+  end;
+  List.rev !diags
+
+let check (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  let part = partition_diags spec in
+  let order = order_diags spec in
+  let per_group =
+    List.concat
+      (List.mapi
+         (fun gi (g : Schedule_spec.group) ->
+           if not (List.for_all (in_range p) g.Schedule_spec.stages) then []
+             (* already reported as a partition error *)
+           else
+             match GA.analyze p g.Schedule_spec.stages with
+             | Error f ->
+                 [
+                   err ~kind:"analysis-failed" ~group:gi
+                     (Format.asprintf "%a" GA.pp_failure f);
+                 ]
+             | Ok ga -> group_diags p gi g ga)
+         spec.Schedule_spec.groups)
+  in
+  part @ order @ per_group

@@ -1,0 +1,23 @@
+(** The schedule-legality oracle (pass 1 of [pmdp check]).
+
+    Independently re-derives the facts overlapped tiling depends on —
+    partition/topology of the grouping, right-alignment, scaling
+    consistency, exact scaled-space dependence offsets (by exhaustive
+    residue sampling rather than the analytic interval formula of
+    {!Pmdp_analysis.Group_analysis}), and the overlap expansions they
+    force — and cross-checks them against what [Group_analysis]
+    reports.  Any disagreement means one of the two code paths is
+    wrong, exactly the class of silent scheduler bug the paper's
+    Alg. 2 line 2 assumes away.
+
+    Also flags tile-size pathologies: wrong arity, non-positive
+    entries, entries exceeding the scaled extent, and degenerate
+    overlap trapezoids (redundant recompute at least as wide as the
+    tile itself).
+
+    Diagnostic kinds: [partition], [group-order], [analysis-failed],
+    [analysis-disagreement], [alignment], [scale-mismatch],
+    [dependence-hull], [expansion], [tile-arity], [tile-nonpositive],
+    [tile-exceeds-extent], [degenerate-overlap]. *)
+
+val check : Pmdp_core.Schedule_spec.t -> Diagnostic.t list

@@ -1,0 +1,28 @@
+(** The DSL lint (pass 4 of [pmdp check]).
+
+    Schedule-independent checks over the pipeline program itself,
+    re-derived without trusting {!Pmdp_dsl.Pipeline.build}'s own
+    validation:
+
+    - [unused-stage] (warning): a stage from which no pipeline output
+      is reachable — dead computation.
+    - [unreachable-output] (warning): an output that depends on no
+      pipeline input — it is a constant image.
+    - [dim-mismatch]: a load whose coordinate count differs from the
+      producer's dimensionality.
+    - [unknown-producer]: a load naming neither a stage nor an input.
+    - [var-out-of-range]: a coordinate using an iteration variable the
+      consuming stage does not have.
+    - [const-out-of-domain]: an access to a pipeline input whose index
+      interval never meets the input's domain along some dimension.
+
+    [check_schedule] additionally lints against the grouping:
+    - [non-affine-in-group]: a data-dependent ([Cdyn]) access between
+      two stages of the same fused group — such an edge has no
+      constant dependence vector, so the group cannot be legally
+      overlap-tiled. *)
+
+val check_pipeline : Pmdp_dsl.Pipeline.t -> Diagnostic.t list
+val check_schedule : Pmdp_core.Schedule_spec.t -> Diagnostic.t list
+(** [check_pipeline] of the schedule's pipeline plus the
+    schedule-aware lints. *)

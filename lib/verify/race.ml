@@ -1,0 +1,122 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module Stage = Pmdp_dsl.Stage
+module GA = Pmdp_analysis.Group_analysis
+module Footprint = Pmdp_analysis.Footprint
+module Schedule_spec = Pmdp_core.Schedule_spec
+module D = Diagnostic
+
+let err = D.make D.Race D.Error
+
+let ceil_div a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* Which groups write each buffer.  Live-out status is re-derived
+   directly from the pipeline (output, or consumed outside the group)
+   so this works even for groups the dependence analysis rejects. *)
+let multi_writer_diags (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  let writers : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun gi (g : Schedule_spec.group) ->
+      List.iter
+        (fun sid ->
+          if sid >= 0 && sid < Pipeline.n_stages p then begin
+            let liveout =
+              Pipeline.is_output p sid
+              || List.exists
+                   (fun c -> not (List.mem c g.Schedule_spec.stages))
+                   (Pipeline.consumers p sid)
+            in
+            if liveout then begin
+              let name = (Pipeline.stage p sid).Stage.name in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt writers name) in
+              Hashtbl.replace writers name (gi :: prev)
+            end
+          end)
+        g.Schedule_spec.stages)
+    spec.Schedule_spec.groups;
+  Hashtbl.fold
+    (fun name groups acc ->
+      match groups with
+      | [] | [ _ ] -> acc
+      | _ ->
+          err ~kind:"multi-writer" ~stage:name
+            (Printf.sprintf "buffer written by groups {%s}"
+               (String.concat ","
+                  (List.rev_map string_of_int groups)))
+          :: acc)
+    writers []
+
+(* Per live-out member and dimension, walk the tile grid once: the
+   copy-out intervals must be pairwise disjoint (they are monotone in
+   the tile index, so consecutive disjointness suffices) and must
+   cover the member's whole domain. *)
+let tile_write_diags p gi (ga : GA.t) ~tile =
+  let diags = ref [] in
+  Array.iteri
+    (fun m sid ->
+      if ga.GA.liveouts.(m) then begin
+        let stage = Pipeline.stage p sid in
+        let own_nd = Stage.ndims stage in
+        for k = 0 to own_nd - 1 do
+          let g = ga.GA.dim_of_stage.(m).(k) in
+          let s = ga.GA.scales.(m).(g) in
+          let d = stage.Stage.dims.(k) in
+          let dlo = d.Stage.lo and dhi = d.Stage.lo + d.Stage.extent - 1 in
+          let n_tiles = (GA.dim_extent ga g + tile.(g) - 1) / tile.(g) in
+          let prev_hi = ref (dlo - 1) in
+          for t = 0 to n_tiles - 1 do
+            let tlo = ga.GA.dim_lo.(g) + (t * tile.(g)) in
+            let thi = min (tlo + tile.(g) - 1) ga.GA.dim_hi.(g) in
+            let exact_lo = max dlo (ceil_div tlo s) in
+            let exact_hi = min dhi (floor_div thi s) in
+            if exact_hi >= exact_lo then begin
+              if exact_lo <= !prev_hi then
+                diags :=
+                  err ~kind:"overlapping-writes" ~group:gi ~stage:stage.Stage.name ~dim:g
+                    (Printf.sprintf
+                       "tile %d writes own coords [%d, %d] but a previous tile already wrote up to %d"
+                       t exact_lo exact_hi !prev_hi)
+                  :: !diags
+              else if exact_lo > !prev_hi + 1 then
+                diags :=
+                  err ~kind:"uncovered-writes" ~group:gi ~stage:stage.Stage.name ~dim:g
+                    (Printf.sprintf "own coords [%d, %d] are written by no tile" (!prev_hi + 1)
+                       (exact_lo - 1))
+                  :: !diags;
+              if exact_hi > !prev_hi then prev_hi := exact_hi
+            end
+          done;
+          if !prev_hi < dhi then
+            diags :=
+              err ~kind:"uncovered-writes" ~group:gi ~stage:stage.Stage.name ~dim:g
+                (Printf.sprintf "own coords [%d, %d] are written by no tile" (!prev_hi + 1) dhi)
+              :: !diags
+        done
+      end)
+    ga.GA.members;
+  List.rev !diags
+
+let check (spec : Schedule_spec.t) =
+  let p = spec.Schedule_spec.pipeline in
+  let per_group =
+    List.concat
+      (List.mapi
+         (fun gi (g : Schedule_spec.group) ->
+           if
+             not
+               (List.for_all
+                  (fun sid -> sid >= 0 && sid < Pipeline.n_stages p)
+                  g.Schedule_spec.stages)
+           then []
+           else
+             match GA.analyze p g.Schedule_spec.stages with
+             | Error _ -> []  (* the legality pass reports this *)
+             | Ok ga ->
+                 if Array.length g.Schedule_spec.tile_sizes <> ga.GA.n_dims then []
+                 else
+                   let tile = Footprint.clamp_tile ga g.Schedule_spec.tile_sizes in
+                   tile_write_diags p gi ga ~tile)
+         spec.Schedule_spec.groups)
+  in
+  multi_writer_diags spec @ per_group

@@ -1,0 +1,17 @@
+module Schedule_spec = Pmdp_core.Schedule_spec
+
+let check_pipeline = Lint.check_pipeline
+
+let check_schedule spec =
+  Legality.check spec @ Bounds.check spec @ Race.check spec @ Lint.check_schedule spec
+
+let errors = Diagnostic.errors
+let is_clean ds = errors ds = []
+
+let oracle spec =
+  match errors (Legality.check spec @ Race.check spec) with
+  | [] -> None
+  | d :: _ -> Some (Diagnostic.to_string d)
+
+let install () = Schedule_spec.set_legality_oracle (Some oracle)
+let uninstall () = Schedule_spec.set_legality_oracle None

@@ -1,0 +1,26 @@
+(** Top-level entry points of the static checker.
+
+    [check_schedule] runs all four passes — {!Legality}, {!Bounds},
+    {!Race}, and {!Lint} — over a schedule produced by any scheduler,
+    without executing it.  [check_pipeline] runs only the
+    schedule-independent lint.  A schedule is considered acceptable
+    when it has no [Error]-severity diagnostics ({!is_clean});
+    warnings are advisory (performance pathologies and dead code).
+
+    [install] registers the legality + race passes as
+    {!Pmdp_core.Schedule_spec}'s legality oracle, after which
+    [Schedule_spec.validate] — and therefore
+    {!Pmdp_exec.Tiled_exec.plan} and {!Pmdp_codegen.C_emit.emit},
+    which validate on entry — refuses illegal or racy schedules. *)
+
+val check_pipeline : Pmdp_dsl.Pipeline.t -> Diagnostic.t list
+val check_schedule : Pmdp_core.Schedule_spec.t -> Diagnostic.t list
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+val is_clean : Diagnostic.t list -> bool
+
+val install : unit -> unit
+(** Register the legality + race error oracle with
+    [Schedule_spec.set_legality_oracle]. *)
+
+val uninstall : unit -> unit

@@ -1,0 +1,224 @@
+(* Tests for the static schedule checker: clean schedules verify with
+   zero errors, and each seeded bug is caught by the intended pass
+   with the intended diagnostic kind. *)
+
+open Pmdp_dsl
+open Expr
+module GA = Pmdp_analysis.Group_analysis
+module Spec = Pmdp_core.Schedule_spec
+module V = Pmdp_verify.Verify
+module D = Pmdp_verify.Diagnostic
+
+let dims = Stage.dim2 64 64
+
+let blur () =
+  let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
+  let blury = Stage.pointwise "blury" dims (Pmdp_apps.Helpers.blur3 "blurx" ~ndims:2 ~dim:1) in
+  Pipeline.build ~name:"blur2"
+    ~inputs:[ Pipeline.input2 "img" 64 64 ]
+    ~stages:[ blurx; blury ] ~outputs:[ "blury" ]
+
+let config = Pmdp_core.Cost_model.default_config Pmdp_machine.Machine.xeon
+
+let find ?severity ~pass ~kind ds =
+  List.exists
+    (fun (d : D.t) ->
+      d.D.pass = pass && d.D.kind = kind
+      && match severity with None -> true | Some s -> d.D.severity = s)
+    ds
+
+(* -------------------- clean schedules -------------------- *)
+
+let test_clean_dp () =
+  let p = blur () in
+  let spec, _ = Spec.dp config p in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "no errors" true (V.is_clean ds);
+  Alcotest.(check int) "no diagnostics at all" 0 (List.length ds)
+
+let test_clean_manual_groups () =
+  let p = blur () in
+  let spec = Spec.with_tiles p [ ([ 0; 1 ], [| 16; 16 |]) ] in
+  Alcotest.(check bool) "no errors" true (V.is_clean (V.check_schedule spec))
+
+(* -------------------- seeded legality bugs -------------------- *)
+
+(* Tile shrunk to the overlap width: the legality pass must warn that
+   every tile recomputes at least as much as it produces. *)
+let test_seeded_degenerate_tile () =
+  let p = blur () in
+  let spec = Spec.with_tiles p [ ([ 0; 1 ], [| 64; 1 |]) ] in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "degenerate-overlap planted" true
+    (find ~severity:D.Warning ~pass:D.Legality ~kind:"degenerate-overlap" ds)
+
+(* Groups listed consumers-first: catchable only by re-deriving the
+   inter-group dependences. *)
+let test_seeded_group_order () =
+  let p = blur () in
+  let spec =
+    {
+      Spec.pipeline = p;
+      groups =
+        [
+          { Spec.stages = [ 1 ]; tile_sizes = [| 64; 64 |] };
+          { Spec.stages = [ 0 ]; tile_sizes = [| 64; 64 |] };
+        ];
+    }
+  in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "group-order planted" true
+    (find ~severity:D.Error ~pass:D.Legality ~kind:"group-order" ds)
+
+let test_seeded_oversized_tile () =
+  let p = blur () in
+  let spec =
+    { Spec.pipeline = p; groups = [ { Spec.stages = [ 0; 1 ]; tile_sizes = [| 100; 100 |] } ] }
+  in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "tile-exceeds-extent planted" true
+    (find ~severity:D.Error ~pass:D.Legality ~kind:"tile-exceeds-extent" ds)
+
+(* -------------------- seeded bounds bug -------------------- *)
+
+(* Corrupted access offset: blury reads blurx 1000 columns away, far
+   outside its domain. *)
+let test_seeded_corrupt_offset () =
+  let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
+  let blury = Stage.pointwise "blury" dims (load "blurx" [| cvar 0; cshift 1 1000 |]) in
+  let p =
+    Pipeline.build ~name:"blur_bad"
+      ~inputs:[ Pipeline.input2 "img" 64 64 ]
+      ~stages:[ blurx; blury ] ~outputs:[ "blury" ]
+  in
+  let spec = Spec.with_tiles p [ ([ 0; 1 ], [| 16; 16 |]) ] in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "out-of-domain planted" true
+    (find ~severity:D.Error ~pass:D.Bounds ~kind:"out-of-domain" ds)
+
+(* -------------------- seeded race bug -------------------- *)
+
+(* The output stage duplicated into a second group: two groups write
+   the same live-out buffer. *)
+let test_seeded_multi_writer () =
+  let p = blur () in
+  let spec =
+    {
+      Spec.pipeline = p;
+      groups =
+        [
+          { Spec.stages = [ 0; 1 ]; tile_sizes = [| 64; 64 |] };
+          { Spec.stages = [ 1 ]; tile_sizes = [| 64; 64 |] };
+        ];
+    }
+  in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "multi-writer planted" true
+    (find ~severity:D.Error ~pass:D.Race ~kind:"multi-writer" ds)
+
+(* -------------------- lint -------------------- *)
+
+let test_lint_unused_stage () =
+  let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
+  let blury = Stage.pointwise "blury" dims (Pmdp_apps.Helpers.blur3 "blurx" ~ndims:2 ~dim:1) in
+  let dead = Stage.pointwise "dead" dims (load "img" [| cvar 0; cvar 1 |]) in
+  let p =
+    Pipeline.build ~name:"blur_dead"
+      ~inputs:[ Pipeline.input2 "img" 64 64 ]
+      ~stages:[ blurx; blury; dead ] ~outputs:[ "blury" ]
+  in
+  let ds = V.check_pipeline p in
+  Alcotest.(check bool) "unused-stage" true
+    (find ~severity:D.Warning ~pass:D.Lint ~kind:"unused-stage" ds)
+
+(* -------------------- validate hardening -------------------- *)
+
+let invalid f = try f (); false with Invalid_argument _ -> true
+
+let test_validate_rejects_bad_tiles () =
+  let p = blur () in
+  let zero = { Spec.pipeline = p; groups = [ { Spec.stages = [ 0; 1 ]; tile_sizes = [| 0; 64 |] } ] } in
+  Alcotest.(check bool) "zero tile rejected" true (invalid (fun () -> Spec.validate zero));
+  let empty = { Spec.pipeline = p; groups = [ { Spec.stages = [ 0; 1 ]; tile_sizes = [||] } ] } in
+  Alcotest.(check bool) "empty tile array rejected" true (invalid (fun () -> Spec.validate empty))
+
+let test_legality_oracle () =
+  let p = blur () in
+  (* passes the basic partition/order/positivity checks, but the tile
+     exceeds the scaled extent: only the oracle can reject it *)
+  let bad =
+    { Spec.pipeline = p; groups = [ { Spec.stages = [ 0; 1 ]; tile_sizes = [| 100; 100 |] } ] }
+  in
+  Spec.validate bad;
+  V.install ();
+  Fun.protect ~finally:V.uninstall (fun () ->
+      Alcotest.(check bool) "oracle rejects" true (invalid (fun () -> Spec.validate bad)));
+  Spec.validate bad
+
+(* -------------------- machine-readable failures -------------------- *)
+
+let test_failure_format () =
+  Alcotest.(check string) "kind slug" "dynamic-access"
+    (GA.failure_kind (GA.Dynamic_access { producer = "a"; consumer = "b" }));
+  Alcotest.(check string) "pp form" "not-connected: group is not a connected subgraph"
+    (Format.asprintf "%a" GA.pp_failure GA.Not_connected);
+  let samples =
+    [
+      GA.Dynamic_access { producer = "a"; consumer = "b" };
+      GA.Misaligned { producer = "a"; consumer = "b" };
+      GA.Inconsistent_scale { stage = "a"; dim = 1 };
+      GA.Fused_reduction "a";
+      GA.Rvar_access { producer = "a"; consumer = "b" };
+      GA.Zero_scale_access { producer = "a"; consumer = "b" };
+      GA.Not_connected;
+    ]
+  in
+  List.iter
+    (fun f ->
+      let s = Format.asprintf "%a" GA.pp_failure f in
+      Alcotest.(check bool) "one line" false (String.contains s '\n');
+      Alcotest.(check bool) "kind: prefix" true
+        (String.length s > String.length (GA.failure_kind f)
+        && String.sub s 0 (String.length (GA.failure_kind f)) = GA.failure_kind f))
+    samples
+
+(* -------------------- scratch formulas -------------------- *)
+
+let test_scratch_extents_agree () =
+  let p = blur () in
+  let ga =
+    match GA.analyze p [ 0; 1 ] with Ok ga -> ga | Error _ -> Alcotest.fail "analysis"
+  in
+  let tile = [| 16; 16 |] in
+  Array.iteri
+    (fun m _ ->
+      let e = Pmdp_exec.Tiled_exec.member_scratch_extents ga ~member:m ~tile in
+      let c = Pmdp_codegen.C_emit.scratch_alloc_extents ga ~member:m ~tile in
+      Alcotest.(check (array int)) "same extents" e c)
+    ga.GA.members
+
+let () =
+  Alcotest.run "pmdp_verify"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "dp blur" `Quick test_clean_dp;
+          Alcotest.test_case "manual groups" `Quick test_clean_manual_groups;
+        ] );
+      ( "seeded",
+        [
+          Alcotest.test_case "degenerate tile" `Quick test_seeded_degenerate_tile;
+          Alcotest.test_case "group order" `Quick test_seeded_group_order;
+          Alcotest.test_case "oversized tile" `Quick test_seeded_oversized_tile;
+          Alcotest.test_case "corrupt offset" `Quick test_seeded_corrupt_offset;
+          Alcotest.test_case "multi writer" `Quick test_seeded_multi_writer;
+        ] );
+      ("lint", [ Alcotest.test_case "unused stage" `Quick test_lint_unused_stage ]);
+      ( "validate",
+        [
+          Alcotest.test_case "bad tiles" `Quick test_validate_rejects_bad_tiles;
+          Alcotest.test_case "oracle" `Quick test_legality_oracle;
+        ] );
+      ("failures", [ Alcotest.test_case "format" `Quick test_failure_format ]);
+      ("scratch", [ Alcotest.test_case "extents agree" `Quick test_scratch_extents_agree ]);
+    ]
