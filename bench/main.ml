@@ -20,6 +20,7 @@
 module Machine = Pmdp_machine.Machine
 module Pipeline = Pmdp_dsl.Pipeline
 module Cost_model = Pmdp_core.Cost_model
+module Scheduler = Pmdp_core.Scheduler
 module Schedule_spec = Pmdp_core.Schedule_spec
 module Dp_grouping = Pmdp_core.Dp_grouping
 module Inc_grouping = Pmdp_core.Inc_grouping
@@ -27,63 +28,32 @@ module Tiled_exec = Pmdp_exec.Tiled_exec
 module Pool = Pmdp_runtime.Pool
 module Registry = Pmdp_apps.Registry
 module Table = Pmdp_report.Table
+module Sim = Pmdp_bench.Sim
+module Runner = Pmdp_bench.Runner
 
 let scale = try int_of_string (Sys.getenv "PMDP_SCALE") with _ -> 8
 let reps = try int_of_string (Sys.getenv "PMDP_REPS") with _ -> 2
 let cores = 16 (* the paper evaluates on 16 cores *)
 
 (* ------------------------------------------------------------------ *)
-(* Measurement                                                         *)
+(* Measurement (shared with `pmdp bench`, see Pmdp_bench)              *)
 
-type measurement = { t1 : float; t16 : float }
+let measure_schedule sched inputs : Sim.measurement =
+  Sim.measure_schedule ~reps ~cores sched inputs
 
-let measure_schedule sched inputs =
-  let plan = Tiled_exec.plan sched in
-  let best = ref { t1 = infinity; t16 = infinity } in
-  for _ = 1 to reps do
-    let _, timings = Tiled_exec.run_timed plan ~inputs in
-    let t1 =
-      List.fold_left
-        (fun acc (g : Tiled_exec.group_timing) ->
-          acc +. Array.fold_left ( +. ) 0.0 g.Tiled_exec.tile_durations)
-        0.0 timings
-    in
-    let t16 =
-      List.fold_left
-        (fun acc (g : Tiled_exec.group_timing) ->
-          acc
-          +. Pool.simulate_makespan ~sched:Pool.Static ~workers:cores
-               g.Tiled_exec.tile_durations)
-        0.0 timings
-    in
-    if t1 < !best.t1 then best := { t1; t16 = Float.min t16 !best.t16 }
-    else if t16 < !best.t16 then best := { !best with t16 }
-  done;
-  !best
+let via sch config p = lazy (Scheduler.schedule (Scheduler.for_pipeline sch p) config p)
+let dp_schedule config p = Lazy.force (via Scheduler.Dp config p)
 
-let dp_schedule config p =
-  if Pipeline.n_stages p >= 30 then begin
-    let inc = Inc_grouping.run ~initial_limit:8 ~config p in
-    Schedule_spec.of_grouping config p inc.Inc_grouping.groups
-  end
-  else fst (Schedule_spec.dp config p)
-
-let configs machine p inputs =
+let configs machine p =
   let config = Cost_model.default_config machine in
-  let evaluate sched = (measure_schedule sched inputs).t1 in
   [
-    ("H-manual", lazy (Pmdp_baselines.Manual.schedule p));
-    ( "H-auto",
-      lazy
-        (Pmdp_baselines.Halide_auto.schedule
-           (Pmdp_baselines.Halide_auto.params_for machine)
-           p) );
-    ( "PolyMage-A",
-      lazy (Pmdp_baselines.Autotune.run ~evaluate p).Pmdp_baselines.Autotune.best );
-    ("PolyMageDP", lazy (dp_schedule config p));
+    ("H-manual", via Scheduler.Manual config p);
+    ("H-auto", via Scheduler.Halide config p);
+    ("PolyMage-A", via Scheduler.Autotune config p);
+    ("PolyMageDP", via Scheduler.Dp config p);
   ]
 
-type app_result = { app : Registry.app; times : (string * measurement) list }
+type app_result = { app : Registry.app; times : (string * Sim.measurement) list }
 
 let measure_app machine (app : Registry.app) =
   let p = app.Registry.build ~scale in
@@ -91,7 +61,7 @@ let measure_app machine (app : Registry.app) =
   let times =
     List.map
       (fun (name, sched) -> (name, measure_schedule (Lazy.force sched) inputs))
-      (configs machine p inputs)
+      (configs machine p)
   in
   { app; times }
 
@@ -183,10 +153,10 @@ let exec_table machine title =
       Table.add_row t
         [
           r.app.Registry.name;
-          ms hm.t1; ms hm.t16; ms ha.t1; ms ha.t16; ms pa.t1; ms pa.t16; ms dp.t1; ms dp.t16;
-          Table.fx (hm.t16 /. dp.t16);
-          Table.fx (ha.t16 /. dp.t16);
-          Table.fx (pa.t16 /. dp.t16);
+          ms hm.Sim.t1; ms hm.Sim.t16; ms ha.Sim.t1; ms ha.Sim.t16; ms pa.Sim.t1; ms pa.Sim.t16; ms dp.Sim.t1; ms dp.Sim.t16;
+          Table.fx (hm.Sim.t16 /. dp.Sim.t16);
+          Table.fx (ha.Sim.t16 /. dp.Sim.t16);
+          Table.fx (pa.Sim.t16 /. dp.Sim.t16);
         ])
     results;
   Table.print ~title t;
@@ -214,14 +184,14 @@ let figure7 () =
   let t = Table.create [ "Benchmark"; "Config"; "speedup @1"; "speedup @16" ] in
   List.iter
     (fun r ->
-      let base = (List.assoc "PolyMageDP" r.times).t1 in
+      let base = (List.assoc "PolyMageDP" r.times).Sim.t1 in
       List.iter
         (fun (name, m) ->
           Table.add_row t
             [
               r.app.Registry.name; name;
-              Printf.sprintf "%.2f" (base /. m.t1);
-              Printf.sprintf "%.2f" (base /. m.t16);
+              Printf.sprintf "%.2f" (base /. m.Sim.t1);
+              Printf.sprintf "%.2f" (base /. m.Sim.t16);
             ])
         r.times)
     results;
@@ -276,7 +246,7 @@ let table5 () =
           Printf.sprintf "%.2f" (100.0 *. f.Pmdp_cachesim.Hierarchy.l1_hit);
           Printf.sprintf "%.2f" (100.0 *. f.Pmdp_cachesim.Hierarchy.l2_hit);
           Printf.sprintf "%.2f" (100.0 *. f.Pmdp_cachesim.Hierarchy.l2_miss);
-          Table.fms (m.t1 *. 1000.0);
+          Table.fms (m.Sim.t1 *. 1000.0);
         ])
     [ (128, 256); (16, 256); (8, 416); (5, 256) ];
   Table.print
@@ -308,7 +278,7 @@ let ablation () =
         { (Cost_model.default_config machine) with Cost_model.fuse_reductions = true } );
     ]
   in
-  let apps = [ Registry.find "unsharp"; Registry.find "harris" ] in
+  let apps = [ Registry.find_exn "unsharp"; Registry.find_exn "harris" ] in
   List.iter
     (fun (name, config) ->
       let cells =
@@ -318,7 +288,7 @@ let ablation () =
             let inputs = app.Registry.inputs ~seed:1 p in
             let sched = fst (Schedule_spec.dp config p) in
             let m = measure_schedule sched inputs in
-            [ string_of_int (Schedule_spec.n_groups sched); Table.fms (m.t16 *. 1000.0) ])
+            [ string_of_int (Schedule_spec.n_groups sched); Table.fms (m.Sim.t16 *. 1000.0) ])
           apps
       in
       Table.add_row t (name :: cells))
@@ -329,7 +299,7 @@ let ablation () =
      cheap wrapper stages. *)
   let t2 = Table.create [ "Camera pipeline variant"; "stages"; "groups"; "t1(ms)"; "t16(ms)" ] in
   let config = Cost_model.default_config machine in
-  let app = Registry.find "camera_pipe" in
+  let app = Registry.find_exn "camera_pipe" in
   List.iter
     (fun (name, transform) ->
       let p = transform (app.Registry.build ~scale) in
@@ -341,8 +311,8 @@ let ablation () =
           name;
           string_of_int (Pipeline.n_stages p);
           string_of_int (Schedule_spec.n_groups sched);
-          Table.fms (m.t1 *. 1000.0);
-          Table.fms (m.t16 *. 1000.0);
+          Table.fms (m.Sim.t1 *. 1000.0);
+          Table.fms (m.Sim.t16 *. 1000.0);
         ])
     [
       ("as written (32 stages)", Fun.id);
@@ -365,7 +335,7 @@ let cross_pollination () =
   in
   List.iter
     (fun name ->
-      let app = Registry.find name in
+      let app = Registry.find_exn name in
       let p = app.Registry.build ~scale in
       let inputs = app.Registry.inputs ~seed:1 p in
       let manual = Pmdp_baselines.Manual.schedule p in
@@ -391,7 +361,7 @@ let cross_pollination () =
               let sched = make grouping in
               let m = measure_schedule sched inputs in
               Table.add_row t
-                [ name; glabel; tlabel; Table.fms (m.t1 *. 1000.0); Table.fms (m.t16 *. 1000.0) ])
+                [ name; glabel; tlabel; Table.fms (m.Sim.t1 *. 1000.0); Table.fms (m.Sim.t16 *. 1000.0) ])
             [ ("manual", with_manual_tiles); ("model", with_model_tiles) ])
         [ ("manual", groups_of manual); ("PolyMageDP", groups_of dp) ])
     [ "harris"; "unsharp" ];
@@ -419,10 +389,10 @@ let tile_sweep () =
         (fun ty ->
           let sched = Schedule_spec.with_tiles p [ (stages, [| 3; tx; ty |]) ] in
           let m = measure_schedule sched inputs in
-          if m.t16 < fst !best then best := (m.t16, (tx, ty));
+          if m.Sim.t16 < fst !best then best := (m.Sim.t16, (tx, ty));
           Table.add_row t
-            [ string_of_int tx; string_of_int ty; Table.fms (m.t1 *. 1000.0);
-              Table.fms (m.t16 *. 1000.0) ])
+            [ string_of_int tx; string_of_int ty; Table.fms (m.Sim.t1 *. 1000.0);
+              Table.fms (m.Sim.t16 *. 1000.0) ])
         ys)
     xs;
   Table.print
@@ -441,7 +411,7 @@ let tile_sweep () =
 
 let bechamel () =
   let open Bechamel in
-  let um = Registry.find "unsharp" in
+  let um = Registry.find_exn "unsharp" in
   let p = um.Registry.build ~scale:(scale * 2) in
   let inputs = um.Registry.inputs ~seed:1 p in
   let config = Cost_model.default_config Machine.xeon in
@@ -493,6 +463,7 @@ let bechamel () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Pmdp_baselines.Schedulers.install ();
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let t0 = Unix.gettimeofday () in
   (match which with

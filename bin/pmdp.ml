@@ -4,12 +4,16 @@
      list                         — available pipelines
      schedule <app>               — print the grouping/tiles a scheduler picks
      run <app>                    — execute a schedule and validate vs reference
+     bench                        — benchmark apps x schedulers x workers to JSON
      emit-c <app>                 — generate C++/OpenMP for a schedule
      cachesim <app>               — simulated L1/L2 hit/miss fractions
      check [app]                  — static legality/bounds/race/lint verification
 *)
 
 open Cmdliner
+module Scheduler = Pmdp_core.Scheduler
+module Registry = Pmdp_apps.Registry
+module Pool = Pmdp_runtime.Pool
 
 let machine_conv =
   let parse s =
@@ -25,63 +29,58 @@ let machine_t =
 let scale_t =
   Arg.(value & opt int 8 & info [ "scale" ] ~doc:"Divide the paper's image extents by this factor.")
 
+(* Unknown app names are rejected in Cmdliner's own error channel,
+   with the list of valid names. *)
+let app_conv =
+  let parse s =
+    match Registry.find s with
+    | Some app -> Ok app
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown app %S (expected one of: %s)" s (Registry.names ())))
+  in
+  Arg.conv (parse, fun ppf (a : Registry.app) -> Format.fprintf ppf "%s" a.Registry.name)
+
 let app_t =
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Pipeline name (see `pmdp list`).")
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Pipeline name (see `pmdp list`).")
+
+let scheduler_conv =
+  let parse s =
+    match Scheduler.of_string s with
+    | Some sch -> Ok sch
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown scheduler %S (expected one of: %s)" s (Scheduler.names ())))
+  in
+  Arg.conv (parse, fun ppf sch -> Format.fprintf ppf "%s" (Scheduler.to_string sch))
 
 let scheduler_t =
-  Arg.(value & opt string "dp" & info [ "scheduler"; "s" ]
-         ~doc:"Scheduler: dp, dp-inc, greedy, autotune, halide, manual.")
+  Arg.(value & opt scheduler_conv Scheduler.Dp
+       & info [ "scheduler"; "s" ] ~doc:(Printf.sprintf "Scheduler: %s." (Scheduler.names ())))
 
-let build_app name scale =
-  let app = try Pmdp_apps.Registry.find name with Not_found ->
-    Printf.eprintf "unknown app %S\n" name; exit 2
-  in
-  (app, app.Pmdp_apps.Registry.build ~scale)
+let pool_sched_conv =
+  Arg.enum [ ("static", Pool.Static); ("dynamic", Pool.Dynamic); ("chunked", Pool.Chunked 0) ]
 
-let make_schedule scheduler machine pipeline inputs =
-  let config = Pmdp_core.Cost_model.default_config machine in
-  match scheduler with
-  | "dp" -> fst (Pmdp_core.Schedule_spec.dp config pipeline)
-  | "dp-inc" ->
-      let inc = Pmdp_core.Inc_grouping.run ~initial_limit:32 ~config pipeline in
-      Pmdp_core.Schedule_spec.of_grouping config pipeline inc.Pmdp_core.Inc_grouping.groups
-  | "greedy" ->
-      Pmdp_baselines.Polymage_greedy.schedule
-        { Pmdp_baselines.Polymage_greedy.tile = 64; overlap_threshold = 0.4 }
-        pipeline
-  | "autotune" ->
-      let evaluate sched =
-        let plan = Pmdp_exec.Tiled_exec.plan sched in
-        let t0 = Unix.gettimeofday () in
-        ignore (Pmdp_exec.Tiled_exec.run plan ~inputs);
-        Unix.gettimeofday () -. t0
-      in
-      (Pmdp_baselines.Autotune.run ~evaluate pipeline).Pmdp_baselines.Autotune.best
-  | "halide" ->
-      Pmdp_baselines.Halide_auto.schedule (Pmdp_baselines.Halide_auto.params_for machine) pipeline
-  | "manual" -> Pmdp_baselines.Manual.schedule pipeline
-  | other ->
-      Printf.eprintf "unknown scheduler %S\n" other;
-      exit 2
+let make_schedule scheduler machine pipeline =
+  Scheduler.schedule scheduler (Pmdp_core.Cost_model.default_config machine) pipeline
+
+let build (app : Registry.app) scale = app.Registry.build ~scale
 
 let list_cmd =
   let doc = "List available pipelines." in
   let run () =
     List.iter
-      (fun (a : Pmdp_apps.Registry.app) ->
-        let p = a.Pmdp_apps.Registry.build ~scale:32 in
-        Printf.printf "%-15s %-3s %2d stages (paper: %d)\n" a.Pmdp_apps.Registry.name
-          a.Pmdp_apps.Registry.short (Pmdp_dsl.Pipeline.n_stages p) a.Pmdp_apps.Registry.paper_stages)
-      Pmdp_apps.Registry.all
+      (fun (a : Registry.app) ->
+        let p = a.Registry.build ~scale:32 in
+        Printf.printf "%-15s %-3s %2d stages (paper: %d)\n" a.Registry.name
+          a.Registry.short (Pmdp_dsl.Pipeline.n_stages p) a.Registry.paper_stages)
+      Registry.all
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let schedule_cmd =
   let doc = "Print the grouping and tile sizes a scheduler picks." in
-  let run name scale machine scheduler =
-    let app, pipeline = build_app name scale in
-    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
-    let sched = make_schedule scheduler machine pipeline inputs in
+  let run app scale machine scheduler =
+    let pipeline = build app scale in
+    let sched = make_schedule scheduler machine pipeline in
     Format.printf "%a@." Pmdp_core.Schedule_spec.pp sched
   in
   Cmd.v (Cmd.info "schedule" ~doc)
@@ -89,15 +88,21 @@ let schedule_cmd =
 
 let run_cmd =
   let doc = "Execute a schedule and validate against the reference executor." in
-  let run name scale machine scheduler workers =
-    let app, pipeline = build_app name scale in
-    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
-    let sched = make_schedule scheduler machine pipeline inputs in
+  let run (app : Registry.app) scale machine scheduler workers pool_sched profile =
+    let pipeline = build app scale in
+    let inputs = app.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline in
     let plan = Pmdp_exec.Tiled_exec.plan sched in
-    let pool = if workers > 1 then Some (Pmdp_runtime.Pool.create workers) else None in
+    let pool = if workers > 1 then Some (Pool.create workers) else None in
+    let collector =
+      Pmdp_report.Profile.collector ~pipeline:pipeline.Pmdp_dsl.Pipeline.name ~workers
+    in
     let t0 = Unix.gettimeofday () in
-    let results = Pmdp_exec.Tiled_exec.run ?pool plan ~inputs in
+    let results =
+      Pmdp_exec.Tiled_exec.run ?pool ?sched:pool_sched ~profile:collector plan ~inputs
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
+    Option.iter Pool.shutdown pool;
     let reference = Pmdp_exec.Reference.run pipeline ~inputs in
     let worst =
       List.fold_left
@@ -105,21 +110,83 @@ let run_cmd =
         0.0 results
     in
     Format.printf "%s via %s: %.1f ms (%d groups, %d tiles, %d workers), max |diff| = %g@."
-      name scheduler (elapsed *. 1000.0)
+      app.Registry.name (Scheduler.to_string scheduler) (elapsed *. 1000.0)
       (Pmdp_core.Schedule_spec.n_groups sched)
       (Pmdp_exec.Tiled_exec.total_tiles plan) workers worst;
+    if profile then
+      Format.printf "%a@." Pmdp_report.Profile.pp (Pmdp_report.Profile.result collector);
     if worst <> 0.0 then exit 1
   in
   let workers_t = Arg.(value & opt int 1 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
+  let pool_sched_t =
+    Arg.(value & opt (some pool_sched_conv) None
+         & info [ "pool-sched" ] ~doc:"Tile distribution: static, dynamic, or chunked (default).")
+  in
+  let profile_t =
+    Arg.(value & flag & info [ "profile" ] ~doc:"Print the per-group execution profile.")
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t $ pool_sched_t $ profile_t)
+
+let bench_cmd =
+  let doc =
+    "Benchmark apps x schedulers x worker counts on the persistent pool, validate every run \
+     against the reference executor, and write the results (median/min wall-clock and \
+     per-group profiles) as JSON."
+  in
+  let run machine scale reps workers schedulers pool_sched output apps quiet =
+    let apps = match apps with [] -> Registry.all | apps -> apps in
+    let log = if quiet then fun _ -> () else print_endline in
+    let outcomes =
+      Pmdp_bench.Runner.run_all ?pool_sched ~log ~reps ~scale ~machine ~workers ~schedulers apps
+    in
+    let path =
+      match output with Some p -> p | None -> Pmdp_bench.Runner.default_path machine
+    in
+    Pmdp_bench.Runner.write_json ~path ~machine ~scale ~reps outcomes;
+    Printf.printf "wrote %s (%d cases)\n" path (List.length outcomes);
+    if List.exists (fun o -> not (Pmdp_bench.Runner.valid o)) outcomes then begin
+      Printf.eprintf "bench: some runs did not validate against the reference executor\n";
+      exit 1
+    end
+  in
+  let reps_t =
+    Arg.(value & opt int 3 & info [ "reps" ] ~doc:"Repetitions per case (median/min reported).")
+  in
+  let workers_t =
+    Arg.(value & opt (list int) [ 1; 4 ]
+         & info [ "workers"; "j" ] ~doc:"Comma-separated pool sizes to benchmark.")
+  in
+  let schedulers_t =
+    Arg.(value & opt (list scheduler_conv)
+           Scheduler.[ Dp; Greedy; Halide; Manual ]
+         & info [ "scheduler"; "s" ]
+             ~doc:(Printf.sprintf
+                     "Comma-separated schedulers to benchmark (of: %s). The autotuner is \
+                      excluded by default because it executes its own schedule sweep."
+                     (Scheduler.names ())))
+  in
+  let pool_sched_t =
+    Arg.(value & opt (some pool_sched_conv) None
+         & info [ "pool-sched" ] ~doc:"Tile distribution: static, dynamic, or chunked (default).")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Output file (default BENCH_<machine>.json).")
+  in
+  let apps_t =
+    Arg.(value & pos_all app_conv [] & info [] ~docv:"APP" ~doc:"Apps to benchmark (default: all).")
+  in
+  let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-case progress lines.") in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ machine_t $ scale_t $ reps_t $ workers_t $ schedulers_t $ pool_sched_t
+          $ out_t $ apps_t $ quiet_t)
 
 let emit_c_cmd =
   let doc = "Emit C++/OpenMP for a schedule (stdout, or -o FILE)." in
-  let run name scale machine scheduler output =
-    let app, pipeline = build_app name scale in
-    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
-    let sched = make_schedule scheduler machine pipeline inputs in
+  let run app scale machine scheduler output =
+    let pipeline = build app scale in
+    let sched = make_schedule scheduler machine pipeline in
     let code = Pmdp_codegen.C_emit.emit sched in
     match output with
     | None -> print_string code
@@ -133,15 +200,14 @@ let emit_c_cmd =
 
 let cachesim_cmd =
   let doc = "Simulated cache hit/miss fractions for a schedule (Table 5 methodology)." in
-  let run name scale machine scheduler max_tiles =
-    let app, pipeline = build_app name scale in
-    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
-    let sched = make_schedule scheduler machine pipeline inputs in
+  let run (app : Registry.app) scale machine scheduler max_tiles =
+    let pipeline = build app scale in
+    let sched = make_schedule scheduler machine pipeline in
     let h = Pmdp_cachesim.Hierarchy.create machine in
     Pmdp_cachesim.Trace_exec.run ?max_tiles:(Some max_tiles) sched ~hierarchy:h;
     let f = Pmdp_cachesim.Hierarchy.fractions h in
     Format.printf "%s via %s: L1 hit %.2f%%  L2 hit %.2f%%  L2 miss %.2f%%  (%d accesses)@."
-      name scheduler
+      app.Registry.name (Scheduler.to_string scheduler)
       (100.0 *. f.Pmdp_cachesim.Hierarchy.l1_hit)
       (100.0 *. f.Pmdp_cachesim.Hierarchy.l2_hit)
       (100.0 *. f.Pmdp_cachesim.Hierarchy.l2_miss)
@@ -153,12 +219,11 @@ let cachesim_cmd =
 
 let dot_cmd =
   let doc = "Export the pipeline DAG (optionally with a scheduler's grouping) as Graphviz dot." in
-  let run name scale machine scheduler grouped output =
-    let app, pipeline = build_app name scale in
+  let run app scale machine scheduler grouped output =
+    let pipeline = build app scale in
     let dot =
       if grouped then begin
-        let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
-        let sched = make_schedule scheduler machine pipeline inputs in
+        let sched = make_schedule scheduler machine pipeline in
         Pmdp_dsl.Dot.grouping pipeline
           (List.map (fun (g : Pmdp_core.Schedule_spec.group) -> g.Pmdp_core.Schedule_spec.stages)
              sched.Pmdp_core.Schedule_spec.groups)
@@ -181,55 +246,33 @@ let check_cmd =
   let doc =
     "Statically verify schedules (legality, bounds, races, lint) without running them."
   in
-  let run name scale machine schedulers =
-    let apps =
-      match name with
-      | Some n -> (
-          try [ Pmdp_apps.Registry.find n ]
-          with Not_found ->
-            Printf.eprintf "unknown app %S\n" n;
-            exit 2)
-      | None -> Pmdp_apps.Registry.benchmarks
-    in
-    let scheds =
-      String.split_on_char ',' schedulers
-      |> List.map String.trim
-      |> List.filter (fun s -> s <> "")
-    in
-    if scheds = [] then begin
-      Printf.eprintf "no schedulers given\n";
-      exit 2
-    end;
+  let run app scale machine schedulers =
+    let apps = match app with Some a -> [ a ] | None -> Registry.benchmarks in
     let had_errors = ref false in
     List.iter
-      (fun (app : Pmdp_apps.Registry.app) ->
-        let pipeline = app.Pmdp_apps.Registry.build ~scale in
-        let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
+      (fun (app : Registry.app) ->
+        let pipeline = app.Registry.build ~scale in
         List.iter
           (fun scheduler ->
             (* Full DP is exponential in practice on the big pipelines;
                use the incremental variant there, as the tests do. *)
-            let scheduler =
-              if scheduler = "dp" && Pmdp_dsl.Pipeline.n_stages pipeline >= 30 then
-                "dp-inc"
-              else scheduler
-            in
-            let sched = make_schedule scheduler machine pipeline inputs in
+            let scheduler = Scheduler.for_pipeline scheduler pipeline in
+            let sched = make_schedule scheduler machine pipeline in
             let ds = Pmdp_verify.Verify.check_schedule sched in
             if Pmdp_verify.Verify.errors ds <> [] then had_errors := true;
-            Format.printf "%-15s %-8s %s@." app.Pmdp_apps.Registry.name scheduler
+            Format.printf "%-15s %-8s %s@." app.Registry.name (Scheduler.to_string scheduler)
               (Pmdp_verify.Diagnostic.summary ds);
             List.iter (fun d -> Format.printf "  %a@." Pmdp_verify.Diagnostic.pp d) ds)
-          scheds)
+          schedulers)
       apps;
     if !had_errors then exit 1
   in
   let app_opt_t =
-    Arg.(value & pos 0 (some string) None
+    Arg.(value & pos 0 (some app_conv) None
          & info [] ~docv:"APP" ~doc:"Pipeline name (default: all six benchmarks).")
   in
   let scheds_t =
-    Arg.(value & opt string "dp,greedy,halide"
+    Arg.(value & opt (list scheduler_conv) Scheduler.[ Dp; Greedy; Halide ]
          & info [ "scheduler"; "s" ] ~doc:"Comma-separated schedulers to check.")
   in
   Cmd.v (Cmd.info "check" ~doc)
@@ -237,10 +280,9 @@ let check_cmd =
 
 let storage_cmd =
   let doc = "Report buffer lifetimes and the memory saved by recycling (storage optimization)." in
-  let run name scale machine scheduler =
-    let app, pipeline = build_app name scale in
-    let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 pipeline in
-    let sched = make_schedule scheduler machine pipeline inputs in
+  let run app scale machine scheduler =
+    let pipeline = build app scale in
+    let sched = make_schedule scheduler machine pipeline in
     let r = Pmdp_exec.Storage.report sched in
     List.iter
       (fun (l : Pmdp_exec.Storage.lifetime) ->
@@ -259,12 +301,14 @@ let storage_cmd =
 
 let () =
   (* Executors validate schedules on entry; with the oracle installed
-     they also refuse illegal or racy ones. *)
+     they also refuse illegal or racy ones.  The baseline schedulers
+     register their Scheduler.t implementations the same way. *)
   Pmdp_verify.Verify.install ();
+  Pmdp_baselines.Schedulers.install ();
   let doc = "PolyMageDP: DP-based fusion and tile-size model (PPoPP'18 reproduction)" in
   let info = Cmd.info "pmdp" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; schedule_cmd; run_cmd; emit_c_cmd; cachesim_cmd; dot_cmd;
+          [ list_cmd; schedule_cmd; run_cmd; bench_cmd; emit_c_cmd; cachesim_cmd; dot_cmd;
             storage_cmd; check_cmd ]))

@@ -43,8 +43,9 @@ let () =
     (tiled_time *. 1000.0)
     (Pmdp_exec.Buffer.max_abs_diff out expected);
 
-  (* 5. Same schedule on a worker pool. *)
-  let pool = Pmdp_runtime.Pool.create 4 in
-  let par = Pmdp_exec.Tiled_exec.run ~pool plan ~inputs in
-  Format.printf "parallel run agrees: %b@."
-    (Pmdp_exec.Buffer.max_abs_diff (List.assoc "blury" par) expected = 0.0)
+  (* 5. Same schedule on a persistent worker pool (domains are spawned
+     once; with_pool joins them on the way out). *)
+  Pmdp_runtime.Pool.with_pool 4 (fun pool ->
+      let par = Pmdp_exec.Tiled_exec.run ~pool plan ~inputs in
+      Format.printf "parallel run agrees: %b@."
+        (Pmdp_exec.Buffer.max_abs_diff (List.assoc "blury" par) expected = 0.0))

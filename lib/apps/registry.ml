@@ -83,10 +83,11 @@ let all =
 
 let find key =
   let k = String.lowercase_ascii key in
-  match
-    List.find_opt
-      (fun a -> String.lowercase_ascii a.name = k || String.lowercase_ascii a.short = k)
-      all
-  with
-  | Some a -> a
-  | None -> raise Not_found
+  List.find_opt
+    (fun a -> String.lowercase_ascii a.name = k || String.lowercase_ascii a.short = k)
+    all
+
+let find_exn key =
+  match find key with Some a -> a | None -> raise Not_found
+
+let names () = String.concat ", " (List.map (fun a -> a.name) all)

@@ -16,6 +16,13 @@ val benchmarks : app list
 val all : app list
 (** [benchmarks] plus blur. *)
 
-val find : string -> app
-(** Lookup by [name] or [short] (case-insensitive).
-    @raise Not_found. *)
+val find : string -> app option
+(** Lookup by [name] or [short] (case-insensitive). *)
+
+val find_exn : string -> app
+(** Like {!find}. @raise Not_found on unknown names — for callers
+    (tests, benchmarks) that hard-code known-good names; CLI paths
+    must use {!find} and report through their own error channel. *)
+
+val names : unit -> string
+(** Comma-separated names of {!all}, for error messages. *)

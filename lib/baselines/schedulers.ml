@@ -1,0 +1,39 @@
+module Scheduler = Pmdp_core.Scheduler
+module Cost_model = Pmdp_core.Cost_model
+module Pipeline = Pmdp_dsl.Pipeline
+module Buffer = Pmdp_exec.Buffer
+module Rng = Pmdp_util.Rng
+
+(* Deterministic synthetic inputs for the autotuner's timing runs:
+   the tuner only compares schedules of one pipeline against each
+   other, so any well-formed input data works. *)
+let synth_inputs (p : Pipeline.t) =
+  Array.to_list
+    (Array.map
+       (fun (inp : Pipeline.input) ->
+         let b = Buffer.create inp.Pipeline.in_name inp.Pipeline.in_dims in
+         let rng = Rng.create 1 in
+         Buffer.fill b (fun _ -> Rng.float rng 1.0);
+         (inp.Pipeline.in_name, b))
+       p.Pipeline.inputs)
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Scheduler.register Scheduler.Greedy (fun _config p ->
+        Polymage_greedy.schedule { Polymage_greedy.tile = 64; overlap_threshold = 0.4 } p);
+    Scheduler.register Scheduler.Halide (fun config p ->
+        Halide_auto.schedule (Halide_auto.params_for config.Cost_model.machine) p);
+    Scheduler.register Scheduler.Manual (fun _config p -> Manual.schedule p);
+    Scheduler.register Scheduler.Autotune (fun _config p ->
+        let inputs = synth_inputs p in
+        let evaluate sched =
+          let plan = Pmdp_exec.Tiled_exec.plan sched in
+          let t0 = Unix.gettimeofday () in
+          ignore (Pmdp_exec.Tiled_exec.run plan ~inputs);
+          Unix.gettimeofday () -. t0
+        in
+        (Autotune.run ~evaluate p).Autotune.best)
+  end

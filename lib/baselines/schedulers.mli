@@ -1,0 +1,8 @@
+(** Plug the baseline schedulers into {!Pmdp_core.Scheduler}.
+
+    [Pmdp_core] cannot depend on this library, so the [Greedy],
+    [Autotune], [Halide], and [Manual] variants dispatch through a
+    registry; [install] populates it.  Idempotent; call once at
+    startup, next to [Pmdp_verify.Verify.install]. *)
+
+val install : unit -> unit

@@ -1,0 +1,160 @@
+module Machine = Pmdp_machine.Machine
+module Pipeline = Pmdp_dsl.Pipeline
+module Cost_model = Pmdp_core.Cost_model
+module Scheduler = Pmdp_core.Scheduler
+module Schedule_spec = Pmdp_core.Schedule_spec
+module Tiled_exec = Pmdp_exec.Tiled_exec
+module Reference = Pmdp_exec.Reference
+module Buffer = Pmdp_exec.Buffer
+module Pool = Pmdp_runtime.Pool
+module Registry = Pmdp_apps.Registry
+module Profile = Pmdp_report.Profile
+module Json = Pmdp_report.Json
+
+type outcome = {
+  app_name : string;
+  scheduler : Scheduler.t;  (** as requested *)
+  resolved : Scheduler.t;  (** after {!Scheduler.for_pipeline} *)
+  workers : int;
+  wall_seconds : float list;  (** effective, one per rep, in run order *)
+  host_wall_seconds : float list;  (** what the host actually took *)
+  simulated : bool;  (** effective times reconstructed from per-tile durations *)
+  median_s : float;
+  min_s : float;
+  max_abs_diff : float;  (** vs {!Reference.run}; 0.0 = bitwise valid *)
+  n_groups : int;
+  n_tiles : int;
+  profile : Profile.t;  (** of the last rep *)
+}
+
+let valid o = o.max_abs_diff = 0.0
+
+let median_of sorted = List.nth sorted (List.length sorted / 2)
+
+(* Reconstructed [w]-way wall-clock of one sequential-timed run:
+   groups are barriers, tiles within a group distribute under the
+   pool's claim policy. *)
+let makespan_of_timings ~sched ~workers timings =
+  List.fold_left
+    (fun acc (g : Tiled_exec.group_timing) ->
+      acc +. Pool.simulate_makespan ~sched ~workers g.Tiled_exec.tile_durations)
+    0.0 timings
+
+let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~schedulers
+    (app : Registry.app) =
+  if reps < 1 then invalid_arg "Runner.run_app: reps < 1";
+  Pmdp_baselines.Schedulers.install ();
+  let host_cores = Domain.recommended_domain_count () in
+  let sim_sched = Option.value pool_sched ~default:(Pool.Chunked 0) in
+  let p = app.Registry.build ~scale in
+  let inputs = app.Registry.inputs ~seed:1 p in
+  let reference = Reference.run p ~inputs in
+  let config = Cost_model.default_config machine in
+  List.concat_map
+    (fun scheduler ->
+      let resolved = Scheduler.for_pipeline scheduler p in
+      let spec = Scheduler.schedule resolved config p in
+      let plan = Tiled_exec.plan spec in
+      let n_groups = Schedule_spec.n_groups spec in
+      let n_tiles = Tiled_exec.total_tiles plan in
+      (* Sequential per-tile timings, for makespan reconstruction on
+         hosts with fewer cores than the requested pool (the DESIGN.md
+         multicore substitution).  Measured lazily, once per schedule. *)
+      let timed_reps =
+        lazy (List.init reps (fun _ -> snd (Tiled_exec.run_timed plan ~inputs)))
+      in
+      List.map
+        (fun w ->
+          let collector = Profile.collector ~pipeline:p.Pipeline.name ~workers:w in
+          let host_walls = ref [] and diff = ref 0.0 in
+          let measure pool =
+            for _ = 1 to reps do
+              Profile.clear collector;
+              let t0 = Unix.gettimeofday () in
+              let results =
+                Tiled_exec.run ?pool ?sched:pool_sched ~profile:collector plan ~inputs
+              in
+              host_walls := (Unix.gettimeofday () -. t0) :: !host_walls;
+              List.iter
+                (fun (n, b) ->
+                  diff := Float.max !diff (Buffer.max_abs_diff b (List.assoc n reference)))
+                results
+            done
+          in
+          if w > 1 then Pool.with_pool w (fun pool -> measure (Some pool)) else measure None;
+          let host_wall_seconds = List.rev !host_walls in
+          let simulated = w > 1 && host_cores < w in
+          let wall_seconds =
+            if not simulated then host_wall_seconds
+            else
+              List.map
+                (fun timings -> makespan_of_timings ~sched:sim_sched ~workers:w timings)
+                (Lazy.force timed_reps)
+          in
+          let sorted = List.sort compare wall_seconds in
+          let o =
+            {
+              app_name = app.Registry.name;
+              scheduler;
+              resolved;
+              workers = w;
+              wall_seconds;
+              host_wall_seconds;
+              simulated;
+              median_s = median_of sorted;
+              min_s = List.hd sorted;
+              max_abs_diff = !diff;
+              n_groups;
+              n_tiles;
+              profile = Profile.result collector;
+            }
+          in
+          log
+            (Printf.sprintf "%-15s %-8s %2d workers  median %8.2f ms  min %8.2f ms%s%s"
+               o.app_name (Scheduler.to_string scheduler) w (o.median_s *. 1000.0)
+               (o.min_s *. 1000.0)
+               (if simulated then "  (simulated)" else "")
+               (if valid o then "" else Printf.sprintf "  INVALID max|diff|=%g" o.max_abs_diff));
+          o)
+        workers)
+    schedulers
+
+let run_all ?pool_sched ?log ~reps ~scale ~machine ~workers ~schedulers apps =
+  List.concat_map
+    (fun app -> run_app ?pool_sched ?log ~reps ~scale ~machine ~workers ~schedulers app)
+    apps
+
+let json_of_outcome o =
+  Json.Obj
+    [
+      ("app", Json.String o.app_name);
+      ("scheduler", Json.String (Scheduler.to_string o.scheduler));
+      ("resolved_scheduler", Json.String (Scheduler.to_string o.resolved));
+      ("workers", Json.Int o.workers);
+      ("wall_seconds", Json.List (List.map (fun f -> Json.Float f) o.wall_seconds));
+      ("host_wall_seconds", Json.List (List.map (fun f -> Json.Float f) o.host_wall_seconds));
+      ("simulated", Json.Bool o.simulated);
+      ("median_seconds", Json.Float o.median_s);
+      ("min_seconds", Json.Float o.min_s);
+      ("valid", Json.Bool (valid o));
+      ("max_abs_diff", Json.Float o.max_abs_diff);
+      ("n_groups", Json.Int o.n_groups);
+      ("n_tiles", Json.Int o.n_tiles);
+      ("profile", Profile.to_json o.profile);
+    ]
+
+let to_json ~machine ~scale ~reps outcomes =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("machine", Json.String machine.Machine.name);
+      ("scale", Json.Int scale);
+      ("reps", Json.Int reps);
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+      ("cases", Json.List (List.map json_of_outcome outcomes));
+    ]
+
+let write_json ~path ~machine ~scale ~reps outcomes =
+  Json.to_file path (to_json ~machine ~scale ~reps outcomes)
+
+let default_path machine = Printf.sprintf "BENCH_%s.json" machine.Machine.name

@@ -1,0 +1,71 @@
+(** Real-pool benchmark runner behind both `pmdp bench` and the
+    `bench/` harness: app x scheduler x worker-count cases, each
+    validated bitwise against {!Pmdp_exec.Reference.run}, with the
+    executor's per-group {!Pmdp_report.Profile} attached, serialized
+    to the repository's [BENCH_<machine>.json] trajectory files. *)
+
+type outcome = {
+  app_name : string;
+  scheduler : Pmdp_core.Scheduler.t;  (** as requested *)
+  resolved : Pmdp_core.Scheduler.t;  (** after {!Pmdp_core.Scheduler.for_pipeline} *)
+  workers : int;
+  wall_seconds : float list;  (** effective, one per rep, in run order *)
+  host_wall_seconds : float list;  (** what the host actually took *)
+  simulated : bool;
+      (** true when the host has fewer cores than [workers]: the
+          effective times are then makespan reconstructions from
+          sequentially measured per-tile durations (the DESIGN.md
+          multicore substitution), while the real pooled runs still
+          execute for validation and profiling *)
+  median_s : float;  (** median of [wall_seconds] (upper for even reps) *)
+  min_s : float;
+  max_abs_diff : float;  (** vs the reference executor; 0.0 = bitwise valid *)
+  n_groups : int;
+  n_tiles : int;
+  profile : Pmdp_report.Profile.t;  (** of the last rep *)
+}
+
+val valid : outcome -> bool
+(** Bitwise equality with the reference executor. *)
+
+val run_app :
+  ?pool_sched:Pmdp_runtime.Pool.sched ->
+  ?log:(string -> unit) ->
+  reps:int ->
+  scale:int ->
+  machine:Pmdp_machine.Machine.t ->
+  workers:int list ->
+  schedulers:Pmdp_core.Scheduler.t list ->
+  Pmdp_apps.Registry.app ->
+  outcome list
+(** Benchmark one app: the schedule and plan are built once per
+    scheduler (DP included, via {!Pmdp_core.Scheduler.for_pipeline}),
+    then each worker count runs [reps] repetitions on its own
+    persistent pool.  Installs the baseline schedulers.  [log]
+    receives one line per finished case.
+    @raise Invalid_argument if [reps < 1]. *)
+
+val run_all :
+  ?pool_sched:Pmdp_runtime.Pool.sched ->
+  ?log:(string -> unit) ->
+  reps:int ->
+  scale:int ->
+  machine:Pmdp_machine.Machine.t ->
+  workers:int list ->
+  schedulers:Pmdp_core.Scheduler.t list ->
+  Pmdp_apps.Registry.app list ->
+  outcome list
+
+val to_json :
+  machine:Pmdp_machine.Machine.t -> scale:int -> reps:int -> outcome list -> Pmdp_report.Json.t
+
+val write_json :
+  path:string ->
+  machine:Pmdp_machine.Machine.t ->
+  scale:int ->
+  reps:int ->
+  outcome list ->
+  unit
+
+val default_path : Pmdp_machine.Machine.t -> string
+(** ["BENCH_<machine>.json"]. *)

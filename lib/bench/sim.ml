@@ -1,0 +1,32 @@
+module Tiled_exec = Pmdp_exec.Tiled_exec
+module Pool = Pmdp_runtime.Pool
+
+type measurement = { t1 : float; t16 : float }
+
+(* Sequential per-tile timing plus the OpenMP-static makespan
+   reconstruction (DESIGN.md, substitutions): the measurement behind
+   the paper-table harness.  [t1] is the best total sequential time
+   over [reps] runs; [t16] the best simulated [cores]-way time. *)
+let measure_schedule ~reps ~cores sched inputs =
+  let plan = Tiled_exec.plan sched in
+  let best = ref { t1 = infinity; t16 = infinity } in
+  for _ = 1 to reps do
+    let _, timings = Tiled_exec.run_timed plan ~inputs in
+    let t1 =
+      List.fold_left
+        (fun acc (g : Tiled_exec.group_timing) ->
+          acc +. Array.fold_left ( +. ) 0.0 g.Tiled_exec.tile_durations)
+        0.0 timings
+    in
+    let t16 =
+      List.fold_left
+        (fun acc (g : Tiled_exec.group_timing) ->
+          acc
+          +. Pool.simulate_makespan ~sched:Pool.Static ~workers:cores
+               g.Tiled_exec.tile_durations)
+        0.0 timings
+    in
+    if t1 < !best.t1 then best := { t1; t16 = Float.min t16 !best.t16 }
+    else if t16 < !best.t16 then best := { !best with t16 }
+  done;
+  !best

@@ -1,0 +1,18 @@
+(** Simulated-multicore measurement (the paper-table methodology).
+
+    Real-pool wall-clock benchmarking lives in {!Runner}; this module
+    is the complementary substitution used by the Table 3/4/Figure 7
+    harness: measure every tile sequentially, then reconstruct the
+    16-core time with {!Pmdp_runtime.Pool.simulate_makespan}. *)
+
+type measurement = {
+  t1 : float;  (** best total sequential seconds over the reps *)
+  t16 : float;  (** best simulated [cores]-way seconds *)
+}
+
+val measure_schedule :
+  reps:int ->
+  cores:int ->
+  Pmdp_core.Schedule_spec.t ->
+  (string * Pmdp_exec.Buffer.t) list ->
+  measurement

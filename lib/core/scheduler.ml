@@ -1,0 +1,44 @@
+type t = Dp | Dp_inc | Greedy | Autotune | Halide | Manual
+
+let all = [ Dp; Dp_inc; Greedy; Autotune; Halide; Manual ]
+
+let to_string = function
+  | Dp -> "dp"
+  | Dp_inc -> "dp-inc"
+  | Greedy -> "greedy"
+  | Autotune -> "autotune"
+  | Halide -> "halide"
+  | Manual -> "manual"
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun sch -> to_string sch = s) all
+
+let names () = String.concat ", " (List.map to_string all)
+
+type impl = Cost_model.config -> Pmdp_dsl.Pipeline.t -> Schedule_spec.t
+
+let impls : (t * impl) list ref = ref []
+
+let register sch impl = impls := (sch, impl) :: List.filter (fun (s, _) -> s <> sch) !impls
+
+let for_pipeline sch p =
+  match sch with
+  | Dp when Pmdp_dsl.Pipeline.n_stages p >= 30 -> Dp_inc
+  | sch -> sch
+
+let schedule sch config p =
+  match sch with
+  | Dp -> fst (Schedule_spec.dp config p)
+  | Dp_inc ->
+      let inc = Inc_grouping.run ~initial_limit:8 ~config p in
+      Schedule_spec.of_grouping config p inc.Inc_grouping.groups
+  | sch -> (
+      match List.assoc_opt sch !impls with
+      | Some impl -> impl config p
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Scheduler.schedule: %s has no registered implementation (call \
+                Pmdp_baselines.Schedulers.install ())"
+               (to_string sch)))

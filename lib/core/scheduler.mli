@@ -1,0 +1,48 @@
+(** First-class schedulers: the one entry point every driver —
+    CLI, benchmark harness, and tests — uses to turn a pipeline into
+    a {!Schedule_spec.t}.
+
+    The paper's own schedulers ([Dp], [Dp_inc]) are implemented here
+    in [Pmdp_core]; the baselines ([Greedy], [Autotune], [Halide],
+    [Manual]) live in [Pmdp_baselines], which depends on this
+    library, so they plug in through {!register} — call
+    [Pmdp_baselines.Schedulers.install ()] once at startup (the same
+    pattern as [Pmdp_verify.Verify.install]). *)
+
+type t =
+  | Dp  (** the paper's DP fusion + tile-size model (Alg. 1/2) *)
+  | Dp_inc  (** bounded incremental DP (Alg. 3), for large graphs *)
+  | Greedy  (** PolyMage's greedy heuristic with fixed parameters *)
+  | Autotune  (** PolyMage-A: greedy swept by real execution time *)
+  | Halide  (** the Halide auto-scheduler reimplementation *)
+  | Manual  (** the expert Halide schedules of the paper's §6.1 *)
+
+val all : t list
+(** In the order above. *)
+
+val to_string : t -> string
+(** Canonical CLI name: "dp", "dp-inc", "greedy", "autotune",
+    "halide", "manual". *)
+
+val of_string : string -> t option
+(** Case-insensitive inverse of {!to_string}. *)
+
+val names : unit -> string
+(** Comma-separated {!to_string} of {!all}, for usage messages. *)
+
+val for_pipeline : t -> Pmdp_dsl.Pipeline.t -> t
+(** [Dp] on pipelines of >= 30 stages becomes [Dp_inc] (the full DP's
+    state space is intractable there — paper §5, Table 2); everything
+    else is unchanged. *)
+
+val schedule : t -> Cost_model.config -> Pmdp_dsl.Pipeline.t -> Schedule_spec.t
+(** Run the scheduler.  [Autotune] executes candidate schedules to
+    time them, so it is orders of magnitude slower than the rest.
+    @raise Invalid_argument for a baseline scheduler whose
+    implementation has not been registered. *)
+
+type impl = Cost_model.config -> Pmdp_dsl.Pipeline.t -> Schedule_spec.t
+
+val register : t -> impl -> unit
+(** Provide (or replace) the implementation behind a scheduler
+    variant.  Called by [Pmdp_baselines.Schedulers.install]. *)

@@ -4,6 +4,7 @@ module Group_analysis = Pmdp_analysis.Group_analysis
 module Footprint = Pmdp_analysis.Footprint
 module Schedule_spec = Pmdp_core.Schedule_spec
 module Pool = Pmdp_runtime.Pool
+module Profile = Pmdp_report.Profile
 
 type slot = In_group of int | External of string
 
@@ -149,8 +150,10 @@ let make_arena gp =
 
 (* Execute one tile of one group.  [externals] maps each member to its
    pre-resolved external views (lazily shared across tiles); [arena]
-   is this worker's reusable scratch store. *)
-let run_tile gp (buffers : (string, Buffer.t) Hashtbl.t) externals arena tile_index =
+   is this worker's reusable scratch store; [copy_out], when
+   profiling, accumulates the bytes live-outs copy from scratch back
+   to their full buffers. *)
+let run_tile ?copy_out gp (buffers : (string, Buffer.t) Hashtbl.t) externals arena tile_index =
   let ga = gp.ga in
   let nd = ga.Group_analysis.n_dims in
   (* Decompose the linear tile index, row-major over tiles_per_dim. *)
@@ -286,6 +289,14 @@ let run_tile gp (buffers : (string, Buffer.t) Hashtbl.t) externals arena tile_in
         if exact_hi.(k) < exact_lo.(k) then empty := true
       done;
       if not !empty then begin
+      (match copy_out with
+      | Some acc ->
+          let points = ref 1 in
+          for k = 0 to own_nd - 1 do
+            points := !points * (exact_hi.(k) - exact_lo.(k) + 1)
+          done;
+          ignore (Atomic.fetch_and_add acc (!points * 8))
+      | None -> ());
       let idx = Array.copy exact_lo in
       let rec copy k src_off =
         if k = own_nd then begin
@@ -338,24 +349,54 @@ let externals_for gp buffers =
 let collect_results plan buffers =
   List.map (fun name -> (name, Hashtbl.find buffers name)) plan.liveouts
 
-let run_group ?pool gp buffers =
-  let externals = externals_for gp buffers in
-  match pool with
-  | Some pool when gp.n_tiles > 1 ->
-      Pool.parallel_for_init pool ~n:gp.n_tiles
-        ~init:(fun () -> make_arena gp)
-        (fun arena t -> run_tile gp buffers externals arena t)
-  | _ ->
-      let arena = make_arena gp in
-      for t = 0 to gp.n_tiles - 1 do
-        run_tile gp buffers externals arena t
-      done
+let arena_bytes gp =
+  Array.fold_left
+    (fun acc (mp : member_plan) -> if mp.direct then acc else acc + (mp.max_scratch * 8))
+    0 gp.members
 
-let run ?pool ?(reuse_buffers = false) plan ~inputs =
+let run_group ?pool ?sched ?profile ~index gp buffers =
+  let externals = externals_for gp buffers in
+  let copy_out = match profile with Some _ -> Some (Atomic.make 0) | None -> None in
+  let arenas = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let occupancy =
+    match pool with
+    | Some pool when gp.n_tiles > 1 ->
+        Pool.parallel_for_init ?sched pool ~n:gp.n_tiles
+          ~init:(fun () ->
+            Atomic.incr arenas;
+            make_arena gp)
+          (fun arena t -> run_tile ?copy_out gp buffers externals arena t);
+        Pool.last_occupancy pool
+    | _ ->
+        Atomic.incr arenas;
+        let arena = make_arena gp in
+        for t = 0 to gp.n_tiles - 1 do
+          run_tile ?copy_out gp buffers externals arena t
+        done;
+        1
+  in
+  match profile with
+  | None -> ()
+  | Some c ->
+      Profile.add_group c
+        {
+          Profile.index;
+          stages =
+            Array.to_list
+              (Array.map (fun (mp : member_plan) -> mp.stage.Stage.name) gp.members);
+          tiles = gp.n_tiles;
+          occupancy;
+          scratch_bytes = Atomic.get arenas * arena_bytes gp;
+          copy_out_bytes = (match copy_out with Some a -> Atomic.get a | None -> 0);
+          wall_seconds = Unix.gettimeofday () -. t0;
+        }
+
+let run ?pool ?sched ?profile ?(reuse_buffers = false) plan ~inputs =
   Reference.check_inputs plan.pipeline inputs;
   if not reuse_buffers then begin
     let buffers = prepare plan ~inputs in
-    Array.iter (fun gp -> run_group ?pool gp buffers) plan.groups;
+    Array.iteri (fun gi gp -> run_group ?pool ?sched ?profile ~index:gi gp buffers) plan.groups;
     collect_results plan buffers
   end
   else begin
@@ -408,7 +449,7 @@ let run ?pool ?(reuse_buffers = false) plan ~inputs =
           (fun (mp : member_plan) ->
             if mp.liveout then Hashtbl.replace buffers mp.stage.Stage.name (alloc mp.stage))
           gp.members;
-        run_group ?pool gp buffers;
+        run_group ?pool ?sched ?profile ~index:gi gp buffers;
         (* release buffers whose last consumer group just ran *)
         Array.iteri
           (fun gj gp' ->

@@ -33,16 +33,23 @@ val liveout_stages : plan -> string list
 
 val run :
   ?pool:Pmdp_runtime.Pool.t ->
+  ?sched:Pmdp_runtime.Pool.sched ->
+  ?profile:Pmdp_report.Profile.collector ->
   ?reuse_buffers:bool ->
   plan ->
   inputs:(string * Buffer.t) list ->
   (string * Buffer.t) list
 (** Execute; returns the live-out buffers by stage name.  With
     [pool], each group's tiles are distributed over the pool's
-    workers.  With [reuse_buffers] (default false), full buffers past
-    their last consumer group are recycled — the paper's §6.2
-    "storage optimizations" — and only the pipeline's declared
-    outputs are returned (see {!Storage} for the analysis/report). *)
+    persistent workers, claimed under [sched] (default chunked
+    dynamic, see {!Pmdp_runtime.Pool.parallel_for}).  With [profile],
+    one {!Pmdp_report.Profile.group} record per group is appended to
+    the collector: tiles executed, worker occupancy, scratch and
+    copy-out bytes, and wall-clock.  With [reuse_buffers] (default
+    false), full buffers past their last consumer group are recycled
+    — the paper's §6.2 "storage optimizations" — and only the
+    pipeline's declared outputs are returned (see {!Storage} for the
+    analysis/report). *)
 
 type group_timing = {
   group_stages : string list;

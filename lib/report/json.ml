@@ -1,0 +1,105 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no Infinity/NaN; timings need ~9 significant digits. *)
+let float_repr f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          write b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 1024 in
+  write b j;
+  Buffer.contents b
+
+(* Indented rendering, for files meant to be read and diffed. *)
+let rec write_pretty b indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as j -> write b j
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad;
+          write_pretty b (indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make indent ' ');
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad;
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write_pretty b (indent + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make indent ' ');
+      Buffer.add_char b '}'
+
+let to_string_pretty j =
+  let b = Buffer.create 4096 in
+  write_pretty b 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty j))

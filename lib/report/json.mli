@@ -1,0 +1,23 @@
+(** Minimal JSON construction and serialization (no external deps).
+
+    Only what the profiling and benchmark reports need: building a
+    value and printing it.  Non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line. *)
+
+val to_string_pretty : t -> string
+(** 2-space indented, trailing newline — for files meant to be read
+    and diffed. *)
+
+val to_file : string -> t -> unit
+(** Write the pretty form to a file (truncating). *)

@@ -1,0 +1,71 @@
+type group = {
+  index : int;
+  stages : string list;
+  tiles : int;
+  occupancy : int;
+  scratch_bytes : int;
+  copy_out_bytes : int;
+  wall_seconds : float;
+}
+
+type t = {
+  pipeline : string;
+  workers : int;
+  groups : group list;
+  total_seconds : float;
+}
+
+type collector = {
+  c_pipeline : string;
+  c_workers : int;
+  mutable c_groups : group list;  (* reverse order *)
+}
+
+let collector ~pipeline ~workers = { c_pipeline = pipeline; c_workers = workers; c_groups = [] }
+let add_group c g = c.c_groups <- g :: c.c_groups
+
+let result c =
+  let groups = List.rev c.c_groups in
+  {
+    pipeline = c.c_pipeline;
+    workers = c.c_workers;
+    groups;
+    total_seconds = List.fold_left (fun acc g -> acc +. g.wall_seconds) 0.0 groups;
+  }
+
+let clear c = c.c_groups <- []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: %.3f ms over %d groups, %d workers@," t.pipeline
+    (t.total_seconds *. 1000.0) (List.length t.groups) t.workers;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf
+        "  group %d {%s}: %d tiles, %.3f ms, occupancy %d/%d, scratch %d B, copy-out %d B@,"
+        g.index
+        (String.concat "," g.stages)
+        g.tiles (g.wall_seconds *. 1000.0) g.occupancy t.workers g.scratch_bytes
+        g.copy_out_bytes)
+    t.groups;
+  Format.fprintf ppf "@]"
+
+let group_to_json g =
+  Json.Obj
+    [
+      ("group", Json.Int g.index);
+      ("stages", Json.List (List.map (fun s -> Json.String s) g.stages));
+      ("tiles", Json.Int g.tiles);
+      ("occupancy", Json.Int g.occupancy);
+      ("scratch_bytes", Json.Int g.scratch_bytes);
+      ("copy_out_bytes", Json.Int g.copy_out_bytes);
+      ("wall_seconds", Json.Float g.wall_seconds);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("pipeline", Json.String t.pipeline);
+      ("workers", Json.Int t.workers);
+      ("total_seconds", Json.Float t.total_seconds);
+      ("groups", Json.List (List.map group_to_json t.groups));
+    ]

@@ -1,0 +1,40 @@
+(** Typed execution profiles recorded by the tiled executor.
+
+    [Tiled_exec.run ?profile] appends one {!group} record per
+    schedule group to a {!collector}; {!result} snapshots the whole
+    run.  Counters are chosen to explain where a schedule's time
+    goes: tile counts and wall-clock per group, how many pool workers
+    actually claimed work (occupancy), how much scratch the overlap
+    regions cost, and how many bytes live-outs computed in scratch
+    had to copy back out. *)
+
+type group = {
+  index : int;  (** group position in the schedule *)
+  stages : string list;  (** member stage names *)
+  tiles : int;  (** tiles executed *)
+  occupancy : int;  (** workers that executed >= 1 tile (1 when sequential) *)
+  scratch_bytes : int;  (** arena bytes allocated, summed over workers *)
+  copy_out_bytes : int;  (** bytes copied from scratch to full live-out buffers *)
+  wall_seconds : float;  (** wall-clock of the group's tile loop *)
+}
+
+type t = {
+  pipeline : string;
+  workers : int;  (** pool parallelism the run was launched with *)
+  groups : group list;  (** in execution order *)
+  total_seconds : float;  (** sum of group wall-clocks *)
+}
+
+type collector
+
+val collector : pipeline:string -> workers:int -> collector
+val add_group : collector -> group -> unit
+
+val result : collector -> t
+(** Snapshot of everything collected so far, in execution order. *)
+
+val clear : collector -> unit
+(** Drop collected groups so the collector can record a fresh run. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

@@ -1,45 +1,192 @@
-type t = { workers : int }
+(* Persistent domain pool.
+
+   Domains are spawned once at [create] and parked on a condition
+   variable between calls; each [parallel_for] publishes one job (an
+   epoch-stamped closure) that every worker — including the calling
+   domain, which acts as worker 0 — executes cooperatively.  Work is
+   claimed either statically (contiguous per-worker blocks, OpenMP
+   schedule(static)) or dynamically through an atomic counter, with an
+   optional chunk size so the counter is not hammered once per index. *)
+
+type sched = Static | Dynamic | Chunked of int
+
+type t = {
+  workers : int;
+  mutable domains : unit Domain.t array;
+  lock : Mutex.t;  (* protects epoch/job/unfinished/stop *)
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable epoch : int;
+  mutable job : (int -> unit) option;  (* worker id -> unit; captures its own errors *)
+  mutable unfinished : int;  (* spawned workers still running the current epoch *)
+  mutable stop : bool;
+  dispatch : Mutex.t;  (* held for the duration of the one in-flight parallel_for *)
+  occupancy : int Atomic.t;  (* workers that executed >= 1 index in the last call *)
+  mutable shut : bool;
+}
+
+let worker_loop t w =
+  let my_epoch = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.lock;
+    while (not t.stop) && t.epoch = !my_epoch do
+      Condition.wait t.work_ready t.lock
+    done;
+    if t.stop then begin
+      continue := false;
+      Mutex.unlock t.lock
+    end
+    else begin
+      my_epoch := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.lock;
+      (match job with Some j -> j w | None -> ());
+      Mutex.lock t.lock;
+      t.unfinished <- t.unfinished - 1;
+      if t.unfinished = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.lock
+    end
+  done
 
 let create n =
   if n < 1 then invalid_arg "Pool.create: need at least one worker";
-  { workers = n }
+  let t =
+    {
+      workers = n;
+      domains = [||];
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      epoch = 0;
+      job = None;
+      unfinished = 0;
+      stop = false;
+      dispatch = Mutex.create ();
+      occupancy = Atomic.make 0;
+      shut = false;
+    }
+  in
+  t.domains <- Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
 
 let n_workers t = t.workers
+let last_occupancy t = Atomic.get t.occupancy
 
-let parallel_for_init t ~n ~init f =
-  if n < 0 then invalid_arg "Pool.parallel_for: negative count";
-  if t.workers = 1 || n <= 1 then begin
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool n f =
+  let t = create n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_sequential ~n ~init f =
+  if n > 0 then begin
     let state = init () in
     for i = 0 to n - 1 do
       f state i
     done
   end
-  else begin
-    let next = Atomic.make 0 in
-    let error = Atomic.make None in
-    let worker () =
-      let state = init () in
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get error <> None then continue := false
-        else
-          try f state i
-          with e ->
-            ignore (Atomic.compare_and_set error None (Some e));
-            continue := false
-      done
-    in
-    let spawned = min (t.workers - 1) (n - 1) in
-    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    match Atomic.get error with Some e -> raise e | None -> ()
+
+(* The job each worker runs: claim indices under [sched], creating the
+   worker's private state lazily on its first claimed index (so idle
+   workers allocate nothing and [participated] counts real occupancy). *)
+let make_job ~workers ~sched ~n ~init ~f ~error ~participated =
+  let first_error e = ignore (Atomic.compare_and_set error None (Some e)) in
+  match sched with
+  | Static ->
+      let chunk = (n + workers - 1) / workers in
+      fun w ->
+        let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+        if lo < hi && Atomic.get error = None then begin
+          Atomic.incr participated;
+          try
+            let state = init () in
+            let i = ref lo in
+            while !i < hi && Atomic.get error = None do
+              f state !i;
+              incr i
+            done
+          with e -> first_error e
+        end
+  | Dynamic | Chunked _ ->
+      let chunk =
+        match sched with
+        | Chunked c when c > 0 -> c
+        | Chunked _ -> max 1 (n / (workers * 8))
+        | _ -> 1
+      in
+      let next = Atomic.make 0 in
+      fun _w ->
+        let state = ref None in
+        let continue = ref true in
+        while !continue do
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo >= n || Atomic.get error <> None then continue := false
+          else begin
+            try
+              let st =
+                match !state with
+                | Some s -> s
+                | None ->
+                    Atomic.incr participated;
+                    let s = init () in
+                    state := Some s;
+                    s
+              in
+              for i = lo to min n (lo + chunk) - 1 do
+                f st i
+              done
+            with e ->
+              first_error e;
+              continue := false
+          end
+        done
+
+let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative count";
+  if t.shut then invalid_arg "Pool.parallel_for: pool has been shut down";
+  if t.workers = 1 || n <= 1 then begin
+    run_sequential ~n ~init f;
+    Atomic.set t.occupancy (min n 1)
   end
+  else if not (Mutex.try_lock t.dispatch) then
+    (* A call is already in flight on this pool (nested parallel_for
+       from a worker body, or a second user domain): run inline. *)
+    run_sequential ~n ~init f
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.dispatch)
+      (fun () ->
+        let error = Atomic.make None in
+        let participated = Atomic.make 0 in
+        let job = make_job ~workers:t.workers ~sched ~n ~init ~f ~error ~participated in
+        Mutex.lock t.lock;
+        t.job <- Some job;
+        t.unfinished <- Array.length t.domains;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.lock;
+        job 0;
+        Mutex.lock t.lock;
+        while t.unfinished > 0 do
+          Condition.wait t.work_done t.lock
+        done;
+        t.job <- None;
+        Mutex.unlock t.lock;
+        Atomic.set t.occupancy (Atomic.get participated);
+        match Atomic.get error with Some e -> raise e | None -> ())
 
-let parallel_for t ~n f = parallel_for_init t ~n ~init:(fun () -> ()) (fun () i -> f i)
-
-type sched = Static | Dynamic
+let parallel_for ?sched t ~n f =
+  parallel_for_init ?sched t ~n ~init:(fun () -> ()) (fun () i -> f i)
 
 let simulate_makespan ?(sched = Static) ~workers durations =
   if workers < 1 then invalid_arg "Pool.simulate_makespan: workers < 1";
@@ -72,4 +219,23 @@ let simulate_makespan ?(sched = Static) ~workers durations =
           done;
           free.(!best) <- free.(!best) +. d)
         durations;
+      Array.fold_left Float.max 0.0 free
+  | Chunked c ->
+      (* Chunked self-scheduling: contiguous chunks of [c] tiles to the
+         earliest-free worker ([c <= 0] uses the same auto chunk as
+         [parallel_for]). *)
+      let c = if c > 0 then c else max 1 (n / (workers * 8)) in
+      let free = Array.make workers 0.0 in
+      let i = ref 0 in
+      while !i < n do
+        let hi = min n (!i + c) in
+        let best = ref 0 in
+        for w = 1 to workers - 1 do
+          if free.(w) < free.(!best) then best := w
+        done;
+        for j = !i to hi - 1 do
+          free.(!best) <- free.(!best) +. durations.(j)
+        done;
+        i := hi
+      done;
       Array.fold_left Float.max 0.0 free

@@ -1,45 +1,72 @@
-(** Multicore work distribution over OCaml 5 domains.
+(** Persistent multicore work distribution over OCaml 5 domains.
 
     The tile-space loops of overlapped tiling are embarrassingly
-    parallel (no inter-tile dependences, paper §2.1), so a simple
-    fork-join [parallel_for] suffices.  Work is claimed with an
-    atomic counter (dynamic self-scheduling), which also matches how
-    cleanup tiles spread over cores.
+    parallel (no inter-tile dependences, paper §2.1).  A pool spawns
+    its worker domains once at {!create} and parks them on a
+    condition variable between calls, so repeated [parallel_for]s —
+    one per group per pipeline run — pay a wakeup, not a
+    fork/join.  Work is claimed per call under a {!sched} policy:
+    OpenMP-style static blocks, per-index dynamic self-scheduling
+    through an atomic counter, or chunked-dynamic (the counter is
+    claimed [chunk] indices at a time).
 
     Since real speedups require real cores — which the evaluation
     host may not have — {!simulate_makespan} reconstructs the
     multicore execution time from measured per-tile durations under
-    either OpenMP-style static scheduling (what PolyMage generates:
-    [schedule(static)]) or dynamic self-scheduling.  This is the
-    multicore-hardware substitution documented in DESIGN.md. *)
+    the same three policies.  This is the multicore-hardware
+    substitution documented in DESIGN.md. *)
 
 type t
 
+type sched =
+  | Static  (** contiguous per-worker blocks, OpenMP [schedule(static)] *)
+  | Dynamic  (** atomic self-scheduling, one index per claim *)
+  | Chunked of int
+      (** atomic self-scheduling, [chunk] indices per claim;
+          [chunk <= 0] picks [max 1 (n / (8 * workers))] *)
+
 val create : int -> t
-(** [create n] is a pool targeting [n]-way parallelism ([n >= 1]).
-    Domains are spawned per [parallel_for] call and joined before it
-    returns, so a pool holds no threads while idle.
+(** [create n] is a pool of [n]-way parallelism ([n >= 1]): the
+    calling domain plus [n - 1] worker domains spawned immediately
+    and parked until work arrives.  Call {!shutdown} (or use
+    {!with_pool}) when done; OCaml caps the number of live domains,
+    so leaking pools eventually makes [create] fail.
     @raise Invalid_argument if [n < 1]. *)
+
+val shutdown : t -> unit
+(** Wake and join the pool's domains.  Idempotent.  Subsequent
+    [parallel_for] calls on the pool raise [Invalid_argument]. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] with a fresh pool, shutting it down on
+    return or exception. *)
 
 val n_workers : t -> int
 
-val parallel_for : t -> n:int -> (int -> unit) -> unit
+val last_occupancy : t -> int
+(** Number of workers that executed at least one index during the
+    pool's most recent (non-nested) [parallel_for] — the executor's
+    occupancy counter.  0 before any call. *)
+
+val parallel_for : ?sched:sched -> t -> n:int -> (int -> unit) -> unit
 (** [parallel_for t ~n f] runs [f 0 .. f (n-1)], distributing indices
-    over the pool's workers; the calling domain participates.
-    Exceptions raised by [f] are re-raised in the caller after all
-    workers finish. *)
+    over the pool's parked workers; the calling domain participates
+    as worker 0.  [sched] defaults to [Chunked 0].  Exceptions raised
+    by [f] stop further claims and are re-raised in the caller after
+    all workers finish.  A nested call on a pool whose [parallel_for]
+    is already in flight runs inline sequentially. *)
 
-val parallel_for_init : t -> n:int -> init:(unit -> 'a) -> ('a -> int -> unit) -> unit
-(** Like {!parallel_for} but each worker first creates private state
-    with [init] (e.g. a scratch arena) that is passed to every index
-    it executes. *)
-
-type sched = Static | Dynamic
+val parallel_for_init :
+  ?sched:sched -> t -> n:int -> init:(unit -> 'a) -> ('a -> int -> unit) -> unit
+(** Like {!parallel_for} but each participating worker lazily creates
+    private state with [init] on its first claimed index (e.g. a
+    scratch arena) that is passed to every index it executes. *)
 
 val simulate_makespan : ?sched:sched -> workers:int -> float array -> float
 (** [simulate_makespan ~workers durations] is the simulated parallel
     wall-clock of executing tiles with the given measured durations
     on [workers] cores.  [Static] (default) splits the index range
     into [workers] contiguous chunks; [Dynamic] assigns each next
-    tile to the earliest-free worker.
+    tile — and [Chunked c] each next run of [c] tiles — to the
+    earliest-free worker.
     @raise Invalid_argument if [workers < 1]. *)

@@ -24,11 +24,14 @@ let test_builds_at_scales () =
     Registry.all
 
 let test_registry_find () =
-  Alcotest.(check string) "by name" "unsharp" (Registry.find "unsharp").Registry.name;
-  Alcotest.(check string) "by short" "harris" (Registry.find "HC").Registry.name;
-  Alcotest.(check string) "case insensitive" "camera_pipe" (Registry.find "cp").Registry.name;
+  Alcotest.(check string) "by name" "unsharp" (Registry.find_exn "unsharp").Registry.name;
+  Alcotest.(check string) "by short" "harris" (Registry.find_exn "HC").Registry.name;
+  Alcotest.(check string) "case insensitive" "camera_pipe"
+    (Registry.find_exn "cp").Registry.name;
+  Alcotest.(check bool) "unknown is None" true (Registry.find "nope" = None);
+  Alcotest.(check bool) "known is Some" true (Registry.find "blur" <> None);
   Alcotest.(check bool) "unknown raises" true
-    (try ignore (Registry.find "nope"); false with Not_found -> true)
+    (try ignore (Registry.find_exn "nope"); false with Not_found -> true)
 
 let test_inputs_match_pipelines () =
   List.iter
@@ -40,7 +43,7 @@ let test_inputs_match_pipelines () =
     Registry.all
 
 let test_inputs_deterministic () =
-  let app = Registry.find "unsharp" in
+  let app = Registry.find_exn "unsharp" in
   let p = app.Registry.build ~scale:32 in
   let a = List.assoc "img" (app.Registry.inputs ~seed:9 p) in
   let b = List.assoc "img" (app.Registry.inputs ~seed:9 p) in
@@ -128,7 +131,7 @@ let test_camera_demosaic_values () =
   (* The interleave must place deinterleaved values back at the right
      parity: out_g(0,0) = g_gr(0,0) = denoised(0,0). *)
   let p = Pmdp_apps.Camera_pipe.build ~scale:64 () in
-  let app = Registry.find "camera_pipe" in
+  let app = Registry.find_exn "camera_pipe" in
   let inputs = app.Registry.inputs ~seed:1 p in
   let results = Reference.run p ~inputs in
   let den = List.assoc "denoised" results and outg = List.assoc "out_g" results in
@@ -141,7 +144,7 @@ let test_pyramid_blend_mask_extremes () =
   (* Where the mask is ~1 the output follows image A's blend path; we
      check the level-3 blend honors the mask ordering. *)
   let p = Pmdp_apps.Pyramid_blend.build ~scale:32 () in
-  let app = Registry.find "pyramid_blend" in
+  let app = Registry.find_exn "pyramid_blend" in
   let inputs = app.Registry.inputs ~seed:1 p in
   let results = Reference.run p ~inputs in
   let b3 = List.assoc "blend3" results in

@@ -92,7 +92,7 @@ let run_diff (app : Pmdp_apps.Registry.app) scale tolerance =
 
 let diff_test name scale tolerance =
   Alcotest.test_case name `Slow (fun () ->
-      if gpp_available () then run_diff (Pmdp_apps.Registry.find name) scale tolerance)
+      if gpp_available () then run_diff (Pmdp_apps.Registry.find_exn name) scale tolerance)
 
 let () =
   Alcotest.run "pmdp_codegen_diff"

@@ -211,13 +211,16 @@ let test_parallel_equals_serial () =
   let sched = fst (Schedule_spec.dp config p) in
   let plan = Tiled_exec.plan sched in
   let serial = Tiled_exec.run plan ~inputs in
-  let pool = Pmdp_runtime.Pool.create 4 in
-  let parallel = Tiled_exec.run ~pool plan ~inputs in
-  List.iter
-    (fun (name, buf) ->
-      Alcotest.(check (float 0.0)) ("parallel " ^ name) 0.0
-        (Buffer.max_abs_diff buf (List.assoc name parallel)))
-    serial
+  Pmdp_runtime.Pool.with_pool 4 (fun pool ->
+      List.iter
+        (fun sched ->
+          let parallel = Tiled_exec.run ~pool ~sched plan ~inputs in
+          List.iter
+            (fun (name, buf) ->
+              Alcotest.(check (float 0.0)) ("parallel " ^ name) 0.0
+                (Buffer.max_abs_diff buf (List.assoc name parallel)))
+            serial)
+        Pmdp_runtime.Pool.[ Static; Dynamic; Chunked 0 ])
 
 let test_run_timed_consistent () =
   let p = Pmdp_apps.Blur.build ~rows:64 ~cols:64 () in

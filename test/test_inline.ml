@@ -111,7 +111,7 @@ let test_inline_all_camera () =
   let p = Pmdp_apps.Camera_pipe.build ~scale:64 () in
   let p' = Inline.inline_all ~max_cost:3 p in
   Alcotest.(check bool) "fewer stages" true (Pipeline.n_stages p' < Pipeline.n_stages p);
-  let app = Pmdp_apps.Registry.find "camera_pipe" in
+  let app = Pmdp_apps.Registry.find_exn "camera_pipe" in
   let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 p in
   let r1 = Reference.run p ~inputs and r2 = Reference.run p' ~inputs in
   Alcotest.(check (float 1e-9)) "same interior output" 0.0
@@ -122,7 +122,7 @@ let test_inline_then_schedule () =
   let p = Inline.inline_all ~max_cost:4 (Pmdp_apps.Unsharp.build ~scale:32 ()) in
   let config = Pmdp_core.Cost_model.default_config Pmdp_machine.Machine.xeon in
   let sched = fst (Pmdp_core.Schedule_spec.dp config p) in
-  let app = Pmdp_apps.Registry.find "unsharp" in
+  let app = Pmdp_apps.Registry.find_exn "unsharp" in
   let inputs = app.Pmdp_apps.Registry.inputs ~seed:1 p in
   let tiled = Pmdp_exec.Tiled_exec.run (Pmdp_exec.Tiled_exec.plan sched) ~inputs in
   let reference = Reference.run p ~inputs in

@@ -1,45 +1,122 @@
-(* Tests for the domain pool and makespan simulation. *)
+(* Tests for the persistent domain pool and makespan simulation. *)
 
 module Pool = Pmdp_runtime.Pool
+
+let scheds = [ ("static", Pool.Static); ("dynamic", Pool.Dynamic); ("chunked", Pool.Chunked 3) ]
 
 let test_create_bad () =
   Alcotest.(check bool) "zero workers" true
     (try ignore (Pool.create 0); false with Invalid_argument _ -> true)
 
 let test_parallel_for_covers_all () =
-  let pool = Pool.create 4 in
-  let n = 1000 in
-  let hits = Array.init n (fun _ -> Atomic.make 0) in
-  Pool.parallel_for pool ~n (fun i -> Atomic.incr hits.(i));
-  Array.iteri
-    (fun i a -> Alcotest.(check int) (Printf.sprintf "index %d once" i) 1 (Atomic.get a))
-    hits
+  Pool.with_pool 4 (fun pool ->
+      List.iter
+        (fun (name, sched) ->
+          let n = 1000 in
+          let hits = Array.init n (fun _ -> Atomic.make 0) in
+          Pool.parallel_for ~sched pool ~n (fun i -> Atomic.incr hits.(i));
+          Array.iteri
+            (fun i a ->
+              Alcotest.(check int) (Printf.sprintf "%s: index %d once" name i) 1 (Atomic.get a))
+            hits)
+        scheds)
 
 let test_parallel_for_sum () =
-  let pool = Pool.create 3 in
-  let acc = Atomic.make 0 in
-  Pool.parallel_for pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add acc i));
-  Alcotest.(check int) "sum" 4950 (Atomic.get acc)
+  Pool.with_pool 3 (fun pool ->
+      let acc = Atomic.make 0 in
+      Pool.parallel_for pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add acc i));
+      Alcotest.(check int) "sum" 4950 (Atomic.get acc))
 
 let test_parallel_for_single_worker () =
-  let pool = Pool.create 1 in
-  let order = ref [] in
-  Pool.parallel_for pool ~n:5 (fun i -> order := i :: !order);
-  Alcotest.(check (list int)) "sequential order" [ 0; 1; 2; 3; 4 ] (List.rev !order)
+  Pool.with_pool 1 (fun pool ->
+      let order = ref [] in
+      Pool.parallel_for pool ~n:5 (fun i -> order := i :: !order);
+      Alcotest.(check (list int)) "sequential order" [ 0; 1; 2; 3; 4 ] (List.rev !order))
 
 let test_parallel_for_zero () =
-  let pool = Pool.create 4 in
-  Pool.parallel_for pool ~n:0 (fun _ -> Alcotest.fail "must not run")
+  Pool.with_pool 4 (fun pool -> Pool.parallel_for pool ~n:0 (fun _ -> Alcotest.fail "must not run"))
 
 exception Boom
 
 let test_exception_propagates () =
-  let pool = Pool.create 4 in
-  Alcotest.(check bool) "raises" true
-    (try
-       Pool.parallel_for pool ~n:100 (fun i -> if i = 50 then raise Boom);
-       false
-     with Boom -> true)
+  Pool.with_pool 4 (fun pool ->
+      Alcotest.(check bool) "raises" true
+        (try
+           Pool.parallel_for pool ~n:100 (fun i -> if i = 50 then raise Boom);
+           false
+         with Boom -> true))
+
+let test_usable_after_exception () =
+  (* The persistent domains must survive a failing job and pick up the
+     next one. *)
+  Pool.with_pool 4 (fun pool ->
+      (try Pool.parallel_for pool ~n:64 (fun i -> if i mod 7 = 0 then raise Boom)
+       with Boom -> ());
+      let acc = Atomic.make 0 in
+      Pool.parallel_for pool ~n:100 (fun i -> ignore (Atomic.fetch_and_add acc i));
+      Alcotest.(check int) "pool still works" 4950 (Atomic.get acc))
+
+let test_repeated_calls () =
+  (* Many parallel_fors on one pool: domains are spawned once and
+     reused; every call must still cover its range. *)
+  Pool.with_pool 4 (fun pool ->
+      for round = 1 to 50 do
+        let acc = Atomic.make 0 in
+        Pool.parallel_for pool ~n:round (fun i -> ignore (Atomic.fetch_and_add acc (i + 1)));
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          (round * (round + 1) / 2)
+          (Atomic.get acc)
+      done)
+
+let test_nested_parallel_for () =
+  (* A nested call on the same pool runs inline sequentially instead
+     of deadlocking on the busy dispatch. *)
+  Pool.with_pool 4 (fun pool ->
+      let acc = Atomic.make 0 in
+      Pool.parallel_for pool ~n:8 (fun _ ->
+          Pool.parallel_for pool ~n:10 (fun j -> ignore (Atomic.fetch_and_add acc j)));
+      Alcotest.(check int) "inner sums survive" (8 * 45) (Atomic.get acc))
+
+let test_init_state_isolation () =
+  (* parallel_for_init gives each participating worker its own state:
+     no state object may be touched by two domains, and only workers
+     that claimed an index may have created one. *)
+  Pool.with_pool 4 (fun pool ->
+      let created = Atomic.make 0 in
+      let states = Array.make 64 None in
+      Pool.parallel_for_init pool ~n:200
+        ~init:(fun () ->
+          let id = Atomic.fetch_and_add created 1 in
+          let r = (id, ref 0) in
+          states.(id) <- Some r;
+          r)
+        (fun (_, counter) _ -> incr counter);
+      let n_created = Atomic.get created in
+      Alcotest.(check bool) "at least one state" true (n_created >= 1);
+      Alcotest.(check bool) "at most workers states" true (n_created <= 4);
+      Alcotest.(check int) "occupancy = states created" n_created (Pool.last_occupancy pool);
+      let total =
+        Array.fold_left
+          (fun acc s -> match s with Some (_, c) -> acc + !c | None -> acc)
+          0 states
+      in
+      Alcotest.(check int) "every index ran with some state" 200 total)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create 3 in
+  Pool.parallel_for pool ~n:10 ignore;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "use after shutdown raises" true
+    (try Pool.parallel_for pool ~n:1 ignore; false with Invalid_argument _ -> true)
+
+let test_many_pools () =
+  (* with_pool must join its domains: creating pools in a loop would
+     otherwise exhaust the domain cap (~128). *)
+  for _ = 1 to 80 do
+    Pool.with_pool 3 (fun pool -> Pool.parallel_for pool ~n:10 ignore)
+  done
 
 let feq = Alcotest.float 1e-12
 
@@ -60,8 +137,36 @@ let test_makespan_dynamic () =
   Alcotest.check feq "static is worse here" 4.0
     (Pool.simulate_makespan ~sched:Pool.Static ~workers:2 d)
 
+let test_makespan_chunked () =
+  (* chunk=2 on [3;1;1;1], 2 workers: w0 takes [3;1]=4, w1 [1;1]=2 *)
+  let d = [| 3.0; 1.0; 1.0; 1.0 |] in
+  Alcotest.check feq "chunk 2" 4.0
+    (Pool.simulate_makespan ~sched:(Pool.Chunked 2) ~workers:2 d);
+  (* chunk=1 is exactly dynamic *)
+  Alcotest.check feq "chunk 1 = dynamic" 3.0
+    (Pool.simulate_makespan ~sched:(Pool.Chunked 1) ~workers:2 d);
+  (* chunk larger than n: one worker takes everything *)
+  Alcotest.check feq "huge chunk = sum" 6.0
+    (Pool.simulate_makespan ~sched:(Pool.Chunked 100) ~workers:2 d)
+
+let test_makespan_workers_exceed_n () =
+  let d = [| 5.0; 2.0 |] in
+  (* one tile per worker under static, dynamic, and chunk-1 claims *)
+  List.iter
+    (fun (name, sched) ->
+      Alcotest.check feq (name ^ ": workers > n is max") 5.0
+        (Pool.simulate_makespan ~sched ~workers:16 d))
+    [ ("static", Pool.Static); ("dynamic", Pool.Dynamic); ("chunked-1", Pool.Chunked 1) ];
+  (* a chunk spanning the whole range serializes it *)
+  Alcotest.check feq "chunked-3: one claim takes all" 7.0
+    (Pool.simulate_makespan ~sched:(Pool.Chunked 3) ~workers:16 d)
+
 let test_makespan_empty () =
-  Alcotest.check feq "no tiles" 0.0 (Pool.simulate_makespan ~workers:4 [||])
+  List.iter
+    (fun (name, sched) ->
+      Alcotest.check feq (name ^ ": no tiles") 0.0
+        (Pool.simulate_makespan ~sched ~workers:4 [||]))
+    scheds
 
 let test_makespan_bad_workers () =
   Alcotest.(check bool) "workers < 1" true
@@ -79,7 +184,7 @@ let prop_makespan_bounds =
         (fun sched ->
           let m = Pool.simulate_makespan ~sched ~workers d in
           m >= mx -. 1e-9 && m <= sum +. 1e-9)
-        [ Pool.Static; Pool.Dynamic ])
+        [ Pool.Static; Pool.Dynamic; Pool.Chunked 4 ])
 
 let () =
   Alcotest.run "pmdp_runtime"
@@ -92,11 +197,19 @@ let () =
           Alcotest.test_case "single worker" `Quick test_parallel_for_single_worker;
           Alcotest.test_case "zero iterations" `Quick test_parallel_for_zero;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "usable after exception" `Quick test_usable_after_exception;
+          Alcotest.test_case "repeated calls" `Quick test_repeated_calls;
+          Alcotest.test_case "nested runs inline" `Quick test_nested_parallel_for;
+          Alcotest.test_case "init state isolation" `Quick test_init_state_isolation;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "many pools" `Quick test_many_pools;
         ] );
       ( "makespan",
         [
           Alcotest.test_case "static" `Quick test_makespan_static;
           Alcotest.test_case "dynamic" `Quick test_makespan_dynamic;
+          Alcotest.test_case "chunked" `Quick test_makespan_chunked;
+          Alcotest.test_case "workers exceed n" `Quick test_makespan_workers_exceed_n;
           Alcotest.test_case "empty" `Quick test_makespan_empty;
           Alcotest.test_case "bad workers" `Quick test_makespan_bad_workers;
           QCheck_alcotest.to_alcotest prop_makespan_bounds;

@@ -2,23 +2,10 @@
    non-executing scheduler, on both machine models, must check with
    zero errors.  Run directly or via `dune runtest`. *)
 
-let schedule scheduler config machine pipeline =
-  match scheduler with
-  | "dp" ->
-      if Pmdp_dsl.Pipeline.n_stages pipeline >= 30 then
-        let inc = Pmdp_core.Inc_grouping.run ~initial_limit:8 ~config pipeline in
-        Pmdp_core.Schedule_spec.of_grouping config pipeline inc.Pmdp_core.Inc_grouping.groups
-      else fst (Pmdp_core.Schedule_spec.dp config pipeline)
-  | "greedy" ->
-      Pmdp_baselines.Polymage_greedy.schedule
-        { Pmdp_baselines.Polymage_greedy.tile = 64; overlap_threshold = 0.4 }
-        pipeline
-  | "halide" ->
-      Pmdp_baselines.Halide_auto.schedule (Pmdp_baselines.Halide_auto.params_for machine) pipeline
-  | "manual" -> Pmdp_baselines.Manual.schedule pipeline
-  | other -> invalid_arg ("verify_apps: unknown scheduler " ^ other)
+module Scheduler = Pmdp_core.Scheduler
 
 let () =
+  Pmdp_baselines.Schedulers.install ();
   let scale = try int_of_string Sys.argv.(1) with _ -> 32 in
   let failed = ref false in
   List.iter
@@ -29,11 +16,12 @@ let () =
           let config = Pmdp_core.Cost_model.default_config machine in
           List.iter
             (fun scheduler ->
-              let sched = schedule scheduler config machine p in
+              let sched = Scheduler.schedule (Scheduler.for_pipeline scheduler p) config p in
               let ds = Pmdp_verify.Verify.check_schedule sched in
               let errs = Pmdp_verify.Verify.errors ds in
               Printf.printf "%-14s %-8s %-8s %s\n%!" app.name
-                machine.Pmdp_machine.Machine.name scheduler
+                machine.Pmdp_machine.Machine.name
+                (Scheduler.to_string scheduler)
                 (Pmdp_verify.Diagnostic.summary ds);
               if errs <> [] then begin
                 failed := true;
@@ -41,7 +29,7 @@ let () =
                   (fun d -> Printf.printf "  %s\n%!" (Pmdp_verify.Diagnostic.to_string d))
                   errs
               end)
-            [ "dp"; "greedy"; "halide"; "manual" ])
+            Scheduler.[ Dp; Greedy; Halide; Manual ])
         [ Pmdp_machine.Machine.xeon; Pmdp_machine.Machine.opteron ])
     Pmdp_apps.Registry.all;
   if !failed then begin
