@@ -86,36 +86,75 @@ let schedule_cmd =
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t)
 
+(* --inject specs are validated at the Cmdliner layer so a typo is a
+   usage error, not a runtime crash. *)
+let inject_conv =
+  let parse s =
+    match Pmdp_runtime.Fault.parse s with Ok specs -> Ok specs | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf specs ->
+        Format.fprintf ppf "%s"
+          (String.concat "," (List.map Pmdp_runtime.Fault.spec_to_string specs)) )
+
 let run_cmd =
-  let doc = "Execute a schedule and validate against the reference executor." in
-  let run (app : Registry.app) scale machine scheduler workers pool_sched profile =
+  let doc =
+    "Execute a schedule through the resilient driver (fallback chain, memory budget, optional \
+     fault injection) and validate against the reference executor."
+  in
+  let run (app : Registry.app) scale machine scheduler workers pool_sched profile mem_budget
+      inject seed timeout =
     let pipeline = build app scale in
     let inputs = app.Registry.inputs ~seed:1 pipeline in
     let sched = make_schedule scheduler machine pipeline in
-    let plan = Pmdp_exec.Tiled_exec.plan sched in
     let pool = if workers > 1 then Some (Pool.create workers) else None in
     let collector =
       Pmdp_report.Profile.collector ~pipeline:pipeline.Pmdp_dsl.Pipeline.name ~workers
     in
+    let fault = Option.map (fun specs -> Pmdp_runtime.Fault.create ~seed specs) inject in
     let t0 = Unix.gettimeofday () in
-    let results =
-      Pmdp_exec.Tiled_exec.run ?pool ?sched:pool_sched ~profile:collector plan ~inputs
+    let outcome =
+      Pmdp_exec.Resilient.run ?pool ?sched:pool_sched ~profile:collector ~machine ?mem_budget
+        ?fault ?timeout sched ~inputs
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     Option.iter Pool.shutdown pool;
-    let reference = Pmdp_exec.Reference.run pipeline ~inputs in
-    let worst =
-      List.fold_left
-        (fun acc (n, b) -> Float.max acc (Pmdp_exec.Buffer.max_abs_diff b (List.assoc n reference)))
-        0.0 results
-    in
-    Format.printf "%s via %s: %.1f ms (%d groups, %d tiles, %d workers), max |diff| = %g@."
-      app.Registry.name (Scheduler.to_string scheduler) (elapsed *. 1000.0)
-      (Pmdp_core.Schedule_spec.n_groups sched)
-      (Pmdp_exec.Tiled_exec.total_tiles plan) workers worst;
-    if profile then
-      Format.printf "%a@." Pmdp_report.Profile.pp (Pmdp_report.Profile.result collector);
-    if worst <> 0.0 then exit 1
+    match outcome with
+    | Error e ->
+        Format.eprintf "pmdp run: %a@." Pmdp_util.Pmdp_error.pp e;
+        exit 1
+    | Ok { Pmdp_exec.Resilient.results; degraded; attempts } ->
+        let reference = Pmdp_exec.Reference.run pipeline ~inputs in
+        let worst =
+          List.fold_left
+            (fun acc (n, b) ->
+              match List.assoc_opt n reference with
+              | Some r -> Float.max acc (Pmdp_exec.Buffer.max_abs_diff b r)
+              | None -> acc)
+            0.0 results
+        in
+        let completed =
+          match List.rev attempts with
+          | (st, None) :: _ -> Pmdp_exec.Resilient.step_name st
+          | _ -> "?"
+        in
+        Format.printf "%s via %s: %.1f ms (%d groups, %d workers, %s%s), max |diff| = %g@."
+          app.Registry.name (Scheduler.to_string scheduler) (elapsed *. 1000.0)
+          (Pmdp_core.Schedule_spec.n_groups sched)
+          workers completed
+          (if degraded then ", DEGRADED" else "")
+          worst;
+        if degraded then
+          List.iter
+            (fun (st, err) ->
+              Format.printf "  %-14s %s@."
+                (Pmdp_exec.Resilient.step_name st)
+                (match err with None -> "ok" | Some e -> Pmdp_util.Pmdp_error.to_string e))
+            attempts;
+        if profile then
+          Format.printf "%a@." Pmdp_report.Profile.pp (Pmdp_report.Profile.result collector);
+        if worst <> 0.0 then exit 1
   in
   let workers_t = Arg.(value & opt int 1 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
   let pool_sched_t =
@@ -125,8 +164,29 @@ let run_cmd =
   let profile_t =
     Arg.(value & flag & info [ "profile" ] ~doc:"Print the per-group execution profile.")
   in
+  let mem_budget_t =
+    Arg.(value & opt (some int) None
+         & info [ "mem-budget" ]
+             ~doc:"Memory budget in bytes (default: 64x the machine's L3). Plans whose scratch \
+                   arenas exceed it degrade down the fallback chain; a working set over it is a \
+                   typed error.")
+  in
+  let inject_t =
+    Arg.(value & opt (some inject_conv) None
+         & info [ "inject" ]
+             ~doc:"Fault specs: comma-separated crash@K, kill@K, alloc@K, sleep@K:SECONDS, with \
+                   K a tick number or 'r' (seeded random).")
+  in
+  let seed_t =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed resolving random injection positions.")
+  in
+  let timeout_t =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~doc:"Per-attempt watchdog in seconds (cooperative cancellation).")
+  in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t $ pool_sched_t $ profile_t)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t $ pool_sched_t
+          $ profile_t $ mem_budget_t $ inject_t $ seed_t $ timeout_t)
 
 let bench_cmd =
   let doc =

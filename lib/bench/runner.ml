@@ -25,9 +25,10 @@ type outcome = {
   n_groups : int;
   n_tiles : int;
   profile : Profile.t;  (** of the last rep *)
+  failure : string option;  (** rendered typed error of a dead rep *)
 }
 
-let valid o = o.max_abs_diff = 0.0
+let valid o = o.failure = None && o.max_abs_diff = 0.0
 
 let median_of sorted = List.nth sorted (List.length sorted / 2)
 
@@ -67,31 +68,39 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
         (fun w ->
           let collector = Profile.collector ~pipeline:p.Pipeline.name ~workers:w in
           let host_walls = ref [] and diff = ref 0.0 in
+          let failure = ref None in
           let measure pool =
             for _ = 1 to reps do
-              Profile.clear collector;
-              let t0 = Unix.gettimeofday () in
-              let results =
-                Tiled_exec.run ?pool ?sched:pool_sched ~profile:collector plan ~inputs
-              in
-              host_walls := (Unix.gettimeofday () -. t0) :: !host_walls;
-              List.iter
-                (fun (n, b) ->
-                  diff := Float.max !diff (Buffer.max_abs_diff b (List.assoc n reference)))
-                results
+              if !failure = None then begin
+                Profile.clear collector;
+                let t0 = Unix.gettimeofday () in
+                match Tiled_exec.run ?pool ?sched:pool_sched ~profile:collector plan ~inputs with
+                | results ->
+                    host_walls := (Unix.gettimeofday () -. t0) :: !host_walls;
+                    List.iter
+                      (fun (n, b) ->
+                        diff := Float.max !diff (Buffer.max_abs_diff b (List.assoc n reference)))
+                      results
+                | exception Pmdp_util.Pmdp_error.Error e ->
+                    (* Record the case as failed and move on: one broken
+                       schedule must not take the whole sweep down. *)
+                    failure := Some (Pmdp_util.Pmdp_error.to_string e)
+              end
             done
           in
           if w > 1 then Pool.with_pool w (fun pool -> measure (Some pool)) else measure None;
           let host_wall_seconds = List.rev !host_walls in
           let simulated = w > 1 && host_cores < w in
           let wall_seconds =
-            if not simulated then host_wall_seconds
+            if (not simulated) || !failure <> None then host_wall_seconds
             else
               List.map
                 (fun timings -> makespan_of_timings ~sched:sim_sched ~workers:w timings)
                 (Lazy.force timed_reps)
           in
-          let sorted = List.sort compare wall_seconds in
+          let sorted =
+            match List.sort compare wall_seconds with [] -> [ Float.nan ] | s -> s
+          in
           let o =
             {
               app_name = app.Registry.name;
@@ -107,6 +116,7 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
               n_groups;
               n_tiles;
               profile = Profile.result collector;
+              failure = !failure;
             }
           in
           log
@@ -114,7 +124,11 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
                o.app_name (Scheduler.to_string scheduler) w (o.median_s *. 1000.0)
                (o.min_s *. 1000.0)
                (if simulated then "  (simulated)" else "")
-               (if valid o then "" else Printf.sprintf "  INVALID max|diff|=%g" o.max_abs_diff));
+               (match o.failure with
+               | Some e -> "  FAILED " ^ e
+               | None ->
+                   if valid o then ""
+                   else Printf.sprintf "  INVALID max|diff|=%g" o.max_abs_diff));
           o)
         workers)
     schedulers
@@ -140,6 +154,7 @@ let json_of_outcome o =
       ("max_abs_diff", Json.Float o.max_abs_diff);
       ("n_groups", Json.Int o.n_groups);
       ("n_tiles", Json.Int o.n_tiles);
+      ("failure", match o.failure with None -> Json.Null | Some e -> Json.String e);
       ("profile", Profile.to_json o.profile);
     ]
 

@@ -23,10 +23,15 @@ type outcome = {
   n_groups : int;
   n_tiles : int;
   profile : Pmdp_report.Profile.t;  (** of the last rep *)
+  failure : string option;
+      (** [Some e] when a repetition died with a typed
+          [Pmdp_util.Pmdp_error.t]: the case is recorded as invalid
+          instead of taking the whole benchmark sweep down *)
 }
 
 val valid : outcome -> bool
-(** Bitwise equality with the reference executor. *)
+(** Bitwise equality with the reference executor and no typed
+    execution failure. *)
 
 val run_app :
   ?pool_sched:Pmdp_runtime.Pool.sched ->

@@ -23,7 +23,16 @@ let of_stage (s : Stage.t) = create s.Stage.name s.Stage.dims
 
 let with_data name dims data =
   let size = Array.fold_left (fun acc d -> acc * d.Stage.extent) 1 dims in
-  if Array.length data < size then invalid_arg "Buffer.with_data: storage too small";
+  if Array.length data < size then
+    Pmdp_util.Pmdp_error.(
+      raise_
+        (Plan_invalid
+           {
+             context = "Buffer.with_data: " ^ name;
+             reason =
+               Printf.sprintf "recycled storage holds %d elements, stage needs %d"
+                 (Array.length data) size;
+           }));
   { name; dims; stride = strides_of dims; data }
 let size t = Array.length t.data
 

@@ -12,7 +12,8 @@ val create : string -> Pmdp_dsl.Stage.dim array -> t
 
 val with_data : string -> Pmdp_dsl.Stage.dim array -> float array -> t
 (** Wrap existing storage (for buffer recycling); the array must be at
-    least as large as the domain. @raise Invalid_argument if not. *)
+    least as large as the domain.
+    @raise Pmdp_util.Pmdp_error.Error ([Plan_invalid]) if not. *)
 
 val of_stage : Pmdp_dsl.Stage.t -> t
 val size : t -> int

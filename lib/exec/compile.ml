@@ -145,7 +145,14 @@ let compile_stage (stage : Stage.t) =
   let names = slots body in
   let slot_of name =
     let rec go i =
-      if i >= Array.length names then raise Not_found
+      if i >= Array.length names then
+        (* [slots] collects every load target of [body], so this only
+           fires on an internal inconsistency — name it instead of
+           surfacing an anonymous Not_found from deep in evaluation. *)
+        Pmdp_util.Pmdp_error.(
+          raise_
+            (Unresolved_external
+               { name; context = "Compile.compile_stage: stage " ^ stage.Stage.name }))
       else if names.(i) = name then i
       else go (i + 1)
     in

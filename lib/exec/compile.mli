@@ -34,4 +34,7 @@ val compile : slot_of:(string -> int) -> Pmdp_dsl.Expr.t -> compiled
     @raise Not_found from [slot_of] for unknown names. *)
 
 val compile_stage : Pmdp_dsl.Stage.t -> string array * compiled
-(** [slots] of the stage body paired with its compiled form. *)
+(** [slots] of the stage body paired with its compiled form; an
+    internally inconsistent slot table surfaces as a typed
+    [Pmdp_util.Pmdp_error.Error (Unresolved_external _)] naming the
+    missing binding and the stage, not an anonymous [Not_found]. *)

@@ -1,0 +1,61 @@
+(** Resilient execution driver: typed errors, pre-flight resource
+    guards, and a tiled-parallel → tiled-serial → reference fallback
+    chain.
+
+    {!Tiled_exec.run} trusts its plan; this driver does not.  It
+    plans via {!Tiled_exec.plan_result}, checks the plan's memory
+    demand against a budget before allocating, and then walks a chain
+    of execution strategies until one completes:
+
+    + [tiled-parallel] — the pool-backed tiled executor (only when a
+      pool is supplied and the parallel scratch fits the budget);
+    + [tiled-serial] — the tiled executor with the pool bypassed (one
+      scratch arena instead of one per worker);
+    + [reference] — the unfused reference executor, the correctness
+      backstop that needs no plan at all.
+
+    Every step is recorded in the {!Pmdp_report.Profile} collector
+    (and in the returned {!outcome}); a run that needed any fallback
+    is flagged [degraded] but still returns [Ok].  Only when every
+    strategy fails — or the working set alone exceeds the budget — is
+    the last typed error returned.
+
+    A watchdog ([timeout]) arms a cooperative-cancellation token per
+    attempt: tiles observe it at tile granularity, the attempt fails
+    with a typed [Timeout], and the chain continues.  Fault injection
+    ([fault], {!Pmdp_runtime.Fault}) is threaded through tile bodies,
+    arena allocation, and — for worker kills — the pool's job hook;
+    random injection positions are resolved against the plan's total
+    tile count, so a seed fully determines the fault. *)
+
+type step = Plan_step | Tiled_parallel | Tiled_serial | Reference_fallback
+
+val step_name : step -> string
+(** "plan", "tiled-parallel", "tiled-serial", "reference". *)
+
+type outcome = {
+  results : (string * Buffer.t) list;
+      (** live-out buffers of the strategy that completed (the
+          reference fallback returns every stage, a superset) *)
+  degraded : bool;  (** some step failed or was skipped over budget *)
+  attempts : (step * Pmdp_util.Pmdp_error.t option) list;
+      (** chain record in order: [None] = step succeeded *)
+}
+
+val run :
+  ?pool:Pmdp_runtime.Pool.t ->
+  ?sched:Pmdp_runtime.Pool.sched ->
+  ?profile:Pmdp_report.Profile.collector ->
+  ?machine:Pmdp_machine.Machine.t ->
+  ?mem_budget:int ->
+  ?fault:Pmdp_runtime.Fault.t ->
+  ?timeout:float ->
+  Pmdp_core.Schedule_spec.t ->
+  inputs:(string * Buffer.t) list ->
+  (outcome, Pmdp_util.Pmdp_error.t) result
+(** [mem_budget] defaults to
+    [Machine.default_mem_budget machine] ([machine] defaults to
+    {!Pmdp_machine.Machine.xeon}).  [timeout] is per attempt, in
+    seconds.  Uncategorized exceptions from an attempt are folded
+    into typed [Worker_crash] errors; nothing escapes except through
+    the [Error] return. *)

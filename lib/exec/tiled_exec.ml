@@ -4,7 +4,9 @@ module Group_analysis = Pmdp_analysis.Group_analysis
 module Footprint = Pmdp_analysis.Footprint
 module Schedule_spec = Pmdp_core.Schedule_spec
 module Pool = Pmdp_runtime.Pool
+module Fault = Pmdp_runtime.Fault
 module Profile = Pmdp_report.Profile
+module Pmdp_error = Pmdp_util.Pmdp_error
 
 type slot = In_group of int | External of string
 
@@ -52,12 +54,22 @@ let plan (spec : Schedule_spec.t) =
           match Group_analysis.analyze p g.Schedule_spec.stages with
           | Ok ga -> ga
           | Error f ->
-              invalid_arg
-                (Format.asprintf "Tiled_exec.plan: group failed analysis: %a"
-                   Group_analysis.pp_failure f)
+              Pmdp_error.raise_
+                (Pmdp_error.Plan_invalid
+                   {
+                     context = "Tiled_exec.plan";
+                     reason =
+                       Format.asprintf "group failed analysis: %a" Group_analysis.pp_failure f;
+                   })
         in
         if Array.length g.Schedule_spec.tile_sizes <> ga.Group_analysis.n_dims then
-          invalid_arg "Tiled_exec.plan: tile size arity mismatch";
+          Pmdp_error.raise_
+            (Pmdp_error.Arity_mismatch
+               {
+                 context = "Tiled_exec.plan: tile sizes";
+                 expected = ga.Group_analysis.n_dims;
+                 got = Array.length g.Schedule_spec.tile_sizes;
+               });
         let tile = Footprint.clamp_tile ga g.Schedule_spec.tile_sizes in
         let tiles_per_dim =
           Array.init ga.Group_analysis.n_dims (fun d ->
@@ -134,6 +146,13 @@ let plan (spec : Schedule_spec.t) =
   in
   { pipeline = p; groups = Array.of_list groups; liveouts }
 
+let plan_result spec =
+  match plan spec with
+  | p -> Ok p
+  | exception Pmdp_error.Error e -> Error e
+  | exception Invalid_argument reason ->
+      Error (Pmdp_error.Plan_invalid { context = "Schedule_spec.validate"; reason })
+
 let liveout_stages plan = plan.liveouts
 let total_tiles plan = Array.fold_left (fun acc g -> acc + g.n_tiles) 0 plan.groups
 
@@ -153,7 +172,14 @@ let make_arena gp =
    is this worker's reusable scratch store; [copy_out], when
    profiling, accumulates the bytes live-outs copy from scratch back
    to their full buffers. *)
-let run_tile ?copy_out gp (buffers : (string, Buffer.t) Hashtbl.t) externals arena tile_index =
+let run_tile ?fault ?cancel ?copy_out gp (buffers : (string, Buffer.t) Hashtbl.t) externals arena
+    tile_index =
+  (match cancel with
+  | Some tk when Fault.is_cancelled tk ->
+      Pmdp_error.raise_
+        (Pmdp_error.Cancelled { reason = "Tiled_exec: cooperative cancellation before tile" })
+  | _ -> ());
+  (match fault with Some f -> Fault.tile_tick f | None -> ());
   let ga = gp.ga in
   let nd = ga.Group_analysis.n_dims in
   (* Decompose the linear tile index, row-major over tiles_per_dim. *)
@@ -192,7 +218,13 @@ let run_tile ?copy_out gp (buffers : (string, Buffer.t) Hashtbl.t) externals are
           | In_group m -> (
               match views.(m) with
               | Some v -> v
-              | None -> invalid_arg "Tiled_exec: producer region missing")
+              | None ->
+                  Pmdp_error.raise_
+                    (Pmdp_error.Plan_invalid
+                       {
+                         context = "Tiled_exec.run_tile";
+                         reason = "producer region missing (member ordering invariant broken)";
+                       }))
           | External name -> List.assoc name externals.(mi))
         mp.slots
     in
@@ -342,7 +374,10 @@ let externals_for gp buffers =
              | External name -> (
                  match Hashtbl.find_opt buffers name with
                  | Some b -> (name, Compile.view_of_buffer b)
-                 | None -> invalid_arg ("Tiled_exec: unresolved external " ^ name)))
+                 | None ->
+                     Pmdp_error.raise_
+                       (Pmdp_error.Unresolved_external
+                          { name; context = "Tiled_exec: stage " ^ mp.stage.Stage.name })))
            mp.slots))
     gp.members
 
@@ -354,28 +389,52 @@ let arena_bytes gp =
     (fun acc (mp : member_plan) -> if mp.direct then acc else acc + (mp.max_scratch * 8))
     0 gp.members
 
-let run_group ?pool ?sched ?profile ~index gp buffers =
+(* Pre-flight resource-guard inputs: the scratch a single worker's
+   arena costs in the worst group, and the bytes of full (live-out)
+   buffers the plan must keep resident. *)
+let scratch_bytes_per_worker plan =
+  Array.fold_left (fun acc gp -> max acc (arena_bytes gp)) 0 plan.groups
+
+let working_set_bytes plan =
+  Array.fold_left
+    (fun acc gp ->
+      Array.fold_left
+        (fun acc (mp : member_plan) ->
+          if mp.liveout then acc + (Stage.domain_points mp.stage * 8) else acc)
+        acc gp.members)
+    0 plan.groups
+
+let run_group ?pool ?sched ?profile ?fault ?cancel ~index gp buffers =
   let externals = externals_for gp buffers in
   let copy_out = match profile with Some _ -> Some (Atomic.make 0) | None -> None in
   let arenas = Atomic.make 0 in
+  let make_arena_checked () =
+    (match fault with Some f -> Fault.alloc_tick f | None -> ());
+    Atomic.incr arenas;
+    make_arena gp
+  in
   let t0 = Unix.gettimeofday () in
   let occupancy =
     match pool with
     | Some pool when gp.n_tiles > 1 ->
-        Pool.parallel_for_init ?sched pool ~n:gp.n_tiles
-          ~init:(fun () ->
-            Atomic.incr arenas;
-            make_arena gp)
-          (fun arena t -> run_tile ?copy_out gp buffers externals arena t);
+        Pool.parallel_for_init ?sched pool ~n:gp.n_tiles ~init:make_arena_checked
+          (fun arena t -> run_tile ?fault ?cancel ?copy_out gp buffers externals arena t);
         Pool.last_occupancy pool
     | _ ->
-        Atomic.incr arenas;
-        let arena = make_arena gp in
+        let arena = make_arena_checked () in
         for t = 0 to gp.n_tiles - 1 do
-          run_tile ?copy_out gp buffers externals arena t
+          run_tile ?fault ?cancel ?copy_out gp buffers externals arena t
         done;
         1
   in
+  (* A tile sleeping through a watchdog deadline returns normally; the
+     group boundary is the last place to refuse to report success for
+     work that was cancelled mid-flight. *)
+  (match cancel with
+  | Some tk when Fault.is_cancelled tk ->
+      Pmdp_error.raise_
+        (Pmdp_error.Cancelled { reason = "Tiled_exec: cooperative cancellation after group" })
+  | _ -> ());
   match profile with
   | None -> ()
   | Some c ->
@@ -392,11 +451,13 @@ let run_group ?pool ?sched ?profile ~index gp buffers =
           wall_seconds = Unix.gettimeofday () -. t0;
         }
 
-let run ?pool ?sched ?profile ?(reuse_buffers = false) plan ~inputs =
+let run ?pool ?sched ?profile ?fault ?cancel ?(reuse_buffers = false) plan ~inputs =
   Reference.check_inputs plan.pipeline inputs;
   if not reuse_buffers then begin
     let buffers = prepare plan ~inputs in
-    Array.iteri (fun gi gp -> run_group ?pool ?sched ?profile ~index:gi gp buffers) plan.groups;
+    Array.iteri
+      (fun gi gp -> run_group ?pool ?sched ?profile ?fault ?cancel ~index:gi gp buffers)
+      plan.groups;
     collect_results plan buffers
   end
   else begin
@@ -449,7 +510,7 @@ let run ?pool ?sched ?profile ?(reuse_buffers = false) plan ~inputs =
           (fun (mp : member_plan) ->
             if mp.liveout then Hashtbl.replace buffers mp.stage.Stage.name (alloc mp.stage))
           gp.members;
-        run_group ?pool ?sched ?profile ~index:gi gp buffers;
+        run_group ?pool ?sched ?profile ?fault ?cancel ~index:gi gp buffers;
         (* release buffers whose last consumer group just ran *)
         Array.iteri
           (fun gj gp' ->

@@ -24,8 +24,25 @@ val member_scratch_extents :
 val plan : Pmdp_core.Schedule_spec.t -> plan
 (** Lower a schedule: analyze each group, fit tile sizes, compile
     member bodies, and resolve load slots.
-    @raise Invalid_argument if a group fails analysis (schedules from
-    {!Pmdp_core.Schedule_spec} never do). *)
+    @raise Pmdp_util.Pmdp_error.Error ([Plan_invalid] for failed
+    validation or group analysis, [Arity_mismatch] for a wrong-length
+    tile-size vector).  Schedules from the in-tree schedulers never
+    fail. *)
+
+val plan_result : Pmdp_core.Schedule_spec.t -> (plan, Pmdp_util.Pmdp_error.t) result
+(** {!plan} as a [result]: every raising boundary — including
+    [Schedule_spec.validate]'s [Invalid_argument] — is converted to a
+    typed {!Pmdp_util.Pmdp_error.t}. *)
+
+val scratch_bytes_per_worker : plan -> int
+(** Bytes of per-worker scratch arena in the plan's most
+    scratch-hungry group (each pool worker allocates this much at
+    most, one group at a time). *)
+
+val working_set_bytes : plan -> int
+(** Bytes of full (live-out) buffers the plan allocates over a run,
+    ignoring recycling — the resident-set input to the pre-flight
+    resource guard of {!Resilient}. *)
 
 val liveout_stages : plan -> string list
 (** Names of stages materialized into full buffers (group live-outs,
@@ -35,6 +52,8 @@ val run :
   ?pool:Pmdp_runtime.Pool.t ->
   ?sched:Pmdp_runtime.Pool.sched ->
   ?profile:Pmdp_report.Profile.collector ->
+  ?fault:Pmdp_runtime.Fault.t ->
+  ?cancel:Pmdp_runtime.Fault.token ->
   ?reuse_buffers:bool ->
   plan ->
   inputs:(string * Buffer.t) list ->
@@ -45,10 +64,15 @@ val run :
     dynamic, see {!Pmdp_runtime.Pool.parallel_for}).  With [profile],
     one {!Pmdp_report.Profile.group} record per group is appended to
     the collector: tiles executed, worker occupancy, scratch and
-    copy-out bytes, and wall-clock.  With [reuse_buffers] (default
-    false), full buffers past their last consumer group are recycled
-    — the paper's §6.2 "storage optimizations" — and only the
-    pipeline's declared outputs are returned (see {!Storage} for the
+    copy-out bytes, and wall-clock.  With [fault], the injection
+    points fire: {!Pmdp_runtime.Fault.tile_tick} at each tile,
+    {!Pmdp_runtime.Fault.alloc_tick} at each arena allocation.  With
+    [cancel], every tile first checks the token and raises a typed
+    [Cancelled] error once it is set (the cooperative-cancellation
+    path a watchdog uses).  With [reuse_buffers] (default false),
+    full buffers past their last consumer group are recycled — the
+    paper's §6.2 "storage optimizations" — and only the pipeline's
+    declared outputs are returned (see {!Storage} for the
     analysis/report). *)
 
 type group_timing = {

@@ -49,3 +49,9 @@ let by_name s =
   | _ -> None
 
 let with_cores t cores = { t with cores }
+
+(* 64x the last-level cache: comfortably above any benchmark working
+   set (full buffers live in RAM, not in L3) while still small enough
+   that a runaway plan — scratch arenas or buffers in the gigabytes —
+   is rejected before allocation instead of OOM-ing the process. *)
+let default_mem_budget t = 64 * t.l3_bytes

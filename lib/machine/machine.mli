@@ -33,3 +33,9 @@ val by_name : string -> t option
 val with_cores : t -> int -> t
 (** Same machine with a different core count (used for the scaling
     experiment of Fig. 7). *)
+
+val default_mem_budget : t -> int
+(** Default memory budget (bytes) for the pre-flight resource guard
+    of [Pmdp_exec.Resilient]: 64x the machine's L3.  Far above any
+    benchmark working set, but low enough to reject runaway plans
+    before they allocate. *)

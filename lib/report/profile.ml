@@ -8,21 +8,31 @@ type group = {
   wall_seconds : float;
 }
 
+type step = { step_name : string; step_error : string option }
+
 type t = {
   pipeline : string;
   workers : int;
   groups : group list;
   total_seconds : float;
+  degraded : bool;
+  steps : step list;
 }
 
 type collector = {
   c_pipeline : string;
   c_workers : int;
   mutable c_groups : group list;  (* reverse order *)
+  mutable c_steps : step list;  (* reverse order *)
+  mutable c_degraded : bool;
 }
 
-let collector ~pipeline ~workers = { c_pipeline = pipeline; c_workers = workers; c_groups = [] }
+let collector ~pipeline ~workers =
+  { c_pipeline = pipeline; c_workers = workers; c_groups = []; c_steps = []; c_degraded = false }
+
 let add_group c g = c.c_groups <- g :: c.c_groups
+let add_step c ~name ~error = c.c_steps <- { step_name = name; step_error = error } :: c.c_steps
+let set_degraded c d = c.c_degraded <- d
 
 let result c =
   let groups = List.rev c.c_groups in
@@ -31,13 +41,19 @@ let result c =
     workers = c.c_workers;
     groups;
     total_seconds = List.fold_left (fun acc g -> acc +. g.wall_seconds) 0.0 groups;
+    degraded = c.c_degraded;
+    steps = List.rev c.c_steps;
   }
 
-let clear c = c.c_groups <- []
+let clear c =
+  c.c_groups <- [];
+  c.c_steps <- [];
+  c.c_degraded <- false
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%s: %.3f ms over %d groups, %d workers@," t.pipeline
-    (t.total_seconds *. 1000.0) (List.length t.groups) t.workers;
+  Format.fprintf ppf "@[<v>%s: %.3f ms over %d groups, %d workers%s@," t.pipeline
+    (t.total_seconds *. 1000.0) (List.length t.groups) t.workers
+    (if t.degraded then "  [DEGRADED]" else "");
   List.iter
     (fun g ->
       Format.fprintf ppf
@@ -47,6 +63,12 @@ let pp ppf t =
         g.tiles (g.wall_seconds *. 1000.0) g.occupancy t.workers g.scratch_bytes
         g.copy_out_bytes)
     t.groups;
+  List.iter
+    (fun s ->
+      match s.step_error with
+      | None -> Format.fprintf ppf "  step %s: ok@," s.step_name
+      | Some e -> Format.fprintf ppf "  step %s: FAILED (%s)@," s.step_name e)
+    t.steps;
   Format.fprintf ppf "@]"
 
 let group_to_json g =
@@ -61,11 +83,20 @@ let group_to_json g =
       ("wall_seconds", Json.Float g.wall_seconds);
     ]
 
+let step_to_json s =
+  Json.Obj
+    [
+      ("step", Json.String s.step_name);
+      ("error", match s.step_error with None -> Json.Null | Some e -> Json.String e);
+    ]
+
 let to_json t =
   Json.Obj
     [
       ("pipeline", Json.String t.pipeline);
       ("workers", Json.Int t.workers);
       ("total_seconds", Json.Float t.total_seconds);
+      ("degraded", Json.Bool t.degraded);
+      ("resilience", Json.List (List.map step_to_json t.steps));
       ("groups", Json.List (List.map group_to_json t.groups));
     ]

@@ -18,17 +18,30 @@ type group = {
   wall_seconds : float;  (** wall-clock of the group's tile loop *)
 }
 
+type step = {
+  step_name : string;  (** fallback-chain step: "plan", "tiled-parallel", ... *)
+  step_error : string option;  (** [None] = succeeded, [Some e] = failed with the typed error *)
+}
+
 type t = {
   pipeline : string;
   workers : int;  (** pool parallelism the run was launched with *)
   groups : group list;  (** in execution order *)
   total_seconds : float;  (** sum of group wall-clocks *)
+  degraded : bool;  (** a resilience fallback step was taken *)
+  steps : step list;  (** fallback-chain record, in attempt order *)
 }
 
 type collector
 
 val collector : pipeline:string -> workers:int -> collector
 val add_group : collector -> group -> unit
+
+val add_step : collector -> name:string -> error:string option -> unit
+(** Record one fallback-chain step ({!Pmdp_exec.Resilient}): the step
+    name and, if it failed, the rendered typed error. *)
+
+val set_degraded : collector -> bool -> unit
 
 val result : collector -> t
 (** Snapshot of everything collected so far, in execution order. *)

@@ -1,0 +1,120 @@
+module Rng = Pmdp_util.Rng
+
+type action = Crash | Kill | Alloc_fail | Sleep of float
+type spec = { action : action; at : int }
+
+exception Injected of string
+
+type armed = { mutable pos : int; a : action; fired : bool Atomic.t }
+
+type t = {
+  seed : int;
+  specs : armed list;
+  tiles : int Atomic.t;
+  allocs : int Atomic.t;
+  jobs : int Atomic.t;
+  mutable resolved : bool;
+}
+
+let create ?(seed = 0) specs =
+  {
+    seed;
+    specs = List.map (fun s -> { pos = s.at; a = s.action; fired = Atomic.make false }) specs;
+    tiles = Atomic.make 0;
+    allocs = Atomic.make 0;
+    jobs = Atomic.make 0;
+    resolved = false;
+  }
+
+let spec_to_string s =
+  let pos = if s.at < 0 then "r" else string_of_int s.at in
+  match s.action with
+  | Crash -> "crash@" ^ pos
+  | Kill -> "kill@" ^ pos
+  | Alloc_fail -> "alloc@" ^ pos
+  | Sleep d -> Printf.sprintf "sleep@%s:%g" pos d
+
+let parse s =
+  let parse_pos p =
+    if p = "r" then Ok (-1)
+    else match int_of_string_opt p with
+      | Some k when k >= 0 -> Ok k
+      | _ -> Error (Printf.sprintf "bad position %S (a tick number or 'r')" p)
+  in
+  let parse_one item =
+    match String.index_opt item '@' with
+    | None -> Error (Printf.sprintf "bad injection %S (want ACTION@POS)" item)
+    | Some i -> (
+        let act = String.sub item 0 i in
+        let rest = String.sub item (i + 1) (String.length item - i - 1) in
+        match act with
+        | "crash" | "kill" | "alloc" ->
+            Result.map
+              (fun at ->
+                {
+                  action = (if act = "crash" then Crash else if act = "kill" then Kill else Alloc_fail);
+                  at;
+                })
+              (parse_pos rest)
+        | "sleep" -> (
+            match String.index_opt rest ':' with
+            | None -> Error (Printf.sprintf "bad injection %S (want sleep@POS:SECONDS)" item)
+            | Some j -> (
+                let pos = String.sub rest 0 j in
+                let dur = String.sub rest (j + 1) (String.length rest - j - 1) in
+                match (parse_pos pos, float_of_string_opt dur) with
+                | Ok at, Some d when d >= 0.0 -> Ok { action = Sleep d; at }
+                | (Error _ as e), _ -> e
+                | _, _ -> Error (Printf.sprintf "bad sleep duration %S" dur)))
+        | _ -> Error (Printf.sprintf "unknown injection action %S (crash|kill|alloc|sleep)" act))
+  in
+  let items = String.split_on_char ',' (String.trim s) in
+  List.fold_left
+    (fun acc item ->
+      match (acc, parse_one (String.trim item)) with
+      | Error _, _ -> acc
+      | _, Error e -> Error e
+      | Ok specs, Ok sp -> Ok (specs @ [ sp ]))
+    (Ok []) items
+
+let resolve t ~n =
+  if (not t.resolved) && n > 0 then begin
+    t.resolved <- true;
+    let rng = Rng.create t.seed in
+    List.iter (fun a -> if a.pos < 0 then a.pos <- Rng.int rng n) t.specs
+  end
+
+(* Fire every unfired spec sitting on this tick.  The counter hands
+   each caller a unique tick, so the fired flag is uncontended; it
+   still guards against re-firing when a fallback attempt replays the
+   same site with a fresh counter value. *)
+let hit t counter site_matches describe =
+  let i = Atomic.fetch_and_add counter 1 in
+  List.iter
+    (fun a ->
+      if a.pos = i && site_matches a.a && not (Atomic.exchange a.fired true) then
+        match a.a with
+        | Sleep d -> Unix.sleepf d
+        | _ -> raise (Injected (describe a.a i)))
+    t.specs
+
+let tile_tick t =
+  hit t t.tiles
+    (function Crash | Sleep _ -> true | _ -> false)
+    (fun _ i -> Printf.sprintf "injected crash at tile tick %d" i)
+
+let alloc_tick t =
+  hit t t.allocs
+    (function Alloc_fail -> true | _ -> false)
+    (fun _ i -> Printf.sprintf "simulated allocation failure at arena %d" i)
+
+let job_tick t ~worker =
+  hit t t.jobs
+    (function Kill -> true | _ -> false)
+    (fun _ i -> Printf.sprintf "injected kill of worker %d at job start %d" worker i)
+
+type token = bool Atomic.t
+
+let new_token () = Atomic.make false
+let cancel tk = Atomic.set tk true
+let is_cancelled tk = Atomic.get tk

@@ -1,0 +1,65 @@
+(** Deterministic, seed-driven fault injection.
+
+    The resilience machinery (pool self-heal, the fallback chain in
+    [Pmdp_exec.Resilient]) is only trustworthy if every recovery path
+    actually runs under test.  A {!t} carries a list of injection
+    {!spec}s, each firing {e exactly once} when a site counter reaches
+    the spec's position:
+
+    - {!tile_tick} is called at the start of every executed tile
+      (fires [Crash] and [Sleep] specs);
+    - {!alloc_tick} is called before every scratch-arena allocation
+      (fires [Alloc_fail] specs);
+    - {!job_tick} is called by every pool worker as it starts a job
+      (fires [Kill] specs — see [Pool.set_job_hook], where a raise
+      escapes the job's own error capture and takes the worker domain
+      down).
+
+    Counters are global atomics, so the k-th tick is a deterministic
+    event even under a parallel pool (which worker hits it is not, and
+    does not need to be).  Positions written as [r] in {!parse} are
+    resolved from the seed by {!resolve} once the total tile count is
+    known, making randomized placement reproducible:
+    [pmdp run --inject crash@r --seed 7] always crashes the same
+    tick. *)
+
+type action =
+  | Crash  (** raise from inside a tile body *)
+  | Kill  (** raise from the pool's job hook: the worker domain dies *)
+  | Alloc_fail  (** simulated scratch-arena allocation failure *)
+  | Sleep of float  (** slow tile: sleep this many seconds *)
+
+type spec = { action : action; at : int  (** 0-based tick; [-1] = seeded random *) }
+
+exception Injected of string
+(** Raised by a firing [Crash], [Kill], or [Alloc_fail] spec, carrying
+    a description of what fired and where. *)
+
+type t
+
+val create : ?seed:int -> spec list -> t
+(** [seed] (default 0) drives {!resolve} for [at = -1] specs. *)
+
+val parse : string -> (spec list, string) result
+(** Comma-separated spec syntax: [crash@K], [kill@K], [alloc@K],
+    [sleep@K:SECONDS], with [K] a tick number or [r] (seeded
+    random).  E.g. ["crash@12,sleep@0:0.05"]. *)
+
+val spec_to_string : spec -> string
+
+val resolve : t -> n:int -> unit
+(** Fix every [at = -1] position to a seed-determined tick in
+    [\[0, n)].  Idempotent; unresolved random specs never fire. *)
+
+val tile_tick : t -> unit
+val alloc_tick : t -> unit
+val job_tick : t -> worker:int -> unit
+
+(** Cooperative cancellation: a token shared between a watchdog and
+    the workers, checked at tile granularity. *)
+
+type token
+
+val new_token : unit -> token
+val cancel : token -> unit
+val is_cancelled : token -> bool

@@ -6,27 +6,42 @@
    domain, which acts as worker 0 — executes cooperatively.  Work is
    claimed either statically (contiguous per-worker blocks, OpenMP
    schedule(static)) or dynamically through an atomic counter, with an
-   optional chunk size so the counter is not hammered once per index. *)
+   optional chunk size so the counter is not hammered once per index.
+
+   Exceptions raised by a job body are captured inside the job closure
+   and re-raised in the caller; they never take a domain down.  A
+   worker domain can still die — in testing through the job hook
+   (fault injection), in principle through a runtime error — in which
+   case the worker quarantines itself: it records the crash, keeps the
+   epoch accounting correct so the caller never hangs, and exits.  The
+   caller gets a typed [Pmdp_error.Worker_crash] (tiles claimed by the
+   dead worker may not have run), and the next dispatch heals the pool
+   by joining and respawning dead domains. *)
+
+module Pmdp_error = Pmdp_util.Pmdp_error
 
 type sched = Static | Dynamic | Chunked of int
 
 type t = {
   workers : int;
   mutable domains : unit Domain.t array;
-  lock : Mutex.t;  (* protects epoch/job/unfinished/stop *)
+  alive : bool array;  (* per spawned domain; protected by [lock] *)
+  lock : Mutex.t;  (* protects epoch/job/unfinished/stop/alive/crash *)
   work_ready : Condition.t;
   work_done : Condition.t;
   mutable epoch : int;
   mutable job : (int -> unit) option;  (* worker id -> unit; captures its own errors *)
   mutable unfinished : int;  (* spawned workers still running the current epoch *)
   mutable stop : bool;
+  mutable crash : (int * string) option;  (* worker that died this epoch *)
+  mutable hook : (int -> unit) option;  (* fault-injection probe, see [set_job_hook] *)
   dispatch : Mutex.t;  (* held for the duration of the one in-flight parallel_for *)
   occupancy : int Atomic.t;  (* workers that executed >= 1 index in the last call *)
   mutable shut : bool;
 }
 
-let worker_loop t w =
-  let my_epoch = ref 0 in
+let worker_loop t w ~epoch0 =
+  let my_epoch = ref epoch0 in
   let continue = ref true in
   while !continue do
     Mutex.lock t.lock;
@@ -40,9 +55,20 @@ let worker_loop t w =
     else begin
       my_epoch := t.epoch;
       let job = t.job in
+      let hook = t.hook in
       Mutex.unlock t.lock;
-      (match job with Some j -> j w | None -> ());
+      let crashed = ref None in
+      (try
+         (match hook with Some h -> h w | None -> ());
+         match job with Some j -> j w | None -> ()
+       with e -> crashed := Some (Printexc.to_string e));
       Mutex.lock t.lock;
+      (match !crashed with
+      | Some detail ->
+          t.alive.(w - 1) <- false;
+          t.crash <- Some (w, detail);
+          continue := false
+      | None -> ());
       t.unfinished <- t.unfinished - 1;
       if t.unfinished = 0 then Condition.broadcast t.work_done;
       Mutex.unlock t.lock
@@ -55,6 +81,7 @@ let create n =
     {
       workers = n;
       domains = [||];
+      alive = Array.make (max 0 (n - 1)) true;
       lock = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -62,16 +89,44 @@ let create n =
       job = None;
       unfinished = 0;
       stop = false;
+      crash = None;
+      hook = None;
       dispatch = Mutex.create ();
       occupancy = Atomic.make 0;
       shut = false;
     }
   in
-  t.domains <- Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t.domains <- Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1) ~epoch0:0));
   t
 
 let n_workers t = t.workers
 let last_occupancy t = Atomic.get t.occupancy
+
+let alive_workers t =
+  Mutex.lock t.lock;
+  let n = 1 + Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive in
+  Mutex.unlock t.lock;
+  n
+
+let set_job_hook t h = t.hook <- h
+
+(* Join dead domains (they have exited their loop) and respawn them at
+   the current epoch.  Runs with [dispatch] held — or from a caller
+   that guarantees no parallel_for is in flight — so [t.epoch] is
+   stable and the fresh domain cannot pick up a stale job. *)
+let heal t =
+  let respawned = ref 0 in
+  Array.iteri
+    (fun i alive ->
+      if not alive then begin
+        Domain.join t.domains.(i);
+        let epoch0 = t.epoch in
+        t.domains.(i) <- Domain.spawn (fun () -> worker_loop t (i + 1) ~epoch0);
+        t.alive.(i) <- true;
+        incr respawned
+      end)
+    t.alive;
+  !respawned
 
 let shutdown t =
   if not t.shut then begin
@@ -153,7 +208,7 @@ let make_job ~workers ~sched ~n ~init ~f ~error ~participated =
 
 let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
   if n < 0 then invalid_arg "Pool.parallel_for: negative count";
-  if t.shut then invalid_arg "Pool.parallel_for: pool has been shut down";
+  if t.shut then Pmdp_error.raise_ (Pmdp_error.Pool_shutdown { context = "Pool.parallel_for" });
   if t.workers = 1 || n <= 1 then begin
     run_sequential ~n ~init f;
     Atomic.set t.occupancy (min n 1)
@@ -166,6 +221,8 @@ let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.dispatch)
       (fun () ->
+        ignore (heal t);
+        t.crash <- None;
         let error = Atomic.make None in
         let participated = Atomic.make 0 in
         let job = make_job ~workers:t.workers ~sched ~n ~init ~f ~error ~participated in
@@ -175,15 +232,28 @@ let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
         t.epoch <- t.epoch + 1;
         Condition.broadcast t.work_ready;
         Mutex.unlock t.lock;
-        job 0;
+        (* The calling domain is worker 0; a hook raise here must not
+           kill the caller, so it is recorded like a worker crash. *)
+        (try
+           (match t.hook with Some h -> h 0 | None -> ());
+           job 0
+         with e ->
+           Mutex.lock t.lock;
+           t.crash <- Some (0, Printexc.to_string e);
+           Mutex.unlock t.lock);
         Mutex.lock t.lock;
         while t.unfinished > 0 do
           Condition.wait t.work_done t.lock
         done;
         t.job <- None;
+        let crash = t.crash in
         Mutex.unlock t.lock;
         Atomic.set t.occupancy (Atomic.get participated);
-        match Atomic.get error with Some e -> raise e | None -> ())
+        (* A dead worker may have claimed indices it never ran, so a
+           crash outranks an ordinary body exception. *)
+        match crash with
+        | Some (worker, detail) -> Pmdp_error.raise_ (Pmdp_error.Worker_crash { worker; detail })
+        | None -> ( match Atomic.get error with Some e -> raise e | None -> ()))
 
 let parallel_for ?sched t ~n f =
   parallel_for_init ?sched t ~n ~init:(fun () -> ()) (fun () i -> f i)

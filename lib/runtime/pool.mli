@@ -35,7 +35,8 @@ val create : int -> t
 
 val shutdown : t -> unit
 (** Wake and join the pool's domains.  Idempotent.  Subsequent
-    [parallel_for] calls on the pool raise [Invalid_argument]. *)
+    [parallel_for] calls on the pool raise the typed
+    [Pmdp_util.Pmdp_error.Error (Pool_shutdown _)]. *)
 
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool n f] runs [f] with a fresh pool, shutting it down on
@@ -48,13 +49,39 @@ val last_occupancy : t -> int
     pool's most recent (non-nested) [parallel_for] — the executor's
     occupancy counter.  0 before any call. *)
 
+val alive_workers : t -> int
+(** Workers currently able to claim work: the calling domain plus the
+    spawned domains that have not crashed.  [n_workers] unless a
+    worker died and the pool has not yet healed. *)
+
+val heal : t -> int
+(** Join and respawn any crashed worker domains; returns how many were
+    respawned.  [parallel_for] heals automatically at dispatch, so a
+    pool that lost a worker serves the next call at full width; call
+    this directly only to re-arm a pool eagerly.  Must not race a
+    [parallel_for] in flight. *)
+
+val set_job_hook : t -> (int -> unit) option -> unit
+(** Fault-injection probe: the hook is invoked with the worker id at
+    the start of every job execution, {e outside} the job's own error
+    capture — so a raising hook takes the worker domain down (the
+    caller, worker 0, is shielded and records the crash instead).
+    The epoch accounting stays correct: the dispatching call raises a
+    typed [Worker_crash] rather than hanging, and the next dispatch
+    respawns the dead domain.  Used by the fault harness to prove the
+    crash-recovery path; [None] (the default) costs nothing.  Set only
+    while no call is in flight. *)
+
 val parallel_for : ?sched:sched -> t -> n:int -> (int -> unit) -> unit
 (** [parallel_for t ~n f] runs [f 0 .. f (n-1)], distributing indices
     over the pool's parked workers; the calling domain participates
     as worker 0.  [sched] defaults to [Chunked 0].  Exceptions raised
     by [f] stop further claims and are re-raised in the caller after
     all workers finish.  A nested call on a pool whose [parallel_for]
-    is already in flight runs inline sequentially. *)
+    is already in flight runs inline sequentially.  If a worker domain
+    dies mid-call (see {!set_job_hook}), the call raises the typed
+    [Pmdp_util.Pmdp_error.Error (Worker_crash _)] — indices the dead
+    worker claimed may not have run — and the next call self-heals. *)
 
 val parallel_for_init :
   ?sched:sched -> t -> n:int -> init:(unit -> 'a) -> ('a -> int -> unit) -> unit

@@ -1,0 +1,62 @@
+(** Typed error taxonomy for the execution stack.
+
+    Every failure mode an executor, planner, or pool can hit is a
+    variant with a structured payload, so callers can match on the
+    failure kind instead of parsing [Invalid_argument] strings, and
+    reports can render the payload as JSON.  The {!Error} exception is
+    the raising form used at boundaries that cannot return a
+    [result]; {!of_exn} recovers the typed value on the catching
+    side. *)
+
+type t =
+  | Plan_invalid of { context : string; reason : string }
+      (** A schedule could not be lowered to an executable plan
+          (failed group analysis, validation, or an internal planner
+          invariant). *)
+  | Arity_mismatch of { context : string; expected : int; got : int }
+      (** A tile-size vector (or similar indexed payload) has the
+          wrong number of entries. *)
+  | Unresolved_external of { name : string; context : string }
+      (** A stage body loads from [name], but no buffer or producer
+          with that name is in scope. *)
+  | Scratch_over_budget of { required_bytes : int; budget_bytes : int; context : string }
+      (** The pre-flight resource guard rejected an allocation: the
+          plan needs [required_bytes] against a budget of
+          [budget_bytes]. *)
+  | Worker_crash of { worker : int; detail : string }
+      (** A pool worker domain died (or an uncategorized exception
+          escaped a tile body); [worker = -1] when the crashing worker
+          is unknown. *)
+  | Timeout of { seconds : float; context : string }
+      (** A watchdog expired and cancelled the work. *)
+  | Cancelled of { reason : string }
+      (** Work observed its cooperative-cancellation token. *)
+  | Pool_shutdown of { context : string }
+      (** A [parallel_for] was issued on a pool whose domains have
+          been joined. *)
+
+exception Error of t
+
+val kind : t -> string
+(** Stable kebab-case slug of the variant ("plan-invalid",
+    "worker-crash", ...); the machine-readable half of a rendering. *)
+
+val message : t -> string
+(** Human-readable description of the payload, without the kind. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["kind: message"]. *)
+
+val to_string : t -> string
+
+type field = Int of int | Float of float | Str of string
+
+val fields : t -> (string * field) list
+(** Structured payload as named fields (for JSON emitters that do not
+    depend on this library's rendering). *)
+
+val raise_ : t -> 'a
+(** [raise_ e] is [raise (Error e)]. *)
+
+val of_exn : exn -> t option
+(** [Some e] iff the exception is [Error e]. *)

@@ -8,6 +8,17 @@ let check_schedule spec =
 let errors = Diagnostic.errors
 let is_clean ds = errors ds = []
 
+let check_schedule_result spec =
+  match errors (check_schedule spec) with
+  | [] -> Ok ()
+  | d :: _ as errs ->
+      Error
+        (Pmdp_util.Pmdp_error.Plan_invalid
+           {
+             context = Printf.sprintf "Verify.check_schedule (%d error(s))" (List.length errs);
+             reason = Diagnostic.to_string d;
+           })
+
 let oracle spec =
   match errors (Legality.check spec @ Race.check spec) with
   | [] -> None

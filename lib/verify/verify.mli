@@ -19,6 +19,13 @@ val check_schedule : Pmdp_core.Schedule_spec.t -> Diagnostic.t list
 val errors : Diagnostic.t list -> Diagnostic.t list
 val is_clean : Diagnostic.t list -> bool
 
+val check_schedule_result : Pmdp_core.Schedule_spec.t -> (unit, Pmdp_util.Pmdp_error.t) result
+(** [check_schedule] folded into the execution stack's typed error
+    taxonomy: [Ok ()] when no error-severity diagnostics, otherwise a
+    [Plan_invalid] carrying the first diagnostic and the error count —
+    the same shape {!Pmdp_exec.Resilient} records, so static rejection
+    and runtime rejection render identically in reports. *)
+
 val install : unit -> unit
 (** Register the legality + race error oracle with
     [Schedule_spec.set_legality_oracle]. *)

@@ -156,9 +156,9 @@ let test_buffer_with_data () =
   let big = Array.make 100 7.0 in
   let b = Buffer.with_data "w" dims big in
   Alcotest.(check (float 0.0)) "reads storage" 7.0 (Buffer.get_clamped b [| 1; 2 |]);
-  Alcotest.(check bool) "too small raises" true
+  Alcotest.(check bool) "too small is a typed error" true
     (try ignore (Buffer.with_data "w" dims (Array.make 3 0.0)); false
-     with Invalid_argument _ -> true)
+     with Pmdp_util.Pmdp_error.Error (Pmdp_util.Pmdp_error.Plan_invalid _) -> true)
 
 let () =
   Alcotest.run "pmdp_misc"

@@ -1,6 +1,7 @@
 (* Tests for the persistent domain pool and makespan simulation. *)
 
 module Pool = Pmdp_runtime.Pool
+module Pmdp_error = Pmdp_util.Pmdp_error
 
 let scheds = [ ("static", Pool.Static); ("dynamic", Pool.Dynamic); ("chunked", Pool.Chunked 3) ]
 
@@ -108,8 +109,9 @@ let test_shutdown_idempotent () =
   Pool.parallel_for pool ~n:10 ignore;
   Pool.shutdown pool;
   Pool.shutdown pool;
-  Alcotest.(check bool) "use after shutdown raises" true
-    (try Pool.parallel_for pool ~n:1 ignore; false with Invalid_argument _ -> true)
+  Alcotest.(check bool) "use after shutdown is a typed error" true
+    (try Pool.parallel_for pool ~n:1 ignore; false
+     with Pmdp_error.Error (Pmdp_error.Pool_shutdown _) -> true)
 
 let test_many_pools () =
   (* with_pool must join its domains: creating pools in a loop would
@@ -117,6 +119,44 @@ let test_many_pools () =
   for _ = 1 to 80 do
     Pool.with_pool 3 (fun pool -> Pool.parallel_for pool ~n:10 ignore)
   done
+
+let test_with_pool_joins_on_raise () =
+  (* ... and it must also join them when the body raises, or the same
+     loop with failing bodies exhausts the cap. *)
+  for _ = 1 to 80 do
+    try Pool.with_pool 3 (fun pool -> Pool.parallel_for pool ~n:10 ignore; raise Boom)
+    with Boom -> ()
+  done
+
+let test_worker_crash_heals () =
+  (* A job hook that raises escapes the job's own error capture and
+     takes the worker domain down: parallel_for must report a typed
+     Worker_crash (not hang), quarantine the dead domain, and respawn
+     it so the next call runs at full width and full coverage. *)
+  Pool.with_pool 3 (fun pool ->
+      Alcotest.(check int) "full width before" 3 (Pool.alive_workers pool);
+      let killed = Atomic.make false in
+      Pool.set_job_hook pool
+        (Some
+           (fun w ->
+             if w > 1 && not (Atomic.exchange killed true) then failwith "synthetic crash"));
+      let crashed =
+        try
+          Pool.parallel_for pool ~n:64 ignore;
+          false
+        with Pmdp_error.Error (Pmdp_error.Worker_crash { worker; _ }) ->
+          Alcotest.(check bool) "spawned worker crashed" true (worker > 1);
+          true
+      in
+      Alcotest.(check bool) "typed worker crash surfaced" true crashed;
+      Alcotest.(check bool) "dead worker quarantined" true (Pool.alive_workers pool < 3);
+      Pool.set_job_hook pool None;
+      let hits = Array.init 200 (fun _ -> Atomic.make 0) in
+      Pool.parallel_for pool ~n:200 (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i a -> Alcotest.(check int) (Printf.sprintf "post-heal index %d" i) 1 (Atomic.get a))
+        hits;
+      Alcotest.(check int) "healed back to full width" 3 (Pool.alive_workers pool))
 
 let feq = Alcotest.float 1e-12
 
@@ -203,6 +243,8 @@ let () =
           Alcotest.test_case "init state isolation" `Quick test_init_state_isolation;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "many pools" `Quick test_many_pools;
+          Alcotest.test_case "joins on raise" `Quick test_with_pool_joins_on_raise;
+          Alcotest.test_case "worker crash heals" `Quick test_worker_crash_heals;
         ] );
       ( "makespan",
         [
