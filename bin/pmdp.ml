@@ -5,6 +5,7 @@
      schedule <app>               — print the grouping/tiles a scheduler picks
      run <app>                    — execute a schedule and validate vs reference
      bench                        — benchmark apps x schedulers x workers to JSON
+     trace <app>                  — run with tracing on and summarize the trace
      emit-c <app>                 — generate C++/OpenMP for a schedule
      cachesim <app>               — simulated L1/L2 hit/miss fractions
      check [app]                  — static legality/bounds/race/lint verification
@@ -14,6 +15,25 @@ open Cmdliner
 module Scheduler = Pmdp_core.Scheduler
 module Registry = Pmdp_apps.Registry
 module Pool = Pmdp_runtime.Pool
+module Trace = Pmdp_trace.Trace
+
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record an execution trace and write it to $(docv) as Chrome trace-event JSON \
+                 (loadable in Perfetto or chrome://tracing).")
+
+(* Enabled before the traced work starts; the JSON is written at the
+   first exit point after the pool is quiescent, never from a finally
+   (exit 1 paths must still leave a readable trace behind them). *)
+let trace_begin trace = Option.iter (fun _ -> Trace.set_enabled true; Trace.reset ()) trace
+
+let trace_end trace =
+  Option.iter
+    (fun path ->
+      Trace.write path;
+      Printf.printf "wrote trace %s\n%!" path)
+    trace
 
 let machine_conv =
   let parse s =
@@ -104,10 +124,11 @@ let run_cmd =
      fault injection) and validate against the reference executor."
   in
   let run (app : Registry.app) scale machine scheduler workers pool_sched profile mem_budget
-      inject seed timeout =
+      inject seed timeout trace =
     let pipeline = build app scale in
     let inputs = app.Registry.inputs ~seed:1 pipeline in
     let sched = make_schedule scheduler machine pipeline in
+    trace_begin trace;
     let pool = if workers > 1 then Some (Pool.create workers) else None in
     let collector =
       Pmdp_report.Profile.collector ~pipeline:pipeline.Pmdp_dsl.Pipeline.name ~workers
@@ -120,6 +141,8 @@ let run_cmd =
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     Option.iter Pool.shutdown pool;
+    if Trace.on () then Pmdp_report.Profile.set_counters collector (Trace.counter_totals ());
+    trace_end trace;
     match outcome with
     | Error e ->
         Format.eprintf "pmdp run: %a@." Pmdp_util.Pmdp_error.pp e;
@@ -186,7 +209,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t $ pool_sched_t
-          $ profile_t $ mem_budget_t $ inject_t $ seed_t $ timeout_t)
+          $ profile_t $ mem_budget_t $ inject_t $ seed_t $ timeout_t $ trace_t)
 
 let bench_cmd =
   let doc =
@@ -194,12 +217,14 @@ let bench_cmd =
      against the reference executor, and write the results (median/min wall-clock and \
      per-group profiles) as JSON."
   in
-  let run machine scale reps workers schedulers pool_sched output apps quiet =
+  let run machine scale reps workers schedulers pool_sched output apps quiet trace =
     let apps = match apps with [] -> Registry.all | apps -> apps in
     let log = if quiet then fun _ -> () else print_endline in
+    trace_begin trace;
     let outcomes =
       Pmdp_bench.Runner.run_all ?pool_sched ~log ~reps ~scale ~machine ~workers ~schedulers apps
     in
+    trace_end trace;
     let path =
       match output with Some p -> p | None -> Pmdp_bench.Runner.default_path machine
     in
@@ -240,7 +265,52 @@ let bench_cmd =
   let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-case progress lines.") in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ machine_t $ scale_t $ reps_t $ workers_t $ schedulers_t $ pool_sched_t
-          $ out_t $ apps_t $ quiet_t)
+          $ out_t $ apps_t $ quiet_t $ trace_t)
+
+let trace_cmd =
+  let doc =
+    "Execute a schedule with tracing enabled and summarize the trace: per-span-name histograms, \
+     the slowest tiles, per-worker utilization, and counter totals.  Optionally also write the \
+     raw Chrome trace-event JSON."
+  in
+  let run (app : Registry.app) scale machine scheduler workers pool_sched output top =
+    let pipeline = build app scale in
+    let inputs = app.Registry.inputs ~seed:1 pipeline in
+    let sched = make_schedule scheduler machine pipeline in
+    Trace.set_enabled true;
+    Trace.reset ();
+    let pool = if workers > 1 then Some (Pool.create workers) else None in
+    let outcome = Pmdp_exec.Resilient.run ?pool ?sched:pool_sched ~machine sched ~inputs in
+    Option.iter Pool.shutdown pool;
+    (match outcome with
+    | Error e ->
+        Format.eprintf "pmdp trace: %a@." Pmdp_util.Pmdp_error.pp e;
+        exit 1
+    | Ok { Pmdp_exec.Resilient.degraded; _ } ->
+        if degraded then Format.printf "note: run was DEGRADED (see resilient.step events)@.");
+    Option.iter
+      (fun path ->
+        Trace.write path;
+        Printf.printf "wrote trace %s\n%!" path)
+      output;
+    Trace.pp_summary ~top Format.std_formatter ();
+    Format.pp_print_newline Format.std_formatter ()
+  in
+  let workers_t = Arg.(value & opt int 4 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
+  let pool_sched_t =
+    Arg.(value & opt (some pool_sched_conv) None
+         & info [ "pool-sched" ] ~doc:"Tile distribution: static, dynamic, or chunked (default).")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Also write the Chrome trace-event JSON here.")
+  in
+  let top_t =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many of the slowest tiles to list.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t $ pool_sched_t
+          $ out_t $ top_t)
 
 let emit_c_cmd =
   let doc = "Emit C++/OpenMP for a schedule (stdout, or -o FILE)." in
@@ -370,5 +440,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; schedule_cmd; run_cmd; bench_cmd; emit_c_cmd; cachesim_cmd; dot_cmd;
-            storage_cmd; check_cmd ]))
+          [ list_cmd; schedule_cmd; run_cmd; bench_cmd; trace_cmd; emit_c_cmd; cachesim_cmd;
+            dot_cmd; storage_cmd; check_cmd ]))

@@ -4,8 +4,10 @@ module Cost_model = Pmdp_core.Cost_model
 module Scheduler = Pmdp_core.Scheduler
 module Schedule_spec = Pmdp_core.Schedule_spec
 module Tiled_exec = Pmdp_exec.Tiled_exec
+module Resilient = Pmdp_exec.Resilient
 module Reference = Pmdp_exec.Reference
 module Buffer = Pmdp_exec.Buffer
+module Trace = Pmdp_trace.Trace
 module Pool = Pmdp_runtime.Pool
 module Registry = Pmdp_apps.Registry
 module Profile = Pmdp_report.Profile
@@ -26,9 +28,19 @@ type outcome = {
   n_tiles : int;
   profile : Profile.t;  (** of the last rep *)
   failure : string option;  (** rendered typed error of a dead rep *)
+  degraded : bool;  (** some rep needed a resilience fallback step *)
 }
 
 let valid o = o.failure = None && o.max_abs_diff = 0.0
+
+(* Per-case delta of the global trace counter totals, so each case's
+   JSON carries only its own numbers. *)
+let counter_delta ~before after =
+  List.filter_map
+    (fun (k, v) ->
+      let v0 = Option.value (List.assoc_opt k before) ~default:0 in
+      if v - v0 <> 0 then Some (k, v - v0) else None)
+    after
 
 let median_of sorted = List.nth sorted (List.length sorted / 2)
 
@@ -68,27 +80,55 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
         (fun w ->
           let collector = Profile.collector ~pipeline:p.Pipeline.name ~workers:w in
           let host_walls = ref [] and diff = ref 0.0 in
-          let failure = ref None in
+          let failure = ref None and degraded = ref false in
+          (* Reps run through the resilient driver sharing the one
+             plan, so a dying rep records which fallback step it
+             reached (Profile.steps / the case's "resilience" JSON)
+             instead of just a rendered error string. *)
+          let one_rep rep pool =
+            Profile.clear collector;
+            let t0 = Unix.gettimeofday () in
+            match
+              Resilient.run_plan ?pool ?sched:pool_sched ~profile:collector ~machine plan
+                ~inputs
+            with
+            | Ok { Resilient.results; degraded = d; attempts = _ } ->
+                host_walls := (Unix.gettimeofday () -. t0) :: !host_walls;
+                if d then degraded := true;
+                List.iter
+                  (fun (n, b) ->
+                    match List.assoc_opt n reference with
+                    | Some r -> diff := Float.max !diff (Buffer.max_abs_diff b r)
+                    | None -> ())
+                  results
+            | Error e ->
+                (* Record the case as failed and move on: one broken
+                   schedule must not take the whole sweep down. *)
+                ignore rep;
+                failure := Some (Pmdp_util.Pmdp_error.to_string e)
+          in
           let measure pool =
-            for _ = 1 to reps do
-              if !failure = None then begin
-                Profile.clear collector;
-                let t0 = Unix.gettimeofday () in
-                match Tiled_exec.run ?pool ?sched:pool_sched ~profile:collector plan ~inputs with
-                | results ->
-                    host_walls := (Unix.gettimeofday () -. t0) :: !host_walls;
-                    List.iter
-                      (fun (n, b) ->
-                        diff := Float.max !diff (Buffer.max_abs_diff b (List.assoc n reference)))
-                      results
-                | exception Pmdp_util.Pmdp_error.Error e ->
-                    (* Record the case as failed and move on: one broken
-                       schedule must not take the whole sweep down. *)
-                    failure := Some (Pmdp_util.Pmdp_error.to_string e)
-              end
+            for rep = 1 to reps do
+              if !failure = None then
+                if not (Trace.on ()) then one_rep rep pool
+                else
+                  Trace.with_span ~cat:"bench"
+                    ~args:
+                      [
+                        ("app", Trace.Str app.Registry.name);
+                        ("scheduler", Trace.Str (Scheduler.to_string scheduler));
+                        ("workers", Trace.Int w);
+                        ("rep", Trace.Int rep);
+                      ]
+                    "rep"
+                    (fun () -> one_rep rep pool)
             done
           in
+          let totals_before = if Trace.on () then Trace.counter_totals () else [] in
           if w > 1 then Pool.with_pool w (fun pool -> measure (Some pool)) else measure None;
+          if Trace.on () then
+            Profile.set_counters collector
+              (counter_delta ~before:totals_before (Trace.counter_totals ()));
           let host_wall_seconds = List.rev !host_walls in
           let simulated = w > 1 && host_cores < w in
           let wall_seconds =
@@ -117,13 +157,15 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
               n_tiles;
               profile = Profile.result collector;
               failure = !failure;
+              degraded = !degraded;
             }
           in
           log
-            (Printf.sprintf "%-15s %-8s %2d workers  median %8.2f ms  min %8.2f ms%s%s"
+            (Printf.sprintf "%-15s %-8s %2d workers  median %8.2f ms  min %8.2f ms%s%s%s"
                o.app_name (Scheduler.to_string scheduler) w (o.median_s *. 1000.0)
                (o.min_s *. 1000.0)
                (if simulated then "  (simulated)" else "")
+               (if o.degraded then "  DEGRADED" else "")
                (match o.failure with
                | Some e -> "  FAILED " ^ e
                | None ->
@@ -155,13 +197,14 @@ let json_of_outcome o =
       ("n_groups", Json.Int o.n_groups);
       ("n_tiles", Json.Int o.n_tiles);
       ("failure", match o.failure with None -> Json.Null | Some e -> Json.String e);
+      ("degraded", Json.Bool o.degraded);
       ("profile", Profile.to_json o.profile);
     ]
 
 let to_json ~machine ~scale ~reps outcomes =
   Json.Obj
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int 2);
       ("machine", Json.String machine.Machine.name);
       ("scale", Json.Int scale);
       ("reps", Json.Int reps);

@@ -24,9 +24,13 @@ type outcome = {
   n_tiles : int;
   profile : Pmdp_report.Profile.t;  (** of the last rep *)
   failure : string option;
-      (** [Some e] when a repetition died with a typed
-          [Pmdp_util.Pmdp_error.t]: the case is recorded as invalid
-          instead of taking the whole benchmark sweep down *)
+      (** [Some e] when every fallback step of a repetition died: the
+          case is recorded as invalid (with the chain in
+          [profile.steps]) instead of taking the whole benchmark sweep
+          down *)
+  degraded : bool;
+      (** some repetition completed only via a
+          {!Pmdp_exec.Resilient} fallback step *)
 }
 
 val valid : outcome -> bool

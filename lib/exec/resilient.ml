@@ -3,6 +3,7 @@ module Fault = Pmdp_runtime.Fault
 module Profile = Pmdp_report.Profile
 module Machine = Pmdp_machine.Machine
 module Pmdp_error = Pmdp_util.Pmdp_error
+module Trace = Pmdp_trace.Trace
 
 type step = Plan_step | Tiled_parallel | Tiled_serial | Reference_fallback
 
@@ -32,7 +33,10 @@ let classify context = function
    seconds.  Tiles observe the token cooperatively, so the cancelled
    attempt unwinds through the normal error path; the Cancelled it
    raises is upgraded to a Timeout here, where the deadline is
-   known. *)
+   known.  The watchdog is a helper thread and must not record trace
+   events itself (per-domain buffers are single-writer); the
+   [watchdog.fired] instant is recorded by the caller when it observes
+   the expiry. *)
 let with_watchdog ?timeout ~cancel context f =
   match timeout with
   | None -> f ()
@@ -60,9 +64,17 @@ let with_watchdog ?timeout ~cancel context f =
         (fun () ->
           try f ()
           with _ when Atomic.get fired ->
+            if Trace.on () then
+              Trace.instant ~cat:"resilient"
+                ~args:[ ("context", Trace.Str context); ("seconds", Trace.Float limit) ]
+                "watchdog.fired";
             Pmdp_error.raise_ (Pmdp_error.Timeout { seconds = limit; context }))
 
-let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs =
+(* The fallback chain shared by {!run} (plans itself) and {!run_plan}
+   (caller supplies the plan).  [planned] carries the plan or the
+   typed error planning produced. *)
+let run_chain ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout ~planned ~pipeline
+    ~inputs () =
   let machine = Option.value machine ~default:Machine.xeon in
   let budget =
     match mem_budget with Some b -> b | None -> Machine.default_mem_budget machine
@@ -70,6 +82,15 @@ let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs 
   let attempts = ref [] in
   let record st err =
     attempts := (st, err) :: !attempts;
+    if Trace.on () then
+      Trace.instant ~cat:"resilient"
+        ~args:
+          (("step", Trace.Str (step_name st))
+          ::
+          (match err with
+          | None -> [ ("ok", Trace.Bool true) ]
+          | Some e -> [ ("error", Trace.Str (Pmdp_error.to_string e)) ]))
+        "resilient.step";
     Option.iter
       (fun c ->
         Profile.add_step c ~name:(step_name st) ~error:(Option.map Pmdp_error.to_string err))
@@ -87,7 +108,15 @@ let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs 
      [None] to continue down the chain. *)
   let attempt st f =
     let cancel = Fault.new_token () in
-    match with_watchdog ?timeout ~cancel (step_name st) (fun () -> f ~cancel) with
+    let body () =
+      if not (Trace.on ()) then f ~cancel
+      else
+        Trace.with_span ~cat:"resilient"
+          ~args:[ ("step", Trace.Str (step_name st)) ]
+          (step_name st)
+          (fun () -> f ~cancel)
+    in
+    match with_watchdog ?timeout ~cancel (step_name st) body with
     | results ->
         record st None;
         Some results
@@ -96,10 +125,9 @@ let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs 
         None
   in
   let reference () =
-    attempt Reference_fallback (fun ~cancel:_ ->
-        Reference.run spec.Pmdp_core.Schedule_spec.pipeline ~inputs)
+    attempt Reference_fallback (fun ~cancel:_ -> Reference.run pipeline ~inputs)
   in
-  match Tiled_exec.plan_result spec with
+  match planned with
   | Error e -> (
       (* The schedule cannot be lowered at all; the reference executor
          needs no plan, so degrade straight to it. *)
@@ -122,6 +150,15 @@ let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs 
              })
       else begin
         let over_budget st required =
+          if Trace.on () then
+            Trace.instant ~cat:"resilient"
+              ~args:
+                [
+                  ("step", Trace.Str (step_name st));
+                  ("required_bytes", Trace.Int required);
+                  ("budget_bytes", Trace.Int budget);
+                ]
+              "budget.skip";
           record st
             (Some
                (Pmdp_error.Scratch_over_budget
@@ -184,3 +221,12 @@ let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs 
                           (Pmdp_error.Plan_invalid
                              { context = "Resilient"; reason = "no strategy available" }))))
       end)
+
+let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs =
+  run_chain ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout
+    ~planned:(Tiled_exec.plan_result spec)
+    ~pipeline:spec.Pmdp_core.Schedule_spec.pipeline ~inputs ()
+
+let run_plan ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout plan ~inputs =
+  run_chain ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout ~planned:(Ok plan)
+    ~pipeline:(Tiled_exec.pipeline plan) ~inputs ()

@@ -59,3 +59,20 @@ val run :
     seconds.  Uncategorized exceptions from an attempt are folded
     into typed [Worker_crash] errors; nothing escapes except through
     the [Error] return. *)
+
+val run_plan :
+  ?pool:Pmdp_runtime.Pool.t ->
+  ?sched:Pmdp_runtime.Pool.sched ->
+  ?profile:Pmdp_report.Profile.collector ->
+  ?machine:Pmdp_machine.Machine.t ->
+  ?mem_budget:int ->
+  ?fault:Pmdp_runtime.Fault.t ->
+  ?timeout:float ->
+  Tiled_exec.plan ->
+  inputs:(string * Buffer.t) list ->
+  (outcome, Pmdp_util.Pmdp_error.t) result
+(** {!run} for a plan the caller already lowered (the plan step is
+    recorded as succeeded).  Lets repeated executions of one schedule
+    — e.g. benchmark repetitions ({!Pmdp_bench.Runner}) — share the
+    plan while still getting the budget guards, the fallback chain,
+    and the step record. *)

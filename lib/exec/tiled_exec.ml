@@ -7,6 +7,7 @@ module Pool = Pmdp_runtime.Pool
 module Fault = Pmdp_runtime.Fault
 module Profile = Pmdp_report.Profile
 module Pmdp_error = Pmdp_util.Pmdp_error
+module Trace = Pmdp_trace.Trace
 
 type slot = In_group of int | External of string
 
@@ -154,6 +155,7 @@ let plan_result spec =
       Error (Pmdp_error.Plan_invalid { context = "Schedule_spec.validate"; reason })
 
 let liveout_stages plan = plan.liveouts
+let pipeline plan = plan.pipeline
 let total_tiles plan = Array.fold_left (fun acc g -> acc + g.n_tiles) 0 plan.groups
 
 let ceil_div a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
@@ -321,14 +323,16 @@ let run_tile ?fault ?cancel ?copy_out gp (buffers : (string, Buffer.t) Hashtbl.t
         if exact_hi.(k) < exact_lo.(k) then empty := true
       done;
       if not !empty then begin
-      (match copy_out with
-      | Some acc ->
-          let points = ref 1 in
-          for k = 0 to own_nd - 1 do
-            points := !points * (exact_hi.(k) - exact_lo.(k) + 1)
-          done;
-          ignore (Atomic.fetch_and_add acc (!points * 8))
-      | None -> ());
+      (if copy_out <> None || Trace.on () then begin
+         let points = ref 1 in
+         for k = 0 to own_nd - 1 do
+           points := !points * (exact_hi.(k) - exact_lo.(k) + 1)
+         done;
+         (match copy_out with
+         | Some acc -> ignore (Atomic.fetch_and_add acc (!points * 8))
+         | None -> ());
+         if Trace.on () then Trace.count "copy_out_bytes" (!points * 8)
+       end);
       let idx = Array.copy exact_lo in
       let rec copy k src_off =
         if k = own_nd then begin
@@ -404,29 +408,79 @@ let working_set_bytes plan =
         acc gp.members)
     0 plan.groups
 
+(* Tile-space coordinates of a linear tile index, for trace span
+   arguments: "2,5" means third tile along dim 0, sixth along dim 1. *)
+let tile_coords gp tile_index =
+  let nd = Array.length gp.tiles_per_dim in
+  let parts = Array.make nd "" in
+  let rem = ref tile_index in
+  for d = nd - 1 downto 0 do
+    parts.(d) <- string_of_int (!rem mod gp.tiles_per_dim.(d));
+    rem := !rem / gp.tiles_per_dim.(d)
+  done;
+  String.concat "," (Array.to_list parts)
+
 let run_group ?pool ?sched ?profile ?fault ?cancel ~index gp buffers =
   let externals = externals_for gp buffers in
-  let copy_out = match profile with Some _ -> Some (Atomic.make 0) | None -> None in
+  let copy_out =
+    match (profile, Trace.on ()) with
+    | Some _, _ | _, true -> Some (Atomic.make 0)
+    | None, false -> None
+  in
   let arenas = Atomic.make 0 in
   let make_arena_checked () =
     (match fault with Some f -> Fault.alloc_tick f | None -> ());
     Atomic.incr arenas;
+    if Trace.on () then Trace.count "scratch_bytes" (arena_bytes gp);
     make_arena gp
   in
+  let exec_tile arena t = run_tile ?fault ?cancel ?copy_out gp buffers externals arena t in
+  let exec_tile arena t =
+    if not (Trace.on ()) then exec_tile arena t
+    else begin
+      Trace.count "tiles" 1;
+      Trace.with_span ~cat:"exec"
+        ~args:
+          [
+            ("group", Trace.Int index);
+            ("tile", Trace.Int t);
+            ("at", Trace.Str (tile_coords gp t));
+          ]
+        "tile"
+        (fun () -> exec_tile arena t)
+    end
+  in
+  let ts_group = if Trace.on () then Trace.now () else Float.nan in
   let t0 = Unix.gettimeofday () in
   let occupancy =
     match pool with
     | Some pool when gp.n_tiles > 1 ->
-        Pool.parallel_for_init ?sched pool ~n:gp.n_tiles ~init:make_arena_checked
-          (fun arena t -> run_tile ?fault ?cancel ?copy_out gp buffers externals arena t);
+        Pool.parallel_for_init ?sched pool ~n:gp.n_tiles ~init:make_arena_checked exec_tile;
         Pool.last_occupancy pool
     | _ ->
         let arena = make_arena_checked () in
         for t = 0 to gp.n_tiles - 1 do
-          run_tile ?fault ?cancel ?copy_out gp buffers externals arena t
+          exec_tile arena t
         done;
         1
   in
+  if Trace.on () && not (Float.is_nan ts_group) then
+    Trace.complete ~cat:"exec"
+      ~args:
+        [
+          ("group", Trace.Int index);
+          ("stages",
+           Trace.Str
+             (String.concat ","
+                (Array.to_list
+                   (Array.map (fun (mp : member_plan) -> mp.stage.Stage.name) gp.members))));
+          ("tiles", Trace.Int gp.n_tiles);
+          ("occupancy", Trace.Int occupancy);
+          ("scratch_bytes", Trace.Int (Atomic.get arenas * arena_bytes gp));
+          ("copy_out_bytes",
+           Trace.Int (match copy_out with Some a -> Atomic.get a | None -> 0));
+        ]
+      ~name:"group" ~ts:ts_group ();
   (* A tile sleeping through a watchdog deadline returns normally; the
      group boundary is the last place to refuse to report success for
      work that was cancelled mid-flight. *)

@@ -48,6 +48,10 @@ val liveout_stages : plan -> string list
 (** Names of stages materialized into full buffers (group live-outs,
     including all pipeline outputs). *)
 
+val pipeline : plan -> Pmdp_dsl.Pipeline.t
+(** The pipeline the plan lowers — what the reference fallback of
+    {!Resilient.run_plan} executes when the plan itself cannot. *)
+
 val run :
   ?pool:Pmdp_runtime.Pool.t ->
   ?sched:Pmdp_runtime.Pool.sched ->

@@ -17,6 +17,7 @@ type t = {
   total_seconds : float;
   degraded : bool;
   steps : step list;
+  counters : (string * int) list;
 }
 
 type collector = {
@@ -25,14 +26,23 @@ type collector = {
   mutable c_groups : group list;  (* reverse order *)
   mutable c_steps : step list;  (* reverse order *)
   mutable c_degraded : bool;
+  mutable c_counters : (string * int) list;
 }
 
 let collector ~pipeline ~workers =
-  { c_pipeline = pipeline; c_workers = workers; c_groups = []; c_steps = []; c_degraded = false }
+  {
+    c_pipeline = pipeline;
+    c_workers = workers;
+    c_groups = [];
+    c_steps = [];
+    c_degraded = false;
+    c_counters = [];
+  }
 
 let add_group c g = c.c_groups <- g :: c.c_groups
 let add_step c ~name ~error = c.c_steps <- { step_name = name; step_error = error } :: c.c_steps
 let set_degraded c d = c.c_degraded <- d
+let set_counters c totals = c.c_counters <- totals
 
 let result c =
   let groups = List.rev c.c_groups in
@@ -43,12 +53,14 @@ let result c =
     total_seconds = List.fold_left (fun acc g -> acc +. g.wall_seconds) 0.0 groups;
     degraded = c.c_degraded;
     steps = List.rev c.c_steps;
+    counters = c.c_counters;
   }
 
 let clear c =
   c.c_groups <- [];
   c.c_steps <- [];
-  c.c_degraded <- false
+  c.c_degraded <- false;
+  c.c_counters <- []
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s: %.3f ms over %d groups, %d workers%s@," t.pipeline
@@ -69,6 +81,9 @@ let pp ppf t =
       | None -> Format.fprintf ppf "  step %s: ok@," s.step_name
       | Some e -> Format.fprintf ppf "  step %s: FAILED (%s)@," s.step_name e)
     t.steps;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  counter %s = %d@," name v)
+    t.counters;
   Format.fprintf ppf "@]"
 
 let group_to_json g =
@@ -98,5 +113,6 @@ let to_json t =
       ("total_seconds", Json.Float t.total_seconds);
       ("degraded", Json.Bool t.degraded);
       ("resilience", Json.List (List.map step_to_json t.steps));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters));
       ("groups", Json.List (List.map group_to_json t.groups));
     ]

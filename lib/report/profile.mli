@@ -30,6 +30,9 @@ type t = {
   total_seconds : float;  (** sum of group wall-clocks *)
   degraded : bool;  (** a resilience fallback step was taken *)
   steps : step list;  (** fallback-chain record, in attempt order *)
+  counters : (string * int) list;
+      (** trace counter totals ({!Pmdp_trace.Trace.counter_totals})
+          for the run, when tracing was enabled; [] otherwise *)
 }
 
 type collector
@@ -42,6 +45,11 @@ val add_step : collector -> name:string -> error:string option -> unit
     name and, if it failed, the rendered typed error. *)
 
 val set_degraded : collector -> bool -> unit
+
+val set_counters : collector -> (string * int) list -> unit
+(** Attach trace counter totals (typically the per-run delta of
+    {!Pmdp_trace.Trace.counter_totals}) so profiles and bench JSON
+    carry the same numbers the trace does. *)
 
 val result : collector -> t
 (** Snapshot of everything collected so far, in execution order. *)

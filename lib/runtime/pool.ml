@@ -19,6 +19,7 @@
    by joining and respawning dead domains. *)
 
 module Pmdp_error = Pmdp_util.Pmdp_error
+module Trace = Pmdp_trace.Trace
 
 type sched = Static | Dynamic | Chunked of int
 
@@ -44,6 +45,9 @@ let worker_loop t w ~epoch0 =
   let my_epoch = ref epoch0 in
   let continue = ref true in
   while !continue do
+    (* Park/job spans give each worker domain its own timeline row in
+       the trace: how long it waited versus how long it worked. *)
+    let t_park = if Trace.on () then Trace.now () else Float.nan in
     Mutex.lock t.lock;
     while (not t.stop) && t.epoch = !my_epoch do
       Condition.wait t.work_ready t.lock
@@ -57,11 +61,18 @@ let worker_loop t w ~epoch0 =
       let job = t.job in
       let hook = t.hook in
       Mutex.unlock t.lock;
+      if Trace.on () && not (Float.is_nan t_park) then
+        Trace.complete ~cat:"pool" ~args:[ ("worker", Trace.Int w) ] ~name:"park" ~ts:t_park ();
+      let t_job = if Trace.on () then Trace.now () else Float.nan in
       let crashed = ref None in
       (try
          (match hook with Some h -> h w | None -> ());
          match job with Some j -> j w | None -> ()
        with e -> crashed := Some (Printexc.to_string e));
+      if Trace.on () && not (Float.is_nan t_job) then
+        Trace.complete ~cat:"pool"
+          ~args:[ ("worker", Trace.Int w); ("epoch", Trace.Int !my_epoch) ]
+          ~name:"job" ~ts:t_job ();
       Mutex.lock t.lock;
       (match !crashed with
       | Some detail ->
@@ -211,7 +222,8 @@ let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
   if t.shut then Pmdp_error.raise_ (Pmdp_error.Pool_shutdown { context = "Pool.parallel_for" });
   if t.workers = 1 || n <= 1 then begin
     run_sequential ~n ~init f;
-    Atomic.set t.occupancy (min n 1)
+    Atomic.set t.occupancy (min n 1);
+    if Trace.on () then Trace.gauge "pool.occupancy" (min n 1)
   end
   else if not (Mutex.try_lock t.dispatch) then
     (* A call is already in flight on this pool (nested parallel_for
@@ -234,6 +246,7 @@ let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
         Mutex.unlock t.lock;
         (* The calling domain is worker 0; a hook raise here must not
            kill the caller, so it is recorded like a worker crash. *)
+        let t_job = if Trace.on () then Trace.now () else Float.nan in
         (try
            (match t.hook with Some h -> h 0 | None -> ());
            job 0
@@ -241,6 +254,10 @@ let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
            Mutex.lock t.lock;
            t.crash <- Some (0, Printexc.to_string e);
            Mutex.unlock t.lock);
+        if Trace.on () && not (Float.is_nan t_job) then
+          Trace.complete ~cat:"pool"
+            ~args:[ ("worker", Trace.Int 0); ("epoch", Trace.Int t.epoch) ]
+            ~name:"job" ~ts:t_job ();
         Mutex.lock t.lock;
         while t.unfinished > 0 do
           Condition.wait t.work_done t.lock
@@ -249,6 +266,7 @@ let parallel_for_init ?(sched = Chunked 0) t ~n ~init f =
         let crash = t.crash in
         Mutex.unlock t.lock;
         Atomic.set t.occupancy (Atomic.get participated);
+        if Trace.on () then Trace.gauge "pool.occupancy" (Atomic.get participated);
         (* A dead worker may have claimed indices it never ran, so a
            crash outranks an ordinary body exception. *)
         match crash with

@@ -1,0 +1,322 @@
+module Json = Pmdp_report.Json
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+
+type event =
+  | Span of { name : string; cat : string; ts : float; dur : float; args : (string * arg) list }
+  | Instant of { name : string; cat : string; ts : float; args : (string * arg) list }
+  | Counter of { name : string; ts : float; value : int; cum : bool }
+
+(* The one word every instrumentation site loads.  Everything else in
+   this module is behind it. *)
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+
+let epoch = Atomic.make 0.0
+let now () = Unix.gettimeofday () -. Atomic.get epoch
+
+(* Per-domain event buffers.  Only the owning domain's main execution
+   context appends (a plain list prepend: lock-free, no contention);
+   the registry mutex is taken once per domain lifetime at
+   registration and again at export/reset, never on the record path. *)
+type buf = { tid : int; mutable evs : event list }
+
+let registry : buf list ref = ref []
+let reg_lock = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { tid = (Domain.self () :> int); evs = [] } in
+      Mutex.lock reg_lock;
+      registry := b :: !registry;
+      Mutex.unlock reg_lock;
+      b)
+
+let record ev =
+  let b = Domain.DLS.get dls_key in
+  b.evs <- ev :: b.evs
+
+let set_enabled v =
+  if v && not (Atomic.get enabled) then Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set enabled v
+
+let reset () =
+  Mutex.lock reg_lock;
+  List.iter (fun b -> b.evs <- []) !registry;
+  Mutex.unlock reg_lock;
+  Atomic.set epoch (Unix.gettimeofday ())
+
+let complete ?(cat = "") ?(args = []) ~name ~ts () =
+  if on () then record (Span { name; cat; ts; dur = now () -. ts; args })
+
+let with_span ?cat ?args name f =
+  if not (on ()) then f ()
+  else begin
+    let ts = now () in
+    match f () with
+    | v ->
+        complete ?cat ?args ~name ~ts ();
+        v
+    | exception e ->
+        complete ?cat ?args ~name ~ts ();
+        raise e
+  end
+
+let instant ?(cat = "") ?(args = []) name =
+  if on () then record (Instant { name; cat; ts = now (); args })
+
+let count name value = if on () then record (Counter { name; ts = now (); value; cum = true })
+let gauge name value = if on () then record (Counter { name; ts = now (); value; cum = false })
+
+let buffers () =
+  Mutex.lock reg_lock;
+  let bufs = !registry in
+  Mutex.unlock reg_lock;
+  bufs
+
+let event_ts = function Span { ts; _ } | Instant { ts; _ } | Counter { ts; _ } -> ts
+
+let dump () =
+  buffers ()
+  |> List.filter_map (fun b ->
+         match b.evs with
+         | [] -> None
+         | evs ->
+             Some
+               ( b.tid,
+                 List.sort (fun a b -> compare (event_ts a) (event_ts b)) (List.rev evs) ))
+  |> List.sort compare
+
+let counter_totals () =
+  let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (function
+          | Counter { name; value; cum = true; _ } -> (
+              match Hashtbl.find_opt tbl name with
+              | Some r -> r := !r + value
+              | None -> Hashtbl.add tbl name (ref value))
+          | _ -> ())
+        b.evs)
+    (buffers ());
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let us t = Json.Float (t *. 1e6)
+
+let common ~name ~cat ~ts ~tid =
+  [
+    ("name", Json.String name);
+    ("cat", Json.String (if cat = "" then "pmdp" else cat));
+    ("ph", Json.String "");  (* replaced per event kind *)
+    ("ts", us ts);
+    ("pid", Json.Int 1);
+    ("tid", Json.Int tid);
+  ]
+
+let with_ph ph fields = List.map (function "ph", _ -> ("ph", Json.String ph) | kv -> kv) fields
+
+let args_field args =
+  match args with
+  | [] -> []
+  | args -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ]
+
+let export () =
+  let events = dump () in
+  let spans_and_instants =
+    List.concat_map
+      (fun (tid, evs) ->
+        List.filter_map
+          (function
+            | Span { name; cat; ts; dur; args } ->
+                Some
+                  (Json.Obj
+                     (with_ph "X" (common ~name ~cat ~ts ~tid)
+                     @ [ ("dur", us dur) ]
+                     @ args_field args))
+            | Instant { name; cat; ts; args } ->
+                Some
+                  (Json.Obj
+                     (with_ph "i" (common ~name ~cat ~ts ~tid)
+                     @ [ ("s", Json.String "t") ]
+                     @ args_field args))
+            | Counter _ -> None)
+          evs)
+      events
+  in
+  (* Counter tracks are process-level: accumulating counters render as
+     running totals in global timestamp order, gauges as the sampled
+     level. *)
+  let counters =
+    List.concat_map
+      (fun (_, evs) ->
+        List.filter_map
+          (function Counter { name; ts; value; cum } -> Some (name, ts, value, cum) | _ -> None)
+          evs)
+      events
+    |> List.sort (fun (_, ta, _, _) (_, tb, _, _) -> compare ta tb)
+  in
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let counter_events =
+    List.map
+      (fun (name, ts, value, cum) ->
+        let level =
+          if cum then begin
+            let t = Option.value (Hashtbl.find_opt totals name) ~default:0 + value in
+            Hashtbl.replace totals name t;
+            t
+          end
+          else value
+        in
+        Json.Obj
+          (with_ph "C" (common ~name ~cat:"counter" ~ts ~tid:0)
+          @ [ ("args", Json.Obj [ ("value", Json.Int level) ]) ]))
+      counters
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (spans_and_instants @ counter_events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (export ())))
+
+(* ------------------------------------------------------------------ *)
+(* Text summary                                                        *)
+
+let pp_arg ppf (k, v) =
+  match v with
+  | Int i -> Format.fprintf ppf "%s=%d" k i
+  | Float f -> Format.fprintf ppf "%s=%g" k f
+  | Str s -> Format.fprintf ppf "%s=%s" k s
+  | Bool b -> Format.fprintf ppf "%s=%b" k b
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* Merge possibly-nested span intervals of one domain into disjoint
+   busy intervals, so utilization never double-counts a tile span
+   inside its enclosing group or job span. *)
+let busy_time spans =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) spans in
+  let rec go acc cur = function
+    | [] -> ( match cur with None -> acc | Some (lo, hi) -> acc +. (hi -. lo))
+    | (ts, dur) :: rest -> (
+        let fin = ts +. dur in
+        match cur with
+        | None -> go acc (Some (ts, fin)) rest
+        | Some (lo, hi) ->
+            if ts <= hi then go acc (Some (lo, Float.max hi fin)) rest
+            else go (acc +. (hi -. lo)) (Some (ts, fin)) rest)
+  in
+  go 0.0 None sorted
+
+let pp_summary ?(top = 10) ppf () =
+  let events = dump () in
+  let all = List.concat_map snd events in
+  if all = [] then Format.fprintf ppf "trace: no events recorded@."
+  else begin
+    let t_lo =
+      List.fold_left (fun acc e -> Float.min acc (event_ts e)) Float.infinity all
+    in
+    let t_hi =
+      List.fold_left
+        (fun acc e ->
+          Float.max acc (match e with Span { ts; dur; _ } -> ts +. dur | e -> event_ts e))
+        Float.neg_infinity all
+    in
+    let wall = Float.max 1e-9 (t_hi -. t_lo) in
+    Format.fprintf ppf "@[<v>trace: %d events over %.3f ms@," (List.length all) (wall *. 1000.0);
+    (* Per-name span statistics. *)
+    let by_name : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Span { name; dur; _ } -> (
+            match Hashtbl.find_opt by_name name with
+            | Some r -> r := dur :: !r
+            | None -> Hashtbl.add by_name name (ref [ dur ]))
+        | _ -> ())
+      all;
+    let stats =
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) by_name []
+      |> List.map (fun (name, durs) ->
+             let a = Array.of_list durs in
+             Array.sort compare a;
+             let total = Array.fold_left ( +. ) 0.0 a in
+             (name, Array.length a, total, a))
+      |> List.sort (fun (_, _, ta, _) (_, _, tb, _) -> compare tb ta)
+    in
+    if stats <> [] then begin
+      Format.fprintf ppf "spans:@,";
+      Format.fprintf ppf "  %-18s %8s %10s %9s %9s %9s %9s@," "name" "count" "total ms"
+        "mean us" "p50 us" "p90 us" "max us";
+      List.iter
+        (fun (name, n, total, a) ->
+          Format.fprintf ppf "  %-18s %8d %10.3f %9.1f %9.1f %9.1f %9.1f@," name n
+            (total *. 1000.0)
+            (total /. float_of_int n *. 1e6)
+            (percentile a 0.5 *. 1e6) (percentile a 0.9 *. 1e6)
+            (a.(Array.length a - 1) *. 1e6))
+        stats
+    end;
+    (* Slowest tile spans (fall back to all spans when nothing is
+       named "tile", e.g. a trace of a non-executor workload). *)
+    let span_tuple = function
+      | Span { name; ts; dur; args; _ } -> Some (name, ts, dur, args)
+      | _ -> None
+    in
+    let tiles =
+      List.filter_map
+        (fun e ->
+          match span_tuple e with Some (("tile", _, _, _) as s) -> Some s | _ -> None)
+        all
+    in
+    let slowest_pool = match tiles with [] -> List.filter_map span_tuple all | ts -> ts in
+    let slowest =
+      List.sort (fun (_, _, da, _) (_, _, db, _) -> compare db da) slowest_pool |> fun l ->
+      List.filteri (fun i _ -> i < top) l
+    in
+    if slowest <> [] then begin
+      Format.fprintf ppf "slowest %s:@," (if tiles = [] then "spans" else "tiles");
+      List.iter
+        (fun (name, ts, dur, args) ->
+          Format.fprintf ppf "  %9.1f us  at %9.3f ms  %s" (dur *. 1e6)
+            ((ts -. t_lo) *. 1000.0) name;
+          List.iter (fun a -> Format.fprintf ppf "  %a" pp_arg a) args;
+          Format.fprintf ppf "@,")
+        slowest
+    end;
+    (* Per-domain utilization over the traced interval. *)
+    Format.fprintf ppf "domains:@,";
+    List.iter
+      (fun (tid, evs) ->
+        let spans =
+          List.filter_map (function Span { ts; dur; _ } -> Some (ts, dur) | _ -> None) evs
+        in
+        if spans <> [] then
+          let busy = busy_time spans in
+          Format.fprintf ppf "  tid %-4d %5d spans  busy %10.3f ms  utilization %5.1f%%@," tid
+            (List.length spans) (busy *. 1000.0)
+            (100.0 *. busy /. wall))
+      events;
+    let totals = counter_totals () in
+    if totals <> [] then begin
+      Format.fprintf ppf "counters:@,";
+      List.iter (fun (name, v) -> Format.fprintf ppf "  %-18s %d@," name v) totals
+    end;
+    Format.fprintf ppf "@]"
+  end

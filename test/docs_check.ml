@@ -1,0 +1,218 @@
+(* Documentation consistency checker, wired into `dune runtest`
+   (alias @docscheck).  Two classes of rot it catches:
+
+   - markdown cross-links (`[text](target)`) in README.md, DESIGN.md,
+     EXPERIMENTS.md and docs/*.md whose target file no longer exists;
+   - `pmdp <subcommand> --flag` mentions in those documents naming a
+     subcommand or flag the CLI no longer accepts.  Ground truth is
+     the built binary itself: every mentioned subcommand's
+     `--help=plain` is run once and flags are matched against it.
+
+   Usage: docs_check --pmdp path/to/pmdp.exe --root repo-root *)
+
+let errors = ref 0
+
+let err fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr errors;
+      Printf.eprintf "docs_check: %s\n" s)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-links *)
+
+let is_external t =
+  let pre p = String.length t >= String.length p && String.sub t 0 (String.length p) = p in
+  pre "http://" || pre "https://" || pre "mailto:" || pre "#"
+
+let strip_fragment t = match String.index_opt t '#' with Some i -> String.sub t 0 i | None -> t
+
+let check_links file content =
+  let n = String.length content in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if content.[!i] = ']' && content.[!i + 1] = '(' then begin
+      match String.index_from_opt content (!i + 2) ')' with
+      | Some close ->
+          let target = String.sub content (!i + 2) (close - !i - 2) in
+          if target <> "" && not (is_external target) then begin
+            let path = strip_fragment target in
+            if path <> "" then begin
+              let resolved = Filename.concat (Filename.dirname file) path in
+              if not (Sys.file_exists resolved) then
+                err "%s: broken link (%s): %s does not exist" file target resolved
+            end
+          end;
+          i := close
+      | None -> i := n
+    end;
+    incr i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* CLI flags: ground truth from the binary's own --help *)
+
+let pmdp_exe = ref ""
+let help_cache : (string, string option) Hashtbl.t = Hashtbl.create 8
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Does [help] mention [flag] as a flag (preceded by non-word, followed
+   by non-word)?  Matters for short flags: a bare substring "-j" also
+   occurs inside longer option names. *)
+let mentions_flag help flag =
+  let hl = String.length help and fl = String.length flag in
+  let ok = ref false in
+  for i = 0 to hl - fl do
+    if (not !ok) && String.sub help i fl = flag then begin
+      let before_ok = i = 0 || not (is_word_char help.[i - 1] || help.[i - 1] = '-') in
+      let after_ok = i + fl >= hl || not (is_word_char help.[i + fl]) in
+      if before_ok && after_ok then ok := true
+    end
+  done;
+  !ok
+
+(* [Some help] when the subcommand exists, [None] when the CLI rejects
+   it. *)
+let help_of sub =
+  match Hashtbl.find_opt help_cache sub with
+  | Some h -> h
+  | None ->
+      let cmd =
+        Printf.sprintf "%s %s --help=plain 2>/dev/null"
+          (Filename.quote !pmdp_exe) (Filename.quote sub)
+      in
+      let ic = Unix.open_process_in cmd in
+      let b = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel b ic 1
+         done
+       with End_of_file -> ());
+      let h =
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 ->
+            (* cmdliner answers --help on an unknown subcommand with
+               the *group* help and exit 0; a real subcommand's help
+               names itself "pmdp-<sub>" in its NAME section. *)
+            let help = Buffer.contents b in
+            if mentions_flag help ("pmdp-" ^ sub) then Some help else None
+        | _ -> None
+      in
+      Hashtbl.add help_cache sub h;
+      h
+
+let is_subcommand_name s =
+  s <> ""
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '-') s
+  && s.[0] >= 'a'
+
+(* Strip markdown/prose punctuation from token edges, keeping '-'
+   (flags) and flag-value glue for later splitting. *)
+let trim_token t =
+  let junk c = match c with '`' | '"' | '\'' | ',' | '.' | ';' | ':' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' -> true | _ -> false in
+  let n = String.length t in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi && junk t.[!lo] do incr lo done;
+  while !hi > !lo && junk t.[!hi - 1] do decr hi done;
+  String.sub t !lo (!hi - !lo)
+
+let flag_prefix t =
+  (* "--help=plain" -> "--help"; "--trace t.json" tokens are already
+     split; keep only the leading option-looking prefix. *)
+  let n = String.length t in
+  let i = ref 0 in
+  while !i < n && t.[!i] = '-' do incr i done;
+  let dashes = !i in
+  while !i < n && is_word_char t.[!i] do incr i done;
+  if dashes >= 1 && dashes <= 2 && !i > dashes then Some (String.sub t 0 !i) else None
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let check_cli_line file lineno line =
+  let toks = List.map trim_token (split_ws line) |> List.filter (fun t -> t <> "") in
+  let rec scan sub = function
+    | [] -> ()
+    | t :: rest when t = "pmdp" || Filename.basename t = "pmdp.exe" ->
+        (* `dune exec bin/pmdp.exe -- <sub>` separates with a bare --. *)
+        let rest = match rest with "--" :: r -> r | r -> r in
+        (match rest with
+        | s :: r when is_subcommand_name s -> (
+            match help_of s with
+            | Some _ -> scan (Some s) r
+            | None ->
+                err "%s:%d: unknown pmdp subcommand %S" file lineno s;
+                scan None r)
+        | r -> scan sub r)
+    | t :: rest -> (
+        match (flag_prefix t, sub) with
+        | Some flag, Some sub_name -> (
+            match help_of sub_name with
+            | Some help when not (mentions_flag help flag) ->
+                err "%s:%d: pmdp %s does not accept %s" file lineno sub_name flag
+            | _ -> ());
+            scan sub rest
+        | _ -> scan sub rest)
+  in
+  scan None toks
+
+(* ------------------------------------------------------------------ *)
+
+let check_file file =
+  let content = read_file file in
+  check_links file content;
+  List.iteri
+    (fun i line -> check_cli_line file (i + 1) line)
+    (String.split_on_char '\n' content)
+
+let () =
+  let root = ref "." in
+  let rec parse = function
+    | "--pmdp" :: v :: rest ->
+        pmdp_exe := v;
+        parse rest
+    | "--root" :: v :: rest ->
+        root := v;
+        parse rest
+    | [] -> ()
+    | a :: _ ->
+        Printf.eprintf "docs_check: unknown argument %s\n" a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !pmdp_exe = "" then begin
+    Printf.eprintf "docs_check: --pmdp is required\n";
+    exit 2
+  end;
+  let top = [ "README.md"; "DESIGN.md"; "EXPERIMENTS.md" ] in
+  let docs_dir = Filename.concat !root "docs" in
+  let docs =
+    Sys.readdir docs_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".md")
+    |> List.sort compare
+    |> List.map (Filename.concat docs_dir)
+  in
+  let files =
+    List.filter_map
+      (fun f ->
+        let p = Filename.concat !root f in
+        if Sys.file_exists p then Some p else None)
+      top
+    @ docs
+  in
+  List.iter check_file files;
+  if !errors > 0 then begin
+    Printf.eprintf "docs_check: %d error(s) in %d file(s) scanned\n" !errors (List.length files);
+    exit 1
+  end
+  else Printf.printf "docs_check: %d files ok\n" (List.length files)

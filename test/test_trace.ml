@@ -1,0 +1,306 @@
+(* Tests for the execution tracing layer: span nesting, Chrome JSON
+   schema round-trip, the zero-allocation disabled path, and agreement
+   between the pool's occupancy gauge and [Pool.last_occupancy]. *)
+
+module Trace = Pmdp_trace.Trace
+module Pool = Pmdp_runtime.Pool
+module Json = Pmdp_report.Json
+
+let with_tracing f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+let spans_of evs =
+  List.filter_map
+    (function Trace.Span { name; ts; dur; _ } -> Some (name, ts, dur) | _ -> None)
+    evs
+
+let self_events () =
+  let tid = (Domain.self () :> int) in
+  match List.assoc_opt tid (Trace.dump ()) with Some evs -> evs | None -> []
+
+(* ------------------------------------------------------------------ *)
+
+let test_nesting () =
+  with_tracing (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner1" (fun () -> ignore (Sys.opaque_identity (ref 0)));
+          Trace.with_span "inner2" (fun () -> ignore (Sys.opaque_identity (ref 0))));
+      let spans = spans_of (self_events ()) in
+      Alcotest.(check int) "three spans" 3 (List.length spans);
+      let find n = List.find (fun (name, _, _) -> name = n) spans in
+      let _, ots, odur = find "outer" in
+      let contained (name, ts, dur) =
+        Alcotest.(check bool)
+          (name ^ " contained in outer")
+          true
+          (ts >= ots -. 1e-9 && ts +. dur <= ots +. odur +. 1e-9)
+      in
+      contained (find "inner1");
+      contained (find "inner2");
+      (* Well-formedness across the whole domain buffer: any two spans
+         are either disjoint or nested, never partially overlapping. *)
+      List.iter
+        (fun (na, ta, da) ->
+          List.iter
+            (fun (nb, tb, db) ->
+              if (na, ta, da) <> (nb, tb, db) then begin
+                let ea = ta +. da and eb = tb +. db in
+                let disjoint = ea <= tb +. 1e-9 || eb <= ta +. 1e-9 in
+                let nested =
+                  (ta >= tb -. 1e-9 && ea <= eb +. 1e-9)
+                  || (tb >= ta -. 1e-9 && eb <= ea +. 1e-9)
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s disjoint or nested" na nb)
+                  true (disjoint || nested)
+              end)
+            spans)
+        spans)
+
+let test_span_on_raise () =
+  with_tracing (fun () ->
+      (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check bool) "span recorded despite raise" true
+        (List.exists (fun (n, _, _) -> n = "boom") (spans_of (self_events ()))))
+
+let test_counter_totals () =
+  with_tracing (fun () ->
+      Trace.count "a" 3;
+      Trace.count "b" 1;
+      Trace.count "a" 4;
+      Trace.gauge "g" 99;
+      Alcotest.(check (list (pair string int)))
+        "summed per name, gauges excluded"
+        [ ("a", 7); ("b", 1) ]
+        (Trace.counter_totals ()))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome JSON round-trip: serialize the export, re-parse it with a
+   small recursive-descent parser, and validate the trace-event
+   schema. *)
+
+type j =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JList of j list
+  | JObj of (string * j) list
+
+exception Parse of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise (Parse "eof") in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c = if next () <> c then raise (Parse (Printf.sprintf "expected %c" c)) in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              let h = String.init 4 (fun _ -> next ()) in
+              Buffer.add_char b (Char.chr (int_of_string ("0x" ^ h) land 0xff))
+          | c -> raise (Parse (Printf.sprintf "bad escape %c" c)));
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    JNum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 'n' -> literal "null" JNull
+    | 't' -> literal "true" (JBool true)
+    | 'f' -> literal "false" (JBool false)
+    | '"' -> JStr (parse_string ())
+    | '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = ']' then (incr pos; JList [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> items (v :: acc)
+            | ']' -> JList (List.rev (v :: acc))
+            | c -> raise (Parse (Printf.sprintf "bad list sep %c" c))
+          in
+          items []
+    | '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = '}' then (incr pos; JObj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> JObj (List.rev ((k, v) :: acc))
+            | c -> raise (Parse (Printf.sprintf "bad obj sep %c" c))
+          in
+          members []
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Parse "trailing data");
+  v
+
+let field name = function
+  | JObj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let test_json_roundtrip () =
+  with_tracing (fun () ->
+      Trace.with_span ~cat:"t" ~args:[ ("k", Trace.Int 1); ("s", Trace.Str "v\"q") ] "sp"
+        (fun () -> Trace.instant ~args:[ ("f", Trace.Float 0.5) ] "inst");
+      Trace.count "c" 1;
+      Trace.count "c" 2;
+      Trace.count "c" 3;
+      Trace.gauge "g" 7;
+      let parsed = parse_json (Json.to_string (Trace.export ())) in
+      (match field "displayTimeUnit" parsed with
+      | Some (JStr "ms") -> ()
+      | _ -> Alcotest.fail "displayTimeUnit");
+      let events =
+        match field "traceEvents" parsed with
+        | Some (JList evs) -> evs
+        | _ -> Alcotest.fail "traceEvents missing"
+      in
+      Alcotest.(check bool) "has events" true (events <> []);
+      let num f e = match field f e with Some (JNum x) -> x | _ -> Alcotest.fail ("no " ^ f) in
+      let str f e = match field f e with Some (JStr x) -> x | _ -> Alcotest.fail ("no " ^ f) in
+      let cum = ref [] in
+      List.iter
+        (fun e ->
+          ignore (str "name" e : string);
+          ignore (str "cat" e : string);
+          ignore (num "ts" e : float);
+          ignore (num "pid" e : float);
+          ignore (num "tid" e : float);
+          match str "ph" e with
+          | "X" -> Alcotest.(check bool) "dur >= 0" true (num "dur" e >= 0.0)
+          | "i" -> Alcotest.(check string) "instant scope" "t" (str "s" e)
+          | "C" -> (
+              match field "args" e with
+              | Some (JObj [ ("value", JNum v) ]) ->
+                  if str "name" e = "c" then cum := v :: !cum
+              | _ -> Alcotest.fail "counter args")
+          | ph -> Alcotest.fail ("unknown ph " ^ ph))
+        events;
+      (* The accumulating counter renders as running totals. *)
+      Alcotest.(check (list (float 0.0))) "running totals" [ 1.0; 3.0; 6.0 ] (List.rev !cum))
+
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_no_events_no_alloc () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let f = Sys.opaque_identity (fun () -> ()) in
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Trace.count "c" 1;
+    Trace.gauge "g" 2;
+    Trace.instant "i";
+    Trace.complete ~name:"s" ~ts:0.0 ();
+    Trace.with_span "w" f
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  (* 5 sites x 10k iterations: even a single boxed word per site would
+     show up as >= 50k words.  The slack absorbs the Gc.minor_words
+     result boxes themselves. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled sites allocate nothing (%.0f words)" dw)
+    true (dw < 256.0);
+  Alcotest.(check (list (pair string int))) "no totals" [] (Trace.counter_totals ());
+  Alcotest.(check int) "no events" 0 (List.length (Trace.dump ()))
+
+let test_pool_occupancy_gauge () =
+  with_tracing (fun () ->
+      let expected =
+        Pool.with_pool 4 (fun pool ->
+            Pool.parallel_for pool ~n:512 (fun i ->
+                ignore (Sys.opaque_identity (float_of_int i *. 1.5)));
+            Pool.last_occupancy pool)
+      in
+      let gauges =
+        List.concat_map
+          (fun (_, evs) ->
+            List.filter_map
+              (function
+                | Trace.Counter { name = "pool.occupancy"; ts; value; cum = false } ->
+                    Some (ts, value)
+                | _ -> None)
+              evs)
+          (Trace.dump ())
+        |> List.sort compare
+      in
+      Alcotest.(check bool) "gauge recorded" true (gauges <> []);
+      let _, last = List.nth gauges (List.length gauges - 1) in
+      Alcotest.(check int) "gauge = last_occupancy" expected last)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_nesting;
+          Alcotest.test_case "span on raise" `Quick test_span_on_raise;
+          Alcotest.test_case "counter totals" `Quick test_counter_totals;
+          Alcotest.test_case "chrome json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "disabled: no events, no allocation" `Quick
+            test_disabled_no_events_no_alloc;
+          Alcotest.test_case "pool occupancy gauge" `Quick test_pool_occupancy_gauge;
+        ] );
+    ]
