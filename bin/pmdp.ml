@@ -9,6 +9,8 @@
      emit-c <app>                 — generate C++/OpenMP for a schedule
      cachesim <app>               — simulated L1/L2 hit/miss fractions
      check [app]                  — static legality/bounds/race/lint verification
+     serve                        — pipeline-execution service on a Unix socket
+     load                         — drive a service and report latency/throughput
 *)
 
 open Cmdliner
@@ -85,14 +87,19 @@ let make_schedule scheduler machine pipeline =
 let build (app : Registry.app) scale = app.Registry.build ~scale
 
 let list_cmd =
-  let doc = "List available pipelines." in
+  let doc = "List available pipelines and schedulers." in
   let run () =
+    Printf.printf "pipelines:\n";
     List.iter
       (fun (a : Registry.app) ->
         let p = a.Registry.build ~scale:32 in
-        Printf.printf "%-15s %-3s %2d stages (paper: %d)\n" a.Registry.name
+        Printf.printf "  %-15s %-3s %2d stages (paper: %d)\n" a.Registry.name
           a.Registry.short (Pmdp_dsl.Pipeline.n_stages p) a.Registry.paper_stages)
-      Registry.all
+      Registry.all;
+    Printf.printf "schedulers:\n";
+    List.iter
+      (fun s -> Printf.printf "  %s\n" (Scheduler.to_string s))
+      Scheduler.all
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -228,8 +235,11 @@ let bench_cmd =
     let path =
       match output with Some p -> p | None -> Pmdp_bench.Runner.default_path machine
     in
-    Pmdp_bench.Runner.write_json ~path ~machine ~scale ~reps outcomes;
-    Printf.printf "wrote %s (%d cases)\n" path (List.length outcomes);
+    (match Pmdp_bench.Runner.write_json ~path ~machine ~scale ~reps outcomes with
+    | Ok () -> Printf.printf "wrote %s (%d cases)\n" path (List.length outcomes)
+    | Error e ->
+        Format.eprintf "pmdp bench: %a@." Pmdp_util.Pmdp_error.pp e;
+        exit 1);
     if List.exists (fun o -> not (Pmdp_bench.Runner.valid o)) outcomes then begin
       Printf.eprintf "bench: some runs did not validate against the reference executor\n";
       exit 1
@@ -429,6 +439,160 @@ let storage_cmd =
   Cmd.v (Cmd.info "storage" ~doc)
     Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t)
 
+let socket_t =
+  Arg.(value & opt string "pmdp.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let doc =
+    "Run the pipeline-execution service: a Unix-domain socket server with a compiled-plan \
+     cache, admission control against the memory budget, and same-pipeline request batching. \
+     Stops on a client shutdown operation or SIGINT/SIGTERM."
+  in
+  let run machine workers mem_budget max_inflight batch_window validate socket trace =
+    trace_begin trace;
+    let service =
+      Pmdp_service.Service.create ~workers ?mem_budget ~max_inflight ~batch_window ~validate
+        ~machine ()
+    in
+    let server = Pmdp_service.Server.start ~service ~path:socket () in
+    Printf.printf "pmdp serve: listening on %s (%d workers, machine %s, budget %d bytes)\n%!"
+      socket workers machine.Pmdp_machine.Machine.name
+      (Pmdp_service.Service.mem_budget service);
+    (* OCaml signal handlers only run when a thread reaches a
+       safepoint — and a process whose every thread is parked in C
+       (condition waits, accept) never does.  So the handler just
+       flips a flag, and the main thread polls it from Thread.delay,
+       which re-enters OCaml (and runs pending handlers) each tick. *)
+    let stop_requested = Atomic.make false in
+    let on_signal _ = Atomic.set stop_requested true in
+    List.iter
+      (fun s -> try Sys.set_signal s (Sys.Signal_handle on_signal) with Invalid_argument _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    while not (Atomic.get stop_requested || Pmdp_service.Server.stopped server) do
+      Thread.delay 0.05
+    done;
+    Pmdp_service.Server.stop server;
+    Pmdp_service.Server.wait server;
+    let s = Pmdp_service.Service.stats service in
+    Printf.printf
+      "pmdp serve: done — %d submitted, %d completed, %d failed, %d rejected; %d executions \
+       (%d batches covering %d requests); cache %d hits / %d compiles\n%!"
+      s.Pmdp_service.Service.submitted s.Pmdp_service.Service.completed
+      s.Pmdp_service.Service.failed s.Pmdp_service.Service.rejected
+      s.Pmdp_service.Service.executions s.Pmdp_service.Service.batches
+      s.Pmdp_service.Service.batched_requests
+      s.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.hits
+      s.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.compiles;
+    trace_end trace
+  in
+  let workers_t = Arg.(value & opt int 4 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
+  let mem_budget_t =
+    Arg.(value & opt (some int) None
+         & info [ "mem-budget" ]
+             ~doc:"Memory budget in bytes (default: 64x the machine's L3); bounds both \
+                   admission and execution.")
+  in
+  let max_inflight_t =
+    Arg.(value & opt int 64
+         & info [ "max-inflight" ] ~doc:"Admitted-but-unfinished request limit.")
+  in
+  let batch_window_t =
+    Arg.(value & opt float 0.0
+         & info [ "batch-window" ]
+             ~doc:"Seconds the dispatcher lingers so identical requests can join a batch \
+                   (0: batch only what already queued up).")
+  in
+  let validate_t =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Check every execution against the reference executor (reported as \
+                   max_abs_diff in responses).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ machine_t $ workers_t $ mem_budget_t $ max_inflight_t $ batch_window_t
+          $ validate_t $ socket_t $ trace_t)
+
+let load_cmd =
+  let doc =
+    "Generate load against a service — over its socket, or against an in-process service with \
+     --inproc — and write a latency/throughput report (p50/p95/p99) as JSON."
+  in
+  let run machine socket inproc clients requests rate apps scale scheduler seeds workers output
+      quiet =
+    let apps =
+      match apps with
+      | [] -> [ "blur" ]
+      | apps -> List.map (fun (a : Registry.app) -> a.Registry.name) apps
+    in
+    let cfg =
+      Pmdp_service.Load.config ~clients ~requests ?arrival_rate:rate ~apps ~scale ~scheduler
+        ~seeds ()
+    in
+    let report =
+      if inproc then begin
+        let service = Pmdp_service.Service.create ~workers ~machine () in
+        let r = Pmdp_service.Load.run_inproc service cfg in
+        Pmdp_service.Service.shutdown service;
+        r
+      end
+      else Pmdp_service.Load.run_remote ~path:socket cfg
+    in
+    let path = match output with Some p -> p | None -> Pmdp_service.Load.default_path machine in
+    Pmdp_report.Json.to_file path (Pmdp_service.Load.to_json report);
+    if not quiet then begin
+      Printf.printf
+        "%d requests in %.2fs: %d ok, %d failed — %.1f req/s; latency ms p50 %.2f p95 %.2f \
+         p99 %.2f max %.2f; %d cache hits, %d batched\n"
+        report.Pmdp_service.Load.config.Pmdp_service.Load.requests
+        report.Pmdp_service.Load.wall_seconds report.Pmdp_service.Load.succeeded
+        report.Pmdp_service.Load.failed report.Pmdp_service.Load.throughput_rps
+        report.Pmdp_service.Load.p50_ms report.Pmdp_service.Load.p95_ms
+        report.Pmdp_service.Load.p99_ms report.Pmdp_service.Load.max_ms
+        report.Pmdp_service.Load.cache_hits report.Pmdp_service.Load.batched;
+      List.iter
+        (fun (k, n) -> Printf.printf "  %d x %s\n" n k)
+        report.Pmdp_service.Load.errors
+    end;
+    Printf.printf "wrote %s\n" path;
+    if report.Pmdp_service.Load.succeeded = 0 then exit 1
+  in
+  let inproc_t =
+    Arg.(value & flag
+         & info [ "inproc" ]
+             ~doc:"Spin up the service in this process instead of connecting to a socket.")
+  in
+  let clients_t =
+    Arg.(value & opt int 4 & info [ "clients"; "c" ] ~doc:"Concurrent client connections.")
+  in
+  let requests_t = Arg.(value & opt int 100 & info [ "n"; "requests" ] ~doc:"Total requests.") in
+  let rate_t =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ]
+             ~doc:"Open-loop arrival rate in req/s (default: closed loop, one request in \
+                   flight per client).")
+  in
+  let apps_t =
+    Arg.(value & pos_all app_conv []
+         & info [] ~docv:"APP" ~doc:"Request mix, round-robin (default: blur).")
+  in
+  let seeds_t =
+    Arg.(value & opt int 1
+         & info [ "seeds" ]
+             ~doc:"Rotate input seeds through 1..N (1 maximizes batching opportunity).")
+  in
+  let workers_t =
+    Arg.(value & opt int 4 & info [ "workers"; "j" ] ~doc:"Worker domains (--inproc only).")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Report file (default LOAD_<machine>.json).")
+  in
+  let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only the report path.") in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(const run $ machine_t $ socket_t $ inproc_t $ clients_t $ requests_t $ rate_t $ apps_t
+          $ scale_t $ scheduler_t $ seeds_t $ workers_t $ out_t $ quiet_t)
+
 let () =
   (* Executors validate schedules on entry; with the oracle installed
      they also refuse illegal or racy ones.  The baseline schedulers
@@ -441,4 +605,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; schedule_cmd; run_cmd; bench_cmd; trace_cmd; emit_c_cmd; cachesim_cmd;
-            dot_cmd; storage_cmd; check_cmd ]))
+            dot_cmd; storage_cmd; check_cmd; serve_cmd; load_cmd ]))

@@ -201,10 +201,12 @@ let json_of_outcome o =
       ("profile", Profile.to_json o.profile);
     ]
 
+let schema_version = 2
+
 let to_json ~machine ~scale ~reps outcomes =
   Json.Obj
     [
-      ("schema_version", Json.Int 2);
+      ("schema_version", Json.Int schema_version);
       ("machine", Json.String machine.Machine.name);
       ("scale", Json.Int scale);
       ("reps", Json.Int reps);
@@ -212,7 +214,62 @@ let to_json ~machine ~scale ~reps outcomes =
       ("cases", Json.List (List.map json_of_outcome outcomes));
     ]
 
+(* A pre-existing output file is merged into, not clobbered: its cases
+   survive unless this run re-measured the same (app, scheduler,
+   workers) cell.  Anything that is not verifiably a schema-v2 bench
+   file is refused with a typed error — merging fields into a file
+   written under a different schema would silently corrupt it. *)
+let load_for_merge path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    let invalid reason =
+      Error (Pmdp_util.Pmdp_error.Plan_invalid { context = "bench: " ^ path; reason })
+    in
+    match Json.of_file path with
+    | Error msg -> invalid ("not parseable as JSON: " ^ msg)
+    | Ok doc -> (
+        match Option.bind (Json.member "schema_version" doc) Json.to_int_opt with
+        | Some v when v = schema_version -> Ok (Some doc)
+        | Some v ->
+            invalid
+              (Printf.sprintf "schema_version %d, but this runner writes (and merges) v%d" v
+                 schema_version)
+        | None -> invalid "missing schema_version; refusing to merge into an unknown schema")
+
+let case_key j =
+  ( Option.bind (Json.member "app" j) Json.to_string_opt,
+    Option.bind (Json.member "scheduler" j) Json.to_string_opt,
+    Option.bind (Json.member "workers" j) Json.to_int_opt )
+
+let merge_cases ~existing fresh =
+  let fresh_keys = List.map case_key fresh in
+  let kept =
+    match Option.bind (Json.member "cases" existing) Json.to_list_opt with
+    | None -> []
+    | Some cases -> List.filter (fun c -> not (List.mem (case_key c) fresh_keys)) cases
+  in
+  kept @ fresh
+
 let write_json ~path ~machine ~scale ~reps outcomes =
-  Json.to_file path (to_json ~machine ~scale ~reps outcomes)
+  match load_for_merge path with
+  | Error _ as e -> e
+  | Ok existing ->
+      let doc = to_json ~machine ~scale ~reps outcomes in
+      let doc =
+        match (existing, doc) with
+        | Some old, Json.Obj fields ->
+            let fresh =
+              match List.assoc_opt "cases" fields with Some (Json.List l) -> l | _ -> []
+            in
+            Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = "cases" then (k, Json.List (merge_cases ~existing:old fresh))
+                   else (k, v))
+                 fields)
+        | _ -> doc
+      in
+      Json.to_file path doc;
+      Ok ()
 
 let default_path machine = Printf.sprintf "BENCH_%s.json" machine.Machine.name

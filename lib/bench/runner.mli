@@ -65,6 +65,10 @@ val run_all :
   Pmdp_apps.Registry.app list ->
   outcome list
 
+val schema_version : int
+(** The bench JSON schema this runner writes — and the only one
+    {!write_json} will merge into. *)
+
 val to_json :
   machine:Pmdp_machine.Machine.t -> scale:int -> reps:int -> outcome list -> Pmdp_report.Json.t
 
@@ -74,7 +78,15 @@ val write_json :
   scale:int ->
   reps:int ->
   outcome list ->
-  unit
+  (unit, Pmdp_util.Pmdp_error.t) result
+(** Serialize the outcomes to [path].  When the file already exists it
+    is merged into: its cases survive except where this run
+    re-measured the same (app, scheduler, workers) cell; run metadata
+    (machine, scale, reps, host_cores) comes from the new run.  A
+    pre-existing file that is not parseable JSON, lacks a
+    [schema_version], or carries one other than {!schema_version} is
+    refused with a typed [Plan_invalid] naming the path and the
+    version found — never an exception. *)
 
 val default_path : Pmdp_machine.Machine.t -> string
 (** ["BENCH_<machine>.json"]. *)

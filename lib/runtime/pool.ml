@@ -38,7 +38,7 @@ type t = {
   mutable hook : (int -> unit) option;  (* fault-injection probe, see [set_job_hook] *)
   dispatch : Mutex.t;  (* held for the duration of the one in-flight parallel_for *)
   occupancy : int Atomic.t;  (* workers that executed >= 1 index in the last call *)
-  mutable shut : bool;
+  mutable shut : bool;  (* claimed under [lock]; only the claimant joins *)
 }
 
 let worker_loop t w ~epoch0 =
@@ -139,15 +139,20 @@ let heal t =
     t.alive;
   !respawned
 
+(* Idempotent, including under concurrent callers: the shut flag is
+   claimed under [lock], so exactly one caller joins the domains and
+   every other call — second, tenth, or racing — is a no-op. *)
 let shutdown t =
-  if not t.shut then begin
+  Mutex.lock t.lock;
+  if t.shut then Mutex.unlock t.lock
+  else begin
     t.shut <- true;
-    Mutex.lock t.lock;
     t.stop <- true;
     Condition.broadcast t.work_ready;
+    let domains = t.domains in
+    t.domains <- [||];
     Mutex.unlock t.lock;
-    Array.iter Domain.join t.domains;
-    t.domains <- [||]
+    Array.iter Domain.join domains
   end
 
 let with_pool n f =

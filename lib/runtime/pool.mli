@@ -34,9 +34,10 @@ val create : int -> t
     @raise Invalid_argument if [n < 1]. *)
 
 val shutdown : t -> unit
-(** Wake and join the pool's domains.  Idempotent.  Subsequent
-    [parallel_for] calls on the pool raise the typed
-    [Pmdp_util.Pmdp_error.Error (Pool_shutdown _)]. *)
+(** Wake and join the pool's domains.  Idempotent — a second call,
+    even one racing the first from another domain, is a no-op (never
+    a typed error).  Subsequent [parallel_for] calls on the pool
+    raise the typed [Pmdp_util.Pmdp_error.Error (Pool_shutdown _)]. *)
 
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool n f] runs [f] with a fresh pool, shutting it down on

@@ -1,0 +1,116 @@
+module Json = Pmdp_report.Json
+module Pmdp_error = Pmdp_util.Pmdp_error
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+type remote_response = {
+  id : int;
+  fingerprint : string;
+  cache_hit : bool;
+  batch_size : int;
+  degraded : bool;
+  wall_seconds : float;
+  queue_seconds : float;
+  checksum : float;
+  outputs : (string * float) list;
+  max_abs_diff : float option;
+}
+
+let connect ~path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let transport_error detail = Pmdp_error.Worker_crash { worker = -1; detail = "client: " ^ detail }
+
+(* One request frame out, one reply frame back, with every transport
+   failure mode folded into a typed error. *)
+let round_trip t req =
+  if t.closed then Error (transport_error "connection already closed")
+  else
+    match
+      Protocol.write_frame t.fd req;
+      Protocol.read_frame t.fd
+    with
+    | None -> Error (transport_error "server closed the connection")
+    | Some reply -> Ok reply
+    | exception Protocol.Closed -> Error (transport_error "connection dropped mid-frame")
+    | exception Failure reason -> Error (transport_error reason)
+    | exception Unix.Unix_error (e, _, _) -> Error (transport_error (Unix.error_message e))
+
+(* Unwrap the {"ok": ...} envelope. *)
+let expect_ok t req =
+  match round_trip t req with
+  | Error _ as e -> e
+  | Ok reply -> (
+      match Option.bind (Json.member "ok" reply) Json.to_bool_opt with
+      | Some true -> Ok reply
+      | Some false -> (
+          match Json.member "error" reply with
+          | Some e -> Error (Protocol.error_of_json e)
+          | None -> Error (transport_error "error reply without an error object"))
+      | None -> Error (transport_error "reply without an \"ok\" field"))
+
+let remote_response_of_json j =
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  let float name = Option.bind (Json.member name j) Json.to_float_opt in
+  let bool name = Option.bind (Json.member name j) Json.to_bool_opt in
+  match (int "id", Json.member "fingerprint" j) with
+  | Some id, Some (Json.String fingerprint) ->
+      Ok
+        {
+          id;
+          fingerprint;
+          cache_hit = Option.value ~default:false (bool "cache_hit");
+          batch_size = Option.value ~default:1 (int "batch_size");
+          degraded = Option.value ~default:false (bool "degraded");
+          wall_seconds = Option.value ~default:0.0 (float "wall_seconds");
+          queue_seconds = Option.value ~default:0.0 (float "queue_seconds");
+          checksum = Option.value ~default:Float.nan (float "checksum");
+          outputs =
+            (match Option.bind (Json.member "outputs" j) Json.to_list_opt with
+            | None -> []
+            | Some l ->
+                List.filter_map
+                  (fun o ->
+                    match
+                      ( Option.bind (Json.member "name" o) Json.to_string_opt,
+                        Option.bind (Json.member "checksum" o) Json.to_float_opt )
+                    with
+                    | Some n, Some c -> Some (n, c)
+                    | _ -> None)
+                  l);
+          max_abs_diff = Option.bind (Json.member "max_abs_diff" j) Json.to_float_opt;
+        }
+  | _ -> Error (transport_error "response frame lacks id/fingerprint")
+
+let submit t r =
+  match expect_ok t (Protocol.json_of_request r) with
+  | Error _ as e -> e
+  | Ok reply -> (
+      match Json.member "response" reply with
+      | None -> Error (transport_error "ok reply without a response object")
+      | Some resp -> remote_response_of_json resp)
+
+let stats t =
+  match expect_ok t (Json.Obj [ ("op", Json.String "stats") ]) with
+  | Error _ as e -> e
+  | Ok reply -> (
+      match Json.member "stats" reply with
+      | None -> Error (transport_error "ok reply without a stats object")
+      | Some s -> Ok s)
+
+let shutdown_server t =
+  match expect_ok t (Json.Obj [ ("op", Json.String "shutdown") ]) with
+  | Error _ as e -> e
+  | Ok _ -> Ok ()

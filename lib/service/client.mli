@@ -1,0 +1,42 @@
+(** Client side of the {!Protocol}: one connection to a [pmdp serve]
+    socket.
+
+    A connection carries one request at a time (the server replies in
+    order); for concurrent load, open one client per in-flight
+    request — {!Load} does exactly that.  Not thread-safe: share a
+    client between threads only with external locking. *)
+
+type t
+
+(** What a submit returns over the wire — the scalar half of
+    {!Service.response}; buffers stay in the server. *)
+type remote_response = {
+  id : int;
+  fingerprint : string;
+  cache_hit : bool;
+  batch_size : int;
+  degraded : bool;
+  wall_seconds : float;
+  queue_seconds : float;
+  checksum : float;
+  outputs : (string * float) list;  (** live-out name, checksum *)
+  max_abs_diff : float option;
+}
+
+val connect : path:string -> t
+(** @raise Unix.Unix_error when nothing is listening at [path]. *)
+
+val submit : t -> Service.request -> (remote_response, Pmdp_util.Pmdp_error.t) result
+(** Round-trip one submit.  Transport and protocol failures are
+    folded into typed errors ([Worker_crash { worker = -1; _ }] for a
+    dropped connection), never raised. *)
+
+val stats : t -> (Pmdp_report.Json.t, Pmdp_util.Pmdp_error.t) result
+(** The server's stats object, as JSON (see {!Protocol.json_of_stats}
+    for the fields). *)
+
+val shutdown_server : t -> (unit, Pmdp_util.Pmdp_error.t) result
+(** Ask the server to drain and stop; returns once acknowledged. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,78 @@
+(** Load generator behind [pmdp load]: concurrent clients driving a
+    service — over its socket or in process — and a latency/throughput
+    report.
+
+    Requests are numbered [0 .. requests-1] and drawn deterministically
+    from the configured mix: app = round-robin over [apps], seed
+    rotates through [1 .. seeds] (fewer distinct seeds = more batching
+    opportunity, since the batch key is plan fingerprint + seed).
+
+    - {b Closed loop} ([arrival_rate = None]): each of the [clients]
+      workers keeps exactly one request in flight — classic
+      concurrency-[N] load.  Latency is the submit round trip.
+    - {b Open loop} ([arrival_rate = Some r]): request [k] is due at
+      [k / r] seconds from the start, dealt round-robin to the
+      workers; latency is measured from the request's {e due} time, so
+      a server that falls behind the arrival rate shows queueing delay
+      in its percentiles, not just service time.
+
+    Every worker uses its own connection (the server replies in order
+    per connection), so [clients] bounds in-flight requests in both
+    loops. *)
+
+type config = {
+  clients : int;  (** concurrent workers (= connections, remote) *)
+  requests : int;  (** total requests to issue *)
+  arrival_rate : float option;  (** req/s; [None] = closed loop *)
+  apps : string list;  (** request mix, round-robin; must be non-empty *)
+  scale : int;
+  scheduler : Pmdp_core.Scheduler.t;
+  seeds : int;  (** rotate seed through [1 .. seeds] *)
+}
+
+val config :
+  ?clients:int ->
+  ?requests:int ->
+  ?arrival_rate:float ->
+  ?apps:string list ->
+  ?scale:int ->
+  ?scheduler:Pmdp_core.Scheduler.t ->
+  ?seeds:int ->
+  unit ->
+  config
+(** Defaults: 4 clients, 100 requests, closed loop, ["blur"], scale
+    32, [Dp], 1 seed. *)
+
+type report = {
+  config : config;
+  wall_seconds : float;  (** first issue → last completion *)
+  succeeded : int;
+  failed : int;  (** typed-error outcomes, admission rejections included *)
+  throughput_rps : float;  (** succeeded / wall *)
+  latency_ms : float array;  (** per successful request, in issue order *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;  (** nearest-rank percentiles; 0 when nothing succeeded *)
+  mean_ms : float;
+  max_ms : float;
+  cache_hits : int;  (** successful responses served from the plan cache *)
+  batched : int;  (** successful responses with batch_size > 1 *)
+  errors : (string * int) list;  (** error kind -> count, sorted by kind *)
+  service_stats : Pmdp_report.Json.t option;
+      (** server stats snapshot after the run, when obtainable *)
+}
+
+val run_remote : path:string -> config -> report
+(** Drive a [pmdp serve] socket.  Connection failures surface as
+    failed requests (kind ["worker-crash"]), not exceptions. *)
+
+val run_inproc : Service.t -> config -> report
+(** Drive a service in process (no sockets) — same report, used by
+    tests and [pmdp load --inproc]. *)
+
+val to_json : report -> Pmdp_report.Json.t
+(** Report document with a [schema_version] field, suitable for
+    [LOAD_<machine>.json]. *)
+
+val default_path : Pmdp_machine.Machine.t -> string
+(** ["LOAD_<machine>.json"]. *)

@@ -1,0 +1,107 @@
+module Scheduler = Pmdp_core.Scheduler
+module Machine = Pmdp_machine.Machine
+module Registry = Pmdp_apps.Registry
+module Tiled_exec = Pmdp_exec.Tiled_exec
+module Pmdp_error = Pmdp_util.Pmdp_error
+module Trace = Pmdp_trace.Trace
+
+type entry = {
+  fingerprint : string;
+  resolved : Scheduler.t;
+  spec : Pmdp_core.Schedule_spec.t;
+  plan : Tiled_exec.plan;
+}
+
+(* [Building] is claimed by exactly one requester; everyone else for
+   the same key waits on [built] until the slot becomes [Ready]. *)
+type slot = Building | Ready of (entry, Pmdp_error.t) result
+
+type t = {
+  lock : Mutex.t;
+  built : Condition.t;
+  table : (string, slot) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable compiles : int;
+}
+
+type stats = { hits : int; misses : int; compiles : int; entries : int }
+
+let create () =
+  {
+    lock = Mutex.create ();
+    built = Condition.create ();
+    table = Hashtbl.create 32;
+    hits = 0;
+    misses = 0;
+    compiles = 0;
+  }
+
+let fingerprint ~app ~scale ~scheduler ~(machine : Machine.t) =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "pmdp-plan-v1|app=%s|scale=%d|scheduler=%s|machine=%s|cores=%d" app scale
+          (Scheduler.to_string scheduler) machine.Machine.name machine.Machine.cores))
+
+(* Full scheduling + lowering, with every raising boundary folded into
+   the typed taxonomy: a cache must return errors, not leak them. *)
+let compile ~fp ~(app : Registry.app) ~scale ~scheduler ~machine =
+  let context = "plan-cache: " ^ app.Registry.name in
+  try
+    let pipeline = app.Registry.build ~scale in
+    let resolved = Scheduler.for_pipeline scheduler pipeline in
+    let spec =
+      Scheduler.schedule resolved (Pmdp_core.Cost_model.default_config machine) pipeline
+    in
+    match Tiled_exec.plan_result spec with
+    | Ok plan -> Ok { fingerprint = fp; resolved; spec; plan }
+    | Error e -> Error e
+  with
+  | Pmdp_error.Error e -> Error e
+  | Invalid_argument reason -> Error (Pmdp_error.Plan_invalid { context; reason })
+  | e -> Error (Pmdp_error.Plan_invalid { context; reason = Printexc.to_string e })
+
+let get t ~(app : Registry.app) ~scale ~scheduler ~machine =
+  let fp = fingerprint ~app:app.Registry.name ~scale ~scheduler ~machine in
+  Mutex.lock t.lock;
+  let rec obtain () =
+    match Hashtbl.find_opt t.table fp with
+    | Some (Ready r) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        if Trace.on () then Trace.count "service.cache.hit" 1;
+        Result.map (fun e -> (e, `Hit)) r
+    | Some Building ->
+        Condition.wait t.built t.lock;
+        obtain ()
+    | None ->
+        t.misses <- t.misses + 1;
+        Hashtbl.replace t.table fp Building;
+        Mutex.unlock t.lock;
+        if Trace.on () then Trace.count "service.cache.miss" 1;
+        let r = compile ~fp ~app ~scale ~scheduler ~machine in
+        Mutex.lock t.lock;
+        t.compiles <- t.compiles + 1;
+        Hashtbl.replace t.table fp (Ready r);
+        Condition.broadcast t.built;
+        Mutex.unlock t.lock;
+        Result.map (fun e -> (e, `Miss)) r
+  in
+  obtain ()
+
+let stats t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold (fun _ slot acc -> match slot with Ready _ -> acc + 1 | Building -> acc) t.table 0
+  in
+  let s = { hits = t.hits; misses = t.misses; compiles = t.compiles; entries } in
+  Mutex.unlock t.lock;
+  s
+
+let clear t =
+  Mutex.lock t.lock;
+  let ready =
+    Hashtbl.fold (fun k slot acc -> match slot with Ready _ -> k :: acc | Building -> acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) ready;
+  Mutex.unlock t.lock

@@ -1,0 +1,73 @@
+(** Compiled-plan cache: the amortization layer of the execution
+    service.
+
+    Every [pmdp run] pays the full DSL → analysis → DP-grouping →
+    compile cost and exits; a service must not.  The cache memoizes
+    the {!Pmdp_core.Schedule_spec.t} and lowered
+    {!Pmdp_exec.Tiled_exec.plan} per {!fingerprint} of the
+    plan-relevant request bindings — (app name, param bindings,
+    scheduler, machine) — so repeat requests skip grouping and
+    compilation entirely.
+
+    Concurrency: the cache is shared across domains and threads.  A
+    key is compiled exactly once — the first requester claims the slot
+    and compiles outside the lock while later requesters for the same
+    key block until the slot is ready; they are counted as hits
+    (they did not compile).  Failed compiles are cached too (the same
+    schedule fails the same way), so the one-compile-per-key
+    invariant holds unconditionally.
+
+    Observability: hits and misses are recorded as the
+    [service.cache.hit] / [service.cache.miss] trace counters
+    ({!Pmdp_trace.Trace.count}) and mirrored, with compile and entry
+    counts, in mutex-protected {!stats}. *)
+
+type entry = {
+  fingerprint : string;
+  resolved : Pmdp_core.Scheduler.t;
+      (** after {!Pmdp_core.Scheduler.for_pipeline} *)
+  spec : Pmdp_core.Schedule_spec.t;
+  plan : Pmdp_exec.Tiled_exec.plan;
+}
+
+type t
+
+val create : unit -> t
+
+val fingerprint :
+  app:string ->
+  scale:int ->
+  scheduler:Pmdp_core.Scheduler.t ->
+  machine:Pmdp_machine.Machine.t ->
+  string
+(** Stable hex digest of the plan-relevant bindings.  Identical
+    bindings always produce the same fingerprint (within and across
+    processes); changing any of app, scale, scheduler, machine name,
+    or machine core count changes it. *)
+
+val get :
+  t ->
+  app:Pmdp_apps.Registry.app ->
+  scale:int ->
+  scheduler:Pmdp_core.Scheduler.t ->
+  machine:Pmdp_machine.Machine.t ->
+  (entry * [ `Hit | `Miss ], Pmdp_util.Pmdp_error.t) result
+(** The memoized schedule + plan for the request's fingerprint,
+    compiling it (once, whatever the concurrency) on first use.
+    [`Miss] marks the one requester per key that compiled; waiters
+    that blocked on an in-flight compile return [`Hit] like any
+    later requester.  Never raises: compile failures surface as the
+    cached typed error. *)
+
+type stats = {
+  hits : int;  (** requests served from a ready slot (incl. waiters) *)
+  misses : int;  (** requests that claimed an empty slot *)
+  compiles : int;  (** compilations actually executed; = distinct keys *)
+  entries : int;  (** ready slots currently cached *)
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop ready entries (counters are kept).  Slots currently being
+    compiled are left alone and land in the cache when done. *)

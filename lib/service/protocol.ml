@@ -1,0 +1,199 @@
+module Json = Pmdp_report.Json
+module Pmdp_error = Pmdp_util.Pmdp_error
+module Scheduler = Pmdp_core.Scheduler
+module Buffer_ = Pmdp_exec.Buffer
+
+exception Closed
+
+let max_frame_bytes = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let really_write fd buf =
+  let n = Bytes.length buf in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write fd buf !off (n - !off)
+     done
+   with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> raise Closed)
+
+(* [really_read] distinguishes EOF at offset 0 (peer closed between
+   frames: a clean end of stream) from EOF mid-buffer (truncated
+   frame). *)
+let really_read fd buf =
+  let n = Bytes.length buf in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       match Unix.read fd buf !off (n - !off) with
+       | 0 -> if !off = 0 then raise Exit else raise Closed
+       | k -> off := !off + k
+     done;
+     true
+   with
+  | Exit -> false
+  | Unix.Unix_error (ECONNRESET, _, _) -> if !off = 0 then false else raise Closed)
+
+let write_frame fd json =
+  let payload = Bytes.unsafe_of_string (Json.to_string json) in
+  let n = Bytes.length payload in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int n);
+  really_write fd header;
+  really_write fd payload
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  if not (really_read fd header) then None
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_be header 0) in
+    if n < 0 || n > max_frame_bytes then
+      failwith (Printf.sprintf "protocol: frame length %d outside [0, %d]" n max_frame_bytes);
+    let payload = Bytes.create n in
+    if not (really_read fd payload) then raise Closed;
+    match Json.of_string (Bytes.unsafe_to_string payload) with
+    | Ok j -> Some j
+    | Error e -> failwith ("protocol: bad frame payload: " ^ e)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Codecs *)
+
+let request_of_json j =
+  let invalid reason = Error (Pmdp_error.Plan_invalid { context = "protocol: submit"; reason }) in
+  (* Distinguish a missing field (use the default) from an ill-typed
+     one (reject): a client that sends ["scale": "big"] should hear
+     about it, not silently run at scale 32. *)
+  let field name decode ~default =
+    match Json.member name j with
+    | None -> Ok default
+    | Some v -> (
+        match decode v with
+        | Some x -> Ok x
+        | None -> invalid (Printf.sprintf "field %S is ill-typed" name))
+  in
+  let ( let* ) = Result.bind in
+  match Option.bind (Json.member "app" j) Json.to_string_opt with
+  | None -> invalid "missing or ill-typed field \"app\""
+  | Some app ->
+      let d = Service.request app in
+      let* scale = field "scale" Json.to_int_opt ~default:d.Service.scale in
+      let* seed = field "seed" Json.to_int_opt ~default:d.Service.seed in
+      let* scheduler =
+        field "scheduler"
+          (fun v -> Option.bind (Json.to_string_opt v) Scheduler.of_string)
+          ~default:d.Service.scheduler
+      in
+      if scale < 1 then invalid "field \"scale\" must be >= 1"
+      else Ok { Service.app; scale; seed; scheduler }
+
+let json_of_request (r : Service.request) =
+  Json.Obj
+    [
+      ("op", Json.String "submit");
+      ("app", Json.String r.Service.app);
+      ("scale", Json.Int r.Service.scale);
+      ("scheduler", Json.String (Scheduler.to_string r.Service.scheduler));
+      ("seed", Json.Int r.Service.seed);
+    ]
+
+let json_of_error e =
+  Json.Obj
+    (("kind", Json.String (Pmdp_error.kind e))
+    :: ("message", Json.String (Pmdp_error.message e))
+    :: List.map
+         (fun (name, f) ->
+           ( name,
+             match f with
+             | Pmdp_error.Int i -> Json.Int i
+             | Pmdp_error.Float x -> Json.Float x
+             | Pmdp_error.Str s -> Json.String s ))
+         (Pmdp_error.fields e))
+
+let error_of_json j =
+  let str name ~default =
+    Option.value ~default (Option.bind (Json.member name j) Json.to_string_opt)
+  in
+  let int name ~default =
+    Option.value ~default (Option.bind (Json.member name j) Json.to_int_opt)
+  in
+  let context = str "context" ~default:"(remote)" in
+  match str "kind" ~default:"" with
+  | "arity-mismatch" ->
+      Pmdp_error.Arity_mismatch
+        { context; expected = int "expected" ~default:0; got = int "got" ~default:0 }
+  | "unresolved-external" ->
+      Pmdp_error.Unresolved_external { name = str "name" ~default:"?"; context }
+  | "scratch-over-budget" ->
+      Pmdp_error.Scratch_over_budget
+        {
+          required_bytes = int "required_bytes" ~default:0;
+          budget_bytes = int "budget_bytes" ~default:0;
+          context;
+        }
+  | "worker-crash" ->
+      Pmdp_error.Worker_crash
+        { worker = int "worker" ~default:(-1); detail = str "detail" ~default:"(remote)" }
+  | "timeout" ->
+      let seconds =
+        Option.value ~default:0.0 (Option.bind (Json.member "seconds" j) Json.to_float_opt)
+      in
+      Pmdp_error.Timeout { seconds; context }
+  | "cancelled" -> Pmdp_error.Cancelled { reason = str "reason" ~default:"(remote)" }
+  | "pool-shutdown" -> Pmdp_error.Pool_shutdown { context }
+  | "plan-invalid" ->
+      Pmdp_error.Plan_invalid { context; reason = str "reason" ~default:"(remote)" }
+  | other ->
+      Pmdp_error.Plan_invalid
+        {
+          context = "protocol: error frame";
+          reason =
+            (if other = "" then "missing error kind"
+             else Printf.sprintf "unknown error kind %S: %s" other (str "message" ~default:""));
+        }
+
+let json_of_response (r : Service.response) =
+  Json.Obj
+    [
+      ("id", Json.Int r.Service.id);
+      ("fingerprint", Json.String r.Service.fingerprint);
+      ("cache_hit", Json.Bool r.Service.cache_hit);
+      ("batch_size", Json.Int r.Service.batch_size);
+      ("degraded", Json.Bool r.Service.degraded);
+      ("wall_seconds", Json.Float r.Service.wall_seconds);
+      ("queue_seconds", Json.Float r.Service.queue_seconds);
+      ("checksum", Json.Float r.Service.checksum);
+      ( "outputs",
+        Json.List
+          (List.map
+             (fun (name, buf) ->
+               Json.Obj
+                 [ ("name", Json.String name); ("checksum", Json.Float (Buffer_.checksum buf)) ])
+             r.Service.results) );
+      ( "max_abs_diff",
+        match r.Service.max_abs_diff with None -> Json.Null | Some d -> Json.Float d );
+    ]
+
+let json_of_stats (s : Service.stats) =
+  Json.Obj
+    [
+      ("submitted", Json.Int s.Service.submitted);
+      ("completed", Json.Int s.Service.completed);
+      ("failed", Json.Int s.Service.failed);
+      ("rejected", Json.Int s.Service.rejected);
+      ("batches", Json.Int s.Service.batches);
+      ("batched_requests", Json.Int s.Service.batched_requests);
+      ("executions", Json.Int s.Service.executions);
+      ("queue_depth", Json.Int s.Service.queue_depth);
+      ("inflight_bytes", Json.Int s.Service.inflight_bytes);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int s.Service.cache.Plan_cache.hits);
+            ("misses", Json.Int s.Service.cache.Plan_cache.misses);
+            ("compiles", Json.Int s.Service.cache.Plan_cache.compiles);
+            ("entries", Json.Int s.Service.cache.Plan_cache.entries);
+          ] );
+    ]

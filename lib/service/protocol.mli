@@ -1,0 +1,73 @@
+(** Wire protocol of [pmdp serve]: length-prefixed JSON frames over a
+    Unix-domain socket.
+
+    Each frame is a 4-byte big-endian payload length followed by that
+    many bytes of UTF-8 JSON (one value per frame).  The client sends
+    one request frame and reads one response frame; connections are
+    persistent, so a client can issue any number of requests before
+    closing.
+
+    {2 Operations}
+
+    Every request object carries an ["op"] field:
+
+    - [{"op": "submit", "app": ..., "scale": ..., "scheduler": ...,
+      "seed": ...}] — run a pipeline (all fields but [app] optional,
+      with {!Service.request} defaults).  The server replies
+      [{"ok": true, "response": {...}}] with the scalar half of the
+      {!Service.response} — id, fingerprint, cache_hit, batch_size,
+      degraded, wall_seconds, queue_seconds, checksum, per-output
+      checksums, max_abs_diff — never the buffers.
+    - [{"op": "status", "id": N}] — phase of a live request:
+      [{"ok": true, "status": "queued" | "running" | "done" |
+      "failed" | "unknown"}].
+    - [{"op": "stats"}] — [{"ok": true, "stats": {...}}] with the
+      {!Service.stats} counters plus the plan-cache counters.
+    - [{"op": "shutdown"}] — drain and stop the server; acknowledged
+      with [{"ok": true}] before the listener exits.
+
+    Failures reply [{"ok": false, "error": {"kind": ..., "message":
+    ..., <payload fields>}}] with the typed
+    {!Pmdp_util.Pmdp_error.t} rendering. *)
+
+exception Closed
+(** Peer hung up mid-frame (a clean EOF at a frame boundary reads as
+    [None] instead). *)
+
+val max_frame_bytes : int
+(** Refuse frames larger than this (1 MiB) — a corrupt or hostile
+    length prefix must not trigger a giant allocation. *)
+
+val write_frame : Unix.file_descr -> Pmdp_report.Json.t -> unit
+(** Serialize compactly and send one frame.
+    @raise Closed on a broken pipe. *)
+
+val read_frame : Unix.file_descr -> Pmdp_report.Json.t option
+(** Read one frame; [None] on clean EOF before any byte of a frame.
+    @raise Closed on EOF mid-frame.
+    @raise Failure on an oversized frame or unparseable payload. *)
+
+(** {2 Codecs} *)
+
+val request_of_json :
+  Pmdp_report.Json.t -> (Service.request, Pmdp_util.Pmdp_error.t) result
+(** Decode a submit operation's fields.  Missing optional fields take
+    the {!Service.request} defaults; a missing ["app"], an unknown
+    scheduler name, or ill-typed fields are [Plan_invalid]. *)
+
+val json_of_request : Service.request -> Pmdp_report.Json.t
+(** The submit operation for a request (includes ["op"]). *)
+
+val json_of_error : Pmdp_util.Pmdp_error.t -> Pmdp_report.Json.t
+(** [{"kind": ..., "message": ..., <structured payload fields>}]. *)
+
+val error_of_json : Pmdp_report.Json.t -> Pmdp_util.Pmdp_error.t
+(** Best-effort inverse of {!json_of_error} for the client side: the
+    kind and message survive the round trip; unknown kinds decode as
+    [Plan_invalid]. *)
+
+val json_of_response : Service.response -> Pmdp_report.Json.t
+(** Scalar fields plus per-output checksums; buffers stay
+    server-side. *)
+
+val json_of_stats : Service.stats -> Pmdp_report.Json.t

@@ -1,0 +1,192 @@
+module Json = Pmdp_report.Json
+module Pmdp_error = Pmdp_util.Pmdp_error
+
+type t = {
+  service : Service.t;
+  sock_path : string;
+  listener : Unix.file_descr;
+  lock : Mutex.t;
+  stopped_cond : Condition.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable accept_thread : Thread.t option;
+  mutable stopping : bool;  (* no new connections; existing ones being unblocked *)
+  mutable stopped : bool;  (* everything joined; [wait] may return *)
+}
+
+let path t = t.sock_path
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+let err e = Json.Obj [ ("ok", Json.Bool false); ("error", Protocol.json_of_error e) ]
+
+let status_string = function
+  | Some Service.Queued -> "queued"
+  | Some Service.Running -> "running"
+  | Some Service.Done -> "done"
+  | Some (Service.Failed _) -> "failed"
+  | None -> "unknown"
+
+(* [dispatch] returns [(reply, shutdown_requested)]. *)
+let dispatch t req =
+  match Option.bind (Json.member "op" req) Json.to_string_opt with
+  | Some "submit" -> (
+      match Protocol.request_of_json req with
+      | Error e -> (err e, false)
+      | Ok r -> (
+          match Service.submit t.service r with
+          | Ok resp -> (ok [ ("response", Protocol.json_of_response resp) ], false)
+          | Error e -> (err e, false)))
+  | Some "status" -> (
+      match Option.bind (Json.member "id" req) Json.to_int_opt with
+      | None ->
+          ( err
+              (Pmdp_error.Plan_invalid
+                 { context = "protocol: status"; reason = "missing or ill-typed field \"id\"" }),
+            false )
+      | Some id -> (ok [ ("status", Json.String (status_string (Service.status t.service id))) ], false))
+  | Some "stats" -> (ok [ ("stats", Protocol.json_of_stats (Service.stats t.service)) ], false)
+  | Some "shutdown" -> (ok [], true)
+  | op ->
+      ( err
+          (Pmdp_error.Plan_invalid
+             {
+               context = "protocol: dispatch";
+               reason =
+                 (match op with
+                 | None -> "missing operation field \"op\""
+                 | Some op -> Printf.sprintf "unknown operation %S" op);
+             }),
+        false )
+
+let rec stop t =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    (* Someone else is stopping (or has stopped); just wait it out —
+       unless that someone is us, re-entering from a connection
+       thread, in which case returning immediately is the only
+       non-deadlocking option. *)
+    let self = Thread.self () in
+    let am_conn = List.exists (fun (_, th) -> Thread.id th = Thread.id self) t.conns in
+    if am_conn then Mutex.unlock t.lock
+    else begin
+      while not t.stopped do
+        Condition.wait t.stopped_cond t.lock
+      done;
+      Mutex.unlock t.lock
+    end
+  end
+  else begin
+    t.stopping <- true;
+    let conns = t.conns in
+    Mutex.unlock t.lock;
+    (* shutdown(2), not close(2): closing an fd does not wake a thread
+       already blocked in accept/read on it, shutting it down does.
+       The listener is closed only after its thread is joined. *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    List.iter
+      (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    let self_id = Thread.id (Thread.self ()) in
+    List.iter (fun (_, th) -> if Thread.id th <> self_id then Thread.join th) conns;
+    Service.shutdown t.service;
+    (try Unix.unlink t.sock_path with Unix.Unix_error _ -> ());
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.stopped_cond;
+    Mutex.unlock t.lock
+  end
+
+and handle_conn t fd =
+  let continue = ref true in
+  (try
+     while !continue do
+       match Protocol.read_frame fd with
+       | None -> continue := false
+       | Some req ->
+           let reply, shutdown_requested = dispatch t req in
+           Protocol.write_frame fd reply;
+           if shutdown_requested then begin
+             continue := false;
+             (* Spawned, not called: this connection thread must stay
+                joinable by the stopper. *)
+             ignore (Thread.create (fun () -> stop t) ())
+           end
+     done
+   with
+  | Protocol.Closed -> ()
+  | Failure reason -> (
+      (* Protocol violation: tell the client if the pipe still works,
+         then drop the connection. *)
+      try Protocol.write_frame fd (err (Pmdp_error.Plan_invalid { context = "protocol"; reason }))
+      with Protocol.Closed -> ())
+  | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+        (* EBADF/EINVAL: listener closed by [stop]; ECONNABORTED: the
+           peer gave up first, keep accepting. *)
+        Mutex.lock t.lock;
+        if t.stopping then continue := false;
+        Mutex.unlock t.lock
+    | fd, _ ->
+        Mutex.lock t.lock;
+        if t.stopping then begin
+          Mutex.unlock t.lock;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          continue := false
+        end
+        else begin
+          let th = Thread.create (fun () -> handle_conn t fd) () in
+          t.conns <- (fd, th) :: t.conns;
+          Mutex.unlock t.lock
+        end
+  done
+
+let start ?(backlog = 16) ~service ~path () =
+  (* A peer that disconnects mid-reply must surface as EPIPE (mapped
+     to {!Protocol.Closed}), not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()  (* not ours to replace; let bind fail with EADDRINUSE/EEXIST *)
+  | exception Unix.Unix_error (ENOENT, _, _) -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listener (Unix.ADDR_UNIX path);
+     Unix.listen listener backlog
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      service;
+      sock_path = path;
+      listener;
+      lock = Mutex.create ();
+      stopped_cond = Condition.create ();
+      conns = [];
+      accept_thread = None;
+      stopping = false;
+      stopped = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t =
+  Mutex.lock t.lock;
+  while not t.stopped do
+    Condition.wait t.stopped_cond t.lock
+  done;
+  Mutex.unlock t.lock
+
+let stopped t =
+  Mutex.lock t.lock;
+  let s = t.stopped in
+  Mutex.unlock t.lock;
+  s

@@ -1,0 +1,39 @@
+(** Unix-domain socket front end of a {!Service}: the engine behind
+    [pmdp serve].
+
+    One listener thread accepts connections; each connection gets its
+    own thread running a read-frame → dispatch → write-frame loop over
+    the {!Protocol} (connections are persistent — any number of
+    requests per connection).  Submits block their connection thread
+    until the service finishes the request, so client-side concurrency
+    maps one connection per in-flight request.
+
+    A client ["shutdown"] operation — or {!stop} — closes the
+    listener, unblocks and joins every connection, shuts the
+    underlying service down (draining per {!Service.shutdown}
+    semantics), and removes the socket file. *)
+
+type t
+
+val start : ?backlog:int -> service:Service.t -> path:string -> unit -> t
+(** Bind [path] (an existing socket file is replaced; [backlog]
+    defaults to 16) and start accepting.
+    @raise Unix.Unix_error when the path cannot be bound. *)
+
+val path : t -> string
+
+val wait : t -> unit
+(** Block until the server has stopped (via {!stop} or a client
+    shutdown operation) and every connection is joined. *)
+
+val stopped : t -> bool
+(** [true] once the server has fully stopped ({!wait} would return
+    immediately).  Non-blocking — lets a driver poll for shutdown
+    while staying at an OCaml safepoint, which a thread parked in
+    {!wait}'s condition wait is not: signal handlers cannot run if
+    every thread is blocked in C. *)
+
+val stop : t -> unit
+(** Stop accepting, disconnect clients, join all threads, shut the
+    service down, unlink the socket.  Idempotent; also safe from a
+    connection thread (the join skips the calling thread). *)

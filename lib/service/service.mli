@@ -1,0 +1,133 @@
+(** The pipeline-execution service: a long-running layer over the
+    whole existing stack — {!Plan_cache} in front of the
+    DSL→analysis→grouping→compile path, admission control in front of
+    the memory budget, same-pipeline request batching in front of
+    {!Pmdp_exec.Resilient.run_plan} on one persistent
+    {!Pmdp_runtime.Pool}.
+
+    This is the in-process API; [pmdp serve] exposes it over a
+    Unix-domain socket ({!Server}, {!Protocol}) and [pmdp load]
+    drives either form ({!Load}).
+
+    {2 Lifecycle of a request}
+
+    + {b Admission} ({!submit_async}, on the caller's thread): the app
+      name is resolved against {!Pmdp_apps.Registry}, the plan comes
+      from the {!Plan_cache} (compiled at most once per fingerprint),
+      and the plan's memory demand — working set plus per-worker
+      scratch across the pool — is charged against the service's
+      budget.  Over-budget requests are rejected with the typed
+      [Scratch_over_budget]; a full queue rejects with [Cancelled];
+      both count the [service.admission.reject] trace counter.
+    + {b Batching} (dispatcher thread): queued requests that share a
+      batch key (plan fingerprint + input seed) execute as one
+      {!Pmdp_exec.Resilient.run_plan} over the shared pool.  Each
+      shared execution of more than one request counts the
+      [service.batch] counter; every request gets its own
+      [service.request] span covering queue wait + execution.
+    + {b Completion}: every batched request receives the same
+      {!response} (shared, read-only result buffers) with its own id
+      and queue time; {!await} collects it.
+
+    Threads: callers may submit from any thread or domain.  All
+    execution — and all execution-path trace recording — happens on
+    the single dispatcher thread; parallelism comes from the pool's
+    worker domains. *)
+
+type request = {
+  app : string;  (** registry name or short code, e.g. "unsharp"/"UM" *)
+  scale : int;  (** divides the paper's image extents *)
+  scheduler : Pmdp_core.Scheduler.t;
+  seed : int;  (** input-synthesis seed ({!Pmdp_apps.Registry.app}) *)
+}
+
+val request :
+  ?scale:int -> ?scheduler:Pmdp_core.Scheduler.t -> ?seed:int -> string -> request
+(** Request for an app by name; [scale] defaults to 32, [scheduler]
+    to [Dp], [seed] to 1. *)
+
+type response = {
+  id : int;
+  fingerprint : string;  (** plan-cache key the request hashed to *)
+  cache_hit : bool;  (** plan served without compiling *)
+  batch_size : int;  (** requests sharing this execution (>= 1) *)
+  degraded : bool;  (** the resilient chain needed a fallback step *)
+  wall_seconds : float;  (** execution wall-clock of the shared run *)
+  queue_seconds : float;  (** this request's submit → execution-start wait *)
+  checksum : float;  (** sum of {!Pmdp_exec.Buffer.checksum} over live-outs *)
+  results : (string * Pmdp_exec.Buffer.t) list;
+      (** live-out buffers, shared verbatim across the batch — treat
+          as read-only *)
+  max_abs_diff : float option;
+      (** vs {!Pmdp_exec.Reference.run}, when the service was created
+          with [~validate:true]; [0.0] = bitwise-equal *)
+}
+
+type status = Queued | Running | Done | Failed of Pmdp_util.Pmdp_error.t
+(** Admission rejections never get an id — the typed error goes
+    straight back to the submitter — so there is no rejected phase. *)
+
+type stats = {
+  submitted : int;  (** requests admitted *)
+  completed : int;
+  failed : int;  (** admitted but every fallback step died *)
+  rejected : int;  (** refused at admission *)
+  batches : int;  (** executions that served more than one request *)
+  batched_requests : int;  (** requests served by those executions *)
+  executions : int;  (** Resilient.run_plan calls issued *)
+  queue_depth : int;  (** currently queued (not yet executing) *)
+  inflight_bytes : int;  (** admission-charged bytes currently in flight *)
+  cache : Plan_cache.stats;
+}
+
+type t
+
+val create :
+  ?workers:int ->
+  ?mem_budget:int ->
+  ?max_inflight:int ->
+  ?batch_window:float ->
+  ?validate:bool ->
+  machine:Pmdp_machine.Machine.t ->
+  unit ->
+  t
+(** Start a service: one plan cache, one admission controller, one
+    persistent pool of [workers] (default 4) domains, one dispatcher
+    thread.  [mem_budget] (default
+    {!Pmdp_machine.Machine.default_mem_budget}) bounds both admission
+    and the resilient driver's pre-flight guard.  [max_inflight]
+    (default 64) bounds admitted-but-unfinished requests.
+    [batch_window] (default 0, seconds) is how long the dispatcher
+    lingers after picking a request to let same-key requests join its
+    batch; 0 still batches whatever already queued up behind a
+    running execution.  [validate] (default false) checks every
+    batch's results against the reference executor (memoized per
+    batch key) and fills [max_abs_diff]. *)
+
+val machine : t -> Pmdp_machine.Machine.t
+val mem_budget : t -> int
+
+val submit_async : t -> request -> (int, Pmdp_util.Pmdp_error.t) result
+(** Admit and enqueue; returns the request id to {!await} on.
+    Rejections are immediate and typed: unknown app
+    ([Unresolved_external]), plan compile failure (the cached typed
+    error), over budget ([Scratch_over_budget]), queue full
+    ([Cancelled]), service shut down ([Pool_shutdown]). *)
+
+val await : t -> int -> (response, Pmdp_util.Pmdp_error.t) result
+(** Block until the request finishes; collects its outcome (the id is
+    forgotten afterwards — a second await on it returns
+    [Plan_invalid]). *)
+
+val submit : t -> request -> (response, Pmdp_util.Pmdp_error.t) result
+(** [submit_async] + [await]. *)
+
+val status : t -> int -> status option
+(** Phase of a live (submitted, not yet awaited) request; [None] for
+    ids never issued or already collected. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Stop the dispatcher (requests still queued fail with the typed
+    [Cancelled]), join it, and shut the pool down.  Idempotent. *)

@@ -28,3 +28,13 @@ let median xs =
   Array.sort compare s;
   let n = Array.length s in
   if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let percentile p xs =
+  check xs;
+  if not (p >= 0.0 && p <= 100.0) then invalid_arg "Stats.percentile: p outside [0, 100]";
+  let s = Array.copy xs in
+  Array.sort compare s;
+  let n = Array.length s in
+  (* nearest-rank: the smallest element >= p% of the sample *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  s.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))

@@ -17,3 +17,10 @@ val min : float array -> float
 val max : float array -> float
 val median : float array -> float
 (** @raise Invalid_argument on empty input. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] is the nearest-rank p-th percentile (the
+    smallest sample >= p% of the input), e.g. [percentile 99.0] for
+    the service load generator's tail latency.  [percentile 100.0] is
+    {!max}; small [p] round down to the smallest sample.
+    @raise Invalid_argument on empty input or [p] outside [0, 100]. *)

@@ -167,6 +167,60 @@ let check_cli_line file lineno line =
   scan None toks
 
 (* ------------------------------------------------------------------ *)
+(* `pmdp list` inventory: both sections populated, every listed
+   scheduler accepted by `pmdp schedule`, every listed pipeline
+   actually buildable (cheap probe: `pmdp dot <app> --scale 32`). *)
+
+let run_lines cmd =
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Some (List.rev !lines)
+  | _ -> None
+
+let check_pmdp_list () =
+  match run_lines (Printf.sprintf "%s list 2>/dev/null" (Filename.quote !pmdp_exe)) with
+  | None -> err "`pmdp list` failed"
+  | Some lines ->
+      let section = ref `Preamble in
+      let apps = ref [] and schedulers = ref [] in
+      List.iter
+        (fun line ->
+          match line with
+          | "pipelines:" -> section := `Pipelines
+          | "schedulers:" -> section := `Schedulers
+          | line -> (
+              match (split_ws line, !section) with
+              | name :: _, `Pipelines -> apps := name :: !apps
+              | [ name ], `Schedulers -> schedulers := name :: !schedulers
+              | _ -> ()))
+        lines;
+      if !apps = [] then err "`pmdp list` names no pipelines";
+      if !schedulers = [] then err "`pmdp list` names no schedulers";
+      (match help_of "schedule" with
+      | None -> err "`pmdp schedule --help` failed"
+      | Some help ->
+          List.iter
+            (fun s ->
+              if not (mentions_flag help s) then
+                err "`pmdp list` names scheduler %S but `pmdp schedule --help` does not" s)
+            !schedulers);
+      List.iter
+        (fun app ->
+          let cmd =
+            Printf.sprintf "%s dot %s --scale 32 >/dev/null 2>&1"
+              (Filename.quote !pmdp_exe) (Filename.quote app)
+          in
+          if run_lines cmd = None then
+            err "`pmdp list` names pipeline %S but `pmdp dot %s --scale 32` fails" app app)
+        !apps
+
+(* ------------------------------------------------------------------ *)
 
 let check_file file =
   let content = read_file file in
@@ -211,6 +265,7 @@ let () =
     @ docs
   in
   List.iter check_file files;
+  check_pmdp_list ();
   if !errors > 0 then begin
     Printf.eprintf "docs_check: %d error(s) in %d file(s) scanned\n" !errors (List.length files);
     exit 1

@@ -1,0 +1,131 @@
+(* End-to-end smoke test for the execution service: start a real
+   server on a Unix-domain socket, drive it with the load generator
+   (100 requests, two pipelines, four clients), and check the
+   acceptance properties — everything succeeds, the warm cache skips
+   compiles, percentiles are populated, results are bitwise-equal to
+   the reference, and shutdown is clean.  Run via `dune build
+   @servicecheck`. *)
+
+module Json = Pmdp_report.Json
+module Machine = Pmdp_machine.Machine
+module Scheduler = Pmdp_core.Scheduler
+module Pmdp_error = Pmdp_util.Pmdp_error
+module Plan_cache = Pmdp_service.Plan_cache
+module Service = Pmdp_service.Service
+module Server = Pmdp_service.Server
+module Client = Pmdp_service.Client
+module Load = Pmdp_service.Load
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  ok: %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n%!" name
+  end
+
+let checkf name fmt_ok actual ok =
+  check (Printf.sprintf "%s (%s)" name (fmt_ok actual)) ok
+
+let () =
+  let machine = Machine.xeon in
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmdp-smoke-%d.sock" (Unix.getpid ()))
+  in
+  Printf.printf "service smoke: socket %s\n%!" sock_path;
+
+  let service =
+    Service.create ~workers:2 ~batch_window:0.005 ~validate:true ~machine ()
+  in
+  let server = Server.start ~service ~path:sock_path () in
+
+  (* 100 requests across two pipelines: exactly two distinct
+     fingerprints, so a warm cache means exactly two compiles. *)
+  let cfg =
+    Load.config ~clients:4 ~requests:100 ~apps:[ "blur"; "unsharp" ] ~scale:32 ()
+  in
+  let report = Load.run_remote ~path:sock_path cfg in
+
+  checkf "all requests succeed"
+    (fun r -> Printf.sprintf "%d ok, %d failed" r.Load.succeeded r.Load.failed)
+    report
+    (report.Load.succeeded = 100 && report.Load.failed = 0);
+  checkf "throughput positive"
+    (fun r -> Printf.sprintf "%.1f req/s" r.Load.throughput_rps)
+    report
+    (report.Load.throughput_rps > 0.0);
+  checkf "latency percentiles ordered"
+    (fun r -> Printf.sprintf "p50 %.2f p95 %.2f p99 %.2f ms" r.Load.p50_ms r.Load.p95_ms r.Load.p99_ms)
+    report
+    (report.Load.p50_ms > 0.0
+    && report.Load.p50_ms <= report.Load.p95_ms
+    && report.Load.p95_ms <= report.Load.p99_ms
+    && report.Load.p99_ms <= report.Load.max_ms);
+  checkf "warm cache skips compiles"
+    (fun r -> Printf.sprintf "%d hits" r.Load.cache_hits)
+    report
+    (report.Load.cache_hits > 0);
+
+  let stats = Service.stats service in
+  checkf "compiles == distinct fingerprints"
+    (fun s -> Printf.sprintf "%d compiles" s.Service.cache.Plan_cache.compiles)
+    stats
+    (stats.Service.cache.Plan_cache.compiles = 2);
+  checkf "server settled every request"
+    (fun s -> Printf.sprintf "%d submitted, %d completed" s.Service.submitted s.Service.completed)
+    stats
+    (stats.Service.submitted = 100 && stats.Service.completed = 100
+   && stats.Service.queue_depth = 0 && stats.Service.inflight_bytes = 0);
+
+  (* One direct round trip over the wire: validation ran (the service
+     was created with ~validate:true) and the tiled results are
+     bitwise-equal to the reference executor. *)
+  let client = Client.connect ~path:sock_path in
+  (match Client.submit client (Service.request ~scale:32 "blur") with
+  | Error e -> check (Printf.sprintf "direct submit (%s)" (Pmdp_error.to_string e)) false
+  | Ok r ->
+      check "direct submit over the socket" true;
+      check "direct submit hits the warm cache" r.Client.cache_hit;
+      checkf "bitwise-equal to reference"
+        (function Some d -> Printf.sprintf "max_abs_diff %g" d | None -> "no diff reported")
+        r.Client.max_abs_diff
+        (r.Client.max_abs_diff = Some 0.0);
+      check "outputs carry checksums" (r.Client.outputs <> []));
+
+  (* The report document survives a write + re-parse round trip. *)
+  let report_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmdp-smoke-load-%d.json" (Unix.getpid ()))
+  in
+  Json.to_file report_path (Load.to_json report);
+  (match Json.of_file report_path with
+  | Error e -> check (Printf.sprintf "report re-parses (%s)" e) false
+  | Ok doc ->
+      check "report re-parses" true;
+      check "report carries schema_version"
+        (Option.bind (Json.member "schema_version" doc) Json.to_int_opt <> None);
+      check "report carries percentiles"
+        (List.for_all
+           (fun k -> Option.bind (Json.member k doc) Json.to_float_opt <> None)
+           [ "throughput_rps"; "p50_ms"; "p95_ms"; "p99_ms" ]));
+  (try Sys.remove report_path with Sys_error _ -> ());
+
+  (* Wire shutdown: the server acknowledges, then tears down the
+     socket; Server.wait returns and the socket file is gone. *)
+  (match Client.shutdown_server client with
+  | Ok () -> check "wire shutdown acknowledged" true
+  | Error e -> check (Printf.sprintf "wire shutdown (%s)" (Pmdp_error.to_string e)) false);
+  Client.close client;
+  Server.wait server;
+  check "socket unlinked after shutdown" (not (Sys.file_exists sock_path));
+  (* Stop after wait is a no-op, not a hang. *)
+  Server.stop server;
+  check "stop after shutdown is idempotent" true;
+
+  if !failures > 0 then begin
+    Printf.printf "service smoke: %d check(s) FAILED\n%!" !failures;
+    exit 1
+  end;
+  print_endline "service smoke: all checks passed"

@@ -113,6 +113,50 @@ let test_shutdown_idempotent () =
     (try Pool.parallel_for pool ~n:1 ignore; false
      with Pmdp_error.Error (Pmdp_error.Pool_shutdown _) -> true)
 
+let test_shutdown_concurrent () =
+  (* Racing shutdowns from several domains: exactly one joins the
+     workers, the rest are no-ops, nobody hangs or double-joins. *)
+  for _ = 1 to 10 do
+    let pool = Pool.create 3 in
+    Pool.parallel_for pool ~n:10 ignore;
+    let racers = Array.init 4 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool)) in
+    Pool.shutdown pool;
+    Array.iter Domain.join racers;
+    Alcotest.(check bool) "down after racing shutdowns" true
+      (try Pool.parallel_for pool ~n:1 ignore; false
+       with Pmdp_error.Error (Pmdp_error.Pool_shutdown _) -> true)
+  done
+
+let test_concurrent_with_pool () =
+  (* Several domains each driving their own pool at the same time:
+     pools are independent, every parallel_for covers its range, and
+     every domain gets joined (the loop would exhaust the domain cap
+     otherwise). *)
+  for _ = 1 to 5 do
+    let drivers =
+      Array.init 4 (fun d ->
+          Domain.spawn (fun () ->
+              Pool.with_pool 2 (fun pool ->
+                  let total = ref 0 in
+                  for round = 1 to 10 do
+                    let acc = Atomic.make 0 in
+                    Pool.parallel_for pool ~n:(50 + d) (fun i ->
+                        ignore (Atomic.fetch_and_add acc i));
+                    total := !total + Atomic.get acc;
+                    ignore round
+                  done;
+                  !total)))
+    in
+    Array.iteri
+      (fun d t ->
+        let n = 50 + d in
+        Alcotest.(check int)
+          (Printf.sprintf "driver %d sums" d)
+          (10 * (n * (n - 1) / 2))
+          (Domain.join t))
+      drivers
+  done
+
 let test_many_pools () =
   (* with_pool must join its domains: creating pools in a loop would
      otherwise exhaust the domain cap (~128). *)
@@ -242,6 +286,8 @@ let () =
           Alcotest.test_case "nested runs inline" `Quick test_nested_parallel_for;
           Alcotest.test_case "init state isolation" `Quick test_init_state_isolation;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "shutdown concurrent" `Quick test_shutdown_concurrent;
+          Alcotest.test_case "concurrent with_pool" `Quick test_concurrent_with_pool;
           Alcotest.test_case "many pools" `Quick test_many_pools;
           Alcotest.test_case "joins on raise" `Quick test_with_pool_joins_on_raise;
           Alcotest.test_case "worker crash heals" `Quick test_worker_crash_heals;

@@ -1,0 +1,520 @@
+(* Tests for the execution service: JSON parsing (the wire format's
+   foundation), the plan cache (fingerprints, one-compile-per-key),
+   admission control, batching, service lifecycle, the protocol
+   codecs, and the bench-file schema validation that shares the JSON
+   parser. *)
+
+module Json = Pmdp_report.Json
+module Machine = Pmdp_machine.Machine
+module Scheduler = Pmdp_core.Scheduler
+module Registry = Pmdp_apps.Registry
+module Pmdp_error = Pmdp_util.Pmdp_error
+module Plan_cache = Pmdp_service.Plan_cache
+module Service = Pmdp_service.Service
+module Protocol = Pmdp_service.Protocol
+module Load = Pmdp_service.Load
+
+let () = Pmdp_baselines.Schedulers.install ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser *)
+
+let roundtrip j = Json.of_string (Json.to_string j)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("yes", Json.Bool true);
+        ("no", Json.Bool false);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 2.5);
+        ("str", Json.String "hello \"world\"\n\ttab\\slash");
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ( "nested",
+          Json.List [ Json.Obj [ ("k", Json.List [ Json.Int 1; Json.Int 2 ]) ]; Json.Null ] );
+      ]
+  in
+  match roundtrip doc with
+  | Ok parsed -> Alcotest.(check bool) "compact round trip" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_roundtrip_pretty () =
+  let doc =
+    Json.Obj [ ("a", Json.List [ Json.Int 1 ]); ("b", Json.Obj [ ("c", Json.String "x") ]) ]
+  in
+  match Json.of_string (Json.to_string_pretty doc) with
+  | Ok parsed -> Alcotest.(check bool) "pretty round trip" true (parsed = doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_numbers () =
+  let check s expected =
+    match Json.of_string s with
+    | Ok v -> Alcotest.(check bool) (Printf.sprintf "%s parses as expected" s) true (v = expected)
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  check "0" (Json.Int 0);
+  check "-7" (Json.Int (-7));
+  check "2.5" (Json.Float 2.5);
+  check "1e3" (Json.Float 1000.0);
+  check "-1.5E-2" (Json.Float (-0.015));
+  (* beyond int range falls back to float instead of failing *)
+  match Json.of_string "123456789012345678901234567890" with
+  | Ok (Json.Float _) -> ()
+  | Ok _ -> Alcotest.fail "expected float fallback"
+  | Error e -> Alcotest.failf "overflow number rejected: %s" e
+
+let test_json_escapes () =
+  match Json.of_string {|"aA\né\t"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "escapes decode" "aA\n\xc3\xa9\t" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_errors () =
+  let rejected s =
+    match Json.of_string s with Ok _ -> Alcotest.failf "%S accepted" s | Error _ -> ()
+  in
+  rejected "";
+  rejected "{";
+  rejected "[1,]";
+  rejected "{\"a\" 1}";
+  rejected "nul";
+  rejected "\"unterminated";
+  rejected "1 2";
+  rejected "{} trailing";
+  (* errors carry a position *)
+  match Json.of_string "{\"a\": }" with
+  | Error msg ->
+      Alcotest.(check bool) "position in message" true
+        (String.length msg >= 4 && String.sub msg 0 4 = "line")
+  | Ok _ -> Alcotest.fail "bad object accepted"
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("i", Json.Int 3); ("f", Json.Float 1.5); ("s", Json.String "x") ] in
+  Alcotest.(check (option int)) "member+int" (Some 3) (Option.bind (Json.member "i" j) Json.to_int_opt);
+  Alcotest.(check (option (float 0.0))) "int widens" (Some 3.0)
+    (Option.bind (Json.member "i" j) Json.to_float_opt);
+  Alcotest.(check (option string)) "string" (Some "x")
+    (Option.bind (Json.member "s" j) Json.to_string_opt);
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (Json.member "zz" j) Json.to_int_opt);
+  Alcotest.(check (option int)) "member of non-obj" None
+    (Option.bind (Json.member "i" (Json.Int 1)) Json.to_int_opt)
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache *)
+
+let xeon = Machine.xeon
+let blur = Registry.find_exn "blur"
+
+let test_fingerprint_stable () =
+  let fp () = Plan_cache.fingerprint ~app:"blur" ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon in
+  Alcotest.(check string) "same bindings, same fingerprint" (fp ()) (fp ())
+
+let test_fingerprint_sensitivity () =
+  let base = Plan_cache.fingerprint ~app:"blur" ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon in
+  let differs name fp = Alcotest.(check bool) name true (fp <> base) in
+  differs "app changes it"
+    (Plan_cache.fingerprint ~app:"unsharp" ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon);
+  differs "scale changes it"
+    (Plan_cache.fingerprint ~app:"blur" ~scale:16 ~scheduler:Scheduler.Dp ~machine:xeon);
+  differs "scheduler changes it"
+    (Plan_cache.fingerprint ~app:"blur" ~scale:32 ~scheduler:Scheduler.Greedy ~machine:xeon);
+  differs "machine changes it"
+    (Plan_cache.fingerprint ~app:"blur" ~scale:32 ~scheduler:Scheduler.Dp
+       ~machine:Machine.opteron)
+
+let test_cache_hit_miss () =
+  let cache = Plan_cache.create () in
+  (match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon with
+  | Ok (_, `Miss) -> ()
+  | Ok (_, `Hit) -> Alcotest.fail "first get must miss"
+  | Error e -> Alcotest.failf "compile failed: %s" (Pmdp_error.to_string e));
+  (match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon with
+  | Ok (_, `Hit) -> ()
+  | Ok (_, `Miss) -> Alcotest.fail "second get must hit"
+  | Error e -> Alcotest.failf "cached get failed: %s" (Pmdp_error.to_string e));
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "one compile" 1 s.Plan_cache.compiles;
+  Alcotest.(check int) "one hit" 1 s.Plan_cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Plan_cache.misses;
+  (* a different binding is a different key *)
+  (match Plan_cache.get cache ~app:blur ~scale:16 ~scheduler:Scheduler.Dp ~machine:xeon with
+  | Ok (_, `Miss) -> ()
+  | Ok (_, `Hit) -> Alcotest.fail "changed scale must recompile"
+  | Error e -> Alcotest.failf "compile failed: %s" (Pmdp_error.to_string e));
+  Alcotest.(check int) "two compiles" 2 (Plan_cache.stats cache).Plan_cache.compiles;
+  Alcotest.(check int) "two entries" 2 (Plan_cache.stats cache).Plan_cache.entries;
+  Plan_cache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Plan_cache.stats cache).Plan_cache.entries
+
+let test_cache_one_compile_per_key () =
+  (* The invariant under load: N domains racing on one key produce
+     exactly one compilation; everyone gets the same entry. *)
+  let cache = Plan_cache.create () in
+  let n = 8 in
+  let fetchers =
+    Array.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon))
+  in
+  let results = Array.map Domain.join fetchers in
+  let fps =
+    Array.to_list results
+    |> List.map (function
+         | Ok (e, _) -> e.Plan_cache.fingerprint
+         | Error e -> Alcotest.failf "racing get failed: %s" (Pmdp_error.to_string e))
+  in
+  Alcotest.(check int) "everyone answered" n (List.length fps);
+  Alcotest.(check int) "one distinct fingerprint" 1 (List.length (List.sort_uniq compare fps));
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "exactly one compile" 1 s.Plan_cache.compiles;
+  Alcotest.(check int) "exactly one miss" 1 s.Plan_cache.misses;
+  Alcotest.(check int) "everyone else hit" (n - 1) s.Plan_cache.hits
+
+let test_cache_failure_cached () =
+  (* scale=0 dies inside the app builder; the typed error must come
+     back every time while compiling only once. *)
+  let cache = Plan_cache.create () in
+  let get () = Plan_cache.get cache ~app:blur ~scale:0 ~scheduler:Scheduler.Dp ~machine:xeon in
+  (match get () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "scale 0 must fail");
+  (match get () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cached failure must stay failed");
+  Alcotest.(check int) "failure compiled once" 1 (Plan_cache.stats cache).Plan_cache.compiles
+
+(* ------------------------------------------------------------------ *)
+(* Service *)
+
+let with_service ?(workers = 2) ?mem_budget ?max_inflight ?batch_window ?validate f =
+  let service =
+    Service.create ~workers ?mem_budget ?max_inflight ?batch_window ?validate ~machine:xeon ()
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+let test_service_submit () =
+  with_service ~validate:true (fun service ->
+      match Service.submit service (Service.request ~scale:32 "blur") with
+      | Error e -> Alcotest.failf "submit failed: %s" (Pmdp_error.to_string e)
+      | Ok r ->
+          Alcotest.(check bool) "first request misses the cache" false r.Service.cache_hit;
+          Alcotest.(check bool) "has results" true (r.Service.results <> []);
+          Alcotest.(check bool) "not degraded" false r.Service.degraded;
+          Alcotest.(check (option (float 0.0))) "bitwise equal to reference" (Some 0.0)
+            r.Service.max_abs_diff;
+          (match Service.submit service (Service.request ~scale:32 "blur") with
+          | Error e -> Alcotest.failf "second submit failed: %s" (Pmdp_error.to_string e)
+          | Ok r2 ->
+              Alcotest.(check bool) "second request hits the cache" true r2.Service.cache_hit;
+              Alcotest.(check (float 0.0)) "same checksum" r.Service.checksum r2.Service.checksum);
+          let s = Service.stats service in
+          Alcotest.(check int) "two completed" 2 s.Service.completed;
+          Alcotest.(check int) "one compile" 1 s.Service.cache.Plan_cache.compiles)
+
+let test_service_unknown_app () =
+  with_service (fun service ->
+      (match Service.submit service (Service.request "no-such-pipeline") with
+      | Error (Pmdp_error.Unresolved_external _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "unknown app accepted");
+      Alcotest.(check int) "counted as rejected" 1 (Service.stats service).Service.rejected)
+
+let test_service_over_budget () =
+  (* A one-byte budget rejects at admission with the typed
+     Scratch_over_budget carrying both sides of the comparison. *)
+  with_service ~mem_budget:1 (fun service ->
+      match Service.submit service (Service.request ~scale:32 "blur") with
+      | Error (Pmdp_error.Scratch_over_budget { required_bytes; budget_bytes; _ }) ->
+          Alcotest.(check int) "budget echoed" 1 budget_bytes;
+          Alcotest.(check bool) "demand computed" true (required_bytes > 1)
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "over-budget request admitted")
+
+let test_service_queue_full () =
+  (* max_inflight=1: the second submit_async while the first is still
+     unfinished must be rejected with Cancelled.  The batch window
+     keeps the first request in flight long enough to observe it. *)
+  with_service ~max_inflight:1 ~batch_window:0.3 (fun service ->
+      match Service.submit_async service (Service.request ~scale:32 "blur") with
+      | Error e -> Alcotest.failf "first submit rejected: %s" (Pmdp_error.to_string e)
+      | Ok id -> (
+          (match Service.submit_async service (Service.request ~scale:32 "blur") with
+          | Error (Pmdp_error.Cancelled _) -> ()
+          | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+          | Ok _ -> Alcotest.fail "admitted past max_inflight");
+          match Service.await service id with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "first request failed: %s" (Pmdp_error.to_string e)))
+
+let test_service_batching () =
+  (* Identical requests inside one batch window share one execution. *)
+  with_service ~batch_window:0.15 (fun service ->
+      let ids =
+        List.init 6 (fun _ ->
+            match Service.submit_async service (Service.request ~scale:32 "blur") with
+            | Ok id -> id
+            | Error e -> Alcotest.failf "submit rejected: %s" (Pmdp_error.to_string e))
+      in
+      let responses =
+        List.map
+          (fun id ->
+            match Service.await service id with
+            | Ok r -> r
+            | Error e -> Alcotest.failf "request failed: %s" (Pmdp_error.to_string e))
+          ids
+      in
+      Alcotest.(check bool) "some response was batched" true
+        (List.exists (fun r -> r.Service.batch_size > 1) responses);
+      let checksums = List.sort_uniq compare (List.map (fun r -> r.Service.checksum) responses) in
+      Alcotest.(check int) "all checksums identical" 1 (List.length checksums);
+      let s = Service.stats service in
+      Alcotest.(check bool) "fewer executions than requests" true (s.Service.executions < 6);
+      Alcotest.(check bool) "batches observed" true (s.Service.batches >= 1);
+      Alcotest.(check int) "all completed" 6 s.Service.completed)
+
+let test_service_await_semantics () =
+  with_service (fun service ->
+      (match Service.await service 424242 with
+      | Error (Pmdp_error.Plan_invalid _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "await of unknown id succeeded");
+      match Service.submit_async service (Service.request ~scale:32 "blur") with
+      | Error e -> Alcotest.failf "submit rejected: %s" (Pmdp_error.to_string e)
+      | Ok id -> (
+          (match Service.await service id with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "await failed: %s" (Pmdp_error.to_string e));
+          Alcotest.(check (option bool)) "collected id is forgotten" None
+            (Option.map (fun _ -> true) (Service.status service id));
+          match Service.await service id with
+          | Error (Pmdp_error.Plan_invalid _) -> ()
+          | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+          | Ok _ -> Alcotest.fail "second await succeeded"))
+
+let test_service_shutdown () =
+  (* Shutdown fails whatever is still queued with Cancelled, and
+     rejects later submits with Pool_shutdown.  A long batch window on
+     the running request keeps the second one queued. *)
+  let service = Service.create ~workers:2 ~batch_window:0.4 ~machine:xeon () in
+  let id1 =
+    match Service.submit_async service (Service.request ~scale:32 "blur") with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "submit rejected: %s" (Pmdp_error.to_string e)
+  in
+  Thread.delay 0.05;
+  (* different seed = different batch key: stays queued behind id1 *)
+  let id2 =
+    match Service.submit_async service (Service.request ~scale:32 ~seed:2 "unsharp") with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "submit rejected: %s" (Pmdp_error.to_string e)
+  in
+  Service.shutdown service;
+  (match Service.await service id1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "in-flight request failed: %s" (Pmdp_error.to_string e));
+  (match Service.await service id2 with
+  | Error (Pmdp_error.Cancelled _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok _ -> Alcotest.fail "queued request survived shutdown");
+  (match Service.submit_async service (Service.request "blur") with
+  | Error (Pmdp_error.Pool_shutdown _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok _ -> Alcotest.fail "submit after shutdown admitted");
+  (* idempotent *)
+  Service.shutdown service
+
+let test_service_concurrent_submits () =
+  (* Submits racing from several domains: every request completes,
+     the cache compiled each distinct key once. *)
+  with_service (fun service ->
+      let domains =
+        Array.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                List.init 5 (fun i ->
+                    let app = if (d + i) mod 2 = 0 then "blur" else "unsharp" in
+                    Service.submit service (Service.request ~scale:32 app))))
+      in
+      let results = Array.to_list domains |> List.concat_map Domain.join in
+      List.iter
+        (function
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "concurrent submit failed: %s" (Pmdp_error.to_string e))
+        results;
+      let s = Service.stats service in
+      Alcotest.(check int) "all completed" 20 s.Service.completed;
+      Alcotest.(check int) "one compile per distinct key" 2 s.Service.cache.Plan_cache.compiles)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codecs *)
+
+let test_protocol_request_codec () =
+  let r = Service.request ~scale:16 ~scheduler:Scheduler.Greedy ~seed:3 "unsharp" in
+  (match Protocol.request_of_json (Protocol.json_of_request r) with
+  | Ok r' -> Alcotest.(check bool) "request round trip" true (r = r')
+  | Error e -> Alcotest.failf "decode failed: %s" (Pmdp_error.to_string e));
+  (* defaults apply for missing optional fields *)
+  (match Protocol.request_of_json (Json.Obj [ ("app", Json.String "blur") ]) with
+  | Ok r' -> Alcotest.(check bool) "defaults" true (r' = Service.request "blur")
+  | Error e -> Alcotest.failf "decode failed: %s" (Pmdp_error.to_string e));
+  (* missing app and ill-typed fields are rejected *)
+  let rejected j =
+    match Protocol.request_of_json j with
+    | Error (Pmdp_error.Plan_invalid _) -> ()
+    | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+    | Ok _ -> Alcotest.fail "bad request decoded"
+  in
+  rejected (Json.Obj [ ("op", Json.String "submit") ]);
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("scale", Json.String "big") ]);
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("scheduler", Json.String "nope") ]);
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("scale", Json.Int 0) ])
+
+let test_protocol_error_codec () =
+  let errors =
+    [
+      Pmdp_error.Plan_invalid { context = "c"; reason = "r" };
+      Pmdp_error.Arity_mismatch { context = "c"; expected = 2; got = 3 };
+      Pmdp_error.Unresolved_external { name = "n"; context = "c" };
+      Pmdp_error.Scratch_over_budget { required_bytes = 10; budget_bytes = 5; context = "c" };
+      Pmdp_error.Worker_crash { worker = 1; detail = "d" };
+      Pmdp_error.Timeout { seconds = 1.5; context = "c" };
+      Pmdp_error.Cancelled { reason = "r" };
+      Pmdp_error.Pool_shutdown { context = "c" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let e' = Protocol.error_of_json (Protocol.json_of_error e) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s round trips" (Pmdp_error.kind e))
+        true (e = e'))
+    errors;
+  (* unknown kinds decode to something typed instead of raising *)
+  match Protocol.error_of_json (Json.Obj [ ("kind", Json.String "martian") ]) with
+  | Pmdp_error.Plan_invalid _ -> ()
+  | e -> Alcotest.failf "unexpected decode: %s" (Pmdp_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Load generator (in-process) *)
+
+let test_load_inproc () =
+  let service = Service.create ~workers:2 ~machine:xeon () in
+  let cfg = Load.config ~clients:3 ~requests:30 ~apps:[ "blur" ] ~scale:32 () in
+  let report = Load.run_inproc service cfg in
+  Service.shutdown service;
+  Alcotest.(check int) "all succeed" 30 report.Load.succeeded;
+  Alcotest.(check int) "none fail" 0 report.Load.failed;
+  Alcotest.(check bool) "throughput positive" true (report.Load.throughput_rps > 0.0);
+  Alcotest.(check bool) "p50 <= p95 <= p99" true
+    (report.Load.p50_ms <= report.Load.p95_ms && report.Load.p95_ms <= report.Load.p99_ms);
+  Alcotest.(check bool) "cache hits observed" true (report.Load.cache_hits > 0);
+  (* the report document parses back and carries the percentiles *)
+  match Json.of_string (Json.to_string (Load.to_json report)) with
+  | Error e -> Alcotest.failf "report JSON unparseable: %s" e
+  | Ok doc ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " present") true
+            (Option.bind (Json.member key doc) Json.to_float_opt <> None))
+        [ "throughput_rps"; "p50_ms"; "p95_ms"; "p99_ms" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bench schema validation (shares the JSON parser) *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let test_bench_merge_schema () =
+  let dir = Filename.temp_file "pmdp-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "BENCH_test.json" in
+  let write () = Pmdp_bench.Runner.write_json ~path ~machine:xeon ~scale:32 ~reps:1 [] in
+  (* fresh file: fine *)
+  (match write () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh write failed: %s" (Pmdp_error.to_string e));
+  (* merging into a valid current-schema file: fine, old cases survive *)
+  write_file path
+    (Printf.sprintf
+       {|{"schema_version": %d, "cases": [{"app": "old", "scheduler": "dp", "workers": 1}]}|}
+       Pmdp_bench.Runner.schema_version);
+  (match write () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merge write failed: %s" (Pmdp_error.to_string e));
+  (match Json.of_file path with
+  | Ok doc ->
+      let cases =
+        Option.value ~default:[] (Option.bind (Json.member "cases" doc) Json.to_list_opt)
+      in
+      Alcotest.(check int) "old case survived the merge" 1 (List.length cases)
+  | Error e -> Alcotest.failf "merged file unparseable: %s" e);
+  (* wrong schema version: typed refusal *)
+  write_file path {|{"schema_version": 1, "cases": []}|};
+  (match write () with
+  | Error (Pmdp_error.Plan_invalid { reason; _ }) ->
+      Alcotest.(check bool) "reason names the version" true
+        (String.length reason > 0)
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok () -> Alcotest.fail "schema mismatch merged anyway");
+  (* missing schema version: typed refusal *)
+  write_file path {|{"cases": []}|};
+  (match write () with
+  | Error (Pmdp_error.Plan_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok () -> Alcotest.fail "versionless file merged anyway");
+  (* unparseable JSON: typed refusal, not an exception *)
+  write_file path "{not json";
+  (match write () with
+  | Error (Pmdp_error.Plan_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok () -> Alcotest.fail "garbage file merged anyway");
+  Sys.remove path;
+  Unix.rmdir dir
+
+let () =
+  Alcotest.run "pmdp_service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "pretty round trip" `Quick test_json_roundtrip_pretty;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "plan-cache",
+        [
+          Alcotest.test_case "fingerprint stable" `Quick test_fingerprint_stable;
+          Alcotest.test_case "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "one compile per key" `Quick test_cache_one_compile_per_key;
+          Alcotest.test_case "failure cached" `Quick test_cache_failure_cached;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "submit + cache hit" `Quick test_service_submit;
+          Alcotest.test_case "unknown app" `Quick test_service_unknown_app;
+          Alcotest.test_case "over budget" `Quick test_service_over_budget;
+          Alcotest.test_case "queue full" `Quick test_service_queue_full;
+          Alcotest.test_case "batching" `Quick test_service_batching;
+          Alcotest.test_case "await semantics" `Quick test_service_await_semantics;
+          Alcotest.test_case "shutdown" `Quick test_service_shutdown;
+          Alcotest.test_case "concurrent submits" `Quick test_service_concurrent_submits;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request codec" `Quick test_protocol_request_codec;
+          Alcotest.test_case "error codec" `Quick test_protocol_error_codec;
+        ] );
+      ( "load",
+        [ Alcotest.test_case "in-process run" `Quick test_load_inproc ] );
+      ( "bench-merge",
+        [ Alcotest.test_case "schema validation" `Quick test_bench_merge_schema ] );
+    ]
