@@ -384,28 +384,115 @@ let dot_cmd =
 
 let check_cmd =
   let doc =
-    "Statically verify schedules (legality, bounds, races, lint) without running them."
+    "Statically verify schedules (legality, bounds, races, lint) and lowered plan IRs \
+     (whole-plan analyzer) without running them.  Exit codes: 0 when clean, 1 on \
+     error-severity diagnostics, 2 on a usage error."
   in
-  let run app scale machine schedulers =
-    let apps = match app with Some a -> [ a ] | None -> Registry.benchmarks in
-    let had_errors = ref false in
-    List.iter
-      (fun (app : Registry.app) ->
-        let pipeline = app.Registry.build ~scale in
+  let module D = Pmdp_verify.Diagnostic in
+  let module Json = Pmdp_report.Json in
+  let run app scale machine schedulers json plan plan_out plan_file =
+    let usage msg =
+      prerr_endline ("pmdp check: " ^ msg);
+      exit 2
+    in
+    (* One result row per checked case: (app, source, plan digest, diagnostics). *)
+    let results = ref [] in
+    let add r = results := r :: !results in
+    (match plan_file with
+    | Some path ->
+        let a =
+          match app with
+          | Some a -> a
+          | None -> usage "--plan-file requires an APP to check the plan against"
+        in
+        let pipeline = a.Registry.build ~scale in
+        (match Pmdp_plan.read path with
+        | Error e -> add (a.Registry.name, path, None, [ D.make D.Plan D.Error ~kind:"unreadable" e ])
+        | Ok (ir, claimed) ->
+            let actual = Pmdp_plan.digest ir in
+            let digest_ds =
+              if actual <> claimed then
+                [
+                  D.make D.Plan D.Error ~kind:"digest-mismatch"
+                    (Printf.sprintf "file claims digest %s but its content digests to %s" claimed
+                       actual);
+                ]
+              else []
+            in
+            add (a.Registry.name, path, Some actual,
+                 digest_ds @ Pmdp_verify.Verify.check_plan pipeline ir))
+    | None ->
+        let apps = match app with Some a -> [ a ] | None -> Registry.benchmarks in
+        if plan_out <> None && (List.length apps <> 1 || List.length schedulers <> 1) then
+          usage "--plan-out requires exactly one APP and one --scheduler";
         List.iter
-          (fun scheduler ->
-            (* Full DP is exponential in practice on the big pipelines;
-               use the incremental variant there, as the tests do. *)
-            let scheduler = Scheduler.for_pipeline scheduler pipeline in
-            let sched = make_schedule scheduler machine pipeline in
-            let ds = Pmdp_verify.Verify.check_schedule sched in
-            if Pmdp_verify.Verify.errors ds <> [] then had_errors := true;
-            Format.printf "%-15s %-8s %s@." app.Registry.name (Scheduler.to_string scheduler)
-              (Pmdp_verify.Diagnostic.summary ds);
-            List.iter (fun d -> Format.printf "  %a@." Pmdp_verify.Diagnostic.pp d) ds)
-          schedulers)
-      apps;
-    if !had_errors then exit 1
+          (fun (app : Registry.app) ->
+            let pipeline = app.Registry.build ~scale in
+            List.iter
+              (fun scheduler ->
+                (* Full DP is exponential in practice on the big pipelines;
+                   use the incremental variant there, as the tests do. *)
+                let scheduler = Scheduler.for_pipeline scheduler pipeline in
+                let sched = make_schedule scheduler machine pipeline in
+                let ds = Pmdp_verify.Verify.check_schedule sched in
+                let ds, digest =
+                  if plan || plan_out <> None then
+                    match Pmdp_plan.of_spec_result sched with
+                    | Error e ->
+                        ( ds
+                          @ [
+                              D.make D.Plan D.Error ~kind:(Pmdp_util.Pmdp_error.kind e)
+                                (Pmdp_util.Pmdp_error.message e);
+                            ],
+                          None )
+                    | Ok ir ->
+                        Option.iter
+                          (fun path ->
+                            Pmdp_plan.write path ir;
+                            if not json then Printf.printf "wrote %s\n%!" path)
+                          plan_out;
+                        (ds @ Pmdp_verify.Verify.check_plan pipeline ir, Some (Pmdp_plan.digest ir))
+                  else (ds, None)
+                in
+                add (app.Registry.name, Scheduler.to_string scheduler, digest, ds))
+              schedulers)
+          apps);
+    let results = List.rev !results in
+    let had_errors =
+      List.exists (fun (_, _, _, ds) -> Pmdp_verify.Verify.errors ds <> []) results
+    in
+    if json then
+      print_endline
+        (Json.to_string_pretty
+           (Json.Obj
+              [
+                ("status", Json.String (if had_errors then "error" else "ok"));
+                ( "cases",
+                  Json.List
+                    (List.map
+                       (fun (app, source, digest, ds) ->
+                         Json.Obj
+                           [
+                             ("app", Json.String app);
+                             ("source", Json.String source);
+                             ( "plan_digest",
+                               match digest with Some d -> Json.String d | None -> Json.Null );
+                             ( "status",
+                               Json.String
+                                 (if Pmdp_verify.Verify.errors ds <> [] then "error" else "ok") );
+                             ("summary", Json.String (D.summary ds));
+                             ("diagnostics", Json.List (List.map D.to_json ds));
+                           ])
+                       results) );
+              ]))
+    else
+      List.iter
+        (fun (app, source, digest, ds) ->
+          Format.printf "%-15s %-8s %s%s@." app source (D.summary ds)
+            (match digest with Some d -> "  plan " ^ d | None -> "");
+          List.iter (fun d -> Format.printf "  %a@." D.pp d) ds)
+        results;
+    if had_errors then exit 1
   in
   let app_opt_t =
     Arg.(value & pos 0 (some app_conv) None
@@ -415,8 +502,33 @@ let check_cmd =
     Arg.(value & opt (list scheduler_conv) Scheduler.[ Dp; Greedy; Halide ]
          & info [ "scheduler"; "s" ] ~doc:"Comma-separated schedulers to check.")
   in
+  let json_t =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable output: one JSON object with per-case status and \
+                   diagnostics (each carrying its failure_kind) on stdout.")
+  in
+  let plan_t =
+    Arg.(value & flag
+         & info [ "plan" ]
+             ~doc:"Also lower each schedule to the serializable plan IR and run the whole-plan \
+                   static analyzer (coverage, scratch consistency, dependences, budget audit).")
+  in
+  let plan_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "plan-out" ] ~docv:"FILE"
+             ~doc:"Write the lowered plan IR (with its content digest) to $(docv); requires \
+                   exactly one APP and one --scheduler.  Implies --plan.")
+  in
+  let plan_file_t =
+    Arg.(value & opt (some string) None
+         & info [ "plan-file" ] ~docv:"FILE"
+             ~doc:"Verify an on-disk plan IR against APP's pipeline instead of scheduling: \
+                   digest check plus the whole-plan analyzer.")
+  in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ app_opt_t $ scale_t $ machine_t $ scheds_t)
+    Term.(const run $ app_opt_t $ scale_t $ machine_t $ scheds_t $ json_t $ plan_t $ plan_out_t
+          $ plan_file_t)
 
 let storage_cmd =
   let doc = "Report buffer lifetimes and the memory saved by recycling (storage optimization)." in

@@ -31,47 +31,38 @@ type group_plan = {
   members : member_plan array;
 }
 
-type plan = { pipeline : Pipeline.t; groups : group_plan array; liveouts : string list }
+type plan = {
+  pipeline : Pipeline.t;
+  groups : group_plan array;
+  liveouts : string list;
+  ir : Pmdp_plan.t;
+}
 
-(* Per own-dimension extents of the reusable arena slot that covers
-   any tile's region of a member; exposed so the static bounds checker
-   can prove no region ever exceeds it. *)
-let member_scratch_extents (ga : Group_analysis.t) ~member:m ~tile =
-  let stage = Pipeline.stage ga.Group_analysis.pipeline ga.Group_analysis.members.(m) in
-  Array.init (Stage.ndims stage) (fun k ->
-      let g = ga.Group_analysis.dim_of_stage.(m).(k) in
-      let s = ga.Group_analysis.scales.(m).(g) in
-      let elo, ehi = ga.Group_analysis.expansions.(m).(g) in
-      let widest = ((tile.(g) + elo + ehi + s - 1) / s) + 2 in
-      min stage.Stage.dims.(k).Stage.extent (max 1 widest))
+let member_scratch_extents = Pmdp_plan.member_scratch_extents
 
-let plan (spec : Schedule_spec.t) =
-  Schedule_spec.validate spec;
-  let p = spec.Schedule_spec.pipeline in
+(* Instantiation: IR -> closures.  All the analysis already happened in
+   Pmdp_plan.of_spec (or the IR came from disk); what remains is
+   compiling member bodies, resolving load slots, and re-deriving the
+   executor-safety quantities (tiles_per_dim, direct, max_scratch) from
+   the reconstructed analysis rather than trusting the IR's claims —
+   the static checker reports IR/formula disagreements, but the
+   executor must stay sound even on an unchecked plan. *)
+let instantiate p (ir : Pmdp_plan.t) =
+  if ir.Pmdp_plan.pipeline <> p.Pipeline.name || ir.Pmdp_plan.n_stages <> Pipeline.n_stages p
+  then
+    Pmdp_error.raise_
+      (Pmdp_error.Plan_invalid
+         {
+           context = "Tiled_exec.instantiate";
+           reason =
+             Printf.sprintf "plan is for pipeline %s with %d stages, not %s with %d stages"
+               ir.Pmdp_plan.pipeline ir.Pmdp_plan.n_stages p.Pipeline.name (Pipeline.n_stages p);
+         });
   let groups =
-    List.map
-      (fun (g : Schedule_spec.group) ->
-        let ga =
-          match Group_analysis.analyze p g.Schedule_spec.stages with
-          | Ok ga -> ga
-          | Error f ->
-              Pmdp_error.raise_
-                (Pmdp_error.Plan_invalid
-                   {
-                     context = "Tiled_exec.plan";
-                     reason =
-                       Format.asprintf "group failed analysis: %a" Group_analysis.pp_failure f;
-                   })
-        in
-        if Array.length g.Schedule_spec.tile_sizes <> ga.Group_analysis.n_dims then
-          Pmdp_error.raise_
-            (Pmdp_error.Arity_mismatch
-               {
-                 context = "Tiled_exec.plan: tile sizes";
-                 expected = ga.Group_analysis.n_dims;
-                 got = Array.length g.Schedule_spec.tile_sizes;
-               });
-        let tile = Footprint.clamp_tile ga g.Schedule_spec.tile_sizes in
+    Array.map
+      (fun (g : Pmdp_plan.group) ->
+        let ga = Pmdp_plan.group_analysis p g in
+        let tile = g.Pmdp_plan.tile in
         let tiles_per_dim =
           Array.init ga.Group_analysis.n_dims (fun d ->
               let extent = Group_analysis.dim_extent ga d in
@@ -89,8 +80,8 @@ let plan (spec : Schedule_spec.t) =
             (Array.mapi (fun m sid -> (m, sid)) ga.Group_analysis.members)
         in
         let members =
-          Array.map
-            (fun sid ->
+          Array.mapi
+            (fun m sid ->
               let stage = Pipeline.stage p sid in
               let names, compiled = Compile.compile_stage stage in
               let slots =
@@ -101,7 +92,6 @@ let plan (spec : Schedule_spec.t) =
                     | None -> External name)
                   names
               in
-              let m = Group_analysis.member_index ga sid in
               let liveout = ga.Group_analysis.liveouts.(m) in
               let own_nd = Stage.ndims stage in
               let direct = ref liveout in
@@ -133,19 +123,25 @@ let plan (spec : Schedule_spec.t) =
             ga.Group_analysis.members
         in
         { ga; tile; tiles_per_dim; n_tiles; members })
-      spec.Schedule_spec.groups
+      ir.Pmdp_plan.groups
   in
   let liveouts =
     List.concat_map
       (fun gp ->
-        Array.to_list
-          (Array.map (fun (mp : member_plan) -> mp.stage.Stage.name)
-             (Array.of_list
-                (List.filter (fun (mp : member_plan) -> mp.liveout)
-                   (Array.to_list gp.members)))))
-      groups
+        List.filter_map
+          (fun (mp : member_plan) -> if mp.liveout then Some mp.stage.Stage.name else None)
+          (Array.to_list gp.members))
+      (Array.to_list groups)
   in
-  { pipeline = p; groups = Array.of_list groups; liveouts }
+  { pipeline = p; groups; liveouts; ir }
+
+let instantiate_result p ir =
+  match instantiate p ir with
+  | plan -> Ok plan
+  | exception Pmdp_error.Error e -> Error e
+
+let plan (spec : Schedule_spec.t) =
+  instantiate spec.Schedule_spec.pipeline (Pmdp_plan.of_spec spec)
 
 let plan_result spec =
   match plan spec with
@@ -153,6 +149,8 @@ let plan_result spec =
   | exception Pmdp_error.Error e -> Error e
   | exception Invalid_argument reason ->
       Error (Pmdp_error.Plan_invalid { context = "Schedule_spec.validate"; reason })
+
+let ir plan = plan.ir
 
 let liveout_stages plan = plan.liveouts
 let pipeline plan = plan.pipeline

@@ -18,12 +18,28 @@ val member_scratch_extents :
   Pmdp_analysis.Group_analysis.t -> member:int -> tile:int array -> int array
 (** Per own-dimension extents of the reusable arena slot allocated for
     a member's per-tile region (the executor sizes its scratch arena
-    by their product).  Exposed so the static bounds checker
-    ({!Pmdp_verify}) can prove every tile's region fits the slot. *)
+    by their product).  Delegates to
+    {!Pmdp_plan.member_scratch_extents} — the one sizing formula the
+    executor, the IR, and the static bounds checker
+    ({!Pmdp_verify}) share. *)
+
+val instantiate : Pmdp_dsl.Pipeline.t -> Pmdp_plan.t -> plan
+(** The cheap half of lowering: turn a serializable plan IR into an
+    executable plan by compiling member bodies and resolving load
+    slots.  Executor-safety quantities (tile counts, scratch sizes,
+    direct flags) are re-derived from the reconstructed analysis, not
+    trusted from the IR.
+    @raise Pmdp_util.Pmdp_error.Error ([Plan_invalid]) when the IR does
+    not fit the pipeline (wrong pipeline name or stage count, stale
+    stage names or extents, inconsistent tables). *)
+
+val instantiate_result :
+  Pmdp_dsl.Pipeline.t -> Pmdp_plan.t -> (plan, Pmdp_util.Pmdp_error.t) result
 
 val plan : Pmdp_core.Schedule_spec.t -> plan
-(** Lower a schedule: analyze each group, fit tile sizes, compile
-    member bodies, and resolve load slots.
+(** Lower a schedule end to end: {!Pmdp_plan.of_spec} (analyze each
+    group, fit tile sizes) followed by {!instantiate} (compile member
+    bodies, resolve load slots).
     @raise Pmdp_util.Pmdp_error.Error ([Plan_invalid] for failed
     validation or group analysis, [Arity_mismatch] for a wrong-length
     tile-size vector).  Schedules from the in-tree schedulers never
@@ -33,6 +49,9 @@ val plan_result : Pmdp_core.Schedule_spec.t -> (plan, Pmdp_util.Pmdp_error.t) re
 (** {!plan} as a [result]: every raising boundary — including
     [Schedule_spec.validate]'s [Invalid_argument] — is converted to a
     typed {!Pmdp_util.Pmdp_error.t}. *)
+
+val ir : plan -> Pmdp_plan.t
+(** The serializable IR this plan was instantiated from. *)
 
 val scratch_bytes_per_worker : plan -> int
 (** Bytes of per-worker scratch arena in the plan's most

@@ -10,6 +10,8 @@ type entry = {
   resolved : Scheduler.t;
   spec : Pmdp_core.Schedule_spec.t;
   plan : Tiled_exec.plan;
+  ir : Pmdp_plan.t;
+  digest : string;
 }
 
 (* [Building] is claimed by exactly one requester; everyone else for
@@ -43,6 +45,25 @@ let fingerprint ~app ~scale ~scheduler ~(machine : Machine.t) =
        (Printf.sprintf "pmdp-plan-v1|app=%s|scale=%d|scheduler=%s|machine=%s|cores=%d" app scale
           (Scheduler.to_string scheduler) machine.Machine.name machine.Machine.cores))
 
+(* Instantiate a plan IR for [pipeline] with the gate every path into
+   a Ready slot shares: the claimed digest must match the IR's content
+   (tamper/corruption), and the whole-plan static analyzer must pass
+   (soundness) — both before any closure is handed out. *)
+let admit_ir ~pipeline ~(ir : Pmdp_plan.t) ~digest:claimed =
+  let actual = Pmdp_plan.digest ir in
+  if actual <> claimed then
+    Error
+      (Pmdp_error.Plan_invalid
+         {
+           context = "plan-cache: digest";
+           reason =
+             Printf.sprintf "plan claims digest %s but its content digests to %s" claimed actual;
+         })
+  else
+    match Pmdp_verify.Verify.check_plan_result pipeline ir with
+    | Error e -> Error e
+    | Ok () -> Tiled_exec.instantiate_result pipeline ir
+
 (* Full scheduling + lowering, with every raising boundary folded into
    the typed taxonomy: a cache must return errors, not leak them. *)
 let compile ~fp ~(app : Registry.app) ~scale ~scheduler ~machine =
@@ -53,13 +74,19 @@ let compile ~fp ~(app : Registry.app) ~scale ~scheduler ~machine =
     let spec =
       Scheduler.schedule resolved (Pmdp_core.Cost_model.default_config machine) pipeline
     in
-    match Tiled_exec.plan_result spec with
-    | Ok plan -> Ok { fingerprint = fp; resolved; spec; plan }
+    match Pmdp_plan.of_spec_result spec with
     | Error e -> Error e
+    | Ok ir -> (
+        let digest = Pmdp_plan.digest ir in
+        match admit_ir ~pipeline ~ir ~digest with
+        | Error e -> Error e
+        | Ok plan -> Ok { fingerprint = fp; resolved; spec; plan; ir; digest })
   with
   | Pmdp_error.Error e -> Error e
   | Invalid_argument reason -> Error (Pmdp_error.Plan_invalid { context; reason })
   | e -> Error (Pmdp_error.Plan_invalid { context; reason = Printexc.to_string e })
+
+let load ~pipeline ~ir ~digest = admit_ir ~pipeline ~ir ~digest
 
 let get t ~(app : Registry.app) ~scale ~scheduler ~machine =
   let fp = fingerprint ~app:app.Registry.name ~scale ~scheduler ~machine in

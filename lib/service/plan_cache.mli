@@ -28,6 +28,8 @@ type entry = {
       (** after {!Pmdp_core.Scheduler.for_pipeline} *)
   spec : Pmdp_core.Schedule_spec.t;
   plan : Pmdp_exec.Tiled_exec.plan;
+  ir : Pmdp_plan.t;  (** the serializable IR the plan was instantiated from *)
+  digest : string;  (** {!Pmdp_plan.digest} of [ir] *)
 }
 
 type t
@@ -57,7 +59,23 @@ val get :
     [`Miss] marks the one requester per key that compiled; waiters
     that blocked on an in-flight compile return [`Hit] like any
     later requester.  Never raises: compile failures surface as the
-    cached typed error. *)
+    cached typed error.  A slot only becomes [Ready] after its plan
+    IR passes the digest check and the whole-plan static analyzer
+    ({!Pmdp_verify.Verify.check_plan_result}). *)
+
+val load :
+  pipeline:Pmdp_dsl.Pipeline.t ->
+  ir:Pmdp_plan.t ->
+  digest:string ->
+  (Pmdp_exec.Tiled_exec.plan, Pmdp_util.Pmdp_error.t) result
+(** Admit an externally supplied plan IR (e.g. parsed from a
+    {!Pmdp_plan.read} file) through the same gate [get] applies before
+    marking a slot [Ready]: the claimed [digest] must equal
+    [Pmdp_plan.digest ir] (otherwise the plan was tampered with or
+    corrupted) and the whole-plan static analyzer must report no
+    errors; only then is the IR instantiated.  Every rejection is a
+    typed [Plan_invalid] — nothing is ever executed from a plan that
+    fails the gate. *)
 
 type stats = {
   hits : int;  (** requests served from a ready slot (incl. waiters) *)

@@ -1,4 +1,4 @@
-type pass = Legality | Bounds | Race | Lint
+type pass = Legality | Bounds | Race | Lint | Plan
 type severity = Error | Warning
 
 type t = {
@@ -19,6 +19,7 @@ let pass_name = function
   | Bounds -> "bounds"
   | Race -> "race"
   | Lint -> "lint"
+  | Plan -> "plan"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 let errors ds = List.filter (fun d -> d.severity = Error) ds
@@ -41,3 +42,17 @@ let pp_report ppf ds =
 let summary ds =
   Printf.sprintf "%d error(s), %d warning(s)" (List.length (errors ds))
     (List.length (warnings ds))
+
+let to_json d =
+  let module J = Pmdp_report.Json in
+  let opt f = function Some v -> f v | None -> J.Null in
+  J.Obj
+    [
+      ("severity", J.String (severity_name d.severity));
+      ("pass", J.String (pass_name d.pass));
+      ("failure_kind", J.String d.kind);
+      ("group", opt (fun g -> J.Int g) d.group);
+      ("stage", opt (fun s -> J.String s) d.stage);
+      ("dim", opt (fun k -> J.Int k) d.dim);
+      ("detail", J.String d.detail);
+    ]

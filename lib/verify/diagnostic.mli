@@ -1,4 +1,4 @@
-(** Structured diagnostics shared by the four static-checker passes.
+(** Structured diagnostics shared by the static-checker passes.
 
     Every finding is attributed to a pass, has a stable kebab-case
     [kind] slug that tests and tooling can match on, a severity, and
@@ -7,7 +7,7 @@
 
     {v <severity> <pass>/<kind> [group=N] [stage=S] [dim=D]: <detail> v} *)
 
-type pass = Legality | Bounds | Race | Lint
+type pass = Legality | Bounds | Race | Lint | Plan
 type severity = Error | Warning
 
 type t = {
@@ -45,3 +45,8 @@ val pp_report : Format.formatter -> t list -> unit
 
 val summary : t list -> string
 (** ["N error(s), M warning(s)"]. *)
+
+val to_json : t -> Pmdp_report.Json.t
+(** Machine-readable rendering for [pmdp check --json]: an object with
+    [severity], [pass], [failure_kind] (the stable [kind] slug), the
+    optional provenance fields ([null] when absent), and [detail]. *)

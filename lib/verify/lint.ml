@@ -118,6 +118,34 @@ let check_schedule (spec : Schedule_spec.t) =
       let members =
         List.filter (fun sid -> sid >= 0 && sid < Pipeline.n_stages p) g.Schedule_spec.stages
       in
+      (* Tile-size smells: legal, but spatial locality is gone.  Needs
+         the group's scaled iteration space, so skip groups the
+         analysis rejects (legality reports those as errors). *)
+      (match Pmdp_analysis.Group_analysis.analyze p members with
+      | Error _ -> ()
+      | Ok ga ->
+          let gdims = ga.Pmdp_analysis.Group_analysis.n_dims in
+          let tiles = g.Schedule_spec.tile_sizes in
+          if Array.length tiles = gdims then
+            Array.iteri
+              (fun d t ->
+                let extent = Pmdp_analysis.Group_analysis.dim_extent ga d in
+                if d = gdims - 1 && t = 1 && extent > 1 then
+                  diags :=
+                    warn ~kind:"one-wide-innermost" ~group:gi ~dim:d
+                      (Printf.sprintf
+                         "tile is 1 wide along the innermost dimension (extent %d): no spatial \
+                          locality or vectorization"
+                         extent)
+                    :: !diags;
+                if t > extent then
+                  diags :=
+                    warn ~kind:"tile-oversized" ~group:gi ~dim:d
+                      (Printf.sprintf
+                         "tile size %d exceeds the iteration extent %d; lowering clamps it" t
+                         extent)
+                    :: !diags)
+              tiles);
       List.iter
         (fun sid ->
           List.iter

@@ -19,6 +19,19 @@ let check_schedule_result spec =
              reason = Diagnostic.to_string d;
            })
 
+let check_plan = Plan_check.check
+
+let check_plan_result ?budget ?workers p ir =
+  match errors (check_plan ?budget ?workers p ir) with
+  | [] -> Ok ()
+  | d :: _ as errs ->
+      Error
+        (Pmdp_util.Pmdp_error.Plan_invalid
+           {
+             context = Printf.sprintf "Verify.check_plan (%d error(s))" (List.length errs);
+             reason = Diagnostic.to_string d;
+           })
+
 let oracle spec =
   match errors (Legality.check spec @ Race.check spec) with
   | [] -> None

@@ -26,6 +26,24 @@ val check_schedule_result : Pmdp_core.Schedule_spec.t -> (unit, Pmdp_util.Pmdp_e
     the same shape {!Pmdp_exec.Resilient} records, so static rejection
     and runtime rejection render identically in reports. *)
 
+val check_plan :
+  ?budget:int -> ?workers:int -> Pmdp_dsl.Pipeline.t -> Pmdp_plan.t -> Diagnostic.t list
+(** The whole-plan static analyzer ({!Plan_check.check}) over the
+    serializable plan IR: structure/partition fit, tile-coverage and
+    bounds soundness, scratch-extent cross-checks against the
+    interpreter and the C backend, lowered-level dependence audit, and
+    the static memory-budget audit (with [budget], mirroring the
+    service's admission formula for [workers] workers). *)
+
+val check_plan_result :
+  ?budget:int ->
+  ?workers:int ->
+  Pmdp_dsl.Pipeline.t ->
+  Pmdp_plan.t ->
+  (unit, Pmdp_util.Pmdp_error.t) result
+(** [check_plan] folded into the typed error taxonomy, like
+    {!check_schedule_result}. *)
+
 val install : unit -> unit
 (** Register the legality + race error oracle with
     [Schedule_spec.set_legality_oracle]. *)

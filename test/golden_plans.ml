@@ -1,0 +1,91 @@
+(* Golden-plan regression corpus: one serialized plan IR per registry
+   app x non-executing scheduler (scale 32, xeon).  `--check DIR`
+   (the @plancheck alias) re-lowers every case, round-trips it through
+   JSON, runs the whole-plan static analyzer, and compares content
+   digests against the committed corpus — so a DP-model or lowering
+   change that alters any plan turns into a test failure without
+   executing a single tile.  `--write DIR` regenerates the corpus
+   (run from the repo root after an intentional model change, then
+   commit the diff). *)
+
+module Scheduler = Pmdp_core.Scheduler
+module Machine = Pmdp_machine.Machine
+module Plan = Pmdp_plan
+module Verify = Pmdp_verify.Verify
+
+let schedulers = Scheduler.[ Dp; Greedy; Halide; Manual ]
+let scale = 32
+
+let cases () =
+  let config = Pmdp_core.Cost_model.default_config Machine.xeon in
+  List.concat_map
+    (fun (app : Pmdp_apps.Registry.app) ->
+      let p = app.build ~scale in
+      List.map
+        (fun scheduler ->
+          let name = Printf.sprintf "%s_%s" app.name (Scheduler.to_string scheduler) in
+          (name, p, lazy (Scheduler.schedule (Scheduler.for_pipeline scheduler p) config p)))
+        schedulers)
+    Pmdp_apps.Registry.all
+
+let () =
+  Pmdp_baselines.Schedulers.install ();
+  let mode, dir =
+    match Array.to_list Sys.argv with
+    | [ _; "--write"; dir ] -> (`Write, dir)
+    | [ _; "--check"; dir ] -> (`Check, dir)
+    | [ _ ] -> (`Check, "golden_plans")
+    | _ ->
+        prerr_endline "usage: golden_plans [--write DIR | --check DIR]";
+        exit 2
+  in
+  let failures = ref 0 in
+  let fail name fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAIL %-24s %s\n%!" name msg)
+      fmt
+  in
+  List.iter
+    (fun (name, p, spec) ->
+      let ir = Plan.of_spec (Lazy.force spec) in
+      let path = Filename.concat dir (name ^ ".json") in
+      match mode with
+      | `Write ->
+          Plan.write path ir;
+          Printf.printf "wrote %-24s digest %s\n%!" name (Plan.digest ir)
+      | `Check -> (
+          (* round-trip: the codec must be the identity up to digest *)
+          (match Plan.of_json (Plan.to_json ir) with
+          | Error e -> fail name "round-trip parse failed: %s" e
+          | Ok ir' ->
+              if Plan.digest ir' <> Plan.digest ir then
+                fail name "round-trip changed the digest");
+          (* the analyzer must accept every in-tree plan *)
+          let errs = Verify.errors (Verify.check_plan p ir) in
+          List.iter
+            (fun d -> fail name "analyzer: %s" (Pmdp_verify.Diagnostic.to_string d))
+            errs;
+          (* digest must match the committed corpus *)
+          match Plan.read path with
+          | Error e -> fail name "unreadable golden plan: %s" e
+          | Ok (golden, claimed) ->
+              if Plan.digest golden <> claimed then
+                fail name "golden file tampered: claimed digest %s, content %s" claimed
+                  (Plan.digest golden)
+              else if Plan.digest ir <> claimed then
+                fail name
+                  "plan drift: lowered digest %s, golden %s (regenerate with --write if \
+                   intentional)"
+                  (Plan.digest ir) claimed
+              else Printf.printf "ok   %-24s %s\n%!" name claimed))
+    (cases ());
+  match mode with
+  | `Write -> ()
+  | `Check ->
+      if !failures > 0 then begin
+        Printf.printf "golden_plans: %d failure(s)\n%!" !failures;
+        exit 1
+      end;
+      print_endline "golden_plans: all plans verified"

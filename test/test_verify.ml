@@ -118,6 +118,36 @@ let test_seeded_multi_writer () =
 
 (* -------------------- lint -------------------- *)
 
+(* Tile of width 1 along the innermost dimension: legal, but all
+   spatial locality is gone — the lint pass must say so. *)
+let test_lint_one_wide_innermost () =
+  let p = blur () in
+  let spec = Spec.with_tiles p [ ([ 0; 1 ], [| 64; 1 |]) ] in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "one-wide-innermost planted" true
+    (find ~severity:D.Warning ~pass:D.Lint ~kind:"one-wide-innermost" ds)
+
+(* Tile larger than the iteration extent: lowering clamps it, but the
+   schedule as written asks for a meaningless tiling. *)
+let test_lint_tile_oversized () =
+  let p = blur () in
+  let spec =
+    { Spec.pipeline = p; groups = [ { Spec.stages = [ 0; 1 ]; tile_sizes = [| 100; 100 |] } ] }
+  in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "tile-oversized planted" true
+    (find ~severity:D.Warning ~pass:D.Lint ~kind:"tile-oversized" ds)
+
+(* Clean in-tree schedules must not trip the new tile-size lints. *)
+let test_lint_clean_tiles () =
+  let p = blur () in
+  let spec = Spec.with_tiles p [ ([ 0; 1 ], [| 16; 16 |]) ] in
+  let ds = V.check_schedule spec in
+  Alcotest.(check bool) "no one-wide-innermost" false
+    (find ~pass:D.Lint ~kind:"one-wide-innermost" ds);
+  Alcotest.(check bool) "no tile-oversized" false
+    (find ~pass:D.Lint ~kind:"tile-oversized" ds)
+
 let test_lint_unused_stage () =
   let blurx = Stage.pointwise "blurx" dims (Pmdp_apps.Helpers.blur3 "img" ~ndims:2 ~dim:0) in
   let blury = Stage.pointwise "blury" dims (Pmdp_apps.Helpers.blur3 "blurx" ~ndims:2 ~dim:1) in
@@ -182,6 +212,87 @@ let test_failure_format () =
         && String.sub s 0 (String.length (GA.failure_kind f)) = GA.failure_kind f))
     samples
 
+(* -------------------- affine interval arithmetic -------------------- *)
+
+module Affine = Pmdp_verify.Affine
+module Q = Pmdp_util.Rational
+
+let q = Q.make
+
+(* floor (a*c + b), the exact quantity both interval functions bound *)
+let fl a b c = Q.floor (Q.add (Q.mul a (Q.of_int c)) b)
+
+let test_affine_interval_brute () =
+  let cases =
+    [ (Q.one, Q.zero); (q 1 2, Q.zero); (q 1 2, q 1 3); (q 3 2, q (-5) 3);
+      (q (-1) 3, Q.zero); (q (-2) 1, q 7 5); (Q.zero, q 9 4) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let clo, chi = (-7, 9) in
+      let lo, hi = Affine.index_interval ~a ~b ~clo ~chi in
+      let vals = List.init (chi - clo + 1) (fun i -> fl a b (clo + i)) in
+      Alcotest.(check int) "exact min" (List.fold_left min max_int vals) lo;
+      Alcotest.(check int) "exact max" (List.fold_left max min_int vals) hi)
+    cases
+
+let test_affine_point_interval () =
+  let a = q 3 2 and b = q (-1) 4 in
+  let lo, hi = Affine.index_interval ~a ~b ~clo:5 ~chi:5 in
+  Alcotest.(check int) "point lo" (fl a b 5) lo;
+  Alcotest.(check int) "point hi" (fl a b 5) hi
+
+let test_affine_empty_interval () =
+  Alcotest.(check bool) "index_interval rejects empty" true
+    (invalid (fun () -> ignore (Affine.index_interval ~a:Q.one ~b:Q.zero ~clo:5 ~chi:4)));
+  Alcotest.(check bool) "index_interval rejects negative extent" true
+    (invalid (fun () -> ignore (Affine.index_interval ~a:Q.one ~b:Q.zero ~clo:0 ~chi:(-3))));
+  Alcotest.(check bool) "exact_offsets rejects empty" true
+    (invalid (fun () ->
+         ignore (Affine.exact_offsets ~s_p:1 ~s_c:1 ~a:Q.one ~b:Q.zero ~clo:1 ~chi:0)))
+
+(* Composition of shifted maps: applying two integer shifts through
+   index_interval equals the single composed shift — shifts are exact,
+   so intervals must not widen. *)
+let test_affine_composed_shifts () =
+  let clo, chi = (0, 10) in
+  let l1, h1 = Affine.index_interval ~a:Q.one ~b:(Q.of_int 3) ~clo ~chi in
+  let l2, h2 = Affine.index_interval ~a:Q.one ~b:(Q.of_int (-5)) ~clo:l1 ~chi:h1 in
+  let ld, hd = Affine.index_interval ~a:Q.one ~b:(Q.of_int (-2)) ~clo ~chi in
+  Alcotest.(check (pair int int)) "composed = direct" (ld, hd) (l2, h2);
+  (* scaling then shifting: floor((c+4)/2) over [0,10] is [2,7] *)
+  let ls, hs = Affine.index_interval ~a:(q 1 2) ~b:(Q.of_int 2) ~clo ~chi in
+  Alcotest.(check (pair int int)) "scaled shift" (2, 7) (ls, hs)
+
+(* exact_offsets under the scaling-consistency invariant s_c = a*s_p:
+   brute force over every c must land inside — and exactly on — the
+   reported hull. *)
+let test_affine_offsets_brute () =
+  let cases =
+    [ (2, 1, q 1 2, Q.zero); (2, 1, q 1 2, q 1 2); (3, 2, q 2 3, q (-1) 3);
+      (1, 2, Q.of_int 2, Q.zero); (1, 1, Q.one, Q.of_int (-4)) ]
+  in
+  List.iter
+    (fun (s_p, s_c, a, b) ->
+      let clo, chi = (0, 23) in
+      let lo, hi = Affine.exact_offsets ~s_p ~s_c ~a ~b ~clo ~chi in
+      let vals =
+        List.init (chi - clo + 1) (fun i ->
+            let c = clo + i in
+            (s_p * fl a b c) - (s_c * c))
+      in
+      Alcotest.(check int) "exact offset min" (List.fold_left min max_int vals) lo;
+      Alcotest.(check int) "exact offset max" (List.fold_left max min_int vals) hi)
+    cases
+
+(* blurx/blury in scaled space: same scale, a=1, b in {-1,0,1} — the
+   hull the checker derives for the blur pipeline. *)
+let test_affine_offsets_blur_hull () =
+  let lo, hi = Affine.exact_offsets ~s_p:1 ~s_c:1 ~a:Q.one ~b:(Q.of_int (-1)) ~clo:0 ~chi:63 in
+  Alcotest.(check (pair int int)) "shift -1" (-1, -1) (lo, hi);
+  let lo, hi = Affine.exact_offsets ~s_p:1 ~s_c:1 ~a:Q.one ~b:(Q.of_int 1) ~clo:0 ~chi:63 in
+  Alcotest.(check (pair int int)) "shift +1" (1, 1) (lo, hi)
+
 (* -------------------- scratch formulas -------------------- *)
 
 let test_scratch_extents_agree () =
@@ -213,7 +324,22 @@ let () =
           Alcotest.test_case "corrupt offset" `Quick test_seeded_corrupt_offset;
           Alcotest.test_case "multi writer" `Quick test_seeded_multi_writer;
         ] );
-      ("lint", [ Alcotest.test_case "unused stage" `Quick test_lint_unused_stage ]);
+      ( "lint",
+        [
+          Alcotest.test_case "unused stage" `Quick test_lint_unused_stage;
+          Alcotest.test_case "one-wide innermost tile" `Quick test_lint_one_wide_innermost;
+          Alcotest.test_case "oversized tile" `Quick test_lint_tile_oversized;
+          Alcotest.test_case "clean tiles stay clean" `Quick test_lint_clean_tiles;
+        ] );
+      ( "affine",
+        [
+          Alcotest.test_case "interval vs brute force" `Quick test_affine_interval_brute;
+          Alcotest.test_case "point interval" `Quick test_affine_point_interval;
+          Alcotest.test_case "empty interval rejected" `Quick test_affine_empty_interval;
+          Alcotest.test_case "composed shifts" `Quick test_affine_composed_shifts;
+          Alcotest.test_case "offsets vs brute force" `Quick test_affine_offsets_brute;
+          Alcotest.test_case "blur dependence hull" `Quick test_affine_offsets_blur_hull;
+        ] );
       ( "validate",
         [
           Alcotest.test_case "bad tiles" `Quick test_validate_rejects_bad_tiles;
