@@ -9,7 +9,7 @@
      emit-c <app>                 — generate C++/OpenMP for a schedule
      cachesim <app>               — simulated L1/L2 hit/miss fractions
      check [app]                  — static legality/bounds/race/lint verification
-     serve                        — pipeline-execution service on a Unix socket
+     serve                        — sharded pipeline-execution service (Unix or TCP socket)
      load                         — drive a service and report latency/throughput
 *)
 
@@ -553,24 +553,49 @@ let storage_cmd =
 
 let socket_t =
   Arg.(value & opt string "pmdp.sock"
-       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path (alias for --endpoint unix://PATH).")
+
+let endpoint_conv =
+  let parse s =
+    match Pmdp_service.Transport.of_string s with Ok e -> Ok e | Error m -> Error (`Msg m)
+  in
+  let print ppf e = Format.pp_print_string ppf (Pmdp_service.Transport.to_string e) in
+  Arg.conv (parse, print)
+
+let endpoint_t =
+  Arg.(value & opt (some endpoint_conv) None
+       & info [ "endpoint" ] ~docv:"ENDPOINT"
+           ~doc:"Service endpoint, $(i,unix://PATH) or $(i,tcp://HOST:PORT); takes precedence \
+                 over --socket.")
+
+let resolve_endpoint endpoint socket =
+  match endpoint with Some e -> e | None -> Pmdp_service.Transport.Uds socket
 
 let serve_cmd =
   let doc =
-    "Run the pipeline-execution service: a Unix-domain socket server with a compiled-plan \
-     cache, admission control against the memory budget, and same-pipeline request batching. \
-     Stops on a client shutdown operation or SIGINT/SIGTERM."
+    "Run the pipeline-execution service: fingerprint-routed dispatcher shards behind a \
+     Unix-domain or TCP socket, each with a compiled-plan cache and bounded queue, with \
+     admission control against the memory budget, priority-based load shedding, \
+     same-pipeline request batching, and an optional persistent plan cache on disk. Stops on \
+     a client shutdown operation or SIGINT/SIGTERM."
   in
-  let run machine workers mem_budget max_inflight batch_window validate socket trace =
+  let run machine workers mem_budget max_inflight batch_window validate shards queue_limit
+      cache_dir socket endpoint trace =
     trace_begin trace;
     let service =
       Pmdp_service.Service.create ~workers ?mem_budget ~max_inflight ~batch_window ~validate
-        ~machine ()
+        ~shards ~queue_limit ?cache_dir ~machine ()
     in
-    let server = Pmdp_service.Server.start ~service ~path:socket () in
-    Printf.printf "pmdp serve: listening on %s (%d workers, machine %s, budget %d bytes)\n%!"
-      socket workers machine.Pmdp_machine.Machine.name
-      (Pmdp_service.Service.mem_budget service);
+    let server =
+      Pmdp_service.Server.start ~service ~endpoint:(resolve_endpoint endpoint socket) ()
+    in
+    Printf.printf
+      "pmdp serve: listening on %s (%d shards x %d workers, machine %s, budget %d bytes%s)\n%!"
+      (Pmdp_service.Transport.to_string (Pmdp_service.Server.endpoint server))
+      shards workers machine.Pmdp_machine.Machine.name
+      (Pmdp_service.Service.mem_budget service)
+      (match cache_dir with None -> "" | Some d -> ", plan cache " ^ d);
     (* OCaml signal handlers only run when a thread reaches a
        safepoint — and a process whose every thread is parked in C
        (condition waits, accept) never does.  So the handler just
@@ -587,15 +612,19 @@ let serve_cmd =
     Pmdp_service.Server.stop server;
     Pmdp_service.Server.wait server;
     let s = Pmdp_service.Service.stats service in
+    let tot = s.Pmdp_service.Service.total in
     Printf.printf
-      "pmdp serve: done — %d submitted, %d completed, %d failed, %d rejected; %d executions \
-       (%d batches covering %d requests); cache %d hits / %d compiles\n%!"
-      s.Pmdp_service.Service.submitted s.Pmdp_service.Service.completed
-      s.Pmdp_service.Service.failed s.Pmdp_service.Service.rejected
-      s.Pmdp_service.Service.executions s.Pmdp_service.Service.batches
-      s.Pmdp_service.Service.batched_requests
-      s.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.hits
-      s.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.compiles;
+      "pmdp serve: done — %d submitted, %d completed, %d failed, %d rejected, %d shed, %d \
+       expired; %d executions (%d batches covering %d requests); cache %d hits / %d compiles \
+       / %d loaded\n%!"
+      tot.Pmdp_service.Service.submitted tot.Pmdp_service.Service.completed
+      tot.Pmdp_service.Service.failed tot.Pmdp_service.Service.rejected
+      tot.Pmdp_service.Service.shed tot.Pmdp_service.Service.expired
+      tot.Pmdp_service.Service.executions tot.Pmdp_service.Service.batches
+      tot.Pmdp_service.Service.batched_requests
+      tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.hits
+      tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.compiles
+      tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.loads;
     trace_end trace
   in
   let workers_t = Arg.(value & opt int 4 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
@@ -621,17 +650,37 @@ let serve_cmd =
              ~doc:"Check every execution against the reference executor (reported as \
                    max_abs_diff in responses).")
   in
+  let shards_t =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Dispatcher shards; requests route by plan fingerprint (consistent \
+                   hashing), so identical requests always share a shard and still batch.")
+  in
+  let queue_limit_t =
+    Arg.(value & opt int 128
+         & info [ "queue-limit" ]
+             ~doc:"Per-shard queue bound; beyond it the lowest-priority queued request is \
+                   shed (or the incoming one refused).")
+  in
+  let cache_dir_t =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist compiled plans to $(docv) and warm-load them at startup, so a \
+                   restarted server serves its first repeat request without compiling.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ machine_t $ workers_t $ mem_budget_t $ max_inflight_t $ batch_window_t
-          $ validate_t $ socket_t $ trace_t)
+          $ validate_t $ shards_t $ queue_limit_t $ cache_dir_t $ socket_t $ endpoint_t
+          $ trace_t)
 
 let load_cmd =
   let doc =
-    "Generate load against a service — over its socket, or against an in-process service with \
-     --inproc — and write a latency/throughput report (p50/p95/p99) as JSON."
+    "Generate load against a service — over its endpoint (Unix-domain or TCP socket), or \
+     against an in-process service with --inproc — and write a latency/throughput report \
+     (p50/p95/p99) as JSON."
   in
-  let run machine socket inproc clients requests rate apps scale scheduler seeds workers output
-      quiet =
+  let run machine socket endpoint inproc clients requests rate apps scale scheduler seeds
+      workers output quiet =
     let apps =
       match apps with
       | [] -> [ "blur" ]
@@ -648,7 +697,7 @@ let load_cmd =
         Pmdp_service.Service.shutdown service;
         r
       end
-      else Pmdp_service.Load.run_remote ~path:socket cfg
+      else Pmdp_service.Load.run_remote ~endpoint:(resolve_endpoint endpoint socket) cfg
     in
     let path = match output with Some p -> p | None -> Pmdp_service.Load.default_path machine in
     Pmdp_report.Json.to_file path (Pmdp_service.Load.to_json report);
@@ -702,8 +751,8 @@ let load_cmd =
   in
   let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only the report path.") in
   Cmd.v (Cmd.info "load" ~doc)
-    Term.(const run $ machine_t $ socket_t $ inproc_t $ clients_t $ requests_t $ rate_t $ apps_t
-          $ scale_t $ scheduler_t $ seeds_t $ workers_t $ out_t $ quiet_t)
+    Term.(const run $ machine_t $ socket_t $ endpoint_t $ inproc_t $ clients_t $ requests_t
+          $ rate_t $ apps_t $ scale_t $ scheduler_t $ seeds_t $ workers_t $ out_t $ quiet_t)
 
 let () =
   (* Executors validate schedules on entry; with the oracle installed

@@ -1,7 +1,7 @@
 module Json = Pmdp_report.Json
 module Pmdp_error = Pmdp_util.Pmdp_error
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = { fd : Unix.file_descr; mutable proto : int; mutable closed : bool }
 
 type remote_response = {
   id : int;
@@ -16,14 +16,30 @@ type remote_response = {
   max_abs_diff : float option;
 }
 
-let connect ~path =
+(* Offer our highest version; a v2 server pins the connection and
+   echoes the negotiated version, a v1 server answers the hello with
+   an unknown-operation error — which is itself the answer: v1. *)
+let handshake t =
+  match
+    Protocol.write_frame t.fd (Protocol.json_of_hello Protocol.proto_version);
+    Protocol.read_frame t.fd
+  with
+  | Some reply
+    when Option.bind (Json.member "ok" reply) Json.to_bool_opt = Some true ->
+      t.proto <-
+        Option.value ~default:1 (Option.bind (Json.member "proto" reply) Json.to_int_opt)
+  | Some _ | None -> t.proto <- 1
+  | exception (Protocol.Closed | Failure _ | Unix.Unix_error _) -> t.proto <- 1
+
+let connect ~endpoint =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  { fd; closed = false }
+  let fd = Transport.connect endpoint in
+  let t = { fd; proto = 1; closed = false } in
+  handshake t;
+  t
+
+let connect_path ~path = connect ~endpoint:(Transport.Uds path)
+let proto t = t.proto
 
 let close t =
   if not t.closed then begin

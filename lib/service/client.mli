@@ -1,5 +1,5 @@
 (** Client side of the {!Protocol}: one connection to a [pmdp serve]
-    socket.
+    endpoint (Unix-domain or TCP).
 
     A connection carries one request at a time (the server replies in
     order); for concurrent load, open one client per in-flight
@@ -23,8 +23,17 @@ type remote_response = {
   max_abs_diff : float option;
 }
 
-val connect : path:string -> t
-(** @raise Unix.Unix_error when nothing is listening at [path]. *)
+val connect : endpoint:Transport.endpoint -> t
+(** Connect and negotiate the protocol version (one hello round trip;
+    a v1 server that rejects the hello pins the connection to v1).
+    @raise Unix.Unix_error when nothing is listening there. *)
+
+val connect_path : path:string -> t
+  [@@ocaml.deprecated "use Client.connect ~endpoint:(Transport.Uds path)"]
+(** Pre-endpoint spelling of {!connect} for a Unix socket path. *)
+
+val proto : t -> int
+(** The negotiated protocol version (1 or 2). *)
 
 val submit : t -> Service.request -> (remote_response, Pmdp_util.Pmdp_error.t) result
 (** Round-trip one submit.  Transport and protocol failures are

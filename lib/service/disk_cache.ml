@@ -1,0 +1,154 @@
+module Json = Pmdp_report.Json
+module Scheduler = Pmdp_core.Scheduler
+module Machine = Pmdp_machine.Machine
+
+type meta = {
+  app : string;
+  scale : int;
+  scheduler : Scheduler.t;
+  machine : string;
+  cores : int;
+}
+
+type stats = { stores : int; store_failures : int; hits : int; misses : int }
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  mutable stores : int;
+  mutable store_failures : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let default_dir () =
+  let base =
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> d
+    | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some h when h <> "" -> Filename.concat h ".cache"
+        | _ -> Filename.concat (Filename.get_temp_dir_name ()) "pmdp-cache")
+  in
+  Filename.concat (Filename.concat base "pmdp") "plans"
+
+let create ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Disk_cache.create: %s is not a directory" dir);
+  { dir; lock = Mutex.create (); stores = 0; store_failures = 0; hits = 0; misses = 0 }
+
+let dir t = t.dir
+let path t fingerprint = Filename.concat t.dir (fingerprint ^ ".json")
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+let meta_of_request ~app ~scale ~scheduler ~(machine : Machine.t) =
+  { app; scale; scheduler; machine = machine.Machine.name; cores = machine.Machine.cores }
+
+let json_of_meta m =
+  Json.Obj
+    [
+      ("app", Json.String m.app);
+      ("scale", Json.Int m.scale);
+      ("scheduler", Json.String (Scheduler.to_string m.scheduler));
+      ("machine", Json.String m.machine);
+      ("cores", Json.Int m.cores);
+    ]
+
+let meta_of_json j =
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  let str name = Option.bind (Json.member name j) Json.to_string_opt in
+  match (str "app", int "scale", str "scheduler", str "machine", int "cores") with
+  | Some app, Some scale, Some sch, Some machine, Some cores -> (
+      match Scheduler.of_string sch with
+      | Some scheduler -> Some { app; scale; scheduler; machine; cores }
+      | None -> None)
+  | _ -> None
+
+(* The file is the PR 6 plan envelope — {schema_version, digest, plan},
+   the format Pmdp_plan.read parses — extended with a "request" member
+   recording the bindings the fingerprint was computed from, so a
+   restarted server can re-derive the pipeline to admit the plan
+   against. *)
+let store t meta ~fingerprint ~(ir : Pmdp_plan.t) =
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("digest", Json.String (Pmdp_plan.digest ir));
+        ("request", json_of_meta meta);
+        ("plan", Pmdp_plan.to_json ir);
+      ]
+  in
+  let final = path t fingerprint in
+  let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+  match
+    Json.to_file tmp doc;
+    Unix.rename tmp final
+  with
+  | () -> bump t (fun t -> t.stores <- t.stores + 1)
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      bump t (fun t -> t.store_failures <- t.store_failures + 1)
+
+let parse_file file =
+  match Json.of_file file with
+  | Error e -> Error e
+  | Ok j -> (
+      match
+        ( Option.bind (Json.member "digest" j) Json.to_string_opt,
+          Option.map Pmdp_plan.of_json (Json.member "plan" j),
+          Option.bind (Json.member "request" j) meta_of_json )
+      with
+      | Some digest, Some (Ok ir), Some meta -> Ok (ir, digest, meta)
+      | Some _, Some (Error e), _ -> Error e
+      | _ -> Error "expected an envelope with digest, plan, and request members")
+
+let load t ~fingerprint =
+  let file = path t fingerprint in
+  if not (Sys.file_exists file) then begin
+    bump t (fun t -> t.misses <- t.misses + 1);
+    None
+  end
+  else
+    match parse_file file with
+    | Ok (ir, digest, _) ->
+        bump t (fun t -> t.hits <- t.hits + 1);
+        Some (ir, digest)
+    | Error _ ->
+        (* Unparseable is indistinguishable from absent for the caller:
+           the plan cache falls back to compiling. *)
+        bump t (fun t -> t.misses <- t.misses + 1);
+        None
+
+let scan t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if not (Filename.check_suffix name ".json") then None
+             else
+               let fingerprint = Filename.chop_suffix name ".json" in
+               match parse_file (Filename.concat t.dir name) with
+               | Ok (_, _, meta) -> Some (fingerprint, meta)
+               | Error _ -> None)
+      |> List.sort compare
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { stores = t.stores; store_failures = t.store_failures; hits = t.hits; misses = t.misses }
+  in
+  Mutex.unlock t.lock;
+  s

@@ -1,0 +1,75 @@
+(** Persistent on-disk plan cache: plan IRs as files, one per
+    {!Plan_cache.fingerprint}, so a restarted server answers its first
+    hot request without recompiling.
+
+    Each entry is the PR-6 plan envelope ([{schema_version, digest,
+    plan}], the format {!Pmdp_plan.read} parses) extended with a
+    ["request"] member recording the bindings — app, scale, scheduler,
+    machine name, core count — the fingerprint was computed from, so a
+    fresh process can rebuild the pipeline and admit the plan against
+    it.
+
+    This module only moves bytes; it never instantiates a plan.  Every
+    IR read from disk goes through the {!Plan_cache} admission gate
+    (claimed digest = content digest, whole-plan static analyzer) on
+    its way into a shard's memory cache — a tampered or stale file is
+    rejected there and the plan is recompiled, never executed.
+
+    Writes are atomic (temp file + rename) and best-effort: a full or
+    read-only disk degrades the cache to a no-op (counted in
+    {!stats}), it never fails a request. *)
+
+type t
+
+type meta = {
+  app : string;
+  scale : int;
+  scheduler : Pmdp_core.Scheduler.t;
+  machine : string;  (** machine model name, e.g. "xeon" *)
+  cores : int;
+}
+(** The plan-relevant request bindings stored beside the IR. *)
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/pmdp/plans], falling back to [~/.cache/pmdp/plans]
+    (or a temp-dir-rooted path when even [$HOME] is unset). *)
+
+val create : dir:string -> t
+(** Create [dir] (and parents) if needed.
+    @raise Invalid_argument when [dir] exists but is not a directory.
+    @raise Unix.Unix_error when it cannot be created. *)
+
+val dir : t -> string
+
+val meta_of_request :
+  app:string ->
+  scale:int ->
+  scheduler:Pmdp_core.Scheduler.t ->
+  machine:Pmdp_machine.Machine.t ->
+  meta
+
+val store : t -> meta -> fingerprint:string -> ir:Pmdp_plan.t -> unit
+(** Write the envelope to [<dir>/<fingerprint>.json] atomically.
+    Failures are swallowed (and counted) — persistence is an
+    optimization, not a correctness requirement. *)
+
+val load : t -> fingerprint:string -> (Pmdp_plan.t * string) option
+(** The stored IR and the digest the file {e claims} — exactly the
+    shape {!Plan_cache.get}'s [?load] hook wants.  [None] when the
+    file is absent or unparseable (the caller compiles instead);
+    digest verification is the admission gate's job, not this
+    module's. *)
+
+val scan : t -> (string * meta) list
+(** Every parseable entry as (fingerprint, request bindings), sorted —
+    the startup warm-load walks this and admits each plan through the
+    gate. *)
+
+type stats = {
+  stores : int;  (** envelopes written *)
+  store_failures : int;  (** writes that failed (disk full, perms) *)
+  hits : int;  (** loads that found a parseable envelope *)
+  misses : int;  (** loads that found nothing usable *)
+}
+
+val stats : t -> stats

@@ -136,9 +136,9 @@ let run_core ~make_worker ~finish cfg =
     service_stats;
   }
 
-let run_remote ~path cfg =
+let run_remote ~endpoint cfg =
   let make_worker () =
-    match Client.connect ~path with
+    match Client.connect ~endpoint with
     | client ->
         ( (fun req ->
             Result.map
@@ -154,7 +154,7 @@ let run_remote ~path cfg =
           fun () -> () )
   in
   let finish () =
-    match Client.connect ~path with
+    match Client.connect ~endpoint with
     | exception Unix.Unix_error _ -> None
     | client ->
         let s = Client.stats client in

@@ -62,9 +62,10 @@ type report = {
       (** server stats snapshot after the run, when obtainable *)
 }
 
-val run_remote : path:string -> config -> report
-(** Drive a [pmdp serve] socket.  Connection failures surface as
-    failed requests (kind ["worker-crash"]), not exceptions. *)
+val run_remote : endpoint:Transport.endpoint -> config -> report
+(** Drive a [pmdp serve] endpoint (Unix-domain or TCP).  Connection
+    failures surface as failed requests (kind ["worker-crash"]), not
+    exceptions. *)
 
 val run_inproc : Service.t -> config -> report
 (** Drive a service in process (no sockets) — same report, used by

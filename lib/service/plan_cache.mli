@@ -17,16 +17,25 @@
     schedule fails the same way), so the one-compile-per-key
     invariant holds unconditionally.
 
+    External plan sources: {!get} accepts optional [load]/[store]
+    hooks so a persistent store (see {!Disk_cache}) can supply a
+    previously compiled IR — admitted through the same gate as every
+    other path into a slot — and receive freshly compiled ones, and
+    {!preload} warm-loads a plan eagerly at startup.
+
     Observability: hits and misses are recorded as the
     [service.cache.hit] / [service.cache.miss] trace counters
-    ({!Pmdp_trace.Trace.count}) and mirrored, with compile and entry
-    counts, in mutex-protected {!stats}. *)
+    ({!Pmdp_trace.Trace.count}) and mirrored, with compile/load and
+    entry counts, in mutex-protected {!stats}. *)
 
 type entry = {
   fingerprint : string;
   resolved : Pmdp_core.Scheduler.t;
       (** after {!Pmdp_core.Scheduler.for_pipeline} *)
-  spec : Pmdp_core.Schedule_spec.t;
+  spec : Pmdp_core.Schedule_spec.t option;
+      (** [Some] when the plan was scheduled in this process; [None]
+          when the IR was admitted from an external source (the spec
+          never crossed the serialization boundary) *)
   plan : Pmdp_exec.Tiled_exec.plan;
   ir : Pmdp_plan.t;  (** the serializable IR the plan was instantiated from *)
   digest : string;  (** {!Pmdp_plan.digest} of [ir] *)
@@ -49,19 +58,45 @@ val fingerprint :
 
 val get :
   t ->
+  ?load:(unit -> (Pmdp_plan.t * string) option) ->
+  ?store:(ir:Pmdp_plan.t -> digest:string -> unit) ->
   app:Pmdp_apps.Registry.app ->
   scale:int ->
   scheduler:Pmdp_core.Scheduler.t ->
   machine:Pmdp_machine.Machine.t ->
-  (entry * [ `Hit | `Miss ], Pmdp_util.Pmdp_error.t) result
+  unit ->
+  (entry * [ `Hit | `Miss | `Loaded ], Pmdp_util.Pmdp_error.t) result
 (** The memoized schedule + plan for the request's fingerprint,
     compiling it (once, whatever the concurrency) on first use.
-    [`Miss] marks the one requester per key that compiled; waiters
-    that blocked on an in-flight compile return [`Hit] like any
-    later requester.  Never raises: compile failures surface as the
-    cached typed error.  A slot only becomes [Ready] after its plan
-    IR passes the digest check and the whole-plan static analyzer
-    ({!Pmdp_verify.Verify.check_plan_result}). *)
+    [`Hit] is a ready slot (including waiters that blocked on an
+    in-flight build).  The one requester per key that finds the slot
+    empty first consults [load] (if given): an IR it returns that
+    passes the admission gate becomes the entry with outcome
+    [`Loaded] — no compilation; one that fails the gate is counted as
+    a load reject and discarded.  Otherwise the requester compiles
+    ([`Miss]) and, on success, offers the fresh IR to [store].
+    Never raises: compile failures surface as the cached typed error.
+    A slot only becomes [Ready] after its plan IR passes the digest
+    check and the whole-plan static analyzer
+    ({!Pmdp_verify.Verify.check_plan_result}) — the gate applies to
+    loaded plans exactly as to compiled ones. *)
+
+val preload :
+  t ->
+  app:Pmdp_apps.Registry.app ->
+  scale:int ->
+  scheduler:Pmdp_core.Scheduler.t ->
+  machine:Pmdp_machine.Machine.t ->
+  ir:Pmdp_plan.t ->
+  digest:string ->
+  (unit, Pmdp_util.Pmdp_error.t) result
+(** Eagerly admit an externally supplied IR into the slot for these
+    bindings (startup warm-load).  The full gate applies.  A rejection
+    — tampered digest, analyzer failure — leaves the slot {e empty},
+    not poisoned: the first real request recompiles from scratch.
+    An already-occupied slot is left alone ([Ok ()]).  Does not count
+    as a hit or miss; successes count in [loads], rejections in
+    [load_rejects]. *)
 
 val load :
   pipeline:Pmdp_dsl.Pipeline.t ->
@@ -80,7 +115,9 @@ val load :
 type stats = {
   hits : int;  (** requests served from a ready slot (incl. waiters) *)
   misses : int;  (** requests that claimed an empty slot *)
-  compiles : int;  (** compilations actually executed; = distinct keys *)
+  compiles : int;  (** compilations actually executed *)
+  loads : int;  (** entries admitted from an external source *)
+  load_rejects : int;  (** external IRs that failed the admission gate *)
   entries : int;  (** ready slots currently cached *)
 }
 

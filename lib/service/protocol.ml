@@ -6,6 +6,7 @@ module Buffer_ = Pmdp_exec.Buffer
 exception Closed
 
 let max_frame_bytes = 1 lsl 20
+let proto_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Framing *)
@@ -61,6 +62,8 @@ let read_frame fd =
 (* ------------------------------------------------------------------ *)
 (* Codecs *)
 
+let json_of_hello proto = Json.Obj [ ("op", Json.String "hello"); ("proto", Json.Int proto) ]
+
 let request_of_json j =
   let invalid reason = Error (Pmdp_error.Plan_invalid { context = "protocol: submit"; reason }) in
   (* Distinguish a missing field (use the default) from an ill-typed
@@ -81,23 +84,34 @@ let request_of_json j =
       let d = Service.request app in
       let* scale = field "scale" Json.to_int_opt ~default:d.Service.scale in
       let* seed = field "seed" Json.to_int_opt ~default:d.Service.seed in
+      let* priority = field "priority" Json.to_int_opt ~default:d.Service.priority in
+      let* deadline =
+        field "deadline"
+          (function Json.Null -> Some None | v -> Option.map Option.some (Json.to_float_opt v))
+          ~default:d.Service.deadline
+      in
       let* scheduler =
         field "scheduler"
           (fun v -> Option.bind (Json.to_string_opt v) Scheduler.of_string)
           ~default:d.Service.scheduler
       in
       if scale < 1 then invalid "field \"scale\" must be >= 1"
-      else Ok { Service.app; scale; seed; scheduler }
+      else if (match deadline with Some d -> d <= 0.0 | None -> false) then
+        invalid "field \"deadline\" must be > 0"
+      else Ok { Service.app; scale; seed; scheduler; priority; deadline }
 
 let json_of_request (r : Service.request) =
   Json.Obj
-    [
-      ("op", Json.String "submit");
-      ("app", Json.String r.Service.app);
-      ("scale", Json.Int r.Service.scale);
-      ("scheduler", Json.String (Scheduler.to_string r.Service.scheduler));
-      ("seed", Json.Int r.Service.seed);
-    ]
+    (("op", Json.String "submit")
+    :: ("app", Json.String r.Service.app)
+    :: ("scale", Json.Int r.Service.scale)
+    :: ("scheduler", Json.String (Scheduler.to_string r.Service.scheduler))
+    :: ("seed", Json.Int r.Service.seed)
+    :: ("priority", Json.Int r.Service.priority)
+    ::
+    (match r.Service.deadline with
+    | None -> []
+    | Some d -> [ ("deadline", Json.Float d) ]))
 
 let json_of_error e =
   Json.Obj
@@ -119,6 +133,9 @@ let error_of_json j =
   let int name ~default =
     Option.value ~default (Option.bind (Json.member name j) Json.to_int_opt)
   in
+  let flt name ~default =
+    Option.value ~default (Option.bind (Json.member name j) Json.to_float_opt)
+  in
   let context = str "context" ~default:"(remote)" in
   match str "kind" ~default:"" with
   | "arity-mismatch" ->
@@ -136,13 +153,20 @@ let error_of_json j =
   | "worker-crash" ->
       Pmdp_error.Worker_crash
         { worker = int "worker" ~default:(-1); detail = str "detail" ~default:"(remote)" }
-  | "timeout" ->
-      let seconds =
-        Option.value ~default:0.0 (Option.bind (Json.member "seconds" j) Json.to_float_opt)
-      in
-      Pmdp_error.Timeout { seconds; context }
+  | "timeout" -> Pmdp_error.Timeout { seconds = flt "seconds" ~default:0.0; context }
   | "cancelled" -> Pmdp_error.Cancelled { reason = str "reason" ~default:"(remote)" }
   | "pool-shutdown" -> Pmdp_error.Pool_shutdown { context }
+  | "overloaded" ->
+      Pmdp_error.Overloaded
+        {
+          shard = int "shard" ~default:(-1);
+          depth = int "depth" ~default:0;
+          limit = int "limit" ~default:0;
+          context;
+        }
+  | "deadline-exceeded" ->
+      Pmdp_error.Deadline_exceeded
+        { deadline = flt "deadline" ~default:0.0; waited = flt "waited" ~default:0.0; context }
   | "plan-invalid" ->
       Pmdp_error.Plan_invalid { context; reason = str "reason" ~default:"(remote)" }
   | other ->
@@ -176,24 +200,50 @@ let json_of_response (r : Service.response) =
         match r.Service.max_abs_diff with None -> Json.Null | Some d -> Json.Float d );
     ]
 
+let fields_of_counters (c : Service.counters) =
+  [
+    ("submitted", Json.Int c.Service.submitted);
+    ("completed", Json.Int c.Service.completed);
+    ("failed", Json.Int c.Service.failed);
+    ("rejected", Json.Int c.Service.rejected);
+    ("shed", Json.Int c.Service.shed);
+    ("expired", Json.Int c.Service.expired);
+    ("batches", Json.Int c.Service.batches);
+    ("batched_requests", Json.Int c.Service.batched_requests);
+    ("executions", Json.Int c.Service.executions);
+    ("queue_depth", Json.Int c.Service.queue_depth);
+    ("inflight_bytes", Json.Int c.Service.inflight_bytes);
+    ( "cache",
+      Json.Obj
+        [
+          ("hits", Json.Int c.Service.cache.Plan_cache.hits);
+          ("misses", Json.Int c.Service.cache.Plan_cache.misses);
+          ("compiles", Json.Int c.Service.cache.Plan_cache.compiles);
+          ("loads", Json.Int c.Service.cache.Plan_cache.loads);
+          ("load_rejects", Json.Int c.Service.cache.Plan_cache.load_rejects);
+          ("entries", Json.Int c.Service.cache.Plan_cache.entries);
+        ] );
+  ]
+
 let json_of_stats (s : Service.stats) =
   Json.Obj
     [
-      ("submitted", Json.Int s.Service.submitted);
-      ("completed", Json.Int s.Service.completed);
-      ("failed", Json.Int s.Service.failed);
-      ("rejected", Json.Int s.Service.rejected);
-      ("batches", Json.Int s.Service.batches);
-      ("batched_requests", Json.Int s.Service.batched_requests);
-      ("executions", Json.Int s.Service.executions);
-      ("queue_depth", Json.Int s.Service.queue_depth);
-      ("inflight_bytes", Json.Int s.Service.inflight_bytes);
-      ( "cache",
-        Json.Obj
-          [
-            ("hits", Json.Int s.Service.cache.Plan_cache.hits);
-            ("misses", Json.Int s.Service.cache.Plan_cache.misses);
-            ("compiles", Json.Int s.Service.cache.Plan_cache.compiles);
-            ("entries", Json.Int s.Service.cache.Plan_cache.entries);
-          ] );
+      ( "shards",
+        Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i c -> Json.Obj (("shard", Json.Int i) :: fields_of_counters c))
+                s.Service.shards)) );
+      ("totals", Json.Obj (fields_of_counters s.Service.total));
+      ( "disk",
+        match s.Service.disk with
+        | None -> Json.Null
+        | Some d ->
+            Json.Obj
+              [
+                ("stores", Json.Int d.Disk_cache.stores);
+                ("store_failures", Json.Int d.Disk_cache.store_failures);
+                ("hits", Json.Int d.Disk_cache.hits);
+                ("misses", Json.Int d.Disk_cache.misses);
+              ] );
     ]

@@ -1,5 +1,5 @@
 (** Wire protocol of [pmdp serve]: length-prefixed JSON frames over a
-    Unix-domain socket.
+    Unix-domain or TCP stream ({!Transport}).
 
     Each frame is a 4-byte big-endian payload length followed by that
     many bytes of UTF-8 JSON (one value per frame).  The client sends
@@ -7,13 +7,29 @@
     persistent, so a client can issue any number of requests before
     closing.
 
+    {2 Versioning}
+
+    The protocol is versioned ({!proto_version}, currently 2).  A
+    connection starts at version 1 — everything a v1 client can say
+    still means the same thing — and upgrades by sending
+    [{"op": "hello", "proto": N}]; the server answers
+    [{"ok": true, "proto": min N proto_version}] and pins the
+    connection to that version.  v2 added the handshake itself, the
+    [priority]/[deadline] submit fields, and the sharded stats shape.
+    Unknown-operation errors name the connection's negotiated
+    version, so a client talking past the server finds out which
+    dialect it was heard in.
+
     {2 Operations}
 
     Every request object carries an ["op"] field:
 
+    - [{"op": "hello", "proto": N}] — negotiate the protocol version
+      (see above).
     - [{"op": "submit", "app": ..., "scale": ..., "scheduler": ...,
-      "seed": ...}] — run a pipeline (all fields but [app] optional,
-      with {!Service.request} defaults).  The server replies
+      "seed": ..., "priority": ..., "deadline": ...}] — run a
+      pipeline (all fields but [app] optional, with
+      {!Service.request} defaults).  The server replies
       [{"ok": true, "response": {...}}] with the scalar half of the
       {!Service.response} — id, fingerprint, cache_hit, batch_size,
       degraded, wall_seconds, queue_seconds, checksum, per-output
@@ -21,8 +37,11 @@
     - [{"op": "status", "id": N}] — phase of a live request:
       [{"ok": true, "status": "queued" | "running" | "done" |
       "failed" | "unknown"}].
-    - [{"op": "stats"}] — [{"ok": true, "stats": {...}}] with the
-      {!Service.stats} counters plus the plan-cache counters.
+    - [{"op": "stats"}] — [{"ok": true, "stats": {"shards": [...],
+      "totals": {...}, "disk": ...}}]: one counters object per
+      dispatcher shard (each tagged with its ["shard"] index), their
+      field-wise sum, and the disk-cache counters (or [null] when no
+      [--cache-dir] is configured).
     - [{"op": "shutdown"}] — drain and stop the server; acknowledged
       with [{"ok": true}] before the listener exits.
 
@@ -38,6 +57,9 @@ val max_frame_bytes : int
 (** Refuse frames larger than this (1 MiB) — a corrupt or hostile
     length prefix must not trigger a giant allocation. *)
 
+val proto_version : int
+(** The highest protocol version this build speaks (2). *)
+
 val write_frame : Unix.file_descr -> Pmdp_report.Json.t -> unit
 (** Serialize compactly and send one frame.
     @raise Closed on a broken pipe. *)
@@ -49,14 +71,20 @@ val read_frame : Unix.file_descr -> Pmdp_report.Json.t option
 
 (** {2 Codecs} *)
 
+val json_of_hello : int -> Pmdp_report.Json.t
+(** The version-negotiation operation for a client that speaks
+    [proto]. *)
+
 val request_of_json :
   Pmdp_report.Json.t -> (Service.request, Pmdp_util.Pmdp_error.t) result
 (** Decode a submit operation's fields.  Missing optional fields take
     the {!Service.request} defaults; a missing ["app"], an unknown
-    scheduler name, or ill-typed fields are [Plan_invalid]. *)
+    scheduler name, a non-positive deadline, or ill-typed fields are
+    [Plan_invalid]. *)
 
 val json_of_request : Service.request -> Pmdp_report.Json.t
-(** The submit operation for a request (includes ["op"]). *)
+(** The submit operation for a request (includes ["op"]; [deadline]
+    is omitted when [None]). *)
 
 val json_of_error : Pmdp_util.Pmdp_error.t -> Pmdp_report.Json.t
 (** [{"kind": ..., "message": ..., <structured payload fields>}]. *)
@@ -71,3 +99,5 @@ val json_of_response : Service.response -> Pmdp_report.Json.t
     server-side. *)
 
 val json_of_stats : Service.stats -> Pmdp_report.Json.t
+(** The v2 sharded shape: [{"shards": [...], "totals": {...},
+    "disk": ...}]. *)

@@ -3,7 +3,7 @@ module Pmdp_error = Pmdp_util.Pmdp_error
 
 type t = {
   service : Service.t;
-  sock_path : string;
+  endpoint : Transport.endpoint;  (* as bound: TCP port 0 already resolved *)
   listener : Unix.file_descr;
   lock : Mutex.t;
   stopped_cond : Condition.t;
@@ -13,7 +13,11 @@ type t = {
   mutable stopped : bool;  (* everything joined; [wait] may return *)
 }
 
-let path t = t.sock_path
+(* Per-connection protocol state: every connection starts in v1 until
+   its client says hello. *)
+type conn = { mutable proto : int }
+
+let endpoint t = t.endpoint
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
 let err e = Json.Obj [ ("ok", Json.Bool false); ("error", Protocol.json_of_error e) ]
@@ -26,8 +30,19 @@ let status_string = function
   | None -> "unknown"
 
 (* [dispatch] returns [(reply, shutdown_requested)]. *)
-let dispatch t req =
+let dispatch t conn req =
   match Option.bind (Json.member "op" req) Json.to_string_opt with
+  | Some "hello" -> (
+      match Option.bind (Json.member "proto" req) Json.to_int_opt with
+      | None ->
+          ( err
+              (Pmdp_error.Plan_invalid
+                 { context = "protocol: hello"; reason = "missing or ill-typed field \"proto\"" }),
+            false )
+      | Some requested ->
+          (* Speak the highest dialect both sides know; never below 1. *)
+          conn.proto <- max 1 (min requested Protocol.proto_version);
+          (ok [ ("proto", Json.Int conn.proto) ], false))
   | Some "submit" -> (
       match Protocol.request_of_json req with
       | Error e -> (err e, false)
@@ -53,7 +68,7 @@ let dispatch t req =
                reason =
                  (match op with
                  | None -> "missing operation field \"op\""
-                 | Some op -> Printf.sprintf "unknown operation %S" op);
+                 | Some op -> Printf.sprintf "unknown operation %S (protocol v%d)" op conn.proto);
              }),
         false )
 
@@ -90,7 +105,7 @@ let rec stop t =
     let self_id = Thread.id (Thread.self ()) in
     List.iter (fun (_, th) -> if Thread.id th <> self_id then Thread.join th) conns;
     Service.shutdown t.service;
-    (try Unix.unlink t.sock_path with Unix.Unix_error _ -> ());
+    Transport.cleanup t.endpoint;
     Mutex.lock t.lock;
     t.stopped <- true;
     Condition.broadcast t.stopped_cond;
@@ -98,13 +113,14 @@ let rec stop t =
   end
 
 and handle_conn t fd =
+  let conn = { proto = 1 } in
   let continue = ref true in
   (try
      while !continue do
        match Protocol.read_frame fd with
        | None -> continue := false
        | Some req ->
-           let reply, shutdown_requested = dispatch t req in
+           let reply, shutdown_requested = dispatch t conn req in
            Protocol.write_frame fd reply;
            if shutdown_requested then begin
              continue := false;
@@ -134,6 +150,7 @@ let accept_loop t =
         if t.stopping then continue := false;
         Mutex.unlock t.lock
     | fd, _ ->
+        (match t.endpoint with Transport.Tcp _ -> Transport.nodelay fd | Transport.Uds _ -> ());
         Mutex.lock t.lock;
         if t.stopping then begin
           Mutex.unlock t.lock;
@@ -147,25 +164,15 @@ let accept_loop t =
         end
   done
 
-let start ?(backlog = 16) ~service ~path () =
+let start ?(backlog = 16) ~service ~endpoint () =
   (* A peer that disconnects mid-reply must surface as EPIPE (mapped
      to {!Protocol.Closed}), not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
-  | _ -> ()  (* not ours to replace; let bind fail with EADDRINUSE/EEXIST *)
-  | exception Unix.Unix_error (ENOENT, _, _) -> ());
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listener (Unix.ADDR_UNIX path);
-     Unix.listen listener backlog
-   with e ->
-     (try Unix.close listener with Unix.Unix_error _ -> ());
-     raise e);
+  let listener = Transport.listen ~backlog endpoint in
   let t =
     {
       service;
-      sock_path = path;
+      endpoint = Transport.bound_endpoint endpoint listener;
       listener;
       lock = Mutex.create ();
       stopped_cond = Condition.create ();

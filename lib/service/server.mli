@@ -1,26 +1,32 @@
-(** Unix-domain socket front end of a {!Service}: the engine behind
-    [pmdp serve].
+(** Socket front end of a {!Service}: the engine behind [pmdp serve].
+    Listens on any {!Transport.endpoint} — Unix-domain or TCP — with
+    the same framing and operations.
 
     One listener thread accepts connections; each connection gets its
     own thread running a read-frame → dispatch → write-frame loop over
     the {!Protocol} (connections are persistent — any number of
-    requests per connection).  Submits block their connection thread
-    until the service finishes the request, so client-side concurrency
-    maps one connection per in-flight request.
+    requests per connection).  Each connection carries its own
+    negotiated protocol version (v1 until the client sends a hello).
+    Submits block their connection thread until the service finishes
+    the request, so client-side concurrency maps one connection per
+    in-flight request.
 
     A client ["shutdown"] operation — or {!stop} — closes the
     listener, unblocks and joins every connection, shuts the
     underlying service down (draining per {!Service.shutdown}
-    semantics), and removes the socket file. *)
+    semantics), and removes a Unix socket file. *)
 
 type t
 
-val start : ?backlog:int -> service:Service.t -> path:string -> unit -> t
-(** Bind [path] (an existing socket file is replaced; [backlog]
-    defaults to 16) and start accepting.
-    @raise Unix.Unix_error when the path cannot be bound. *)
+val start : ?backlog:int -> service:Service.t -> endpoint:Transport.endpoint -> unit -> t
+(** Bind the endpoint (a stale Unix socket file is replaced; [backlog]
+    defaults to 16) and start accepting.  A TCP port of 0 binds a
+    kernel-chosen port — read it back from {!endpoint}.
+    @raise Unix.Unix_error when the endpoint cannot be bound. *)
 
-val path : t -> string
+val endpoint : t -> Transport.endpoint
+(** The endpoint actually being served — for TCP, the real port even
+    if {!start} was given port 0. *)
 
 val wait : t -> unit
 (** Block until the server has stopped (via {!stop} or a client
@@ -35,5 +41,5 @@ val stopped : t -> bool
 
 val stop : t -> unit
 (** Stop accepting, disconnect clients, join all threads, shut the
-    service down, unlink the socket.  Idempotent; also safe from a
-    connection thread (the join skips the calling thread). *)
+    service down, clean up the endpoint.  Idempotent; also safe from
+    a connection thread (the join skips the calling thread). *)

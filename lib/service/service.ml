@@ -2,19 +2,23 @@ module Machine = Pmdp_machine.Machine
 module Registry = Pmdp_apps.Registry
 module Scheduler = Pmdp_core.Scheduler
 module Tiled_exec = Pmdp_exec.Tiled_exec
-module Resilient = Pmdp_exec.Resilient
-module Reference = Pmdp_exec.Reference
 module Buffer = Pmdp_exec.Buffer
-module Pool = Pmdp_runtime.Pool
 module Pmdp_error = Pmdp_util.Pmdp_error
 module Trace = Pmdp_trace.Trace
 
-type request = { app : string; scale : int; scheduler : Scheduler.t; seed : int }
+type request = Shard.request = {
+  app : string;
+  scale : int;
+  scheduler : Scheduler.t;
+  seed : int;
+  priority : int;
+  deadline : float option;
+}
 
-let request ?(scale = 32) ?(scheduler = Scheduler.Dp) ?(seed = 1) app =
-  { app; scale; scheduler; seed }
+let request ?(scale = 32) ?(scheduler = Scheduler.Dp) ?(seed = 1) ?(priority = 0) ?deadline app =
+  { app; scale; scheduler; seed; priority; deadline }
 
-type response = {
+type response = Shard.response = {
   id : int;
   fingerprint : string;
   cache_hit : bool;
@@ -29,26 +33,13 @@ type response = {
 
 type status = Queued | Running | Done | Failed of Pmdp_error.t
 
-type phase = P_queued | P_running
-
-type pending = {
-  id : int;
-  req : request;
-  app_entry : Registry.app;
-  entry : Plan_cache.entry;
-  cache_hit : bool;
-  est_bytes : int;  (** admission charge: working set + pool scratch *)
-  submitted_at : float;
-  trace_ts : float;  (** {!Trace.now} at submit; nan when tracing off *)
-  mutable phase : phase;
-  mutable outcome : (response, Pmdp_error.t) result option;
-}
-
-type stats = {
+type counters = {
   submitted : int;
   completed : int;
   failed : int;
   rejected : int;
+  shed : int;
+  expired : int;
   batches : int;
   batched_requests : int;
   executions : int;
@@ -57,253 +48,104 @@ type stats = {
   cache : Plan_cache.stats;
 }
 
+type stats = { shards : counters array; total : counters; disk : Disk_cache.stats option }
+
 type t = {
-  machine : Machine.t;
-  budget : int;
+  shared : Shard.shared;
+  ring : Shard.Ring.t;
+  shards : Shard.t array;
+  disk : Disk_cache.t option;
   max_inflight : int;
-  batch_window : float;
-  validate : bool;
-  pool : Pool.t option;
-  workers : int;
-  cache : Plan_cache.t;
-  lock : Mutex.t;  (* protects queue/tickets/counters/stop *)
-  work_ready : Condition.t;
-  request_done : Condition.t;
-  queue : pending Queue.t;
-  tickets : (int, pending) Hashtbl.t;
-  refs : (string, (string * Buffer.t) list) Hashtbl.t;
-      (* batch key -> reference results; dispatcher-thread only *)
+  tickets : (int, Shard.pending) Hashtbl.t;
   mutable next_id : int;
-  mutable unfinished : int;  (* admitted, not yet completed/failed *)
   mutable stop : bool;
-  mutable dispatcher : Thread.t option;
-  mutable submitted : int;
-  mutable completed : int;
-  mutable failed : int;
-  mutable rejected : int;
-  mutable batches : int;
-  mutable batched_requests : int;
-  mutable executions : int;
-  mutable inflight_bytes : int;
+  mutable unrouted_rejected : int;  (* rejections before a shard was chosen *)
 }
 
-let machine t = t.machine
-let mem_budget t = t.budget
-let batch_key (p : pending) = p.entry.Plan_cache.fingerprint ^ ":" ^ string_of_int p.req.seed
+let machine t = t.shared.Shard.machine
+let mem_budget t = t.shared.Shard.budget
+let shard_count t = Array.length t.shards
+let shard_of_fingerprint t fp = Shard.Ring.route t.ring fp
 
 (* ------------------------------------------------------------------ *)
-(* Dispatcher *)
+(* Startup *)
 
-(* Pull every queued request with batch key [key]; caller holds the
-   lock.  Matches are marked running on the way out. *)
-let drain_matching t key =
-  let matched = ref [] in
-  let rest = Queue.create () in
-  Queue.iter
-    (fun p ->
-      if batch_key p = key then begin
-        p.phase <- P_running;
-        matched := p :: !matched
-      end
-      else Queue.add p rest)
-    t.queue;
-  Queue.clear t.queue;
-  Queue.transfer rest t.queue;
-  List.rev !matched
-
-(* Settle one request; caller holds the lock. *)
-let settle t (p : pending) outcome =
-  p.outcome <- Some outcome;
-  (match outcome with
-  | Ok _ -> t.completed <- t.completed + 1
-  | Error _ -> t.failed <- t.failed + 1);
-  t.unfinished <- t.unfinished - 1;
-  t.inflight_bytes <- t.inflight_bytes - p.est_bytes
-
-(* Reference results per batch key, memoized so validation costs one
-   reference run per distinct request, not one per request.
-   Dispatcher-thread only. *)
-let reference_for t key (p : pending) =
-  match Hashtbl.find_opt t.refs key with
-  | Some r -> r
-  | None ->
-      let pipeline = Tiled_exec.pipeline p.entry.Plan_cache.plan in
-      let inputs = p.app_entry.Registry.inputs ~seed:p.req.seed pipeline in
-      let r = Reference.run pipeline ~inputs in
-      if Hashtbl.length t.refs < 128 then Hashtbl.add t.refs key r;
-      r
-
-let execute_batch t key (batch : pending list) =
-  let p0 = List.hd batch in
-  let size = List.length batch in
-  let pipeline = Tiled_exec.pipeline p0.entry.Plan_cache.plan in
-  let inputs = p0.app_entry.Registry.inputs ~seed:p0.req.seed pipeline in
-  let exec_start = Unix.gettimeofday () in
-  let run () =
-    Resilient.run_plan ?pool:t.pool ~machine:t.machine ~mem_budget:t.budget
-      p0.entry.Plan_cache.plan ~inputs
-  in
-  let result =
-    if not (Trace.on ()) then run ()
-    else
-      Trace.with_span ~cat:"service"
-        ~args:
-          [
-            ("app", Trace.Str p0.req.app);
-            ("fingerprint", Trace.Str (String.sub key 0 (min 12 (String.length key))));
-            ("requests", Trace.Int size);
-          ]
-        "service.execute" run
-  in
-  let wall = Unix.gettimeofday () -. exec_start in
-  if Trace.on () && size > 1 then begin
-    Trace.count "service.batch" 1;
-    Trace.count "service.batch.requests" size
-  end;
-  let outcome_of p =
-    match result with
-    | Error e -> Error e
-    | Ok { Resilient.results; degraded; attempts = _ } ->
-        let checksum = List.fold_left (fun acc (_, b) -> acc +. Buffer.checksum b) 0.0 results in
-        let max_abs_diff =
-          if not t.validate then None
-          else
-            let reference = reference_for t key p0 in
-            Some
-              (List.fold_left
-                 (fun acc (n, b) ->
-                   match List.assoc_opt n reference with
-                   | Some r -> Float.max acc (Buffer.max_abs_diff b r)
-                   | None -> acc)
-                 0.0 results)
-        in
-        Ok
-          {
-            id = p.id;
-            fingerprint = p.entry.Plan_cache.fingerprint;
-            cache_hit = p.cache_hit;
-            batch_size = size;
-            degraded;
-            wall_seconds = wall;
-            queue_seconds = Float.max 0.0 (exec_start -. p.submitted_at);
-            checksum;
-            results;
-            max_abs_diff;
-          }
-  in
-  Mutex.lock t.lock;
-  t.executions <- t.executions + 1;
-  if size > 1 then begin
-    t.batches <- t.batches + 1;
-    t.batched_requests <- t.batched_requests + size
-  end;
-  List.iter (fun p -> settle t p (outcome_of p)) batch;
-  Condition.broadcast t.request_done;
-  Mutex.unlock t.lock;
-  if Trace.on () then
-    List.iter
-      (fun p ->
-        Trace.count "service.request" 1;
-        if not (Float.is_nan p.trace_ts) then
-          Trace.complete ~cat:"service"
-            ~args:
-              [
-                ("id", Trace.Int p.id);
-                ("app", Trace.Str p.req.app);
-                ("cache_hit", Trace.Bool p.cache_hit);
-                ("batch", Trace.Int size);
-              ]
-            ~name:"service.request" ~ts:p.trace_ts ())
-      batch
-
-let run_dispatcher t =
-  let continue = ref true in
-  while !continue do
-    Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.stop do
-      Condition.wait t.work_ready t.lock
-    done;
-    if t.stop then begin
-      (* Drain: whatever is still queued fails typed, then exit. *)
-      Queue.iter
-        (fun p -> settle t p (Error (Pmdp_error.Cancelled { reason = "service shutdown" })))
-        t.queue;
-      Queue.clear t.queue;
-      Condition.broadcast t.request_done;
-      Mutex.unlock t.lock;
-      continue := false
-    end
-    else begin
-      let head = Queue.pop t.queue in
-      head.phase <- P_running;
-      let key = batch_key head in
-      let batch = head :: drain_matching t key in
-      Mutex.unlock t.lock;
-      (* Linger so same-key requests arriving right now can share the
-         execution; anything that queued while we slept is collected
-         in one more sweep. *)
-      let batch =
-        if t.batch_window <= 0.0 then batch
-        else begin
-          Thread.delay t.batch_window;
-          Mutex.lock t.lock;
-          let more = drain_matching t key in
-          Mutex.unlock t.lock;
-          batch @ more
-        end
-      in
-      execute_batch t key batch
-    end
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Client-side API *)
+(* Admit every plan the disk cache holds for this machine into the
+   shard that will serve it, through the full gate.  Rejections
+   (tampered files, stale analyzer) leave the slot empty — the first
+   request recompiles — and are visible as [load_rejects]. *)
+let warm_load t disk =
+  List.iter
+    (fun (fp, (m : Disk_cache.meta)) ->
+      let machine = t.shared.Shard.machine in
+      if m.Disk_cache.machine = machine.Machine.name && m.Disk_cache.cores = machine.Machine.cores
+      then
+        match Registry.find m.Disk_cache.app with
+        | None -> ()
+        | Some app ->
+            let expected =
+              Plan_cache.fingerprint ~app:app.Registry.name ~scale:m.Disk_cache.scale
+                ~scheduler:m.Disk_cache.scheduler ~machine
+            in
+            if expected = fp then
+              match Disk_cache.load disk ~fingerprint:fp with
+              | None -> ()
+              | Some (ir, digest) ->
+                  let shard = t.shards.(shard_of_fingerprint t fp) in
+                  ignore
+                    (Plan_cache.preload (Shard.cache shard) ~app ~scale:m.Disk_cache.scale
+                       ~scheduler:m.Disk_cache.scheduler ~machine ~ir ~digest))
+    (Disk_cache.scan disk)
 
 let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
-    ?(validate = false) ~machine () =
+    ?(validate = false) ?(shards = 1) ?(queue_limit = 128) ?cache_dir ~machine () =
   if workers < 1 then invalid_arg "Service.create: workers < 1";
   if max_inflight < 1 then invalid_arg "Service.create: max_inflight < 1";
+  if shards < 1 then invalid_arg "Service.create: shards < 1";
+  if queue_limit < 1 then invalid_arg "Service.create: queue_limit < 1";
   let budget =
     match mem_budget with Some b -> b | None -> Machine.default_mem_budget machine
   in
   Pmdp_baselines.Schedulers.install ();
-  let t =
+  let shared =
     {
+      Shard.lock = Mutex.create ();
+      request_done = Condition.create ();
       machine;
       budget;
-      max_inflight;
-      batch_window;
       validate;
-      pool = (if workers > 1 then Some (Pool.create workers) else None);
-      workers;
-      cache = Plan_cache.create ();
-      lock = Mutex.create ();
-      work_ready = Condition.create ();
-      request_done = Condition.create ();
-      queue = Queue.create ();
-      tickets = Hashtbl.create 64;
-      refs = Hashtbl.create 8;
-      next_id = 1;
       unfinished = 0;
-      stop = false;
-      dispatcher = None;
-      submitted = 0;
-      completed = 0;
-      failed = 0;
-      rejected = 0;
-      batches = 0;
-      batched_requests = 0;
-      executions = 0;
       inflight_bytes = 0;
+      queued = 0;
     }
   in
-  t.dispatcher <- Some (Thread.create run_dispatcher t);
+  let t =
+    {
+      shared;
+      ring = Shard.Ring.create ~shards;
+      shards =
+        Array.init shards (fun index ->
+            Shard.create ~index ~shared ~workers ~batch_window ~queue_limit);
+      disk = Option.map (fun dir -> Disk_cache.create ~dir) cache_dir;
+      max_inflight;
+      tickets = Hashtbl.create 64;
+      next_id = 1;
+      stop = false;
+      unrouted_rejected = 0;
+    }
+  in
+  Option.iter (warm_load t) t.disk;
   t
 
-let reject t e =
-  Mutex.lock t.lock;
-  t.rejected <- t.rejected + 1;
-  Mutex.unlock t.lock;
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let reject t shard e =
+  Mutex.lock t.shared.Shard.lock;
+  (match shard with
+  | Some s -> Shard.note_rejected s
+  | None -> t.unrouted_rejected <- t.unrouted_rejected + 1);
+  Mutex.unlock t.shared.Shard.lock;
   if Trace.on () then begin
     Trace.count "service.admission.reject" 1;
     Trace.instant ~cat:"service"
@@ -315,29 +157,49 @@ let reject t e =
 let submit_async t (req : request) =
   match Registry.find req.app with
   | None ->
-      reject t
+      reject t None
         (Pmdp_error.Unresolved_external
            { name = req.app; context = "service: unknown app (see `pmdp list`)" })
   | Some app -> (
+      let fp =
+        Plan_cache.fingerprint ~app:app.Registry.name ~scale:req.scale ~scheduler:req.scheduler
+          ~machine:t.shared.Shard.machine
+      in
+      let shard = t.shards.(shard_of_fingerprint t fp) in
+      let load =
+        Option.map (fun d () -> Disk_cache.load d ~fingerprint:fp) t.disk
+      in
+      let store =
+        Option.map
+          (fun d ~ir ~digest:_ ->
+            let meta =
+              Disk_cache.meta_of_request ~app:app.Registry.name ~scale:req.scale
+                ~scheduler:req.scheduler ~machine:t.shared.Shard.machine
+            in
+            Disk_cache.store d meta ~fingerprint:fp ~ir)
+          t.disk
+      in
       match
-        Plan_cache.get t.cache ~app ~scale:req.scale ~scheduler:req.scheduler ~machine:t.machine
+        Plan_cache.get (Shard.cache shard) ?load ?store ~app ~scale:req.scale
+          ~scheduler:req.scheduler ~machine:t.shared.Shard.machine ()
       with
-      | Error e -> reject t e
+      | Error e -> reject t (Some shard) e
       | Ok (entry, hit) ->
           let plan = entry.Plan_cache.plan in
           let est =
             Tiled_exec.working_set_bytes plan
-            + (Tiled_exec.scratch_bytes_per_worker plan * t.workers)
+            + (Tiled_exec.scratch_bytes_per_worker plan * Shard.workers shard)
           in
-          Mutex.lock t.lock;
+          Mutex.lock t.shared.Shard.lock;
           if t.stop then begin
-            Mutex.unlock t.lock;
-            reject t (Pmdp_error.Pool_shutdown { context = "service: submit after shutdown" })
+            Mutex.unlock t.shared.Shard.lock;
+            reject t (Some shard)
+              (Pmdp_error.Pool_shutdown { context = "service: submit after shutdown" })
           end
-          else if t.unfinished >= t.max_inflight then begin
-            let unfinished = t.unfinished in
-            Mutex.unlock t.lock;
-            reject t
+          else if t.shared.Shard.unfinished >= t.max_inflight then begin
+            let unfinished = t.shared.Shard.unfinished in
+            Mutex.unlock t.shared.Shard.lock;
+            reject t (Some shard)
               (Pmdp_error.Cancelled
                  {
                    reason =
@@ -345,14 +207,14 @@ let submit_async t (req : request) =
                        unfinished t.max_inflight;
                  })
           end
-          else if t.inflight_bytes + est > t.budget then begin
-            let required = t.inflight_bytes + est in
-            Mutex.unlock t.lock;
-            reject t
+          else if t.shared.Shard.inflight_bytes + est > t.shared.Shard.budget then begin
+            let required = t.shared.Shard.inflight_bytes + est in
+            Mutex.unlock t.shared.Shard.lock;
+            reject t (Some shard)
               (Pmdp_error.Scratch_over_budget
                  {
                    required_bytes = required;
-                   budget_bytes = t.budget;
+                   budget_bytes = t.shared.Shard.budget;
                    context = "service admission: in-flight working sets + scratch arenas";
                  })
           end
@@ -361,33 +223,39 @@ let submit_async t (req : request) =
             t.next_id <- t.next_id + 1;
             let p =
               {
-                id;
+                Shard.id;
                 req;
                 app_entry = app;
                 entry;
-                cache_hit = (match hit with `Hit -> true | `Miss -> false);
+                cache_hit = (match hit with `Hit | `Loaded -> true | `Miss -> false);
                 est_bytes = est;
                 submitted_at = Unix.gettimeofday ();
                 trace_ts = (if Trace.on () then Trace.now () else Float.nan);
-                phase = P_queued;
+                phase = Shard.P_queued;
                 outcome = None;
               }
             in
-            Hashtbl.add t.tickets id p;
-            Queue.add p t.queue;
-            t.submitted <- t.submitted + 1;
-            t.unfinished <- t.unfinished + 1;
-            t.inflight_bytes <- t.inflight_bytes + est;
-            Condition.signal t.work_ready;
-            Mutex.unlock t.lock;
-            Ok id
+            t.shared.Shard.unfinished <- t.shared.Shard.unfinished + 1;
+            t.shared.Shard.inflight_bytes <- t.shared.Shard.inflight_bytes + est;
+            match Shard.try_enqueue shard p with
+            | Ok () ->
+                Hashtbl.add t.tickets id p;
+                Mutex.unlock t.shared.Shard.lock;
+                Ok id
+            | Error e ->
+                (* Refused by backpressure: undo the admission charge. *)
+                t.shared.Shard.unfinished <- t.shared.Shard.unfinished - 1;
+                t.shared.Shard.inflight_bytes <- t.shared.Shard.inflight_bytes - est;
+                Mutex.unlock t.shared.Shard.lock;
+                if Trace.on () then Trace.count "service.shed" 1;
+                reject t (Some shard) e
           end)
 
 let await t id =
-  Mutex.lock t.lock;
+  Mutex.lock t.shared.Shard.lock;
   match Hashtbl.find_opt t.tickets id with
   | None ->
-      Mutex.unlock t.lock;
+      Mutex.unlock t.shared.Shard.lock;
       Error
         (Pmdp_error.Plan_invalid
            {
@@ -395,57 +263,114 @@ let await t id =
              reason = Printf.sprintf "unknown or already-collected request id %d" id;
            })
   | Some p ->
-      while p.outcome = None do
-        Condition.wait t.request_done t.lock
+      while p.Shard.outcome = None do
+        Condition.wait t.shared.Shard.request_done t.shared.Shard.lock
       done;
       Hashtbl.remove t.tickets id;
-      let r = Option.get p.outcome in
-      Mutex.unlock t.lock;
+      let r = Option.get p.Shard.outcome in
+      Mutex.unlock t.shared.Shard.lock;
       r
 
 let submit t req = match submit_async t req with Error e -> Error e | Ok id -> await t id
 
 let status t id =
-  Mutex.lock t.lock;
+  Mutex.lock t.shared.Shard.lock;
   let s =
     Option.map
-      (fun p ->
-        match (p.outcome, p.phase) with
+      (fun (p : Shard.pending) ->
+        match (p.Shard.outcome, p.Shard.phase) with
         | Some (Ok _), _ -> Done
         | Some (Error e), _ -> Failed e
-        | None, P_running -> Running
-        | None, P_queued -> Queued)
+        | None, Shard.P_running -> Running
+        | None, Shard.P_queued -> Queued)
       (Hashtbl.find_opt t.tickets id)
   in
-  Mutex.unlock t.lock;
+  Mutex.unlock t.shared.Shard.lock;
   s
 
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let zero_cache =
+  { Plan_cache.hits = 0; misses = 0; compiles = 0; loads = 0; load_rejects = 0; entries = 0 }
+
+let add_cache (a : Plan_cache.stats) (b : Plan_cache.stats) =
+  {
+    Plan_cache.hits = a.Plan_cache.hits + b.Plan_cache.hits;
+    misses = a.Plan_cache.misses + b.Plan_cache.misses;
+    compiles = a.Plan_cache.compiles + b.Plan_cache.compiles;
+    loads = a.Plan_cache.loads + b.Plan_cache.loads;
+    load_rejects = a.Plan_cache.load_rejects + b.Plan_cache.load_rejects;
+    entries = a.Plan_cache.entries + b.Plan_cache.entries;
+  }
+
+let zero_counters =
+  {
+    submitted = 0;
+    completed = 0;
+    failed = 0;
+    rejected = 0;
+    shed = 0;
+    expired = 0;
+    batches = 0;
+    batched_requests = 0;
+    executions = 0;
+    queue_depth = 0;
+    inflight_bytes = 0;
+    cache = zero_cache;
+  }
+
+let add_counters a b =
+  {
+    submitted = a.submitted + b.submitted;
+    completed = a.completed + b.completed;
+    failed = a.failed + b.failed;
+    rejected = a.rejected + b.rejected;
+    shed = a.shed + b.shed;
+    expired = a.expired + b.expired;
+    batches = a.batches + b.batches;
+    batched_requests = a.batched_requests + b.batched_requests;
+    executions = a.executions + b.executions;
+    queue_depth = a.queue_depth + b.queue_depth;
+    inflight_bytes = a.inflight_bytes + b.inflight_bytes;
+    cache = add_cache a.cache b.cache;
+  }
+
 let stats t =
-  Mutex.lock t.lock;
-  let s =
-    {
-      submitted = t.submitted;
-      completed = t.completed;
-      failed = t.failed;
-      rejected = t.rejected;
-      batches = t.batches;
-      batched_requests = t.batched_requests;
-      executions = t.executions;
-      queue_depth = Queue.length t.queue;
-      inflight_bytes = t.inflight_bytes;
-      cache = { Plan_cache.hits = 0; misses = 0; compiles = 0; entries = 0 };
-    }
+  Mutex.lock t.shared.Shard.lock;
+  let raw = Array.map Shard.counters t.shards in
+  let unrouted = t.unrouted_rejected in
+  Mutex.unlock t.shared.Shard.lock;
+  let shards =
+    Array.map2
+      (fun (c : Shard.counters) cache ->
+        {
+          submitted = c.Shard.submitted;
+          completed = c.Shard.completed;
+          failed = c.Shard.failed;
+          rejected = c.Shard.rejected;
+          shed = c.Shard.shed;
+          expired = c.Shard.expired;
+          batches = c.Shard.batches;
+          batched_requests = c.Shard.batched_requests;
+          executions = c.Shard.executions;
+          queue_depth = c.Shard.queue_depth;
+          inflight_bytes = c.Shard.inflight_bytes;
+          cache;
+        })
+      raw
+      (Array.map (fun s -> Plan_cache.stats (Shard.cache s)) t.shards)
   in
-  Mutex.unlock t.lock;
-  { s with cache = Plan_cache.stats t.cache }
+  let total = Array.fold_left add_counters zero_counters shards in
+  let total = { total with rejected = total.rejected + unrouted } in
+  { shards; total; disk = Option.map Disk_cache.stats t.disk }
 
 let shutdown t =
-  Mutex.lock t.lock;
-  if t.stop then Mutex.unlock t.lock
+  Mutex.lock t.shared.Shard.lock;
+  if t.stop then Mutex.unlock t.shared.Shard.lock
   else begin
     t.stop <- true;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.lock;
-    Option.iter Thread.join t.dispatcher;
-    Option.iter Pool.shutdown t.pool
+    Array.iter Shard.signal_stop t.shards;
+    Mutex.unlock t.shared.Shard.lock;
+    Array.iter Shard.join t.shards
   end

@@ -1,55 +1,75 @@
 (** The pipeline-execution service: a long-running layer over the
-    whole existing stack — {!Plan_cache} in front of the
-    DSL→analysis→grouping→compile path, admission control in front of
-    the memory budget, same-pipeline request batching in front of
-    {!Pmdp_exec.Resilient.run_plan} on one persistent
-    {!Pmdp_runtime.Pool}.
+    whole existing stack — a fleet of dispatcher {!Shard}s, each with
+    its own {!Plan_cache} in front of the
+    DSL→analysis→grouping→compile path, admission control and
+    graduated backpressure in front of the memory budget and the
+    bounded per-shard queues, same-pipeline request batching in front
+    of {!Pmdp_exec.Resilient.run_plan} on each shard's persistent
+    {!Pmdp_runtime.Pool}, and optionally a persistent {!Disk_cache} so
+    compiled plans survive restarts.
 
     This is the in-process API; [pmdp serve] exposes it over a
-    Unix-domain socket ({!Server}, {!Protocol}) and [pmdp load]
-    drives either form ({!Load}).
+    Unix-domain or TCP socket ({!Server}, {!Transport}, {!Protocol})
+    and [pmdp load] drives either form ({!Load}).
 
     {2 Lifecycle of a request}
 
+    + {b Routing}: the request's plan fingerprint is hashed onto the
+      consistent ring ({!Shard.Ring}); everything after admission
+      happens on that one shard.  Routing is deterministic across
+      processes, so same-plan requests always share a shard — and
+      therefore still coalesce into one execution — however many
+      shards the service runs.
     + {b Admission} ({!submit_async}, on the caller's thread): the app
-      name is resolved against {!Pmdp_apps.Registry}, the plan comes
-      from the {!Plan_cache} (compiled at most once per fingerprint),
-      and the plan's memory demand — working set plus per-worker
-      scratch across the pool — is charged against the service's
+      name is resolved against {!Pmdp_apps.Registry}; the plan comes
+      from the shard's {!Plan_cache} (compiled at most once per
+      fingerprint, or admitted from the disk cache without
+      compiling); the plan's memory demand — working set plus
+      per-worker scratch — is charged against the service-wide
       budget.  Over-budget requests are rejected with the typed
-      [Scratch_over_budget]; a full queue rejects with [Cancelled];
-      both count the [service.admission.reject] trace counter.
-    + {b Batching} (dispatcher thread): queued requests that share a
-      batch key (plan fingerprint + input seed) execute as one
-      {!Pmdp_exec.Resilient.run_plan} over the shared pool.  Each
-      shared execution of more than one request counts the
-      [service.batch] counter; every request gets its own
-      [service.request] span covering queue wait + execution.
+      [Scratch_over_budget], too many in flight with [Cancelled]; a
+      full shard queue refuses with [Overloaded] unless the incoming
+      request outranks a queued one, in which case the {e victim} is
+      shed with [Overloaded] instead.  All rejections count the
+      [service.admission.reject] trace counter; sheds count
+      [service.shed].
+    + {b Batching} (shard dispatcher thread): queued requests that
+      share a batch key (plan fingerprint + input seed) execute as one
+      {!Pmdp_exec.Resilient.run_plan} over the shard's pool.
+      Requests whose [deadline] passed while queued are dropped with
+      [Deadline_exceeded] instead of executed.
     + {b Completion}: every batched request receives the same
       {!response} (shared, read-only result buffers) with its own id
       and queue time; {!await} collects it.
 
     Threads: callers may submit from any thread or domain.  All
-    execution — and all execution-path trace recording — happens on
-    the single dispatcher thread; parallelism comes from the pool's
-    worker domains. *)
+    execution happens on the owning shard's dispatcher thread;
+    parallelism comes from each shard's worker domains. *)
 
-type request = {
+type request = Shard.request = {
   app : string;  (** registry name or short code, e.g. "unsharp"/"UM" *)
   scale : int;  (** divides the paper's image extents *)
   scheduler : Pmdp_core.Scheduler.t;
   seed : int;  (** input-synthesis seed ({!Pmdp_apps.Registry.app}) *)
+  priority : int;  (** higher outranks lower under backpressure *)
+  deadline : float option;  (** drop rather than execute after this many seconds queued *)
 }
 
 val request :
-  ?scale:int -> ?scheduler:Pmdp_core.Scheduler.t -> ?seed:int -> string -> request
+  ?scale:int ->
+  ?scheduler:Pmdp_core.Scheduler.t ->
+  ?seed:int ->
+  ?priority:int ->
+  ?deadline:float ->
+  string ->
+  request
 (** Request for an app by name; [scale] defaults to 32, [scheduler]
-    to [Dp], [seed] to 1. *)
+    to [Dp], [seed] to 1, [priority] to 0, [deadline] to none. *)
 
-type response = {
+type response = Shard.response = {
   id : int;
   fingerprint : string;  (** plan-cache key the request hashed to *)
-  cache_hit : bool;  (** plan served without compiling *)
+  cache_hit : bool;  (** plan served without compiling (memory or disk) *)
   batch_size : int;  (** requests sharing this execution (>= 1) *)
   degraded : bool;  (** the resilient chain needed a fallback step *)
   wall_seconds : float;  (** execution wall-clock of the shared run *)
@@ -67,17 +87,28 @@ type status = Queued | Running | Done | Failed of Pmdp_util.Pmdp_error.t
 (** Admission rejections never get an id — the typed error goes
     straight back to the submitter — so there is no rejected phase. *)
 
-type stats = {
-  submitted : int;  (** requests admitted *)
+type counters = {
+  submitted : int;  (** requests admitted (to this shard) *)
   completed : int;
   failed : int;  (** admitted but every fallback step died *)
   rejected : int;  (** refused at admission *)
+  shed : int;  (** evicted from the queue by a higher-priority request *)
+  expired : int;  (** dropped: deadline passed while queued *)
   batches : int;  (** executions that served more than one request *)
   batched_requests : int;  (** requests served by those executions *)
   executions : int;  (** Resilient.run_plan calls issued *)
   queue_depth : int;  (** currently queued (not yet executing) *)
   inflight_bytes : int;  (** admission-charged bytes currently in flight *)
   cache : Plan_cache.stats;
+}
+(** One shard's ledger; also the shape of the cross-shard rollup. *)
+
+type stats = {
+  shards : counters array;  (** indexed by shard *)
+  total : counters;
+      (** field-wise sum over [shards], plus rejections that happened
+          before a shard was chosen (unknown app) *)
+  disk : Disk_cache.stats option;  (** when created with [?cache_dir] *)
 }
 
 type t
@@ -88,36 +119,51 @@ val create :
   ?max_inflight:int ->
   ?batch_window:float ->
   ?validate:bool ->
+  ?shards:int ->
+  ?queue_limit:int ->
+  ?cache_dir:string ->
   machine:Pmdp_machine.Machine.t ->
   unit ->
   t
-(** Start a service: one plan cache, one admission controller, one
-    persistent pool of [workers] (default 4) domains, one dispatcher
-    thread.  [mem_budget] (default
-    {!Pmdp_machine.Machine.default_mem_budget}) bounds both admission
-    and the resilient driver's pre-flight guard.  [max_inflight]
-    (default 64) bounds admitted-but-unfinished requests.
-    [batch_window] (default 0, seconds) is how long the dispatcher
-    lingers after picking a request to let same-key requests join its
-    batch; 0 still batches whatever already queued up behind a
-    running execution.  [validate] (default false) checks every
-    batch's results against the reference executor (memoized per
-    batch key) and fills [max_abs_diff]. *)
+(** Start a service of [shards] (default 1) dispatcher shards, each
+    with its own plan cache, bounded queue, and persistent pool of
+    [workers] (default 4) domains.  [mem_budget] (default
+    {!Pmdp_machine.Machine.default_mem_budget}) bounds admission
+    across the whole fleet and the resilient driver's pre-flight
+    guard.  [max_inflight] (default 64) bounds
+    admitted-but-unfinished requests fleet-wide; [queue_limit]
+    (default 128) bounds each shard's queue — beyond it, graduated
+    backpressure sheds by priority.  [batch_window] (default 0,
+    seconds) is how long a dispatcher lingers after picking a request
+    to let same-key requests join its batch; 0 still batches whatever
+    already queued up behind a running execution.  [validate]
+    (default false) checks every batch's results against the
+    reference executor (memoized per batch key) and fills
+    [max_abs_diff].  [cache_dir] enables the persistent disk cache:
+    plans already there are warm-loaded (through the admission gate)
+    at startup, and every fresh compile is written back. *)
 
 val machine : t -> Pmdp_machine.Machine.t
 val mem_budget : t -> int
+val shard_count : t -> int
+
+val shard_of_fingerprint : t -> string -> int
+(** The shard index a plan fingerprint routes to — deterministic and
+    stable across restarts (see {!Shard.Ring}). *)
 
 val submit_async : t -> request -> (int, Pmdp_util.Pmdp_error.t) result
-(** Admit and enqueue; returns the request id to {!await} on.
+(** Admit, route, and enqueue; returns the request id to {!await} on.
     Rejections are immediate and typed: unknown app
     ([Unresolved_external]), plan compile failure (the cached typed
-    error), over budget ([Scratch_over_budget]), queue full
-    ([Cancelled]), service shut down ([Pool_shutdown]). *)
+    error), over budget ([Scratch_over_budget]), too many in flight
+    ([Cancelled]), full shard queue ([Overloaded]), service shut down
+    ([Pool_shutdown]). *)
 
 val await : t -> int -> (response, Pmdp_util.Pmdp_error.t) result
 (** Block until the request finishes; collects its outcome (the id is
     forgotten afterwards — a second await on it returns
-    [Plan_invalid]). *)
+    [Plan_invalid]).  A shed or expired request's awaiter gets the
+    typed [Overloaded] / [Deadline_exceeded]. *)
 
 val submit : t -> request -> (response, Pmdp_util.Pmdp_error.t) result
 (** [submit_async] + [await]. *)
@@ -129,5 +175,6 @@ val status : t -> int -> status option
 val stats : t -> stats
 
 val shutdown : t -> unit
-(** Stop the dispatcher (requests still queued fail with the typed
-    [Cancelled]), join it, and shut the pool down.  Idempotent. *)
+(** Stop every shard dispatcher (requests still queued fail with the
+    typed [Cancelled]), join them, and shut the pools down.
+    Idempotent. *)

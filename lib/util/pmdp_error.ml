@@ -7,6 +7,8 @@ type t =
   | Timeout of { seconds : float; context : string }
   | Cancelled of { reason : string }
   | Pool_shutdown of { context : string }
+  | Overloaded of { shard : int; depth : int; limit : int; context : string }
+  | Deadline_exceeded of { deadline : float; waited : float; context : string }
 
 exception Error of t
 
@@ -19,6 +21,8 @@ let kind = function
   | Timeout _ -> "timeout"
   | Cancelled _ -> "cancelled"
   | Pool_shutdown _ -> "pool-shutdown"
+  | Overloaded _ -> "overloaded"
+  | Deadline_exceeded _ -> "deadline-exceeded"
 
 let message = function
   | Plan_invalid { context; reason } -> Printf.sprintf "%s: %s" context reason
@@ -34,6 +38,11 @@ let message = function
   | Timeout { seconds; context } -> Printf.sprintf "%s: watchdog expired after %gs" context seconds
   | Cancelled { reason } -> reason
   | Pool_shutdown { context } -> Printf.sprintf "%s: pool has been shut down" context
+  | Overloaded { shard; depth; limit; context } ->
+      Printf.sprintf "%s: shard %d queue holds %d of at most %d requests" context shard depth
+        limit
+  | Deadline_exceeded { deadline; waited; context } ->
+      Printf.sprintf "%s: deadline was %gs but the request waited %gs" context deadline waited
 
 let pp ppf e = Format.fprintf ppf "%s: %s" (kind e) (message e)
 let to_string e = Format.asprintf "%a" pp e
@@ -55,6 +64,10 @@ let fields = function
   | Timeout { seconds; context } -> [ ("seconds", Float seconds); ("context", Str context) ]
   | Cancelled { reason } -> [ ("reason", Str reason) ]
   | Pool_shutdown { context } -> [ ("context", Str context) ]
+  | Overloaded { shard; depth; limit; context } ->
+      [ ("shard", Int shard); ("depth", Int depth); ("limit", Int limit); ("context", Str context) ]
+  | Deadline_exceeded { deadline; waited; context } ->
+      [ ("deadline", Float deadline); ("waited", Float waited); ("context", Str context) ]
 
 let raise_ e = raise (Error e)
 let of_exn = function Error e -> Some e | _ -> None

@@ -34,6 +34,16 @@ type t =
   | Pool_shutdown of { context : string }
       (** A [parallel_for] was issued on a pool whose domains have
           been joined. *)
+  | Overloaded of { shard : int; depth : int; limit : int; context : string }
+      (** Graduated backpressure: a dispatcher shard's bounded queue
+          is full and the request's priority did not beat any queued
+          request's, so it was refused (or a queued lower-priority
+          request was shed to make room — the shed request fails with
+          this too). *)
+  | Deadline_exceeded of { deadline : float; waited : float; context : string }
+      (** The request carried a deadline (seconds from submit) and was
+          still queued when it passed; it was dropped without
+          executing. *)
 
 exception Error of t
 

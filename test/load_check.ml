@@ -1,0 +1,49 @@
+(* Closed-loop load check behind `dune build @loadcheck`: a 2-shard
+   in-process service under concurrency-6 load across both pipelines
+   and two seeds.  A closed loop never outruns the service, so the
+   bounded queues must never shed, nothing may expire, every request
+   must succeed, and the percentiles must be populated and ordered. *)
+
+module Machine = Pmdp_machine.Machine
+module Plan_cache = Pmdp_service.Plan_cache
+module Service = Pmdp_service.Service
+module Load = Pmdp_service.Load
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  ok: %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n%!" name
+  end
+
+let () =
+  let service =
+    Service.create ~workers:2 ~shards:2 ~batch_window:0.002 ~machine:Machine.xeon ()
+  in
+  let cfg =
+    Load.config ~clients:6 ~requests:120 ~apps:[ "blur"; "unsharp" ] ~seeds:2 ~scale:32 ()
+  in
+  let report = Load.run_inproc service cfg in
+  let total = (Service.stats service).Service.total in
+  Service.shutdown service;
+  Printf.printf
+    "load check: %d ok, %d failed, %.1f req/s, p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n%!"
+    report.Load.succeeded report.Load.failed report.Load.throughput_rps report.Load.p50_ms
+    report.Load.p95_ms report.Load.p99_ms;
+  check "every request succeeds" (report.Load.succeeded = 120 && report.Load.failed = 0);
+  check "closed loop never sheds" (total.Service.shed = 0);
+  check "nothing expires" (total.Service.expired = 0);
+  check "nothing rejected" (total.Service.rejected = 0);
+  check "percentiles populated and ordered"
+    (report.Load.p50_ms > 0.0
+    && report.Load.p50_ms <= report.Load.p95_ms
+    && report.Load.p95_ms <= report.Load.p99_ms);
+  check "warm cache observed" (report.Load.cache_hits > 0);
+  check "two compiles for two pipelines" (total.Service.cache.Plan_cache.compiles = 2);
+  if !failures > 0 then begin
+    Printf.printf "load check: %d check(s) FAILED\n%!" !failures;
+    exit 1
+  end;
+  print_endline "load check: all checks passed"

@@ -1,7 +1,9 @@
 (* Tests for the execution service: JSON parsing (the wire format's
    foundation), the plan cache (fingerprints, one-compile-per-key),
-   admission control, batching, service lifecycle, the protocol
-   codecs, and the bench-file schema validation that shares the JSON
+   endpoint parsing, consistent-hash routing, the persistent disk
+   cache and its admission gate, admission control and graduated
+   backpressure, batching, service lifecycle, the protocol codecs,
+   and the bench-file schema validation that shares the JSON
    parser. *)
 
 module Json = Pmdp_report.Json
@@ -10,9 +12,13 @@ module Scheduler = Pmdp_core.Scheduler
 module Registry = Pmdp_apps.Registry
 module Pmdp_error = Pmdp_util.Pmdp_error
 module Plan_cache = Pmdp_service.Plan_cache
+module Disk_cache = Pmdp_service.Disk_cache
+module Transport = Pmdp_service.Transport
+module Shard = Pmdp_service.Shard
 module Service = Pmdp_service.Service
 module Protocol = Pmdp_service.Protocol
 module Load = Pmdp_service.Load
+module Plan = Pmdp_plan
 
 let () = Pmdp_baselines.Schedulers.install ()
 
@@ -128,22 +134,22 @@ let test_fingerprint_sensitivity () =
 
 let test_cache_hit_miss () =
   let cache = Plan_cache.create () in
-  (match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon with
+  (match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon () with
   | Ok (_, `Miss) -> ()
-  | Ok (_, `Hit) -> Alcotest.fail "first get must miss"
+  | Ok (_, (`Hit | `Loaded)) -> Alcotest.fail "first get must miss"
   | Error e -> Alcotest.failf "compile failed: %s" (Pmdp_error.to_string e));
-  (match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon with
+  (match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon () with
   | Ok (_, `Hit) -> ()
-  | Ok (_, `Miss) -> Alcotest.fail "second get must hit"
+  | Ok (_, (`Miss | `Loaded)) -> Alcotest.fail "second get must hit"
   | Error e -> Alcotest.failf "cached get failed: %s" (Pmdp_error.to_string e));
   let s = Plan_cache.stats cache in
   Alcotest.(check int) "one compile" 1 s.Plan_cache.compiles;
   Alcotest.(check int) "one hit" 1 s.Plan_cache.hits;
   Alcotest.(check int) "one miss" 1 s.Plan_cache.misses;
   (* a different binding is a different key *)
-  (match Plan_cache.get cache ~app:blur ~scale:16 ~scheduler:Scheduler.Dp ~machine:xeon with
+  (match Plan_cache.get cache ~app:blur ~scale:16 ~scheduler:Scheduler.Dp ~machine:xeon () with
   | Ok (_, `Miss) -> ()
-  | Ok (_, `Hit) -> Alcotest.fail "changed scale must recompile"
+  | Ok (_, (`Hit | `Loaded)) -> Alcotest.fail "changed scale must recompile"
   | Error e -> Alcotest.failf "compile failed: %s" (Pmdp_error.to_string e));
   Alcotest.(check int) "two compiles" 2 (Plan_cache.stats cache).Plan_cache.compiles;
   Alcotest.(check int) "two entries" 2 (Plan_cache.stats cache).Plan_cache.entries;
@@ -158,7 +164,7 @@ let test_cache_one_compile_per_key () =
   let fetchers =
     Array.init n (fun _ ->
         Domain.spawn (fun () ->
-            Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon))
+            Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon ()))
   in
   let results = Array.map Domain.join fetchers in
   let fps =
@@ -178,7 +184,7 @@ let test_cache_failure_cached () =
   (* scale=0 dies inside the app builder; the typed error must come
      back every time while compiling only once. *)
   let cache = Plan_cache.create () in
-  let get () = Plan_cache.get cache ~app:blur ~scale:0 ~scheduler:Scheduler.Dp ~machine:xeon in
+  let get () = Plan_cache.get cache ~app:blur ~scale:0 ~scheduler:Scheduler.Dp ~machine:xeon () in
   (match get () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "scale 0 must fail");
@@ -188,13 +194,185 @@ let test_cache_failure_cached () =
   Alcotest.(check int) "failure compiled once" 1 (Plan_cache.stats cache).Plan_cache.compiles
 
 (* ------------------------------------------------------------------ *)
+(* Transport endpoints *)
+
+let test_transport_endpoint_parse () =
+  let parses s expected =
+    match Transport.of_string s with
+    | Ok e -> Alcotest.(check bool) (s ^ " parses") true (e = expected)
+    | Error m -> Alcotest.failf "%s rejected: %s" s m
+  in
+  parses "unix:///run/pmdp.sock" (Transport.Uds "/run/pmdp.sock");
+  parses "tcp://127.0.0.1:9900" (Transport.Tcp ("127.0.0.1", 9900));
+  parses "tcp://localhost:0" (Transport.Tcp ("localhost", 0));
+  (* a bare path is the pre-endpoint --socket spelling *)
+  parses "/tmp/pmdp.sock" (Transport.Uds "/tmp/pmdp.sock");
+  List.iter
+    (fun e ->
+      match Transport.of_string (Transport.to_string e) with
+      | Ok e' ->
+          Alcotest.(check bool) (Transport.to_string e ^ " round trips") true (e = e')
+      | Error m -> Alcotest.failf "round trip rejected: %s" m)
+    [ Transport.Uds "/x/y.sock"; Transport.Tcp ("example.org", 80) ];
+  let rejected s =
+    match Transport.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S accepted" s
+  in
+  rejected "";
+  rejected "unix://";
+  rejected "tcp://:9900";
+  rejected "tcp://nohost";
+  rejected "tcp://host:";
+  rejected "tcp://host:notaport";
+  rejected "tcp://host:-1";
+  rejected "tcp://host:65536";
+  rejected "ftp://host:1"
+
+(* ------------------------------------------------------------------ *)
+(* Consistent-hash ring *)
+
+let test_ring_routing () =
+  let fps = List.init 64 (fun i -> Digest.to_hex (Digest.string (Printf.sprintf "fp-%d" i))) in
+  let ring = Shard.Ring.create ~shards:4 in
+  let ring' = Shard.Ring.create ~shards:4 in
+  List.iter
+    (fun fp ->
+      let s = Shard.Ring.route ring fp in
+      Alcotest.(check bool) "shard in range" true (s >= 0 && s < 4);
+      (* a rebuilt ring — a restarted process — routes identically *)
+      Alcotest.(check int) "routing deterministic" s (Shard.Ring.route ring' fp))
+    fps;
+  (* 64 virtual nodes per shard spread well enough that every shard
+     takes traffic from 64 distinct fingerprints *)
+  let hit = Array.make 4 false in
+  List.iter (fun fp -> hit.(Shard.Ring.route ring fp) <- true) fps;
+  Alcotest.(check bool) "every shard takes traffic" true (Array.for_all Fun.id hit);
+  let one = Shard.Ring.create ~shards:1 in
+  List.iter
+    (fun fp -> Alcotest.(check int) "single shard gets everything" 0 (Shard.Ring.route one fp))
+    fps
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let compiled_blur_entry () =
+  let cache = Plan_cache.create () in
+  match Plan_cache.get cache ~app:blur ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon () with
+  | Ok (entry, _) -> entry
+  | Error e -> Alcotest.failf "compile failed: %s" (Pmdp_error.to_string e)
+
+let test_disk_cache_roundtrip () =
+  let dir = temp_dir "pmdp-disk" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let dc = Disk_cache.create ~dir in
+  let entry = compiled_blur_entry () in
+  let fp = entry.Plan_cache.fingerprint in
+  let meta =
+    Disk_cache.meta_of_request ~app:"blur" ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon
+  in
+  Disk_cache.store dc meta ~fingerprint:fp ~ir:entry.Plan_cache.ir;
+  (match Disk_cache.load dc ~fingerprint:fp with
+  | Some (ir, claimed) ->
+      Alcotest.(check string) "claimed digest survives" entry.Plan_cache.digest claimed;
+      Alcotest.(check string) "content digest survives" entry.Plan_cache.digest (Plan.digest ir)
+  | None -> Alcotest.fail "stored plan not loadable");
+  Alcotest.(check bool) "absent fingerprint misses" true
+    (Disk_cache.load dc ~fingerprint:(String.make 32 '0') = None);
+  (match Disk_cache.scan dc with
+  | [ (fp', m) ] ->
+      Alcotest.(check string) "scan finds the fingerprint" fp fp';
+      Alcotest.(check string) "scan recovers the app" "blur" m.Disk_cache.app;
+      Alcotest.(check int) "scan recovers the scale" 32 m.Disk_cache.scale;
+      Alcotest.(check string) "scan recovers the machine" xeon.Machine.name m.Disk_cache.machine
+  | l -> Alcotest.failf "scan found %d entries, wanted 1" (List.length l));
+  let s = Disk_cache.stats dc in
+  Alcotest.(check int) "one store" 1 s.Disk_cache.stores;
+  Alcotest.(check int) "no store failures" 0 s.Disk_cache.store_failures;
+  Alcotest.(check int) "one load hit" 1 s.Disk_cache.hits;
+  Alcotest.(check int) "one load miss" 1 s.Disk_cache.misses
+
+let total_cache (service : Service.t) = (Service.stats service).Service.total.Service.cache
+
+let test_disk_cache_warm_restart () =
+  let dir = temp_dir "pmdp-warm" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* cold service: the first request compiles and persists the plan *)
+  let s1 = Service.create ~workers:2 ~cache_dir:dir ~machine:xeon () in
+  (match Service.submit s1 (Service.request ~scale:32 "blur") with
+  | Ok r -> Alcotest.(check bool) "cold first request compiles" false r.Service.cache_hit
+  | Error e -> Alcotest.failf "cold submit failed: %s" (Pmdp_error.to_string e));
+  Alcotest.(check int) "cold service compiled" 1 (total_cache s1).Plan_cache.compiles;
+  Service.shutdown s1;
+  (* restarted service: the plan is warm-loaded through the admission
+     gate at startup, so the first request is already a cache hit *)
+  let s2 = Service.create ~workers:2 ~cache_dir:dir ~machine:xeon () in
+  Alcotest.(check int) "restart admits the stored plan" 1 (total_cache s2).Plan_cache.loads;
+  (match Service.submit s2 (Service.request ~scale:32 "blur") with
+  | Ok r -> Alcotest.(check bool) "warm first request hits" true r.Service.cache_hit
+  | Error e -> Alcotest.failf "warm submit failed: %s" (Pmdp_error.to_string e));
+  Alcotest.(check int) "no compiles after restart" 0 (total_cache s2).Plan_cache.compiles;
+  Service.shutdown s2
+
+let test_disk_cache_tamper_recompile () =
+  let dir = temp_dir "pmdp-tamper" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let s1 = Service.create ~workers:2 ~cache_dir:dir ~machine:xeon () in
+  (match Service.submit s1 (Service.request ~scale:32 "blur") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit failed: %s" (Pmdp_error.to_string e));
+  Service.shutdown s1;
+  (* corrupt the stored envelope: the claimed digest no longer matches
+     the plan content *)
+  (match Sys.readdir dir with
+  | [| f |] -> (
+      let file = Filename.concat dir f in
+      match Json.of_file file with
+      | Ok (Json.Obj members) ->
+          Json.to_file file
+            (Json.Obj
+               (List.map
+                  (fun (k, v) ->
+                    if k = "digest" then (k, Json.String (String.make 32 'f')) else (k, v))
+                  members))
+      | Ok _ | Error _ -> Alcotest.fail "cached plan file unreadable")
+  | files -> Alcotest.failf "expected one cached plan, found %d files" (Array.length files));
+  let s2 = Service.create ~workers:2 ~cache_dir:dir ~machine:xeon () in
+  let c0 = total_cache s2 in
+  Alcotest.(check int) "tampered plan rejected at warm-load" 0 c0.Plan_cache.loads;
+  Alcotest.(check bool) "rejection counted" true (c0.Plan_cache.load_rejects >= 1);
+  (* the slot was left empty, not poisoned: the request recompiles *)
+  (match Service.submit s2 (Service.request ~scale:32 "blur") with
+  | Ok r -> Alcotest.(check bool) "served by a fresh compile" false r.Service.cache_hit
+  | Error e -> Alcotest.failf "recompile submit failed: %s" (Pmdp_error.to_string e));
+  Alcotest.(check int) "recompiled once" 1 (total_cache s2).Plan_cache.compiles;
+  Service.shutdown s2
+
+(* ------------------------------------------------------------------ *)
 (* Service *)
 
-let with_service ?(workers = 2) ?mem_budget ?max_inflight ?batch_window ?validate f =
+let with_service ?(workers = 2) ?mem_budget ?max_inflight ?batch_window ?validate ?shards
+    ?queue_limit f =
   let service =
-    Service.create ~workers ?mem_budget ?max_inflight ?batch_window ?validate ~machine:xeon ()
+    Service.create ~workers ?mem_budget ?max_inflight ?batch_window ?validate ?shards
+      ?queue_limit ~machine:xeon ()
   in
   Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+let ok_id = function
+  | Ok id -> id
+  | Error e -> Alcotest.failf "submit rejected: %s" (Pmdp_error.to_string e)
 
 let test_service_submit () =
   with_service ~validate:true (fun service ->
@@ -212,8 +390,8 @@ let test_service_submit () =
               Alcotest.(check bool) "second request hits the cache" true r2.Service.cache_hit;
               Alcotest.(check (float 0.0)) "same checksum" r.Service.checksum r2.Service.checksum);
           let s = Service.stats service in
-          Alcotest.(check int) "two completed" 2 s.Service.completed;
-          Alcotest.(check int) "one compile" 1 s.Service.cache.Plan_cache.compiles)
+          Alcotest.(check int) "two completed" 2 s.Service.total.Service.completed;
+          Alcotest.(check int) "one compile" 1 s.Service.total.Service.cache.Plan_cache.compiles)
 
 let test_service_unknown_app () =
   with_service (fun service ->
@@ -221,7 +399,8 @@ let test_service_unknown_app () =
       | Error (Pmdp_error.Unresolved_external _) -> ()
       | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
       | Ok _ -> Alcotest.fail "unknown app accepted");
-      Alcotest.(check int) "counted as rejected" 1 (Service.stats service).Service.rejected)
+      Alcotest.(check int) "counted as rejected" 1
+        (Service.stats service).Service.total.Service.rejected)
 
 let test_service_over_budget () =
   (* A one-byte budget rejects at admission with the typed
@@ -271,7 +450,7 @@ let test_service_batching () =
         (List.exists (fun r -> r.Service.batch_size > 1) responses);
       let checksums = List.sort_uniq compare (List.map (fun r -> r.Service.checksum) responses) in
       Alcotest.(check int) "all checksums identical" 1 (List.length checksums);
-      let s = Service.stats service in
+      let s = (Service.stats service).Service.total in
       Alcotest.(check bool) "fewer executions than requests" true (s.Service.executions < 6);
       Alcotest.(check bool) "batches observed" true (s.Service.batches >= 1);
       Alcotest.(check int) "all completed" 6 s.Service.completed)
@@ -344,9 +523,113 @@ let test_service_concurrent_submits () =
           | Ok _ -> ()
           | Error e -> Alcotest.failf "concurrent submit failed: %s" (Pmdp_error.to_string e))
         results;
-      let s = Service.stats service in
+      let s = (Service.stats service).Service.total in
       Alcotest.(check int) "all completed" 20 s.Service.completed;
       Alcotest.(check int) "one compile per distinct key" 2 s.Service.cache.Plan_cache.compiles)
+
+let test_service_shed_priority () =
+  (* Graduated backpressure: a full shard queue sheds the
+     lowest-priority queued request when the incoming one outranks it,
+     and refuses the incoming one when nothing does.  A long batch
+     window keeps the dispatcher lingering on the first request so the
+     queue actually fills. *)
+  with_service ~batch_window:0.4 ~queue_limit:2 (fun service ->
+      (* warm the plan cache so the submits below admit instantly *)
+      (match Service.submit service (Service.request ~scale:32 "blur") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warm-up failed: %s" (Pmdp_error.to_string e));
+      let submit ~seed ~priority =
+        Service.submit_async service (Service.request ~scale:32 ~seed ~priority "blur")
+      in
+      let a = ok_id (submit ~seed:11 ~priority:0) in
+      Thread.delay 0.05;
+      (* dispatcher is lingering on seed 11; these two fill the queue *)
+      let b = ok_id (submit ~seed:12 ~priority:0) in
+      let c = ok_id (submit ~seed:13 ~priority:1) in
+      (* a priority-5 request evicts the priority-0 one *)
+      let d = ok_id (submit ~seed:14 ~priority:5) in
+      (* an equal-priority request finds nothing to outrank *)
+      (match submit ~seed:15 ~priority:0 with
+      | Error (Pmdp_error.Overloaded { limit; depth; _ }) ->
+          Alcotest.(check int) "limit echoed" 2 limit;
+          Alcotest.(check bool) "depth at limit" true (depth >= limit)
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "admitted past the full queue");
+      (match Service.await service b with
+      | Error (Pmdp_error.Overloaded _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "the shed victim completed anyway");
+      List.iter
+        (fun id ->
+          match Service.await service id with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "surviving request failed: %s" (Pmdp_error.to_string e))
+        [ a; c; d ];
+      let s = (Service.stats service).Service.total in
+      Alcotest.(check int) "one shed" 1 s.Service.shed;
+      Alcotest.(check bool) "refusal counted as rejected" true (s.Service.rejected >= 1);
+      Alcotest.(check bool) "shed victim not counted failed" true (s.Service.failed = 0))
+
+let test_service_deadline_expiry () =
+  (* A request whose deadline passes while queued is dropped with the
+     typed Deadline_exceeded instead of executed. *)
+  with_service ~batch_window:0.3 (fun service ->
+      (match Service.submit service (Service.request ~scale:32 "blur") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "warm-up failed: %s" (Pmdp_error.to_string e));
+      let a =
+        ok_id (Service.submit_async service (Service.request ~scale:32 ~seed:21 "blur"))
+      in
+      Thread.delay 0.05;
+      (* different seed = different batch key; expires inside the
+         window the dispatcher spends lingering on seed 21 *)
+      let b =
+        ok_id
+          (Service.submit_async service
+             (Service.request ~scale:32 ~seed:22 ~deadline:0.05 "blur"))
+      in
+      (match Service.await service b with
+      | Error (Pmdp_error.Deadline_exceeded { deadline; waited; _ }) ->
+          Alcotest.(check (float 0.0)) "deadline echoed" 0.05 deadline;
+          Alcotest.(check bool) "waited past the deadline" true (waited >= deadline)
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "expired request executed anyway");
+      (match Service.await service a with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "live request failed: %s" (Pmdp_error.to_string e));
+      let s = (Service.stats service).Service.total in
+      Alcotest.(check int) "expiry counted" 1 s.Service.expired;
+      Alcotest.(check bool) "expiry not counted failed" true (s.Service.failed = 0))
+
+let test_service_sharded_submits () =
+  (* A multi-shard fleet: routing is deterministic, every request
+     completes, per-shard ledgers sum to the rollup, and each distinct
+     plan compiled on exactly one shard. *)
+  with_service ~shards:3 (fun service ->
+      Alcotest.(check int) "three shards" 3 (Service.shard_count service);
+      let fp = Plan_cache.fingerprint ~app:"blur" ~scale:32 ~scheduler:Scheduler.Dp ~machine:xeon in
+      let s0 = Service.shard_of_fingerprint service fp in
+      Alcotest.(check bool) "route in range" true (s0 >= 0 && s0 < 3);
+      Alcotest.(check int) "route stable" s0 (Service.shard_of_fingerprint service fp);
+      let results =
+        List.init 12 (fun i ->
+            let app = if i mod 2 = 0 then "blur" else "unsharp" in
+            Service.submit service (Service.request ~scale:32 ~seed:(1 + (i mod 3)) app))
+      in
+      List.iter
+        (function
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "sharded submit failed: %s" (Pmdp_error.to_string e))
+        results;
+      let s = Service.stats service in
+      Alcotest.(check int) "one ledger per shard" 3 (Array.length s.Service.shards);
+      Alcotest.(check int) "totals roll up completions" 12 s.Service.total.Service.completed;
+      let sum field = Array.fold_left (fun acc c -> acc + field c) 0 s.Service.shards in
+      Alcotest.(check int) "per-shard ledgers sum to the total" 12
+        (sum (fun c -> c.Service.completed));
+      Alcotest.(check int) "one compile per distinct plan across the fleet" 2
+        (sum (fun c -> c.Service.cache.Plan_cache.compiles));
+      Alcotest.(check bool) "no disk cache unless configured" true (s.Service.disk = None))
 
 (* ------------------------------------------------------------------ *)
 (* Protocol codecs *)
@@ -370,7 +653,15 @@ let test_protocol_request_codec () =
   rejected (Json.Obj [ ("op", Json.String "submit") ]);
   rejected (Json.Obj [ ("app", Json.String "blur"); ("scale", Json.String "big") ]);
   rejected (Json.Obj [ ("app", Json.String "blur"); ("scheduler", Json.String "nope") ]);
-  rejected (Json.Obj [ ("app", Json.String "blur"); ("scale", Json.Int 0) ])
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("scale", Json.Int 0) ]);
+  (* v2 fields: priority and deadline round trip, bad values rejected *)
+  let r2 = Service.request ~scale:16 ~seed:2 ~priority:3 ~deadline:1.5 "blur" in
+  (match Protocol.request_of_json (Protocol.json_of_request r2) with
+  | Ok r' -> Alcotest.(check bool) "priority/deadline round trip" true (r2 = r')
+  | Error e -> Alcotest.failf "decode failed: %s" (Pmdp_error.to_string e));
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("priority", Json.String "high") ]);
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("deadline", Json.Float 0.0) ]);
+  rejected (Json.Obj [ ("app", Json.String "blur"); ("deadline", Json.Float (-1.0)) ])
 
 let test_protocol_error_codec () =
   let errors =
@@ -383,6 +674,8 @@ let test_protocol_error_codec () =
       Pmdp_error.Timeout { seconds = 1.5; context = "c" };
       Pmdp_error.Cancelled { reason = "r" };
       Pmdp_error.Pool_shutdown { context = "c" };
+      Pmdp_error.Overloaded { shard = 2; depth = 9; limit = 8; context = "c" };
+      Pmdp_error.Deadline_exceeded { deadline = 0.5; waited = 0.75; context = "c" };
     ]
   in
   List.iter
@@ -396,6 +689,47 @@ let test_protocol_error_codec () =
   match Protocol.error_of_json (Json.Obj [ ("kind", Json.String "martian") ]) with
   | Pmdp_error.Plan_invalid _ -> ()
   | e -> Alcotest.failf "unexpected decode: %s" (Pmdp_error.to_string e)
+
+let test_protocol_stats_json () =
+  (* The v2 sharded stats document: one counters object per shard
+     (tagged with its index), a field-wise rollup, and the disk-cache
+     member (null without --cache-dir). *)
+  with_service ~shards:2 (fun service ->
+      (match Service.submit service (Service.request ~scale:32 "blur") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "submit failed: %s" (Pmdp_error.to_string e));
+      let j = Protocol.json_of_stats (Service.stats service) in
+      match Json.of_string (Json.to_string j) with
+      | Error e -> Alcotest.failf "stats JSON unparseable: %s" e
+      | Ok doc ->
+          let shards =
+            Option.value ~default:[]
+              (Option.bind (Json.member "shards" doc) Json.to_list_opt)
+          in
+          Alcotest.(check int) "one counters object per shard" 2 (List.length shards);
+          List.iteri
+            (fun i s ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "shard %d tagged with its index" i)
+                (Some i)
+                (Option.bind (Json.member "shard" s) Json.to_int_opt))
+            shards;
+          let totals_member name =
+            Option.bind
+              (Option.bind (Json.member "totals" doc) (Json.member name))
+              Json.to_int_opt
+          in
+          Alcotest.(check (option int)) "totals roll up completions" (Some 1)
+            (totals_member "completed");
+          Alcotest.(check bool) "totals carry the shed counter" true
+            (totals_member "shed" <> None);
+          let cache =
+            Option.bind (Json.member "totals" doc) (Json.member "cache")
+          in
+          Alcotest.(check (option int)) "cache rollup carries loads" (Some 0)
+            (Option.bind (Option.bind cache (Json.member "loads")) Json.to_int_opt);
+          Alcotest.(check bool) "disk is null without --cache-dir" true
+            (Json.member "disk" doc = Some Json.Null))
 
 (* ------------------------------------------------------------------ *)
 (* Load generator (in-process) *)
@@ -497,6 +831,17 @@ let () =
           Alcotest.test_case "one compile per key" `Quick test_cache_one_compile_per_key;
           Alcotest.test_case "failure cached" `Quick test_cache_failure_cached;
         ] );
+      ( "transport",
+        [ Alcotest.test_case "endpoint parsing" `Quick test_transport_endpoint_parse ] );
+      ( "ring",
+        [ Alcotest.test_case "deterministic routing" `Quick test_ring_routing ] );
+      ( "disk-cache",
+        [
+          Alcotest.test_case "envelope round trip" `Quick test_disk_cache_roundtrip;
+          Alcotest.test_case "warm restart skips compiles" `Quick test_disk_cache_warm_restart;
+          Alcotest.test_case "tampered envelope recompiles" `Quick
+            test_disk_cache_tamper_recompile;
+        ] );
       ( "service",
         [
           Alcotest.test_case "submit + cache hit" `Quick test_service_submit;
@@ -507,11 +852,15 @@ let () =
           Alcotest.test_case "await semantics" `Quick test_service_await_semantics;
           Alcotest.test_case "shutdown" `Quick test_service_shutdown;
           Alcotest.test_case "concurrent submits" `Quick test_service_concurrent_submits;
+          Alcotest.test_case "backpressure sheds by priority" `Quick test_service_shed_priority;
+          Alcotest.test_case "deadline expiry" `Quick test_service_deadline_expiry;
+          Alcotest.test_case "sharded submits" `Quick test_service_sharded_submits;
         ] );
       ( "protocol",
         [
           Alcotest.test_case "request codec" `Quick test_protocol_request_codec;
           Alcotest.test_case "error codec" `Quick test_protocol_error_codec;
+          Alcotest.test_case "stats document" `Quick test_protocol_stats_json;
         ] );
       ( "load",
         [ Alcotest.test_case "in-process run" `Quick test_load_inproc ] );
