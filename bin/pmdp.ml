@@ -578,14 +578,15 @@ let serve_cmd =
      Unix-domain or TCP socket, each with a compiled-plan cache and bounded queue, with \
      admission control against the memory budget, priority-based load shedding, \
      same-pipeline request batching, and an optional persistent plan cache on disk. Stops on \
-     a client shutdown operation or SIGINT/SIGTERM."
+     a client shutdown operation or SIGINT; SIGTERM drains gracefully first (see \
+     --drain-timeout)."
   in
   let run machine workers mem_budget max_inflight batch_window validate shards queue_limit
-      cache_dir socket endpoint trace =
+      cache_dir breaker_threshold breaker_cooldown drain_timeout socket endpoint trace =
     trace_begin trace;
     let service =
       Pmdp_service.Service.create ~workers ?mem_budget ~max_inflight ~batch_window ~validate
-        ~shards ~queue_limit ?cache_dir ~machine ()
+        ~shards ~queue_limit ?cache_dir ~breaker_threshold ~breaker_cooldown ~machine ()
     in
     let server =
       Pmdp_service.Server.start ~service ~endpoint:(resolve_endpoint endpoint socket) ()
@@ -602,13 +603,25 @@ let serve_cmd =
        flips a flag, and the main thread polls it from Thread.delay,
        which re-enters OCaml (and runs pending handlers) each tick. *)
     let stop_requested = Atomic.make false in
-    let on_signal _ = Atomic.set stop_requested true in
-    List.iter
-      (fun s -> try Sys.set_signal s (Sys.Signal_handle on_signal) with Invalid_argument _ -> ())
-      [ Sys.sigint; Sys.sigterm ];
-    while not (Atomic.get stop_requested || Pmdp_service.Server.stopped server) do
+    let drain_requested = Atomic.make false in
+    let flag a _ = Atomic.set a true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (flag stop_requested))
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (flag drain_requested))
+     with Invalid_argument _ -> ());
+    while
+      not
+        (Atomic.get stop_requested || Atomic.get drain_requested
+        || Pmdp_service.Server.stopped server)
+    do
       Thread.delay 0.05
     done;
+    if Atomic.get drain_requested && not (Atomic.get stop_requested) then begin
+      (* SIGTERM: stop admitting, settle what is in flight, then stop.
+         SIGINT (or a second signal) still cuts straight to stop. *)
+      Printf.printf "pmdp serve: draining (up to %gs)...\n%!" drain_timeout;
+      Pmdp_service.Server.drain ~timeout:drain_timeout server
+    end;
     Pmdp_service.Server.stop server;
     Pmdp_service.Server.wait server;
     let s = Pmdp_service.Service.stats service in
@@ -616,7 +629,7 @@ let serve_cmd =
     Printf.printf
       "pmdp serve: done — %d submitted, %d completed, %d failed, %d rejected, %d shed, %d \
        expired; %d executions (%d batches covering %d requests); cache %d hits / %d compiles \
-       / %d loaded\n%!"
+       / %d loaded; %d dispatcher restarts; breaker %d trips / %d rejects / %d closes\n%!"
       tot.Pmdp_service.Service.submitted tot.Pmdp_service.Service.completed
       tot.Pmdp_service.Service.failed tot.Pmdp_service.Service.rejected
       tot.Pmdp_service.Service.shed tot.Pmdp_service.Service.expired
@@ -624,7 +637,11 @@ let serve_cmd =
       tot.Pmdp_service.Service.batched_requests
       tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.hits
       tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.compiles
-      tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.loads;
+      tot.Pmdp_service.Service.cache.Pmdp_service.Plan_cache.loads
+      tot.Pmdp_service.Service.restarts
+      s.Pmdp_service.Service.breaker.Pmdp_service.Breaker.trips
+      s.Pmdp_service.Service.breaker.Pmdp_service.Breaker.rejects
+      s.Pmdp_service.Service.breaker.Pmdp_service.Breaker.closes;
     trace_end trace
   in
   let workers_t = Arg.(value & opt int 4 & info [ "workers"; "j" ] ~doc:"Worker domains.") in
@@ -668,10 +685,30 @@ let serve_cmd =
              ~doc:"Persist compiled plans to $(docv) and warm-load them at startup, so a \
                    restarted server serves its first repeat request without compiling.")
   in
+  let breaker_threshold_t =
+    Arg.(value & opt int 3
+         & info [ "breaker-threshold" ]
+             ~doc:"Consecutive compile/execution failures of one plan fingerprint that trip \
+                   its circuit open; further requests for that plan are refused instantly \
+                   with a retryable circuit-open error.")
+  in
+  let breaker_cooldown_t =
+    Arg.(value & opt float 5.0
+         & info [ "breaker-cooldown" ]
+             ~doc:"Seconds an open circuit waits before admitting one half-open probe; the \
+                   probe's success closes the circuit, its failure re-trips it.")
+  in
+  let drain_timeout_t =
+    Arg.(value & opt float 5.0
+         & info [ "drain-timeout" ]
+             ~doc:"Seconds a SIGTERM-triggered graceful drain waits for in-flight requests \
+                   to settle before stopping; requests still queued at the deadline fail \
+                   with a retryable overloaded error.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ machine_t $ workers_t $ mem_budget_t $ max_inflight_t $ batch_window_t
-          $ validate_t $ shards_t $ queue_limit_t $ cache_dir_t $ socket_t $ endpoint_t
-          $ trace_t)
+          $ validate_t $ shards_t $ queue_limit_t $ cache_dir_t $ breaker_threshold_t
+          $ breaker_cooldown_t $ drain_timeout_t $ socket_t $ endpoint_t $ trace_t)
 
 let load_cmd =
   let doc =
@@ -680,15 +717,18 @@ let load_cmd =
      (p50/p95/p99) as JSON."
   in
   let run machine socket endpoint inproc clients requests rate apps scale scheduler seeds
-      workers output quiet =
+      retries backoff workers output quiet =
     let apps =
       match apps with
       | [] -> [ "blur" ]
       | apps -> List.map (fun (a : Registry.app) -> a.Registry.name) apps
     in
+    let retry =
+      Pmdp_service.Client.Retry_policy.create ~max_attempts:retries ~base_delay:backoff ()
+    in
     let cfg =
       Pmdp_service.Load.config ~clients ~requests ?arrival_rate:rate ~apps ~scale ~scheduler
-        ~seeds ()
+        ~seeds ~retry ()
     in
     let report =
       if inproc then begin
@@ -700,7 +740,7 @@ let load_cmd =
       else Pmdp_service.Load.run_remote ~endpoint:(resolve_endpoint endpoint socket) cfg
     in
     let path = match output with Some p -> p | None -> Pmdp_service.Load.default_path machine in
-    Pmdp_report.Json.to_file path (Pmdp_service.Load.to_json report);
+    let write_result = Pmdp_service.Load.write_json ~path report in
     if not quiet then begin
       Printf.printf
         "%d requests in %.2fs: %d ok, %d failed — %.1f req/s; latency ms p50 %.2f p95 %.2f \
@@ -713,9 +753,17 @@ let load_cmd =
         report.Pmdp_service.Load.cache_hits report.Pmdp_service.Load.batched;
       List.iter
         (fun (k, n) -> Printf.printf "  %d x %s\n" n k)
-        report.Pmdp_service.Load.errors
+        report.Pmdp_service.Load.errors;
+      let rs = report.Pmdp_service.Load.retry in
+      Printf.printf "retries: %d attempts, %d requests retried, %d gave up\n"
+        rs.Pmdp_service.Client.attempts rs.Pmdp_service.Client.retried
+        rs.Pmdp_service.Client.gave_up
     end;
-    Printf.printf "wrote %s\n" path;
+    (match write_result with
+    | Ok () -> Printf.printf "wrote %s\n" path
+    | Error e ->
+        Printf.eprintf "pmdp load: %s\n" (Pmdp_util.Pmdp_error.message e);
+        exit 1);
     if report.Pmdp_service.Load.succeeded = 0 then exit 1
   in
   let inproc_t =
@@ -742,6 +790,20 @@ let load_cmd =
          & info [ "seeds" ]
              ~doc:"Rotate input seeds through 1..N (1 maximizes batching opportunity).")
   in
+  let retries_t =
+    Arg.(value & opt int 1
+         & info [ "retries" ]
+             ~doc:"Attempts per request, including the first (1 = no retries). Retryable \
+                   failures — overloaded, deadline-exceeded, dropped connections, open \
+                   circuits — are re-sent with exponential backoff; permanent ones are \
+                   not.")
+  in
+  let backoff_t =
+    Arg.(value & opt float 0.005
+         & info [ "backoff" ]
+             ~doc:"Base backoff delay in seconds before the first retry; doubles per \
+                   attempt (jittered, capped at 0.5s).")
+  in
   let workers_t =
     Arg.(value & opt int 4 & info [ "workers"; "j" ] ~doc:"Worker domains (--inproc only).")
   in
@@ -752,7 +814,8 @@ let load_cmd =
   let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only the report path.") in
   Cmd.v (Cmd.info "load" ~doc)
     Term.(const run $ machine_t $ socket_t $ endpoint_t $ inproc_t $ clients_t $ requests_t
-          $ rate_t $ apps_t $ scale_t $ scheduler_t $ seeds_t $ workers_t $ out_t $ quiet_t)
+          $ rate_t $ apps_t $ scale_t $ scheduler_t $ seeds_t $ retries_t $ backoff_t
+          $ workers_t $ out_t $ quiet_t)
 
 let () =
   (* Executors validate schedules on entry; with the oracle installed

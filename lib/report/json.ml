@@ -22,8 +22,19 @@ let escape s =
     s;
   Buffer.contents b
 
-(* JSON has no Infinity/NaN; timings need ~9 significant digits. *)
-let float_repr f = if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+(* JSON has no Infinity/NaN.  The shortest representation that parses
+   back to the exact same double: result checksums cross the wire
+   through this printer, and the chaos harness compares them bitwise
+   against a local reference run, so lossy formatting would read as
+   corruption. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.16g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let rec write b = function
   | Null -> Buffer.add_string b "null"

@@ -1,6 +1,18 @@
 module Rng = Pmdp_util.Rng
 
-type action = Crash | Kill | Alloc_fail | Sleep of float
+type action =
+  | Crash
+  | Kill
+  | Alloc_fail
+  | Sleep of float
+  | Frame_drop
+  | Frame_truncate
+  | Frame_garbage
+  | Frame_delay of float
+  | Shard_kill
+  | Torn_write
+  | Corrupt_write
+
 type spec = { action : action; at : int }
 
 exception Injected of string
@@ -13,6 +25,9 @@ type t = {
   tiles : int Atomic.t;
   allocs : int Atomic.t;
   jobs : int Atomic.t;
+  frames : int Atomic.t;
+  stores : int Atomic.t;
+  batches : int Atomic.t;
   mutable resolved : bool;
 }
 
@@ -23,6 +38,9 @@ let create ?(seed = 0) specs =
     tiles = Atomic.make 0;
     allocs = Atomic.make 0;
     jobs = Atomic.make 0;
+    frames = Atomic.make 0;
+    stores = Atomic.make 0;
+    batches = Atomic.make 0;
     resolved = false;
   }
 
@@ -33,6 +51,13 @@ let spec_to_string s =
   | Kill -> "kill@" ^ pos
   | Alloc_fail -> "alloc@" ^ pos
   | Sleep d -> Printf.sprintf "sleep@%s:%g" pos d
+  | Frame_drop -> "drop@" ^ pos
+  | Frame_truncate -> "truncate@" ^ pos
+  | Frame_garbage -> "garbage@" ^ pos
+  | Frame_delay d -> Printf.sprintf "fdelay@%s:%g" pos d
+  | Shard_kill -> "shardkill@" ^ pos
+  | Torn_write -> "torn@" ^ pos
+  | Corrupt_write -> "corrupt@" ^ pos
 
 let parse s =
   let parse_pos p =
@@ -47,26 +72,36 @@ let parse s =
     | Some i -> (
         let act = String.sub item 0 i in
         let rest = String.sub item (i + 1) (String.length item - i - 1) in
+        let timed mk =
+          match String.index_opt rest ':' with
+          | None -> Error (Printf.sprintf "bad injection %S (want %s@POS:SECONDS)" item act)
+          | Some j -> (
+              let pos = String.sub rest 0 j in
+              let dur = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match (parse_pos pos, float_of_string_opt dur) with
+              | Ok at, Some d when d >= 0.0 -> Ok { action = mk d; at }
+              | (Error _ as e), _ -> e
+              | _, _ -> Error (Printf.sprintf "bad %s duration %S" act dur))
+        in
+        let plain a = Result.map (fun at -> { action = a; at }) (parse_pos rest) in
         match act with
-        | "crash" | "kill" | "alloc" ->
-            Result.map
-              (fun at ->
-                {
-                  action = (if act = "crash" then Crash else if act = "kill" then Kill else Alloc_fail);
-                  at;
-                })
-              (parse_pos rest)
-        | "sleep" -> (
-            match String.index_opt rest ':' with
-            | None -> Error (Printf.sprintf "bad injection %S (want sleep@POS:SECONDS)" item)
-            | Some j -> (
-                let pos = String.sub rest 0 j in
-                let dur = String.sub rest (j + 1) (String.length rest - j - 1) in
-                match (parse_pos pos, float_of_string_opt dur) with
-                | Ok at, Some d when d >= 0.0 -> Ok { action = Sleep d; at }
-                | (Error _ as e), _ -> e
-                | _, _ -> Error (Printf.sprintf "bad sleep duration %S" dur)))
-        | _ -> Error (Printf.sprintf "unknown injection action %S (crash|kill|alloc|sleep)" act))
+        | "crash" -> plain Crash
+        | "kill" -> plain Kill
+        | "alloc" -> plain Alloc_fail
+        | "sleep" -> timed (fun d -> Sleep d)
+        | "drop" -> plain Frame_drop
+        | "truncate" -> plain Frame_truncate
+        | "garbage" -> plain Frame_garbage
+        | "fdelay" -> timed (fun d -> Frame_delay d)
+        | "shardkill" -> plain Shard_kill
+        | "torn" -> plain Torn_write
+        | "corrupt" -> plain Corrupt_write
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown injection action %S \
+                  (crash|kill|alloc|sleep|drop|truncate|garbage|fdelay|shardkill|torn|corrupt)"
+                 act))
   in
   let items = String.split_on_char ',' (String.trim s) in
   List.fold_left
@@ -112,6 +147,47 @@ let job_tick t ~worker =
   hit t t.jobs
     (function Kill -> true | _ -> false)
     (fun _ i -> Printf.sprintf "injected kill of worker %d at job start %d" worker i)
+
+let shard_tick t =
+  hit t t.batches
+    (function Shard_kill -> true | _ -> false)
+    (fun _ i -> Printf.sprintf "injected shard dispatcher kill at batch %d" i)
+
+(* Like [hit], but for sites where the caller enacts the fault itself
+   (mangling a frame, tearing a write): return a directive instead of
+   raising.  The first unfired matching spec on this tick wins. *)
+let directive t counter pick =
+  let i = Atomic.fetch_and_add counter 1 in
+  List.fold_left
+    (fun acc a ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if a.pos = i && pick a.a <> None && not (Atomic.exchange a.fired true) then pick a.a
+          else None)
+    None t.specs
+
+let frame_tick t =
+  match
+    directive t t.frames (function
+      | Frame_drop -> Some `Drop
+      | Frame_truncate -> Some `Truncate
+      | Frame_garbage -> Some `Garbage
+      | Frame_delay d -> Some (`Delay d)
+      | _ -> None)
+  with
+  | Some d -> d
+  | None -> `Pass
+
+let store_tick t =
+  match
+    directive t t.stores (function
+      | Torn_write -> Some `Torn
+      | Corrupt_write -> Some `Corrupt
+      | _ -> None)
+  with
+  | Some d -> d
+  | None -> `Pass
 
 type token = bool Atomic.t
 

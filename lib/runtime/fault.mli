@@ -28,6 +28,13 @@ type action =
   | Kill  (** raise from the pool's job hook: the worker domain dies *)
   | Alloc_fail  (** simulated scratch-arena allocation failure *)
   | Sleep of float  (** slow tile: sleep this many seconds *)
+  | Frame_drop  (** server drops a reply frame and closes the connection *)
+  | Frame_truncate  (** server writes a short frame, then closes *)
+  | Frame_garbage  (** server replies with a well-framed non-JSON payload *)
+  | Frame_delay of float  (** server stalls this many seconds before replying *)
+  | Shard_kill  (** raise inside a shard dispatcher thread: the shard dies *)
+  | Torn_write  (** disk cache persists only a prefix of the envelope *)
+  | Corrupt_write  (** disk cache persists an envelope with a wrong digest *)
 
 type spec = { action : action; at : int  (** 0-based tick; [-1] = seeded random *) }
 
@@ -42,8 +49,10 @@ val create : ?seed:int -> spec list -> t
 
 val parse : string -> (spec list, string) result
 (** Comma-separated spec syntax: [crash@K], [kill@K], [alloc@K],
-    [sleep@K:SECONDS], with [K] a tick number or [r] (seeded
-    random).  E.g. ["crash@12,sleep@0:0.05"]. *)
+    [sleep@K:SECONDS], [drop@K], [truncate@K], [garbage@K],
+    [fdelay@K:SECONDS], [shardkill@K], [torn@K], [corrupt@K], with [K]
+    a tick number or [r] (seeded random).  E.g.
+    ["crash@12,sleep@0:0.05"] or ["drop@3,shardkill@2,torn@0"]. *)
 
 val spec_to_string : spec -> string
 
@@ -54,6 +63,23 @@ val resolve : t -> n:int -> unit
 val tile_tick : t -> unit
 val alloc_tick : t -> unit
 val job_tick : t -> worker:int -> unit
+
+val shard_tick : t -> unit
+(** Called by a shard dispatcher at the start of every batch
+    execution; fires [Shard_kill] specs by raising {!Injected}, which
+    escapes the dispatcher loop and kills the thread (the shard
+    supervisor is expected to notice and respawn). *)
+
+val frame_tick : t -> [ `Pass | `Drop | `Truncate | `Garbage | `Delay of float ]
+(** Called by the server before writing each reply frame.  Unlike the
+    raising ticks, the caller enacts the fault (the fault layer cannot
+    mangle a socket it does not own); [`Pass] means write normally.
+    At most one spec fires per tick. *)
+
+val store_tick : t -> [ `Pass | `Torn | `Corrupt ]
+(** Called by the disk cache before persisting each envelope; the
+    cache enacts [`Torn] (write only a prefix) or [`Corrupt] (persist
+    a wrong digest) itself. *)
 
 (** Cooperative cancellation: a token shared between a watchdog and
     the workers, checked at tile granularity. *)

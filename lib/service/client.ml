@@ -1,7 +1,74 @@
 module Json = Pmdp_report.Json
 module Pmdp_error = Pmdp_util.Pmdp_error
+module Rng = Pmdp_util.Rng
 
-type t = { fd : Unix.file_descr; mutable proto : int; mutable closed : bool }
+module Retry_policy = struct
+  type t = {
+    max_attempts : int;
+    base_delay : float;
+    max_delay : float;
+    multiplier : float;
+    seed : int;
+  }
+
+  let none = { max_attempts = 1; base_delay = 0.0; max_delay = 0.0; multiplier = 1.0; seed = 0 }
+
+  let create ?(max_attempts = 4) ?(base_delay = 0.005) ?(max_delay = 0.5) ?(multiplier = 2.0)
+      ?(seed = 0) () =
+    {
+      max_attempts = max 1 max_attempts;
+      base_delay = Float.max 0.0 base_delay;
+      max_delay = Float.max 0.0 max_delay;
+      multiplier = Float.max 1.0 multiplier;
+      seed;
+    }
+
+  let default = create ()
+
+  (* Which failures are worth a retry?  Transient conditions — a full
+     queue, a missed deadline, a crashed worker or dropped connection,
+     an open circuit that will cool down — may clear; a plan that does
+     not lower, a wrong arity, or an unknown input never will. *)
+  let retryable = function
+    | Pmdp_error.Overloaded _ | Pmdp_error.Deadline_exceeded _ | Pmdp_error.Timeout _
+    | Pmdp_error.Worker_crash _ | Pmdp_error.Cancelled _ | Pmdp_error.Circuit_open _ ->
+        true
+    | Pmdp_error.Plan_invalid _ | Pmdp_error.Arity_mismatch _ | Pmdp_error.Unresolved_external _
+    | Pmdp_error.Scratch_over_budget _ | Pmdp_error.Pool_shutdown _ ->
+        false
+
+  (* Full-jitter-ish exponential backoff: the k-th retry sleeps in
+     [d/2, d] with d = min(max_delay, base * multiplier^(k-1)), drawn
+     from the policy's seeded stream so a given load run backs off
+     identically every time. *)
+  let delay p ~rng ~attempt =
+    let d = Float.min p.max_delay (p.base_delay *. (p.multiplier ** float_of_int (attempt - 1))) in
+    if d <= 0.0 then 0.0 else d *. (0.5 +. Rng.float rng 0.5)
+end
+
+type retry_stats = { attempts : int; retried : int; gave_up : int }
+
+let zero_retry_stats = { attempts = 0; retried = 0; gave_up = 0 }
+
+let add_retry_stats a b =
+  {
+    attempts = a.attempts + b.attempts;
+    retried = a.retried + b.retried;
+    gave_up = a.gave_up + b.gave_up;
+  }
+
+type conn = { fd : Unix.file_descr; mutable proto : int }
+
+type t = {
+  endpoint : Transport.endpoint;
+  retry : Retry_policy.t;
+  rng : Rng.t;
+  mutable conn : conn option;
+  mutable closed : bool;
+  mutable attempts : int;
+  mutable retried : int;
+  mutable gave_up : int;
+}
 
 type remote_response = {
   id : int;
@@ -16,66 +83,141 @@ type remote_response = {
   max_abs_diff : float option;
 }
 
-(* Offer our highest version; a v2 server pins the connection and
+let transport_error detail = Pmdp_error.Worker_crash { worker = -1; detail = "client: " ^ detail }
+
+let connect_error endpoint e =
+  Pmdp_error.Worker_crash
+    {
+      worker = -1;
+      detail =
+        Printf.sprintf "client: connect %s: %s" (Transport.to_string endpoint)
+          (Unix.error_message e);
+    }
+
+(* Offer our highest version; an older server pins the connection and
    echoes the negotiated version, a v1 server answers the hello with
    an unknown-operation error — which is itself the answer: v1. *)
-let handshake t =
+let handshake c =
   match
-    Protocol.write_frame t.fd (Protocol.json_of_hello Protocol.proto_version);
-    Protocol.read_frame t.fd
+    Protocol.write_frame c.fd (Protocol.json_of_hello Protocol.proto_version);
+    Protocol.read_frame c.fd
   with
-  | Some reply
-    when Option.bind (Json.member "ok" reply) Json.to_bool_opt = Some true ->
-      t.proto <-
+  | Some reply when Option.bind (Json.member "ok" reply) Json.to_bool_opt = Some true ->
+      c.proto <-
         Option.value ~default:1 (Option.bind (Json.member "proto" reply) Json.to_int_opt)
-  | Some _ | None -> t.proto <- 1
-  | exception (Protocol.Closed | Failure _ | Unix.Unix_error _) -> t.proto <- 1
+  | Some _ | None -> c.proto <- 1
+  | exception (Protocol.Closed | Failure _ | Unix.Unix_error _) -> c.proto <- 1
 
-let connect ~endpoint =
+let dial t =
+  match Transport.connect t.endpoint with
+  | fd ->
+      let c = { fd; proto = 1 } in
+      handshake c;
+      t.conn <- Some c;
+      Ok c
+  | exception Unix.Unix_error (e, _, _) -> Error (connect_error t.endpoint e)
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      t.conn <- None;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let connect ?(retry = Retry_policy.none) ~endpoint () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let fd = Transport.connect endpoint in
-  let t = { fd; proto = 1; closed = false } in
-  handshake t;
-  t
+  let t =
+    {
+      endpoint;
+      retry;
+      rng = Rng.create retry.Retry_policy.seed;
+      conn = None;
+      closed = false;
+      attempts = 0;
+      retried = 0;
+      gave_up = 0;
+    }
+  in
+  let rec go attempt =
+    match dial t with
+    | Ok _ -> Ok t
+    | Error _ when attempt < retry.Retry_policy.max_attempts ->
+        Unix.sleepf (Retry_policy.delay retry ~rng:t.rng ~attempt);
+        go (attempt + 1)
+    | Error _ as e -> e
+  in
+  match go 1 with Ok t -> Ok t | Error e -> Error e
 
-let connect_path ~path = connect ~endpoint:(Transport.Uds path)
-let proto t = t.proto
+let proto t = match t.conn with Some c -> c.proto | None -> 0
+let retry_stats t = { attempts = t.attempts; retried = t.retried; gave_up = t.gave_up }
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    drop_conn t
   end
-
-let transport_error detail = Pmdp_error.Worker_crash { worker = -1; detail = "client: " ^ detail }
 
 (* One request frame out, one reply frame back, with every transport
    failure mode folded into a typed error. *)
-let round_trip t req =
-  if t.closed then Error (transport_error "connection already closed")
-  else
-    match
-      Protocol.write_frame t.fd req;
-      Protocol.read_frame t.fd
-    with
-    | None -> Error (transport_error "server closed the connection")
-    | Some reply -> Ok reply
-    | exception Protocol.Closed -> Error (transport_error "connection dropped mid-frame")
-    | exception Failure reason -> Error (transport_error reason)
-    | exception Unix.Unix_error (e, _, _) -> Error (transport_error (Unix.error_message e))
+let round_trip c req =
+  match
+    Protocol.write_frame c.fd req;
+    Protocol.read_frame c.fd
+  with
+  | None -> Error (transport_error "server closed the connection")
+  | Some reply -> Ok reply
+  | exception Protocol.Closed -> Error (transport_error "connection dropped mid-frame")
+  | exception Failure reason -> Error (transport_error reason)
+  | exception Unix.Unix_error (e, _, _) -> Error (transport_error (Unix.error_message e))
 
-(* Unwrap the {"ok": ...} envelope. *)
-let expect_ok t req =
-  match round_trip t req with
-  | Error _ as e -> e
-  | Ok reply -> (
-      match Option.bind (Json.member "ok" reply) Json.to_bool_opt with
-      | Some true -> Ok reply
-      | Some false -> (
-          match Json.member "error" reply with
-          | Some e -> Error (Protocol.error_of_json e)
-          | None -> Error (transport_error "error reply without an error object"))
-      | None -> Error (transport_error "reply without an \"ok\" field"))
+(* One attempt: (re)connect if needed, round-trip, unwrap the
+   {"ok": ...} envelope.  [`Transport] failures poison the connection
+   (the stream may hold a half-written frame), [`Typed] ones come from
+   a healthy server and keep it. *)
+let attempt_once t req =
+  match (match t.conn with Some c -> Ok c | None -> dial t) with
+  | Error e -> `Transport e
+  | Ok c -> (
+      match round_trip c req with
+      | Error e -> `Transport e
+      | Ok reply -> (
+          match Option.bind (Json.member "ok" reply) Json.to_bool_opt with
+          | Some true -> `Ok reply
+          | Some false -> (
+              match Json.member "error" reply with
+              | Some e -> `Typed (Protocol.error_of_json e)
+              | None -> `Transport (transport_error "error reply without an error object"))
+          | None -> `Transport (transport_error "reply without an \"ok\" field")))
+
+(* The retry loop.  Requests are pure, deterministic computations, so
+   re-sending after a lost reply frame at worst recomputes (or hits
+   the plan cache); there is no at-most-once hazard. *)
+let request t req =
+  if t.closed then Error (transport_error "connection already closed")
+  else begin
+    let p = t.retry in
+    let rec go attempt =
+      t.attempts <- t.attempts + 1;
+      let retry e =
+        if attempt < p.Retry_policy.max_attempts && Retry_policy.retryable e then begin
+          if attempt = 1 then t.retried <- t.retried + 1;
+          Unix.sleepf (Retry_policy.delay p ~rng:t.rng ~attempt);
+          go (attempt + 1)
+        end
+        else begin
+          if Retry_policy.retryable e then t.gave_up <- t.gave_up + 1;
+          Error e
+        end
+      in
+      match attempt_once t req with
+      | `Ok reply -> Ok reply
+      | `Transport e ->
+          drop_conn t;
+          retry e
+      | `Typed e -> retry e
+    in
+    go 1
+  end
 
 let remote_response_of_json j =
   let int name = Option.bind (Json.member name j) Json.to_int_opt in
@@ -111,7 +253,7 @@ let remote_response_of_json j =
   | _ -> Error (transport_error "response frame lacks id/fingerprint")
 
 let submit t r =
-  match expect_ok t (Protocol.json_of_request r) with
+  match request t (Protocol.json_of_request r) with
   | Error _ as e -> e
   | Ok reply -> (
       match Json.member "response" reply with
@@ -119,14 +261,30 @@ let submit t r =
       | Some resp -> remote_response_of_json resp)
 
 let stats t =
-  match expect_ok t (Json.Obj [ ("op", Json.String "stats") ]) with
+  match request t (Json.Obj [ ("op", Json.String "stats") ]) with
   | Error _ as e -> e
   | Ok reply -> (
       match Json.member "stats" reply with
       | None -> Error (transport_error "ok reply without a stats object")
       | Some s -> Ok s)
 
-let shutdown_server t =
-  match expect_ok t (Json.Obj [ ("op", Json.String "shutdown") ]) with
+let health t =
+  match request t (Json.Obj [ ("op", Json.String "health") ]) with
   | Error _ as e -> e
-  | Ok _ -> Ok ()
+  | Ok reply -> (
+      match Json.member "health" reply with
+      | None -> Error (transport_error "ok reply without a health object")
+      | Some h -> Protocol.health_of_json h)
+
+(* Single attempt, deliberately outside the retry loop: re-sending a
+   shutdown after a lost ack could take down a freshly restarted
+   server. *)
+let shutdown_server t =
+  if t.closed then Error (transport_error "connection already closed")
+  else
+    match attempt_once t (Json.Obj [ ("op", Json.String "shutdown") ]) with
+    | `Ok _ -> Ok ()
+    | `Typed e -> Error e
+    | `Transport e ->
+        drop_conn t;
+        Error e

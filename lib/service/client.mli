@@ -1,10 +1,68 @@
 (** Client side of the {!Protocol}: one connection to a [pmdp serve]
-    endpoint (Unix-domain or TCP).
+    endpoint (Unix-domain or TCP), with typed retries.
 
     A connection carries one request at a time (the server replies in
     order); for concurrent load, open one client per in-flight
     request — {!Load} does exactly that.  Not thread-safe: share a
-    client between threads only with external locking. *)
+    client between threads only with external locking.
+
+    Every transport failure (refused connection, dropped or short
+    frame, garbage reply) is folded into a typed retryable
+    [Pmdp_error.Worker_crash { worker = -1; _ }]; nothing raises.
+    When a {!Retry_policy} allows more than one attempt, the client
+    reconnects and re-sends retryable failures itself, sleeping an
+    exponentially growing, seeded-jittered delay between attempts.
+    Requests are pure, deterministic computations, so a re-send after
+    a lost reply frame at worst recomputes (or hits the server's plan
+    cache). *)
+
+(** When and how to retry, derived from the [Pmdp_error] taxonomy. *)
+module Retry_policy : sig
+  type t = {
+    max_attempts : int;  (** total attempts, including the first (>= 1) *)
+    base_delay : float;  (** seconds before the first retry *)
+    max_delay : float;  (** backoff ceiling, seconds *)
+    multiplier : float;  (** exponential growth factor (>= 1) *)
+    seed : int;  (** drives the jitter stream *)
+  }
+
+  val none : t
+  (** One attempt, no retries — the pre-PR-8 behavior. *)
+
+  val default : t
+  (** 4 attempts, 5 ms base, x2 growth, 500 ms ceiling, seed 0. *)
+
+  val create :
+    ?max_attempts:int ->
+    ?base_delay:float ->
+    ?max_delay:float ->
+    ?multiplier:float ->
+    ?seed:int ->
+    unit ->
+    t
+
+  val retryable : Pmdp_util.Pmdp_error.t -> bool
+  (** Transient failures retry: [Overloaded], [Deadline_exceeded],
+      [Timeout], [Worker_crash] (which covers every client transport
+      failure and supervisor-settled request), [Cancelled],
+      [Circuit_open].  Permanent ones do not: [Plan_invalid],
+      [Arity_mismatch], [Unresolved_external], [Scratch_over_budget],
+      [Pool_shutdown]. *)
+
+  val delay : t -> rng:Pmdp_util.Rng.t -> attempt:int -> float
+  (** Sleep before retry number [attempt] (1-based): uniform in
+      [d/2, d] where [d = min max_delay (base * multiplier^(attempt-1))]. *)
+end
+
+(** Cumulative per-client retry accounting, surfaced by {!Load}. *)
+type retry_stats = {
+  attempts : int;  (** wire attempts, including first sends *)
+  retried : int;  (** requests that needed more than one attempt *)
+  gave_up : int;  (** requests that still failed retryably at the end *)
+}
+
+val zero_retry_stats : retry_stats
+val add_retry_stats : retry_stats -> retry_stats -> retry_stats
 
 type t
 
@@ -23,29 +81,37 @@ type remote_response = {
   max_abs_diff : float option;
 }
 
-val connect : endpoint:Transport.endpoint -> t
+val connect :
+  ?retry:Retry_policy.t -> endpoint:Transport.endpoint -> unit -> (t, Pmdp_util.Pmdp_error.t) result
 (** Connect and negotiate the protocol version (one hello round trip;
-    a v1 server that rejects the hello pins the connection to v1).
-    @raise Unix.Unix_error when nothing is listening there. *)
-
-val connect_path : path:string -> t
-  [@@ocaml.deprecated "use Client.connect ~endpoint:(Transport.Uds path)"]
-(** Pre-endpoint spelling of {!connect} for a Unix socket path. *)
+    a v1 server that rejects the hello pins the connection to v1).  A
+    refused/missing endpoint is a typed, retryable error naming the
+    endpoint — never a raw [Unix.Unix_error] — and is itself retried
+    under [retry] (default {!Retry_policy.none}).  The policy is
+    remembered and applied to every subsequent {!submit}. *)
 
 val proto : t -> int
-(** The negotiated protocol version (1 or 2). *)
+(** The negotiated protocol version (0 when disconnected). *)
+
+val retry_stats : t -> retry_stats
 
 val submit : t -> Service.request -> (remote_response, Pmdp_util.Pmdp_error.t) result
-(** Round-trip one submit.  Transport and protocol failures are
-    folded into typed errors ([Worker_crash { worker = -1; _ }] for a
-    dropped connection), never raised. *)
+(** Round-trip one submit, retrying and reconnecting per the policy
+    given at {!connect}.  Transport and protocol failures are folded
+    into typed errors, never raised. *)
 
 val stats : t -> (Pmdp_report.Json.t, Pmdp_util.Pmdp_error.t) result
 (** The server's stats object, as JSON (see {!Protocol.json_of_stats}
-    for the fields). *)
+    for the fields).  Retries per the policy. *)
+
+val health : t -> (Service.health, Pmdp_util.Pmdp_error.t) result
+(** Per-shard liveness, queue depth, restarts, and circuit-breaker
+    state.  Retries per the policy. *)
 
 val shutdown_server : t -> (unit, Pmdp_util.Pmdp_error.t) result
-(** Ask the server to drain and stop; returns once acknowledged. *)
+(** Ask the server to drain and stop; returns once acknowledged.
+    Never retried: re-sending after a lost ack could take down a
+    freshly restarted server. *)
 
 val close : t -> unit
 (** Idempotent. *)

@@ -1,6 +1,8 @@
 module Json = Pmdp_report.Json
 module Scheduler = Pmdp_core.Scheduler
 module Machine = Pmdp_machine.Machine
+module Fault = Pmdp_runtime.Fault
+module Trace = Pmdp_trace.Trace
 
 type meta = {
   app : string;
@@ -10,15 +12,23 @@ type meta = {
   cores : int;
 }
 
-type stats = { stores : int; store_failures : int; hits : int; misses : int }
+type stats = {
+  stores : int;
+  store_failures : int;
+  hits : int;
+  misses : int;
+  quarantined : int;
+}
 
 type t = {
   dir : string;
   lock : Mutex.t;
+  fault : Fault.t option;
   mutable stores : int;
   mutable store_failures : int;
   mutable hits : int;
   mutable misses : int;
+  mutable quarantined : int;
 }
 
 let rec mkdir_p dir =
@@ -38,14 +48,24 @@ let default_dir () =
   in
   Filename.concat (Filename.concat base "pmdp") "plans"
 
-let create ~dir =
+let create ?fault ~dir () =
   mkdir_p dir;
   if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Disk_cache.create: %s is not a directory" dir);
-  { dir; lock = Mutex.create (); stores = 0; store_failures = 0; hits = 0; misses = 0 }
+  {
+    dir;
+    lock = Mutex.create ();
+    fault;
+    stores = 0;
+    store_failures = 0;
+    hits = 0;
+    misses = 0;
+    quarantined = 0;
+  }
 
 let dir t = t.dir
 let path t fingerprint = Filename.concat t.dir (fingerprint ^ ".json")
+let bad_path t fingerprint = Filename.concat t.dir (fingerprint ^ ".bad")
 
 let bump t f =
   Mutex.lock t.lock;
@@ -81,25 +101,66 @@ let meta_of_json j =
    restarted server can re-derive the pipeline to admit the plan
    against. *)
 let store t meta ~fingerprint ~(ir : Pmdp_plan.t) =
+  (* Chaos hooks model the two silent ways a write goes bad: a torn
+     write persists only a prefix (power cut between write and fsync),
+     a corrupt write persists well-formed JSON whose claimed digest is
+     wrong (bit rot, buggy serializer).  Both count as stores — the
+     writer believed it succeeded; detection is the reader's job. *)
+  let directive = match t.fault with Some f -> Fault.store_tick f | None -> `Pass in
+  let digest =
+    match directive with
+    | `Corrupt -> "corrupt-" ^ Pmdp_plan.digest ir
+    | `Pass | `Torn -> Pmdp_plan.digest ir
+  in
   let doc =
     Json.Obj
       [
         ("schema_version", Json.Int 1);
-        ("digest", Json.String (Pmdp_plan.digest ir));
+        ("digest", Json.String digest);
         ("request", json_of_meta meta);
         ("plan", Pmdp_plan.to_json ir);
       ]
   in
   let final = path t fingerprint in
   let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+  let write () =
+    match directive with
+    | `Pass | `Corrupt -> Json.to_file tmp doc
+    | `Torn ->
+        let s = Json.to_string doc in
+        let oc = open_out_bin tmp in
+        output_string oc (String.sub s 0 (String.length s / 2));
+        close_out oc
+  in
   match
-    Json.to_file tmp doc;
+    write ();
     Unix.rename tmp final
   with
   | () -> bump t (fun t -> t.stores <- t.stores + 1)
   | exception (Sys_error _ | Unix.Unix_error _) ->
       (try Sys.remove tmp with Sys_error _ -> ());
       bump t (fun t -> t.store_failures <- t.store_failures + 1)
+
+(* Move a bad envelope out of the lookup path.  Leaving it in place
+   would re-reject it on every warm start and shadow the re-store of a
+   fresh compile; renaming to <fingerprint>.bad keeps the evidence for
+   inspection while freeing the .json slot.  Best-effort and
+   idempotent (a second quarantine of the same fingerprint finds no
+   file and counts nothing). *)
+let quarantine t ~fingerprint ~reason =
+  let file = path t fingerprint in
+  if Sys.file_exists file then begin
+    match Unix.rename file (bad_path t fingerprint) with
+    | () ->
+        bump t (fun t -> t.quarantined <- t.quarantined + 1);
+        if Trace.on () then begin
+          Trace.count "service.disk.quarantine" 1;
+          Trace.instant ~cat:"service"
+            ~args:[ ("fingerprint", Trace.Str fingerprint); ("reason", Trace.Str reason) ]
+            "service.disk.quarantine"
+        end
+    | exception Unix.Unix_error _ -> ()
+  end
 
 let parse_file file =
   match Json.of_file file with
@@ -126,8 +187,10 @@ let load t ~fingerprint =
         bump t (fun t -> t.hits <- t.hits + 1);
         Some (ir, digest)
     | Error _ ->
-        (* Unparseable is indistinguishable from absent for the caller:
-           the plan cache falls back to compiling. *)
+        (* Unparseable is indistinguishable from absent for the caller
+           (the plan cache falls back to compiling), but the file is
+           quarantined so the next store is not shadowed by it. *)
+        quarantine t ~fingerprint ~reason:"load: unparseable envelope";
         bump t (fun t -> t.misses <- t.misses + 1);
         None
 
@@ -142,13 +205,21 @@ let scan t =
                let fingerprint = Filename.chop_suffix name ".json" in
                match parse_file (Filename.concat t.dir name) with
                | Ok (_, _, meta) -> Some (fingerprint, meta)
-               | Error _ -> None)
+               | Error _ ->
+                   quarantine t ~fingerprint ~reason:"scan: unparseable envelope";
+                   None)
       |> List.sort compare
 
 let stats t =
   Mutex.lock t.lock;
   let s =
-    { stores = t.stores; store_failures = t.store_failures; hits = t.hits; misses = t.misses }
+    {
+      stores = t.stores;
+      store_failures = t.store_failures;
+      hits = t.hits;
+      misses = t.misses;
+      quarantined = t.quarantined;
+    }
   in
   Mutex.unlock t.lock;
   s

@@ -34,8 +34,12 @@ val default_dir : unit -> string
 (** [$XDG_CACHE_HOME/pmdp/plans], falling back to [~/.cache/pmdp/plans]
     (or a temp-dir-rooted path when even [$HOME] is unset). *)
 
-val create : dir:string -> t
-(** Create [dir] (and parents) if needed.
+val create : ?fault:Pmdp_runtime.Fault.t -> dir:string -> unit -> t
+(** Create [dir] (and parents) if needed.  [fault] enables chaos
+    injection at stores: a firing [Torn_write] persists only a prefix
+    of the envelope, a [Corrupt_write] persists well-formed JSON with
+    a wrong claimed digest — the two silent disk-failure modes the
+    quarantine machinery must recover from.
     @raise Invalid_argument when [dir] exists but is not a directory.
     @raise Unix.Unix_error when it cannot be created. *)
 
@@ -57,19 +61,29 @@ val load : t -> fingerprint:string -> (Pmdp_plan.t * string) option
 (** The stored IR and the digest the file {e claims} — exactly the
     shape {!Plan_cache.get}'s [?load] hook wants.  [None] when the
     file is absent or unparseable (the caller compiles instead);
-    digest verification is the admission gate's job, not this
-    module's. *)
+    an unparseable file is quarantined on the way.  Digest
+    verification is the admission gate's job, not this module's. *)
 
 val scan : t -> (string * meta) list
 (** Every parseable entry as (fingerprint, request bindings), sorted —
     the startup warm-load walks this and admits each plan through the
-    gate. *)
+    gate.  Unparseable files (torn writes, junk) are quarantined
+    instead of silently skipped. *)
+
+val quarantine : t -> fingerprint:string -> reason:string -> unit
+(** Rename [<fingerprint>.json] to [<fingerprint>.bad]: the envelope
+    stops shadowing future stores and warm loads but stays on disk
+    for inspection.  Called internally for unparseable files; callers
+    ({!Service}'s warm load, {!Plan_cache.get}'s rejection hook) call
+    it for envelopes that parse but fail admission.  Best-effort,
+    idempotent, counted in {!stats}. *)
 
 type stats = {
   stores : int;  (** envelopes written *)
   store_failures : int;  (** writes that failed (disk full, perms) *)
   hits : int;  (** loads that found a parseable envelope *)
   misses : int;  (** loads that found nothing usable *)
+  quarantined : int;  (** envelopes renamed to [.bad] *)
 }
 
 val stats : t -> stats

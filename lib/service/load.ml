@@ -12,10 +12,11 @@ type config = {
   scale : int;
   scheduler : Scheduler.t;
   seeds : int;
+  retry : Client.Retry_policy.t;
 }
 
 let config ?(clients = 4) ?(requests = 100) ?arrival_rate ?(apps = [ "blur" ]) ?(scale = 32)
-    ?(scheduler = Scheduler.Dp) ?(seeds = 1) () =
+    ?(scheduler = Scheduler.Dp) ?(seeds = 1) ?(retry = Client.Retry_policy.none) () =
   if clients < 1 then invalid_arg "Load.config: clients < 1";
   if requests < 1 then invalid_arg "Load.config: requests < 1";
   if apps = [] then invalid_arg "Load.config: empty app mix";
@@ -23,7 +24,7 @@ let config ?(clients = 4) ?(requests = 100) ?arrival_rate ?(apps = [ "blur" ]) ?
   (match arrival_rate with
   | Some r when r <= 0.0 -> invalid_arg "Load.config: arrival_rate <= 0"
   | _ -> ());
-  { clients; requests; arrival_rate; apps; scale; scheduler; seeds }
+  { clients; requests; arrival_rate; apps; scale; scheduler; seeds; retry }
 
 type sample = {
   ok : bool;
@@ -48,6 +49,7 @@ type report = {
   cache_hits : int;
   batched : int;
   errors : (string * int) list;
+  retry : Client.retry_stats;
   service_stats : Json.t option;
 }
 
@@ -66,15 +68,18 @@ let to_sample outcome latency =
       { ok = false; cache_hit = false; batched = false; kind = Some (Pmdp_error.kind e); latency }
 
 (* The loop core, parameterized over how a worker submits.
-   [make_worker] is called once per worker thread and returns
-   (submit, close); remote workers get their own connection. *)
+   [make_worker w] is called once per worker thread and returns
+   (submit, close); remote workers get their own connection, and
+   [close] hands back that worker's retry accounting. *)
 let run_core ~make_worker ~finish cfg =
   let n = cfg.requests in
   let samples = Array.make n None in
+  let retry_totals = ref Client.zero_retry_stats in
+  let retry_lock = Mutex.create () in
   let next = Atomic.make 0 in
   let start = Unix.gettimeofday () in
   let worker w =
-    let submit, close = make_worker () in
+    let submit, close = make_worker w in
     (match cfg.arrival_rate with
     | None ->
         (* Closed loop: each worker keeps one request in flight. *)
@@ -101,7 +106,10 @@ let run_core ~make_worker ~finish cfg =
           samples.(!i) <- Some (to_sample r (Unix.gettimeofday () -. due));
           i := !i + cfg.clients
         done);
-    close ()
+    let rs = close () in
+    Mutex.lock retry_lock;
+    retry_totals := Client.add_retry_stats !retry_totals rs;
+    Mutex.unlock retry_lock
   in
   let threads = List.init cfg.clients (fun w -> Thread.create worker w) in
   List.iter Thread.join threads;
@@ -133,30 +141,37 @@ let run_core ~make_worker ~finish cfg =
     cache_hits = List.length (List.filter (fun s -> s.cache_hit) oks);
     batched = List.length (List.filter (fun (s : sample) -> s.batched) oks);
     errors;
+    retry = !retry_totals;
     service_stats;
   }
 
+(* Each worker gets its own jitter stream: identical streams would
+   synchronize the backoff sleeps and re-collide every retry wave. *)
+let worker_policy (cfg : config) w =
+  let p = cfg.retry in
+  Client.Retry_policy.{ p with seed = p.seed + w }
+
 let run_remote ~endpoint cfg =
-  let make_worker () =
-    match Client.connect ~endpoint with
-    | client ->
+  let make_worker w =
+    match Client.connect ~retry:(worker_policy cfg w) ~endpoint () with
+    | Ok client ->
         ( (fun req ->
             Result.map
               (fun (r : Client.remote_response) -> (r.Client.cache_hit, r.Client.batch_size))
               (Client.submit client req)),
-          fun () -> Client.close client )
-    | exception Unix.Unix_error (e, _, _) ->
-        (* No listener: every request of this worker fails typed. *)
-        ( (fun _ ->
-            Error
-              (Pmdp_error.Worker_crash
-                 { worker = -1; detail = "load: connect: " ^ Unix.error_message e })),
-          fun () -> () )
+          fun () ->
+            let rs = Client.retry_stats client in
+            Client.close client;
+            rs )
+    | Error e ->
+        (* No listener even after the connect retries: every request
+           of this worker fails with that typed error. *)
+        ((fun _ -> Error e), fun () -> Client.zero_retry_stats)
   in
   let finish () =
-    match Client.connect ~endpoint with
-    | exception Unix.Unix_error _ -> None
-    | client ->
+    match Client.connect ~endpoint () with
+    | Error _ -> None
+    | Ok client ->
         let s = Client.stats client in
         Client.close client;
         Result.to_option s
@@ -164,17 +179,40 @@ let run_remote ~endpoint cfg =
   run_core ~make_worker ~finish cfg
 
 let run_inproc service cfg =
-  let make_worker () =
-    ( (fun req ->
-        Result.map
-          (fun (r : Service.response) -> (r.Service.cache_hit, r.Service.batch_size))
-          (Service.submit service req)),
-      fun () -> () )
+  let make_worker w =
+    (* The same retry semantics as the remote path, minus the
+       transport: typed retryable errors (shed, expired, supervisor-
+       settled, open circuit) are re-submitted with the same backoff
+       and accounting. *)
+    let p = worker_policy cfg w in
+    let rng = Pmdp_util.Rng.create p.Client.Retry_policy.seed in
+    let rs = ref Client.zero_retry_stats in
+    let submit req =
+      let rec go attempt =
+        rs := Client.add_retry_stats !rs { Client.attempts = 1; retried = 0; gave_up = 0 };
+        match Service.submit service req with
+        | Ok r -> Ok (r.Service.cache_hit, r.Service.batch_size)
+        | Error e
+          when attempt < p.Client.Retry_policy.max_attempts && Client.Retry_policy.retryable e ->
+            if attempt = 1 then
+              rs := Client.add_retry_stats !rs { Client.attempts = 0; retried = 1; gave_up = 0 };
+            Thread.delay (Client.Retry_policy.delay p ~rng ~attempt);
+            go (attempt + 1)
+        | Error e ->
+            if Client.Retry_policy.retryable e then
+              rs := Client.add_retry_stats !rs { Client.attempts = 0; retried = 0; gave_up = 1 };
+            Error e
+      in
+      go 1
+    in
+    (submit, fun () -> !rs)
   in
   let finish () = Some (Protocol.json_of_stats (Service.stats service)) in
   run_core ~make_worker ~finish cfg
 
-let schema_version = 1
+(* v2: adds the ["retry"] totals object, the retry policy in
+   ["config"], and writes through the schema guard in {!write_json}. *)
+let schema_version = 2
 
 let to_json r =
   Json.Obj
@@ -192,6 +230,14 @@ let to_json r =
             ("scale", Json.Int r.config.scale);
             ("scheduler", Json.String (Scheduler.to_string r.config.scheduler));
             ("seeds", Json.Int r.config.seeds);
+            ( "retry_policy",
+              Json.Obj
+                [
+                  ("max_attempts", Json.Int r.config.retry.Client.Retry_policy.max_attempts);
+                  ("base_delay", Json.Float r.config.retry.Client.Retry_policy.base_delay);
+                  ("max_delay", Json.Float r.config.retry.Client.Retry_policy.max_delay);
+                  ("multiplier", Json.Float r.config.retry.Client.Retry_policy.multiplier);
+                ] );
           ] );
       ("wall_seconds", Json.Float r.wall_seconds);
       ("succeeded", Json.Int r.succeeded);
@@ -205,8 +251,48 @@ let to_json r =
       ("cache_hits", Json.Int r.cache_hits);
       ("batched", Json.Int r.batched);
       ("errors", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.errors));
+      ( "retry",
+        Json.Obj
+          [
+            ("attempts", Json.Int r.retry.Client.attempts);
+            ("retried", Json.Int r.retry.Client.retried);
+            ("gave_up", Json.Int r.retry.Client.gave_up);
+          ] );
       ("latency_ms", Json.List (Array.to_list (Array.map (fun x -> Json.Float x) r.latency_ms)));
       ("service_stats", Option.value ~default:Json.Null r.service_stats);
     ]
 
 let default_path (machine : Machine.t) = Printf.sprintf "LOAD_%s.json" machine.Machine.name
+
+(* Same guard as the bench runner's merge path: a pre-existing output
+   file is only replaced when it is verifiably a load report of the
+   schema this writer produces — overwriting a file written under a
+   different (or unknown) schema would silently destroy data a reader
+   of that schema still expects. *)
+let write_json ~path r =
+  let invalid reason =
+    Error (Pmdp_error.Plan_invalid { context = "load: " ^ path; reason })
+  in
+  let check =
+    if not (Sys.file_exists path) then Ok ()
+    else
+      match Json.of_file path with
+      | Error msg -> invalid ("existing file not parseable as JSON: " ^ msg)
+      | Ok doc -> (
+          match
+            ( Option.bind (Json.member "kind" doc) Json.to_string_opt,
+              Option.bind (Json.member "schema_version" doc) Json.to_int_opt )
+          with
+          | Some "pmdp-load", Some v when v = schema_version -> Ok ()
+          | Some "pmdp-load", Some v ->
+              invalid
+                (Printf.sprintf "schema_version %d, but this writer produces v%d" v schema_version)
+          | Some "pmdp-load", None ->
+              invalid "missing schema_version; refusing to replace an unknown schema"
+          | _ -> invalid "not a pmdp-load report; refusing to overwrite")
+  in
+  match check with
+  | Error _ as e -> e
+  | Ok () ->
+      Json.to_file path (to_json r);
+      Ok ()

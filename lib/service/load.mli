@@ -28,6 +28,10 @@ type config = {
   scale : int;
   scheduler : Pmdp_core.Scheduler.t;
   seeds : int;  (** rotate seed through [1 .. seeds] *)
+  retry : Client.Retry_policy.t;
+      (** applied per worker (each with its own jitter seed); the
+          in-process runner applies the same policy to retryable typed
+          errors *)
 }
 
 val config :
@@ -38,10 +42,11 @@ val config :
   ?scale:int ->
   ?scheduler:Pmdp_core.Scheduler.t ->
   ?seeds:int ->
+  ?retry:Client.Retry_policy.t ->
   unit ->
   config
 (** Defaults: 4 clients, 100 requests, closed loop, ["blur"], scale
-    32, [Dp], 1 seed. *)
+    32, [Dp], 1 seed, no retries ({!Client.Retry_policy.none}). *)
 
 type report = {
   config : config;
@@ -58,6 +63,7 @@ type report = {
   cache_hits : int;  (** successful responses served from the plan cache *)
   batched : int;  (** successful responses with batch_size > 1 *)
   errors : (string * int) list;  (** error kind -> count, sorted by kind *)
+  retry : Client.retry_stats;  (** summed over all workers *)
   service_stats : Pmdp_report.Json.t option;
       (** server stats snapshot after the run, when obtainable *)
 }
@@ -71,9 +77,20 @@ val run_inproc : Service.t -> config -> report
 (** Drive a service in process (no sockets) — same report, used by
     tests and [pmdp load --inproc]. *)
 
+val schema_version : int
+(** Version stamped into {!to_json} documents (2: adds the ["retry"]
+    totals and the retry policy under ["config"]). *)
+
 val to_json : report -> Pmdp_report.Json.t
 (** Report document with a [schema_version] field, suitable for
     [LOAD_<machine>.json]. *)
+
+val write_json : path:string -> report -> (unit, Pmdp_util.Pmdp_error.t) result
+(** Write {!to_json} to [path] — unless a file already there is not
+    verifiably a pmdp-load report of this writer's schema version, in
+    which case refuse with a typed [Plan_invalid] (same guard as the
+    bench runner's merge: never silently clobber another schema's
+    data). *)
 
 val default_path : Pmdp_machine.Machine.t -> string
 (** ["LOAD_<machine>.json"]. *)

@@ -113,7 +113,7 @@ let admit_loaded ~fp ~(app : Registry.app) ~pipeline ~scheduler ~ir ~digest =
 
 let load ~pipeline ~ir ~digest = admit_ir ~pipeline ~ir ~digest
 
-let get t ?load ?store ~(app : Registry.app) ~scale ~scheduler ~machine () =
+let get t ?load ?store ?quarantine ~(app : Registry.app) ~scale ~scheduler ~machine () =
   let fp = fingerprint ~app:app.Registry.name ~scale ~scheduler ~machine in
   Mutex.lock t.lock;
   let rec obtain () =
@@ -147,7 +147,12 @@ let get t ?load ?store ~(app : Registry.app) ~scale ~scheduler ~machine () =
                     | Some (ir, digest) -> (
                         match admit_loaded ~fp ~app ~pipeline ~scheduler ~ir ~digest with
                         | Ok e -> (Some e, false)
-                        | Error _ -> (None, true)))
+                        | Error _ ->
+                            (* The source handed us a bad envelope:
+                               tell it (the disk cache quarantines the
+                               file) and compile instead. *)
+                            Option.iter (fun q -> q ()) quarantine;
+                            (None, true)))
               in
               match loaded with
               | Some e -> (`Loaded, rejected, Ok e)

@@ -60,6 +60,7 @@ val get :
   t ->
   ?load:(unit -> (Pmdp_plan.t * string) option) ->
   ?store:(ir:Pmdp_plan.t -> digest:string -> unit) ->
+  ?quarantine:(unit -> unit) ->
   app:Pmdp_apps.Registry.app ->
   scale:int ->
   scheduler:Pmdp_core.Scheduler.t ->
@@ -73,7 +74,9 @@ val get :
     empty first consults [load] (if given): an IR it returns that
     passes the admission gate becomes the entry with outcome
     [`Loaded] — no compilation; one that fails the gate is counted as
-    a load reject and discarded.  Otherwise the requester compiles
+    a load reject, reported to [quarantine] (so the source can move
+    the bad envelope aside), and discarded.  Otherwise the requester
+    compiles
     ([`Miss]) and, on success, offers the fresh IR to [store].
     Never raises: compile failures surface as the cached typed error.
     A slot only becomes [Ready] after its plan IR passes the digest

@@ -6,7 +6,7 @@ module Buffer_ = Pmdp_exec.Buffer
 exception Closed
 
 let max_frame_bytes = 1 lsl 20
-let proto_version = 2
+let proto_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Framing *)
@@ -42,6 +42,26 @@ let write_frame fd json =
   let n = Bytes.length payload in
   let header = Bytes.create 4 in
   Bytes.set_int32_be header 0 (Int32.of_int n);
+  really_write fd header;
+  really_write fd payload
+
+(* Chaos writers: wire-level misbehaviour the client must survive.
+   [write_truncated] sends the header and only half the payload, then
+   the caller closes the socket — a mid-frame connection loss.
+   [write_garbage] sends a well-framed payload that is not JSON — a
+   corrupted but correctly-length-prefixed frame. *)
+let write_truncated fd json =
+  let payload = Bytes.unsafe_of_string (Json.to_string json) in
+  let n = Bytes.length payload in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int n);
+  really_write fd header;
+  really_write fd (Bytes.sub payload 0 (n / 2))
+
+let write_garbage fd =
+  let payload = Bytes.of_string "\xfe\xedpmdp-chaos-not-json\x00\x01\x02" in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
   really_write fd header;
   really_write fd payload
 
@@ -169,6 +189,14 @@ let error_of_json j =
         { deadline = flt "deadline" ~default:0.0; waited = flt "waited" ~default:0.0; context }
   | "plan-invalid" ->
       Pmdp_error.Plan_invalid { context; reason = str "reason" ~default:"(remote)" }
+  | "circuit-open" ->
+      Pmdp_error.Circuit_open
+        {
+          fingerprint = str "fingerprint" ~default:"?";
+          failures = int "failures" ~default:0;
+          retry_after = flt "retry_after" ~default:0.0;
+          context;
+        }
   | other ->
       Pmdp_error.Plan_invalid
         {
@@ -211,6 +239,7 @@ let fields_of_counters (c : Service.counters) =
     ("batches", Json.Int c.Service.batches);
     ("batched_requests", Json.Int c.Service.batched_requests);
     ("executions", Json.Int c.Service.executions);
+    ("restarts", Json.Int c.Service.restarts);
     ("queue_depth", Json.Int c.Service.queue_depth);
     ("inflight_bytes", Json.Int c.Service.inflight_bytes);
     ( "cache",
@@ -225,6 +254,17 @@ let fields_of_counters (c : Service.counters) =
         ] );
   ]
 
+let json_of_breaker (b : Breaker.counters) =
+  Json.Obj
+    [
+      ("trips", Json.Int b.Breaker.trips);
+      ("rejects", Json.Int b.Breaker.rejects);
+      ("probes", Json.Int b.Breaker.probes);
+      ("closes", Json.Int b.Breaker.closes);
+      ("open_now", Json.Int b.Breaker.open_now);
+      ("tracked", Json.Int b.Breaker.tracked);
+    ]
+
 let json_of_stats (s : Service.stats) =
   Json.Obj
     [
@@ -235,6 +275,7 @@ let json_of_stats (s : Service.stats) =
                 (fun i c -> Json.Obj (("shard", Json.Int i) :: fields_of_counters c))
                 s.Service.shards)) );
       ("totals", Json.Obj (fields_of_counters s.Service.total));
+      ("breaker", json_of_breaker s.Service.breaker);
       ( "disk",
         match s.Service.disk with
         | None -> Json.Null
@@ -245,5 +286,104 @@ let json_of_stats (s : Service.stats) =
                 ("store_failures", Json.Int d.Disk_cache.store_failures);
                 ("hits", Json.Int d.Disk_cache.hits);
                 ("misses", Json.Int d.Disk_cache.misses);
+                ("quarantined", Json.Int d.Disk_cache.quarantined);
               ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Health codec *)
+
+let json_of_health (h : Service.health) =
+  Json.Obj
+    [
+      ("draining", Json.Bool h.Service.draining);
+      ( "shards",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun (sh : Shard.health) ->
+                  Json.Obj
+                    [
+                      ("shard", Json.Int sh.Shard.shard);
+                      ("alive", Json.Bool sh.Shard.alive);
+                      ("queue_depth", Json.Int sh.Shard.queue_depth);
+                      ("running", Json.Int sh.Shard.running);
+                      ("restarts", Json.Int sh.Shard.restarts);
+                    ])
+                h.Service.shards)) );
+      ("breaker", json_of_breaker h.Service.breaker);
+      ( "circuits",
+        Json.List
+          (List.map
+             (fun (c : Breaker.snapshot) ->
+               Json.Obj
+                 [
+                   ("fingerprint", Json.String c.Breaker.fingerprint);
+                   ("state", Json.String (Breaker.state_to_string c.Breaker.state));
+                   ("failures", Json.Int c.Breaker.failures);
+                   ("trips", Json.Int c.Breaker.trips);
+                 ])
+             h.Service.circuits) );
+    ]
+
+let health_of_json j =
+  let malformed reason =
+    Error (Pmdp_error.Plan_invalid { context = "protocol: health frame"; reason })
+  in
+  let int j name ~default = Option.value ~default (Option.bind (Json.member name j) Json.to_int_opt) in
+  match
+    ( Option.bind (Json.member "draining" j) Json.to_bool_opt,
+      Option.bind (Json.member "shards" j) Json.to_list_opt )
+  with
+  | None, _ | _, None -> malformed "expected draining and shards members"
+  | Some draining, Some shards ->
+      let shards =
+        Array.of_list
+          (List.map
+             (fun sj ->
+               {
+                 Shard.shard = int sj "shard" ~default:(-1);
+                 alive = Option.value ~default:false (Option.bind (Json.member "alive" sj) Json.to_bool_opt);
+                 queue_depth = int sj "queue_depth" ~default:0;
+                 running = int sj "running" ~default:0;
+                 restarts = int sj "restarts" ~default:0;
+               })
+             shards)
+      in
+      let breaker =
+        let bj = Option.value ~default:(Json.Obj []) (Json.member "breaker" j) in
+        {
+          Breaker.trips = int bj "trips" ~default:0;
+          rejects = int bj "rejects" ~default:0;
+          probes = int bj "probes" ~default:0;
+          closes = int bj "closes" ~default:0;
+          open_now = int bj "open_now" ~default:0;
+          tracked = int bj "tracked" ~default:0;
+        }
+      in
+      let circuits =
+        match Option.bind (Json.member "circuits" j) Json.to_list_opt with
+        | None -> []
+        | Some cs ->
+            List.filter_map
+              (fun cj ->
+                match Option.bind (Json.member "fingerprint" cj) Json.to_string_opt with
+                | None -> None
+                | Some fingerprint ->
+                    let state =
+                      Option.value ~default:"open"
+                        (Option.bind (Json.member "state" cj) Json.to_string_opt)
+                    in
+                    Some
+                      {
+                        Breaker.fingerprint;
+                        state =
+                          (match Breaker.state_of_string state with
+                          | Some s -> s
+                          | None -> Breaker.Open);
+                        failures = int cj "failures" ~default:0;
+                        trips = int cj "trips" ~default:0;
+                      })
+              cs
+      in
+      Ok { Service.draining; shards; breaker; circuits }

@@ -9,16 +9,18 @@
 
     {2 Versioning}
 
-    The protocol is versioned ({!proto_version}, currently 2).  A
+    The protocol is versioned ({!proto_version}, currently 3).  A
     connection starts at version 1 — everything a v1 client can say
     still means the same thing — and upgrades by sending
     [{"op": "hello", "proto": N}]; the server answers
     [{"ok": true, "proto": min N proto_version}] and pins the
     connection to that version.  v2 added the handshake itself, the
-    [priority]/[deadline] submit fields, and the sharded stats shape.
-    Unknown-operation errors name the connection's negotiated
-    version, so a client talking past the server finds out which
-    dialect it was heard in.
+    [priority]/[deadline] submit fields, and the sharded stats shape;
+    v3 added the [health] operation, the ["circuit-open"] error kind,
+    and the breaker/restart counters in stats.  Unknown-operation
+    errors name the connection's negotiated version, so a client
+    talking past the server finds out which dialect it was heard
+    in.
 
     {2 Operations}
 
@@ -38,10 +40,15 @@
       [{"ok": true, "status": "queued" | "running" | "done" |
       "failed" | "unknown"}].
     - [{"op": "stats"}] — [{"ok": true, "stats": {"shards": [...],
-      "totals": {...}, "disk": ...}}]: one counters object per
-      dispatcher shard (each tagged with its ["shard"] index), their
-      field-wise sum, and the disk-cache counters (or [null] when no
-      [--cache-dir] is configured).
+      "totals": {...}, "breaker": {...}, "disk": ...}}]: one counters
+      object per dispatcher shard (each tagged with its ["shard"]
+      index), their field-wise sum, the circuit-breaker ledger, and
+      the disk-cache counters (or [null] when no [--cache-dir] is
+      configured).
+    - [{"op": "health"}] (v3) — [{"ok": true, "health": {"draining":
+      ..., "shards": [...], "breaker": {...}, "circuits": [...]}}]:
+      per-shard dispatcher liveness, queue depth, in-flight count and
+      supervisor restarts, plus every non-closed circuit.
     - [{"op": "shutdown"}] — drain and stop the server; acknowledged
       with [{"ok": true}] before the listener exits.
 
@@ -58,7 +65,7 @@ val max_frame_bytes : int
     length prefix must not trigger a giant allocation. *)
 
 val proto_version : int
-(** The highest protocol version this build speaks (2). *)
+(** The highest protocol version this build speaks (3). *)
 
 val write_frame : Unix.file_descr -> Pmdp_report.Json.t -> unit
 (** Serialize compactly and send one frame.
@@ -68,6 +75,21 @@ val read_frame : Unix.file_descr -> Pmdp_report.Json.t option
 (** Read one frame; [None] on clean EOF before any byte of a frame.
     @raise Closed on EOF mid-frame.
     @raise Failure on an oversized frame or unparseable payload. *)
+
+(** {2 Chaos writers}
+
+    Wire-level misbehaviour injected by the server under a
+    {!Pmdp_runtime.Fault} plan — the failure modes a resilient client
+    must survive. *)
+
+val write_truncated : Unix.file_descr -> Pmdp_report.Json.t -> unit
+(** Send the length header but only half the payload (the caller then
+    closes the socket): a mid-frame connection loss, which the reader
+    surfaces as {!Closed}. *)
+
+val write_garbage : Unix.file_descr -> unit
+(** Send a correctly length-prefixed frame whose payload is not JSON:
+    the reader surfaces it as [Failure]. *)
 
 (** {2 Codecs} *)
 
@@ -99,5 +121,17 @@ val json_of_response : Service.response -> Pmdp_report.Json.t
     server-side. *)
 
 val json_of_stats : Service.stats -> Pmdp_report.Json.t
-(** The v2 sharded shape: [{"shards": [...], "totals": {...},
-    "disk": ...}]. *)
+(** The sharded shape: [{"shards": [...], "totals": {...},
+    "breaker": {...}, "disk": ...}]. *)
+
+val json_of_breaker : Breaker.counters -> Pmdp_report.Json.t
+(** The circuit-breaker ledger object shared by stats and health. *)
+
+val json_of_health : Service.health -> Pmdp_report.Json.t
+(** The v3 health shape: [{"draining": ..., "shards": [...],
+    "breaker": {...}, "circuits": [...]}]. *)
+
+val health_of_json :
+  Pmdp_report.Json.t -> (Service.health, Pmdp_util.Pmdp_error.t) result
+(** Inverse of {!json_of_health} for the client side; a frame without
+    the required members is [Plan_invalid]. *)

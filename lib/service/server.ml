@@ -1,14 +1,17 @@
 module Json = Pmdp_report.Json
 module Pmdp_error = Pmdp_util.Pmdp_error
+module Fault = Pmdp_runtime.Fault
 
 type t = {
   service : Service.t;
   endpoint : Transport.endpoint;  (* as bound: TCP port 0 already resolved *)
   listener : Unix.file_descr;
+  fault : Fault.t option;  (* chaos injection at the reply-write site *)
   lock : Mutex.t;
   stopped_cond : Condition.t;
   mutable conns : (Unix.file_descr * Thread.t) list;
   mutable accept_thread : Thread.t option;
+  mutable draining : bool;  (* refusing new connections; settling in-flight *)
   mutable stopping : bool;  (* no new connections; existing ones being unblocked *)
   mutable stopped : bool;  (* everything joined; [wait] may return *)
 }
@@ -59,6 +62,7 @@ let dispatch t conn req =
             false )
       | Some id -> (ok [ ("status", Json.String (status_string (Service.status t.service id))) ], false))
   | Some "stats" -> (ok [ ("stats", Protocol.json_of_stats (Service.stats t.service)) ], false)
+  | Some "health" -> (ok [ ("health", Protocol.json_of_health (Service.health t.service)) ], false)
   | Some "shutdown" -> (ok [], true)
   | op ->
       ( err
@@ -112,6 +116,38 @@ let rec stop t =
     Mutex.unlock t.lock
   end
 
+(* Enact a transport-fault directive at the reply-write site.  The
+   request has already been processed — what the fault corrupts is the
+   client's view of the outcome, which is exactly the failure mode a
+   retrying client must survive (executions are deterministic, so a
+   replay is bitwise-identical).  Returns [false] when the connection
+   was deliberately killed. *)
+and write_reply t fd reply =
+  let directive =
+    match t.fault with Some f -> Fault.frame_tick f | None -> `Pass
+  in
+  let kill () = try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> () in
+  match directive with
+  | `Pass ->
+      Protocol.write_frame fd reply;
+      true
+  | `Delay d ->
+      Thread.delay d;
+      Protocol.write_frame fd reply;
+      true
+  | `Drop ->
+      (* Reply vanishes: the client sees EOF where a frame was due. *)
+      kill ();
+      false
+  | `Truncate ->
+      (try Protocol.write_truncated fd reply with Protocol.Closed -> ());
+      kill ();
+      false
+  | `Garbage ->
+      (try Protocol.write_garbage fd with Protocol.Closed -> ());
+      kill ();
+      false
+
 and handle_conn t fd =
   let conn = { proto = 1 } in
   let continue = ref true in
@@ -121,7 +157,7 @@ and handle_conn t fd =
        | None -> continue := false
        | Some req ->
            let reply, shutdown_requested = dispatch t conn req in
-           Protocol.write_frame fd reply;
+           if not (write_reply t fd reply) then continue := false;
            if shutdown_requested then begin
              continue := false;
              (* Spawned, not called: this connection thread must stay
@@ -157,6 +193,13 @@ let accept_loop t =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           continue := false
         end
+        else if t.draining then begin
+          (* Draining: refuse the connection but keep listening so the
+             in-flight ones can finish; the close reads as a retryable
+             connection error client-side. *)
+          Mutex.unlock t.lock;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
         else begin
           let th = Thread.create (fun () -> handle_conn t fd) () in
           t.conns <- (fd, th) :: t.conns;
@@ -164,7 +207,7 @@ let accept_loop t =
         end
   done
 
-let start ?(backlog = 16) ~service ~endpoint () =
+let start ?(backlog = 16) ?fault ~service ~endpoint () =
   (* A peer that disconnects mid-reply must surface as EPIPE (mapped
      to {!Protocol.Closed}), not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -174,10 +217,12 @@ let start ?(backlog = 16) ~service ~endpoint () =
       service;
       endpoint = Transport.bound_endpoint endpoint listener;
       listener;
+      fault;
       lock = Mutex.create ();
       stopped_cond = Condition.create ();
       conns = [];
       accept_thread = None;
+      draining = false;
       stopping = false;
       stopped = false;
     }
@@ -197,3 +242,18 @@ let stopped t =
   let s = t.stopped in
   Mutex.unlock t.lock;
   s
+
+let drain ?timeout t =
+  Mutex.lock t.lock;
+  let first = not t.draining in
+  t.draining <- true;
+  Mutex.unlock t.lock;
+  if first then begin
+    (* Order matters: refuse new connections (the accept loop closes
+       them while [draining]), let the service settle what is in
+       flight — replies still flow over existing connections — then
+       tear the listener down. *)
+    Service.drain ?timeout t.service;
+    stop t
+  end
+  else wait t

@@ -18,10 +18,22 @@
 
 type t
 
-val start : ?backlog:int -> service:Service.t -> endpoint:Transport.endpoint -> unit -> t
+val start :
+  ?backlog:int ->
+  ?fault:Pmdp_runtime.Fault.t ->
+  service:Service.t ->
+  endpoint:Transport.endpoint ->
+  unit ->
+  t
 (** Bind the endpoint (a stale Unix socket file is replaced; [backlog]
     defaults to 16) and start accepting.  A TCP port of 0 binds a
-    kernel-chosen port — read it back from {!endpoint}.
+    kernel-chosen port — read it back from {!endpoint}.  [fault]
+    enables wire-level chaos at the reply-write site: a firing
+    [Frame_drop] kills the connection instead of replying,
+    [Frame_truncate] sends half a frame then kills it, [Frame_garbage]
+    sends a well-framed non-JSON payload, [Frame_delay] sleeps before
+    replying — the transport failures a retrying {!Client} must
+    survive.
     @raise Unix.Unix_error when the endpoint cannot be bound. *)
 
 val endpoint : t -> Transport.endpoint
@@ -43,3 +55,10 @@ val stop : t -> unit
 (** Stop accepting, disconnect clients, join all threads, shut the
     service down, clean up the endpoint.  Idempotent; also safe from
     a connection thread (the join skips the calling thread). *)
+
+val drain : ?timeout:float -> t -> unit
+(** Graceful shutdown (the SIGTERM path of [pmdp serve]): refuse new
+    connections — existing ones keep their replies flowing — wait up
+    to [timeout] (default 5s, see {!Service.drain}) for in-flight
+    requests to settle, then {!stop}.  A concurrent second call just
+    waits for the first to finish. *)

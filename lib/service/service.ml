@@ -43,12 +43,25 @@ type counters = {
   batches : int;
   batched_requests : int;
   executions : int;
+  restarts : int;
   queue_depth : int;
   inflight_bytes : int;
   cache : Plan_cache.stats;
 }
 
-type stats = { shards : counters array; total : counters; disk : Disk_cache.stats option }
+type stats = {
+  shards : counters array;
+  total : counters;
+  disk : Disk_cache.stats option;
+  breaker : Breaker.counters;
+}
+
+type health = {
+  draining : bool;
+  shards : Shard.health array;
+  breaker : Breaker.counters;
+  circuits : Breaker.snapshot list;
+}
 
 type t = {
   shared : Shard.shared;
@@ -59,6 +72,7 @@ type t = {
   tickets : (int, Shard.pending) Hashtbl.t;
   mutable next_id : int;
   mutable stop : bool;
+  mutable draining : bool;  (* refusing new work while in-flight settles *)
   mutable unrouted_rejected : int;  (* rejections before a shard was chosen *)
 }
 
@@ -72,8 +86,9 @@ let shard_of_fingerprint t fp = Shard.Ring.route t.ring fp
 
 (* Admit every plan the disk cache holds for this machine into the
    shard that will serve it, through the full gate.  Rejections
-   (tampered files, stale analyzer) leave the slot empty — the first
-   request recompiles — and are visible as [load_rejects]. *)
+   (tampered files, stale analyzer) quarantine the envelope — the
+   first request recompiles and re-stores — and are visible as
+   [load_rejects] and [quarantined]. *)
 let warm_load t disk =
   List.iter
     (fun (fp, (m : Disk_cache.meta)) ->
@@ -90,15 +105,21 @@ let warm_load t disk =
             if expected = fp then
               match Disk_cache.load disk ~fingerprint:fp with
               | None -> ()
-              | Some (ir, digest) ->
+              | Some (ir, digest) -> (
                   let shard = t.shards.(shard_of_fingerprint t fp) in
-                  ignore
-                    (Plan_cache.preload (Shard.cache shard) ~app ~scale:m.Disk_cache.scale
-                       ~scheduler:m.Disk_cache.scheduler ~machine ~ir ~digest))
+                  match
+                    Plan_cache.preload (Shard.cache shard) ~app ~scale:m.Disk_cache.scale
+                      ~scheduler:m.Disk_cache.scheduler ~machine ~ir ~digest
+                  with
+                  | Ok _ -> ()
+                  | Error _ ->
+                      Disk_cache.quarantine disk ~fingerprint:fp
+                        ~reason:"warm load: plan cache rejected the envelope"))
     (Disk_cache.scan disk)
 
 let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
-    ?(validate = false) ?(shards = 1) ?(queue_limit = 128) ?cache_dir ~machine () =
+    ?(validate = false) ?(shards = 1) ?(queue_limit = 128) ?cache_dir ?fault
+    ?(breaker_threshold = 3) ?(breaker_cooldown = 5.0) ~machine () =
   if workers < 1 then invalid_arg "Service.create: workers < 1";
   if max_inflight < 1 then invalid_arg "Service.create: max_inflight < 1";
   if shards < 1 then invalid_arg "Service.create: shards < 1";
@@ -114,6 +135,9 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
       machine;
       budget;
       validate;
+      breaker = Breaker.create ~threshold:breaker_threshold ~cooldown:breaker_cooldown ();
+      fault;
+      draining = false;
       unfinished = 0;
       inflight_bytes = 0;
       queued = 0;
@@ -126,11 +150,12 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
       shards =
         Array.init shards (fun index ->
             Shard.create ~index ~shared ~workers ~batch_window ~queue_limit);
-      disk = Option.map (fun dir -> Disk_cache.create ~dir) cache_dir;
+      disk = Option.map (fun dir -> Disk_cache.create ?fault ~dir ()) cache_dir;
       max_inflight;
       tickets = Hashtbl.create 64;
       next_id = 1;
       stop = false;
+      draining = false;
       unrouted_rejected = 0;
     }
   in
@@ -166,6 +191,19 @@ let submit_async t (req : request) =
           ~machine:t.shared.Shard.machine
       in
       let shard = t.shards.(shard_of_fingerprint t fp) in
+      (* The breaker gates admission before any compile or queue work:
+         an open circuit answers in O(1). *)
+      match Breaker.check t.shared.Shard.breaker fp with
+      | `Reject (failures, retry_after) ->
+          reject t (Some shard)
+            (Pmdp_error.Circuit_open
+               {
+                 fingerprint = fp;
+                 failures;
+                 retry_after;
+                 context = "service admission: circuit breaker open for this plan";
+               })
+      | `Proceed | `Probe -> (
       let load =
         Option.map (fun d () -> Disk_cache.load d ~fingerprint:fp) t.disk
       in
@@ -179,11 +217,23 @@ let submit_async t (req : request) =
             Disk_cache.store d meta ~fingerprint:fp ~ir)
           t.disk
       in
+      let quarantine =
+        Option.map
+          (fun d () ->
+            Disk_cache.quarantine d ~fingerprint:fp
+              ~reason:"submit: plan cache rejected the loaded envelope")
+          t.disk
+      in
       match
-        Plan_cache.get (Shard.cache shard) ?load ?store ~app ~scale:req.scale
+        Plan_cache.get (Shard.cache shard) ?load ?store ?quarantine ~app ~scale:req.scale
           ~scheduler:req.scheduler ~machine:t.shared.Shard.machine ()
       with
-      | Error e -> reject t (Some shard) e
+      | Error e ->
+          (* A compile failure is a plan failure: it feeds the breaker
+             so a poison plan trips open even though it never reaches
+             a dispatcher. *)
+          Breaker.failure t.shared.Shard.breaker fp;
+          reject t (Some shard) e
       | Ok (entry, hit) ->
           let plan = entry.Plan_cache.plan in
           let est =
@@ -195,6 +245,18 @@ let submit_async t (req : request) =
             Mutex.unlock t.shared.Shard.lock;
             reject t (Some shard)
               (Pmdp_error.Pool_shutdown { context = "service: submit after shutdown" })
+          end
+          else if t.draining then begin
+            let unfinished = t.shared.Shard.unfinished in
+            Mutex.unlock t.shared.Shard.lock;
+            reject t (Some shard)
+              (Pmdp_error.Overloaded
+                 {
+                   shard = Shard.index shard;
+                   depth = unfinished;
+                   limit = t.max_inflight;
+                   context = "service draining: not accepting new requests";
+                 })
           end
           else if t.shared.Shard.unfinished >= t.max_inflight then begin
             let unfinished = t.shared.Shard.unfinished in
@@ -249,7 +311,7 @@ let submit_async t (req : request) =
                 Mutex.unlock t.shared.Shard.lock;
                 if Trace.on () then Trace.count "service.shed" 1;
                 reject t (Some shard) e
-          end)
+          end))
 
 let await t id =
   Mutex.lock t.shared.Shard.lock;
@@ -315,6 +377,7 @@ let zero_counters =
     batches = 0;
     batched_requests = 0;
     executions = 0;
+    restarts = 0;
     queue_depth = 0;
     inflight_bytes = 0;
     cache = zero_cache;
@@ -331,6 +394,7 @@ let add_counters a b =
     batches = a.batches + b.batches;
     batched_requests = a.batched_requests + b.batched_requests;
     executions = a.executions + b.executions;
+    restarts = a.restarts + b.restarts;
     queue_depth = a.queue_depth + b.queue_depth;
     inflight_bytes = a.inflight_bytes + b.inflight_bytes;
     cache = add_cache a.cache b.cache;
@@ -354,6 +418,7 @@ let stats t =
           batches = c.Shard.batches;
           batched_requests = c.Shard.batched_requests;
           executions = c.Shard.executions;
+          restarts = c.Shard.restarts;
           queue_depth = c.Shard.queue_depth;
           inflight_bytes = c.Shard.inflight_bytes;
           cache;
@@ -363,7 +428,27 @@ let stats t =
   in
   let total = Array.fold_left add_counters zero_counters shards in
   let total = { total with rejected = total.rejected + unrouted } in
-  { shards; total; disk = Option.map Disk_cache.stats t.disk }
+  {
+    shards;
+    total;
+    disk = Option.map Disk_cache.stats t.disk;
+    breaker = Breaker.counters t.shared.Shard.breaker;
+  }
+
+let health t =
+  Mutex.lock t.shared.Shard.lock;
+  let shards = Array.map Shard.health t.shards in
+  let draining = t.draining in
+  Mutex.unlock t.shared.Shard.lock;
+  {
+    draining;
+    shards;
+    breaker = Breaker.counters t.shared.Shard.breaker;
+    circuits =
+      List.filter
+        (fun (s : Breaker.snapshot) -> s.Breaker.state <> Breaker.Closed)
+        (Breaker.snapshot t.shared.Shard.breaker);
+  }
 
 let shutdown t =
   Mutex.lock t.shared.Shard.lock;
@@ -373,4 +458,34 @@ let shutdown t =
     Array.iter Shard.signal_stop t.shards;
     Mutex.unlock t.shared.Shard.lock;
     Array.iter Shard.join t.shards
+  end
+
+(* Graceful drain: refuse new admissions, wait (bounded) for in-flight
+   work to settle, then shut down.  Whatever is still queued when the
+   deadline passes settles as retryable [Overloaded] — the stop-path
+   settle error is switched by [shared.draining] — so a client with a
+   retry policy resubmits elsewhere.  OCaml's [Condition] has no timed
+   wait, so the bounded wait is a poll loop. *)
+let drain ?(timeout = 5.0) t =
+  Mutex.lock t.shared.Shard.lock;
+  if t.stop then Mutex.unlock t.shared.Shard.lock
+  else begin
+    t.draining <- true;
+    Mutex.unlock t.shared.Shard.lock;
+    if Trace.on () then Trace.count "service.drain" 1;
+    let deadline = Unix.gettimeofday () +. Float.max 0.0 timeout in
+    let rec wait () =
+      Mutex.lock t.shared.Shard.lock;
+      let left = t.shared.Shard.unfinished in
+      Mutex.unlock t.shared.Shard.lock;
+      if left > 0 && Unix.gettimeofday () < deadline then begin
+        Thread.delay 0.01;
+        wait ()
+      end
+    in
+    wait ();
+    Mutex.lock t.shared.Shard.lock;
+    t.shared.Shard.draining <- true;
+    Mutex.unlock t.shared.Shard.lock;
+    shutdown t
   end

@@ -97,6 +97,7 @@ type counters = {
   batches : int;  (** executions that served more than one request *)
   batched_requests : int;  (** requests served by those executions *)
   executions : int;  (** Resilient.run_plan calls issued *)
+  restarts : int;  (** dispatcher respawns by this shard's supervisor *)
   queue_depth : int;  (** currently queued (not yet executing) *)
   inflight_bytes : int;  (** admission-charged bytes currently in flight *)
   cache : Plan_cache.stats;
@@ -109,6 +110,14 @@ type stats = {
       (** field-wise sum over [shards], plus rejections that happened
           before a shard was chosen (unknown app) *)
   disk : Disk_cache.stats option;  (** when created with [?cache_dir] *)
+  breaker : Breaker.counters;  (** fleet-wide circuit-breaker ledger *)
+}
+
+type health = {
+  draining : bool;  (** a graceful drain is in progress (or done) *)
+  shards : Shard.health array;  (** per-shard liveness/queue/restarts *)
+  breaker : Breaker.counters;
+  circuits : Breaker.snapshot list;  (** only open/half-open circuits *)
 }
 
 type t
@@ -122,6 +131,9 @@ val create :
   ?shards:int ->
   ?queue_limit:int ->
   ?cache_dir:string ->
+  ?fault:Pmdp_runtime.Fault.t ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
   machine:Pmdp_machine.Machine.t ->
   unit ->
   t
@@ -141,7 +153,16 @@ val create :
     reference executor (memoized per batch key) and fills
     [max_abs_diff].  [cache_dir] enables the persistent disk cache:
     plans already there are warm-loaded (through the admission gate)
-    at startup, and every fresh compile is written back. *)
+    at startup, and every fresh compile is written back; envelopes the
+    gate rejects are quarantined to [<fingerprint>.bad].  [fault]
+    threads chaos injection through the whole stack: [Shard_kill]
+    fires at dispatcher batch starts, [Torn_write]/[Corrupt_write] at
+    disk-cache stores, and the same fault reaches
+    [Resilient.run_plan] so worker kills and tile crashes hit service
+    executions.  [breaker_threshold] (default 3) consecutive
+    compile/execution failures of one fingerprint trip its circuit
+    open; [breaker_cooldown] (default 5s) later a half-open probe is
+    admitted. *)
 
 val machine : t -> Pmdp_machine.Machine.t
 val mem_budget : t -> int
@@ -154,10 +175,11 @@ val shard_of_fingerprint : t -> string -> int
 val submit_async : t -> request -> (int, Pmdp_util.Pmdp_error.t) result
 (** Admit, route, and enqueue; returns the request id to {!await} on.
     Rejections are immediate and typed: unknown app
-    ([Unresolved_external]), plan compile failure (the cached typed
-    error), over budget ([Scratch_over_budget]), too many in flight
-    ([Cancelled]), full shard queue ([Overloaded]), service shut down
-    ([Pool_shutdown]). *)
+    ([Unresolved_external]), open circuit ([Circuit_open]), plan
+    compile failure (the cached typed error, which also feeds the
+    breaker), over budget ([Scratch_over_budget]), too many in flight
+    ([Cancelled]), draining ([Overloaded]), full shard queue
+    ([Overloaded]), service shut down ([Pool_shutdown]). *)
 
 val await : t -> int -> (response, Pmdp_util.Pmdp_error.t) result
 (** Block until the request finishes; collects its outcome (the id is
@@ -174,7 +196,19 @@ val status : t -> int -> status option
 
 val stats : t -> stats
 
+val health : t -> health
+(** Liveness snapshot: per-shard dispatcher state, queue depths,
+    supervisor restarts, and the circuit-breaker ledger. *)
+
 val shutdown : t -> unit
 (** Stop every shard dispatcher (requests still queued fail with the
     typed [Cancelled]), join them, and shut the pools down.
     Idempotent. *)
+
+val drain : ?timeout:float -> t -> unit
+(** Graceful shutdown: stop admitting (new submits are refused with a
+    retryable [Overloaded]), wait up to [timeout] (default 5s) for
+    in-flight requests to settle, then {!shutdown}.  Requests still
+    queued at the deadline settle as retryable [Overloaded] instead of
+    [Cancelled], so retrying clients resubmit cleanly.  Idempotent
+    with {!shutdown}. *)

@@ -6,7 +6,9 @@ module Resilient = Pmdp_exec.Resilient
 module Reference = Pmdp_exec.Reference
 module Buffer = Pmdp_exec.Buffer
 module Pool = Pmdp_runtime.Pool
+module Fault = Pmdp_runtime.Fault
 module Pmdp_error = Pmdp_util.Pmdp_error
+module Rng = Pmdp_util.Rng
 module Trace = Pmdp_trace.Trace
 
 (* ------------------------------------------------------------------ *)
@@ -95,6 +97,9 @@ type shared = {
   machine : Machine.t;
   budget : int;
   validate : bool;
+  breaker : Breaker.t;
+  fault : Fault.t option;
+  mutable draining : bool;  (* drain deadline passed: settle leftovers Overloaded *)
   mutable unfinished : int;  (* admitted, not yet settled, all shards *)
   mutable inflight_bytes : int;
   mutable queued : int;  (* sum of queue lengths, for the depth gauge *)
@@ -110,6 +115,7 @@ type counters = {
   batches : int;
   batched_requests : int;
   executions : int;
+  restarts : int;
   queue_depth : int;
   inflight_bytes : int;
 }
@@ -127,7 +133,10 @@ type t = {
   refs : (string, (string * Buffer.t) list) Hashtbl.t;
       (* batch key -> reference results; dispatcher-thread only *)
   mutable stop : bool;
-  mutable dispatcher : Thread.t option;
+  mutable dispatcher : Thread.t option;  (* the supervisor thread *)
+  mutable running : pending list;  (* batch owned by the dispatcher right now *)
+  mutable alive : bool;  (* dispatcher up (false while the supervisor backs off) *)
+  mutable restarts : int;
   mutable submitted : int;
   mutable completed : int;
   mutable failed : int;
@@ -278,14 +287,18 @@ let reference_for t key (p : pending) =
       r
 
 let execute_batch t key (batch : pending list) =
+  (* A firing [Shard_kill] spec raises out of the dispatcher thread
+     here, before any request settles — exactly the window the
+     supervisor must cover. *)
+  Option.iter Fault.shard_tick t.shared.fault;
   let p0 = List.hd batch in
   let size = List.length batch in
   let pipeline = Tiled_exec.pipeline p0.entry.Plan_cache.plan in
   let inputs = p0.app_entry.Registry.inputs ~seed:p0.req.seed pipeline in
   let exec_start = Unix.gettimeofday () in
   let run () =
-    Resilient.run_plan ?pool:t.pool ~machine:t.shared.machine ~mem_budget:t.shared.budget
-      p0.entry.Plan_cache.plan ~inputs
+    Resilient.run_plan ?pool:t.pool ?fault:t.shared.fault ~machine:t.shared.machine
+      ~mem_budget:t.shared.budget p0.entry.Plan_cache.plan ~inputs
   in
   let result =
     if not (Trace.on ()) then run ()
@@ -336,6 +349,11 @@ let execute_batch t key (batch : pending list) =
             max_abs_diff;
           }
   in
+  (* Feed the circuit breaker one verdict per execution, not one per
+     coalesced request (leaf lock; take it before shared.lock). *)
+  (match result with
+  | Ok _ -> Breaker.success t.shared.breaker p0.entry.Plan_cache.fingerprint
+  | Error _ -> Breaker.failure t.shared.breaker p0.entry.Plan_cache.fingerprint);
   Mutex.lock t.shared.lock;
   t.executions <- t.executions + 1;
   if size > 1 then begin
@@ -347,6 +365,7 @@ let execute_batch t key (batch : pending list) =
       let o = outcome_of p in
       settle t p o (match o with Ok _ -> `Completed | Error _ -> `Failed))
     batch;
+  t.running <- [];
   Condition.broadcast t.shared.request_done;
   Mutex.unlock t.shared.lock;
   if Trace.on () then
@@ -374,10 +393,19 @@ let run_dispatcher t =
       Condition.wait t.work_ready t.shared.lock
     done;
     if t.stop then begin
-      (* Drain: whatever is still queued fails typed, then exit. *)
+      (* Drain: whatever is still queued fails typed, then exit.  A
+         graceful drain that ran out of time settles the remainder as
+         retryable [Overloaded]; a plain shutdown as [Cancelled]. *)
+      let leftover context =
+        if t.shared.draining then
+          Pmdp_error.Overloaded
+            { shard = t.index; depth = Queue.length t.queue; limit = t.queue_limit; context }
+        else Pmdp_error.Cancelled { reason = "service shutdown" }
+      in
       Queue.iter
         (fun p ->
-          settle t p (Error (Pmdp_error.Cancelled { reason = "service shutdown" })) `Failed)
+          settle t p (Error (leftover "service drain: request still queued at the deadline"))
+            `Failed)
         t.queue;
       t.shared.queued <- t.shared.queued - Queue.length t.queue;
       Queue.clear t.queue;
@@ -391,6 +419,10 @@ let run_dispatcher t =
       t.shared.queued <- t.shared.queued - 1;
       let key = batch_key head in
       let batch = drop_expired t (head :: drain_matching t key) in
+      (* From here until settlement this batch exists only in the
+         dispatcher; publish it so the supervisor can settle it if the
+         thread dies mid-execution. *)
+      t.running <- batch;
       Mutex.unlock t.shared.lock;
       (* Linger so same-key requests arriving right now can share the
          execution; anything that queued while we slept is collected
@@ -401,12 +433,77 @@ let run_dispatcher t =
           Thread.delay t.batch_window;
           Mutex.lock t.shared.lock;
           let more = drop_expired t (drain_matching t key) in
+          let batch = batch @ more in
+          t.running <- batch;
           Mutex.unlock t.shared.lock;
-          batch @ more
+          batch
         end
       in
       if batch <> [] then execute_batch t key batch
+      else begin
+        Mutex.lock t.shared.lock;
+        t.running <- [];
+        Mutex.unlock t.shared.lock
+      end
     end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Supervision *)
+
+(* The dispatcher runs under a supervisor thread (Pool's self-heal,
+   one level up): when the dispatcher dies — an injected Shard_kill, a
+   bug, anything an execution raised that Resilient did not fold into
+   a result — the supervisor settles the batch the dispatcher owned
+   with a typed retryable error, backs off with seeded jitter, and
+   respawns.  A clean stop-driven exit ends supervision. *)
+let supervise t =
+  let rng = Rng.create (0x5eed + t.index) in
+  let continue = ref true in
+  while !continue do
+    let crashed = ref None in
+    let th =
+      Thread.create
+        (fun () -> try run_dispatcher t with e -> crashed := Some (Printexc.to_string e))
+        ()
+    in
+    Thread.join th;
+    match !crashed with
+    | None -> continue := false
+    | Some detail ->
+        Mutex.lock t.shared.lock;
+        t.alive <- false;
+        t.restarts <- t.restarts + 1;
+        let orphans = List.filter (fun p -> Option.is_none p.outcome) t.running in
+        List.iter
+          (fun p ->
+            settle t p
+              (Error
+                 (Pmdp_error.Worker_crash
+                    {
+                      worker = -1;
+                      detail =
+                        Printf.sprintf "shard %d dispatcher died: %s (respawning)" t.index
+                          detail;
+                    }))
+              `Failed)
+          orphans;
+        t.running <- [];
+        if orphans <> [] then Condition.broadcast t.shared.request_done;
+        Mutex.unlock t.shared.lock;
+        if Trace.on () then Trace.count "service.shard.restart" 1;
+        (* Jittered exponential backoff, cut short by stop: the queue
+           is intact, so a stop-time respawn still drains it. *)
+        let d = Float.min 1.0 (0.025 *. (2.0 ** float_of_int (min 5 (t.restarts - 1)))) in
+        let d = d *. (0.5 +. Rng.float rng 0.5) in
+        let slept = ref 0.0 in
+        while !slept < d && not t.stop do
+          Thread.delay 0.005;
+          slept := !slept +. 0.005
+        done;
+        Mutex.lock t.shared.lock;
+        t.alive <- true;
+        Mutex.unlock t.shared.lock
   done
 
 (* ------------------------------------------------------------------ *)
@@ -429,6 +526,9 @@ let create ~index ~shared ~workers ~batch_window ~queue_limit =
       refs = Hashtbl.create 8;
       stop = false;
       dispatcher = None;
+      running = [];
+      alive = true;
+      restarts = 0;
       submitted = 0;
       completed = 0;
       failed = 0;
@@ -441,7 +541,7 @@ let create ~index ~shared ~workers ~batch_window ~queue_limit =
       inflight_bytes = 0;
     }
   in
-  t.dispatcher <- Some (Thread.create run_dispatcher t);
+  t.dispatcher <- Some (Thread.create supervise t);
   t
 
 let note_rejected t = t.rejected <- t.rejected + 1
@@ -466,6 +566,24 @@ let counters t =
     batches = t.batches;
     batched_requests = t.batched_requests;
     executions = t.executions;
+    restarts = t.restarts;
     queue_depth = Queue.length t.queue;
     inflight_bytes = t.inflight_bytes;
+  }
+
+type health = {
+  shard : int;
+  alive : bool;
+  queue_depth : int;
+  running : int;
+  restarts : int;
+}
+
+let health t =
+  {
+    shard = t.index;
+    alive = t.alive;
+    queue_depth = Queue.length t.queue;
+    running = List.length (List.filter (fun p -> Option.is_none p.outcome) t.running);
+    restarts = t.restarts;
   }

@@ -79,6 +79,15 @@ type shared = {
   machine : Pmdp_machine.Machine.t;
   budget : int;
   validate : bool;
+  breaker : Breaker.t;  (** per-fingerprint circuit breaker, all shards *)
+  fault : Pmdp_runtime.Fault.t option;
+      (** chaos injection: [Shard_kill] fires at batch start, and the
+          fault is threaded into [Resilient.run_plan] so worker kills
+          and tile crashes reach service executions too *)
+  mutable draining : bool;
+      (** set once a graceful drain's deadline passes: dispatchers
+          settle leftovers as retryable [Overloaded] instead of
+          [Cancelled] *)
   mutable unfinished : int;
   mutable inflight_bytes : int;
   mutable queued : int;
@@ -94,6 +103,7 @@ type counters = {
   batches : int;
   batched_requests : int;
   executions : int;
+  restarts : int;  (** dispatcher respawns by the supervisor *)
   queue_depth : int;
   inflight_bytes : int;
 }
@@ -103,7 +113,11 @@ type t
 val create :
   index:int -> shared:shared -> workers:int -> batch_window:float -> queue_limit:int -> t
 (** Start the shard: private plan cache, private pool ([workers] > 1),
-    dispatcher thread running. *)
+    dispatcher thread running under a supervisor.  When the dispatcher
+    thread dies (injected [Shard_kill], escaped execution exception),
+    the supervisor settles the batch it owned with a typed retryable
+    [Worker_crash], backs off with seeded jitter (25 ms doubling to
+    1 s), and respawns it; the queue survives across the respawn. *)
 
 val index : t -> int
 val cache : t -> Plan_cache.t
@@ -134,4 +148,16 @@ val join : t -> unit
     the lock, after {!signal_stop}. *)
 
 val counters : t -> counters
+(** Snapshot (caller holds [shared.lock]). *)
+
+(** Liveness view for the [health] op. *)
+type health = {
+  shard : int;
+  alive : bool;  (** dispatcher thread up (false during a respawn backoff) *)
+  queue_depth : int;
+  running : int;  (** requests in the batch being executed right now *)
+  restarts : int;
+}
+
+val health : t -> health
 (** Snapshot (caller holds [shared.lock]). *)

@@ -9,6 +9,7 @@ type t =
   | Pool_shutdown of { context : string }
   | Overloaded of { shard : int; depth : int; limit : int; context : string }
   | Deadline_exceeded of { deadline : float; waited : float; context : string }
+  | Circuit_open of { fingerprint : string; failures : int; retry_after : float; context : string }
 
 exception Error of t
 
@@ -23,6 +24,7 @@ let kind = function
   | Pool_shutdown _ -> "pool-shutdown"
   | Overloaded _ -> "overloaded"
   | Deadline_exceeded _ -> "deadline-exceeded"
+  | Circuit_open _ -> "circuit-open"
 
 let message = function
   | Plan_invalid { context; reason } -> Printf.sprintf "%s: %s" context reason
@@ -43,6 +45,9 @@ let message = function
         limit
   | Deadline_exceeded { deadline; waited; context } ->
       Printf.sprintf "%s: deadline was %gs but the request waited %gs" context deadline waited
+  | Circuit_open { fingerprint; failures; retry_after; context } ->
+      Printf.sprintf "%s: circuit for plan %s is open after %d failures, retry in %gs" context
+        fingerprint failures retry_after
 
 let pp ppf e = Format.fprintf ppf "%s: %s" (kind e) (message e)
 let to_string e = Format.asprintf "%a" pp e
@@ -68,6 +73,13 @@ let fields = function
       [ ("shard", Int shard); ("depth", Int depth); ("limit", Int limit); ("context", Str context) ]
   | Deadline_exceeded { deadline; waited; context } ->
       [ ("deadline", Float deadline); ("waited", Float waited); ("context", Str context) ]
+  | Circuit_open { fingerprint; failures; retry_after; context } ->
+      [
+        ("fingerprint", Str fingerprint);
+        ("failures", Int failures);
+        ("retry_after", Float retry_after);
+        ("context", Str context);
+      ]
 
 let raise_ e = raise (Error e)
 let of_exn = function Error e -> Some e | _ -> None

@@ -44,6 +44,12 @@ type t =
       (** The request carried a deadline (seconds from submit) and was
           still queued when it passed; it was dropped without
           executing. *)
+  | Circuit_open of { fingerprint : string; failures : int; retry_after : float; context : string }
+      (** The per-fingerprint circuit breaker is open: this plan has
+          failed [failures] times in a row, so the service refuses the
+          request without compiling or queueing it.  [retry_after] is
+          the remaining cooldown in seconds before a half-open probe
+          will be admitted. *)
 
 exception Error of t
 

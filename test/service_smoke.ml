@@ -4,7 +4,7 @@
    the load generator (100 requests, two pipelines, four clients), and
    checks the acceptance properties — everything succeeds, the warm
    cache skips compiles, percentiles are populated, the protocol
-   handshake negotiates v2, results are bitwise-equal to the
+   handshake negotiates v3, results are bitwise-equal to the
    reference, and shutdown is clean.  Then, in process: mixed-seed
    load still batches (same-fingerprint requests coalesce on one
    shard), and a service restarted on a warm --cache-dir serves its
@@ -128,10 +128,16 @@ let () =
     (Array.fold_left (fun acc c -> acc + c.Service.completed) 0 stats.Service.shards
     = total.Service.completed);
 
-  (* One direct round trip over the wire: the handshake negotiated v2,
+  (* One direct round trip over the wire: the handshake negotiated v3,
      validation ran (the service was created with ~validate:true), and
      the tiled results are bitwise-equal to the reference executor. *)
-  let client = Client.connect ~endpoint in
+  let client =
+    match Client.connect ~endpoint () with
+    | Ok c -> c
+    | Error e ->
+        Printf.printf "service smoke: connect failed: %s\n%!" (Pmdp_error.to_string e);
+        exit 1
+  in
   checkf "handshake negotiates the protocol"
     (fun p -> Printf.sprintf "v%d" p)
     (Client.proto client)
@@ -168,9 +174,21 @@ let () =
    Protocol.write_frame fd (Json.Obj [ ("op", Json.String "martian") ]);
    match Protocol.read_frame fd with
    | Some reply ->
-       check "unknown op after hello names protocol v2"
-         (contains ~needle:"protocol v2" (Json.to_string reply))
+       check "unknown op after hello names protocol v3"
+         (contains ~needle:"protocol v3" (Json.to_string reply))
    | None -> check "unknown op after hello answered" false);
+
+  (* The v3 health op over the wire: every shard alive, nothing
+     draining, no open circuits on a healthy server. *)
+  (match Client.health client with
+  | Error e -> check (Printf.sprintf "wire health (%s)" (Pmdp_error.to_string e)) false
+  | Ok h ->
+      check "wire health reports every shard alive"
+        (Array.length h.Service.shards = 2
+        && Array.for_all (fun (sh : Pmdp_service.Shard.health) -> sh.Pmdp_service.Shard.alive)
+             h.Service.shards);
+      check "wire health reports not draining" (not h.Service.draining);
+      check "wire health reports no open circuits" (h.Service.circuits = []));
 
   (* The report document survives a write + re-parse round trip. *)
   let report_path = temp_path "load.json" in

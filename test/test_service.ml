@@ -18,6 +18,9 @@ module Shard = Pmdp_service.Shard
 module Service = Pmdp_service.Service
 module Protocol = Pmdp_service.Protocol
 module Load = Pmdp_service.Load
+module Client = Pmdp_service.Client
+module Breaker = Pmdp_service.Breaker
+module Fault = Pmdp_runtime.Fault
 module Plan = Pmdp_plan
 
 let () = Pmdp_baselines.Schedulers.install ()
@@ -71,6 +74,30 @@ let test_json_numbers () =
   | Ok (Json.Float _) -> ()
   | Ok _ -> Alcotest.fail "expected float fallback"
   | Error e -> Alcotest.failf "overflow number rejected: %s" e
+
+let test_json_float_roundtrip () =
+  (* Floats must come back bit-identical: checksums cross the wire
+     through this printer and are compared exactly on the far side. *)
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives the wire" f)
+            true
+            (Int64.bits_of_float f = Int64.bits_of_float f')
+      | Ok _ -> Alcotest.failf "%h did not decode as a float" f
+      | Error e -> Alcotest.failf "%h: %s" f e)
+    [
+      15666.036171870055;
+      5371.5394522635124;
+      0.1;
+      1.0 /. 3.0;
+      Float.max_float;
+      Float.min_float;
+      epsilon_float;
+      -2.5e-7;
+    ]
 
 let test_json_escapes () =
   match Json.of_string {|"aA\né\t"|} with
@@ -276,7 +303,7 @@ let compiled_blur_entry () =
 let test_disk_cache_roundtrip () =
   let dir = temp_dir "pmdp-disk" in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
-  let dc = Disk_cache.create ~dir in
+  let dc = Disk_cache.create ~dir () in
   let entry = compiled_blur_entry () in
   let fp = entry.Plan_cache.fingerprint in
   let meta =
@@ -363,12 +390,17 @@ let test_disk_cache_tamper_recompile () =
 (* Service *)
 
 let with_service ?(workers = 2) ?mem_budget ?max_inflight ?batch_window ?validate ?shards
-    ?queue_limit f =
+    ?queue_limit ?cache_dir ?fault ?breaker_threshold ?breaker_cooldown f =
   let service =
     Service.create ~workers ?mem_budget ?max_inflight ?batch_window ?validate ?shards
-      ?queue_limit ~machine:xeon ()
+      ?queue_limit ?cache_dir ?fault ?breaker_threshold ?breaker_cooldown ~machine:xeon ()
   in
   Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+let fault_of_spec s =
+  match Fault.parse s with
+  | Ok specs -> Fault.create specs
+  | Error m -> Alcotest.failf "fault spec %S rejected: %s" s m
 
 let ok_id = function
   | Ok id -> id
@@ -632,6 +664,269 @@ let test_service_sharded_submits () =
       Alcotest.(check bool) "no disk cache unless configured" true (s.Service.disk = None))
 
 (* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let test_breaker_lifecycle () =
+  let b = Breaker.create ~threshold:2 ~cooldown:0.05 () in
+  Alcotest.(check bool) "fresh circuit proceeds" true (Breaker.check b "fp" = `Proceed);
+  Breaker.failure b "fp";
+  Alcotest.(check bool) "below threshold still proceeds" true (Breaker.check b "fp" = `Proceed);
+  Breaker.failure b "fp";
+  (match Breaker.check b "fp" with
+  | `Reject (failures, retry_after) ->
+      Alcotest.(check int) "failure streak reported" 2 failures;
+      Alcotest.(check bool) "retry_after positive" true (retry_after > 0.0)
+  | `Proceed | `Probe -> Alcotest.fail "tripped circuit must reject");
+  Alcotest.(check bool) "other fingerprints unaffected" true (Breaker.check b "other" = `Proceed);
+  Thread.delay 0.08;
+  Alcotest.(check bool) "cooled circuit admits one probe" true (Breaker.check b "fp" = `Probe);
+  Alcotest.(check bool) "second request during the probe rejected" true
+    (match Breaker.check b "fp" with `Reject _ -> true | _ -> false);
+  Breaker.success b "fp";
+  Alcotest.(check bool) "probe success closes the circuit" true (Breaker.check b "fp" = `Proceed);
+  let c = Breaker.counters b in
+  Alcotest.(check int) "one trip" 1 c.Breaker.trips;
+  Alcotest.(check int) "one close" 1 c.Breaker.closes;
+  Alcotest.(check bool) "probe counted" true (c.Breaker.probes >= 1);
+  Alcotest.(check bool) "rejects counted" true (c.Breaker.rejects >= 2);
+  Alcotest.(check int) "nothing open after the close" 0 c.Breaker.open_now
+
+let test_breaker_probe_failure_retrips () =
+  let b = Breaker.create ~threshold:1 ~cooldown:0.03 () in
+  Breaker.failure b "fp";
+  (match Breaker.check b "fp" with
+  | `Reject _ -> ()
+  | _ -> Alcotest.fail "threshold 1 must trip on the first failure");
+  (match Breaker.snapshot b with
+  | [ s ] ->
+      Alcotest.(check bool) "snapshot shows the circuit open" true (s.Breaker.state = Breaker.Open)
+  | l -> Alcotest.failf "snapshot has %d entries, wanted 1" (List.length l));
+  Thread.delay 0.05;
+  (match Breaker.check b "fp" with
+  | `Probe -> ()
+  | _ -> Alcotest.fail "cooled circuit must admit a probe");
+  Breaker.failure b "fp";
+  (match Breaker.check b "fp" with
+  | `Reject _ -> ()
+  | _ -> Alcotest.fail "failed probe must re-trip the circuit");
+  Alcotest.(check int) "re-trip counted" 2 (Breaker.counters b).Breaker.trips
+
+let test_service_breaker_trips () =
+  (* scale=0 dies inside the app builder; the cached compile failure
+     feeds the breaker on every submit, so after [threshold] submits
+     the fingerprint's circuit is open and admission refuses with the
+     typed Circuit_open — without touching the plan cache or queue. *)
+  with_service ~breaker_threshold:2 ~breaker_cooldown:0.2 (fun service ->
+      let poison () = Service.submit service (Service.request ~scale:0 "blur") in
+      (match poison () with
+      | Error (Pmdp_error.Circuit_open _) -> Alcotest.fail "tripped before threshold"
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "scale 0 must fail");
+      (match poison () with
+      | Error (Pmdp_error.Circuit_open _) -> Alcotest.fail "tripped before threshold"
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "scale 0 must fail");
+      (match poison () with
+      | Error (Pmdp_error.Circuit_open { failures; retry_after; _ }) ->
+          Alcotest.(check int) "failure streak echoed" 2 failures;
+          Alcotest.(check bool) "retry_after positive" true (retry_after > 0.0);
+          Alcotest.(check bool) "circuit-open is retryable" true
+            (Client.Retry_policy.retryable
+               (Pmdp_error.Circuit_open { fingerprint = "x"; failures; retry_after; context = "" }))
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "open circuit admitted the request");
+      (* the poison plan's circuit does not affect healthy plans *)
+      (match Service.submit service (Service.request ~scale:32 "blur") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "healthy plan refused: %s" (Pmdp_error.to_string e));
+      let h = Service.health service in
+      (match h.Service.circuits with
+      | [ s ] ->
+          Alcotest.(check bool) "health lists the open circuit" true
+            (s.Breaker.state = Breaker.Open);
+          Alcotest.(check int) "with its failure streak" 2 s.Breaker.failures
+      | l -> Alcotest.failf "health lists %d circuits, wanted 1" (List.length l));
+      let c = (Service.stats service).Service.breaker in
+      Alcotest.(check int) "one trip in the stats rollup" 1 c.Breaker.trips;
+      Alcotest.(check bool) "the refusal counted as a reject" true (c.Breaker.rejects >= 1);
+      (* after the cooldown, one probe is admitted; its failure
+         re-trips the circuit rather than resetting the streak *)
+      Thread.delay 0.3;
+      (match poison () with
+      | Error (Pmdp_error.Circuit_open _) -> Alcotest.fail "cooled circuit refused the probe"
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "scale 0 must fail");
+      (match poison () with
+      | Error (Pmdp_error.Circuit_open _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "re-tripped circuit admitted the request");
+      Alcotest.(check int) "re-trip counted" 2
+        (Service.stats service).Service.breaker.Breaker.trips)
+
+(* ------------------------------------------------------------------ *)
+(* Supervision, drain, health *)
+
+let test_service_health_baseline () =
+  with_service ~shards:2 (fun service ->
+      let h = Service.health service in
+      Alcotest.(check bool) "not draining" false h.Service.draining;
+      Alcotest.(check int) "one entry per shard" 2 (Array.length h.Service.shards);
+      Array.iteri
+        (fun i (sh : Shard.health) ->
+          Alcotest.(check int) "tagged with its index" i sh.Shard.shard;
+          Alcotest.(check bool) "dispatcher alive" true sh.Shard.alive;
+          Alcotest.(check int) "no restarts" 0 sh.Shard.restarts;
+          Alcotest.(check int) "queue empty" 0 sh.Shard.queue_depth)
+        h.Service.shards;
+      Alcotest.(check bool) "no open circuits" true (h.Service.circuits = []))
+
+let test_service_supervisor_respawn () =
+  (* shardkill@0 raises inside the dispatcher at its first batch: the
+     supervisor must settle the in-flight request with a retryable
+     typed error, respawn the dispatcher, and serve the retry. *)
+  let fault = fault_of_spec "shardkill@0" in
+  with_service ~fault (fun service ->
+      (match Service.submit service (Service.request ~scale:32 "blur") with
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "settled with a retryable error (%s)" (Pmdp_error.kind e))
+            true
+            (Client.Retry_policy.retryable e)
+      | Ok _ -> Alcotest.fail "request served by a killed dispatcher");
+      (* the respawn backoff is tens of milliseconds; retry until the
+         dispatcher is back (bounded, so a broken supervisor fails the
+         test instead of hanging it) *)
+      let rec retry n =
+        if n = 0 then Alcotest.fail "dispatcher never came back"
+        else
+          match Service.submit service (Service.request ~scale:32 "blur") with
+          | Ok _ -> ()
+          | Error e when Client.Retry_policy.retryable e ->
+              Thread.delay 0.05;
+              retry (n - 1)
+          | Error e -> Alcotest.failf "unexpected error: %s" (Pmdp_error.to_string e)
+      in
+      retry 40;
+      let h = Service.health service in
+      Alcotest.(check bool) "every dispatcher alive after recovery" true
+        (Array.for_all (fun (sh : Shard.health) -> sh.Shard.alive) h.Service.shards);
+      let restarts =
+        Array.fold_left (fun acc (sh : Shard.health) -> acc + sh.Shard.restarts) 0
+          h.Service.shards
+      in
+      Alcotest.(check bool) "the respawn is on the ledger" true (restarts >= 1);
+      Alcotest.(check bool) "stats roll restarts up" true
+        ((Service.stats service).Service.total.Service.restarts >= 1))
+
+let test_service_pool_self_heal_under_load () =
+  (* kill@0 takes a pool worker domain down inside the first service
+     execution; the resilient driver must self-heal and the response
+     must still be bitwise correct (validated against the reference
+     executor), only flagged degraded. *)
+  let fault = fault_of_spec "kill@0" in
+  with_service ~fault ~validate:true (fun service ->
+      match Service.submit service (Service.request ~scale:32 "blur") with
+      | Error e -> Alcotest.failf "self-heal failed: %s" (Pmdp_error.to_string e)
+      | Ok r ->
+          Alcotest.(check bool) "response flagged degraded" true r.Service.degraded;
+          Alcotest.(check (option (float 0.0))) "bitwise equal to the reference" (Some 0.0)
+            r.Service.max_abs_diff)
+
+let test_service_drain_refuses_new_work () =
+  with_service ~batch_window:0.3 (fun service ->
+      let id1 = ok_id (Service.submit_async service (Service.request ~scale:32 "blur")) in
+      let drainer = Thread.create (fun () -> Service.drain ~timeout:5.0 service) () in
+      Thread.delay 0.05;
+      Alcotest.(check bool) "health reports draining" true
+        (Service.health service).Service.draining;
+      (match Service.submit_async service (Service.request ~scale:32 ~seed:2 "blur") with
+      | Error (Pmdp_error.Overloaded _ as e) ->
+          Alcotest.(check bool) "drain refusal is retryable" true
+            (Client.Retry_policy.retryable e)
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "admitted during drain");
+      (match Service.await service id1 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "in-flight request failed during drain: %s"
+            (Pmdp_error.to_string e));
+      Thread.join drainer;
+      match Service.submit_async service (Service.request ~scale:32 "blur") with
+      | Error (Pmdp_error.Pool_shutdown _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+      | Ok _ -> Alcotest.fail "submit after drain admitted")
+
+let test_service_drain_timeout_retryable () =
+  (* A request still queued when the drain deadline passes settles as
+     retryable Overloaded — not Cancelled — so a retrying client
+     resubmits against the replacement server instead of failing. *)
+  let service = Service.create ~workers:2 ~batch_window:0.4 ~machine:xeon () in
+  let id1 = ok_id (Service.submit_async service (Service.request ~scale:32 "blur")) in
+  Thread.delay 0.05;
+  (* different seed = different batch key: stays queued behind id1 *)
+  let id2 = ok_id (Service.submit_async service (Service.request ~scale:32 ~seed:2 "blur")) in
+  Service.drain ~timeout:0.0 service;
+  (match Service.await service id1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "in-flight request failed: %s" (Pmdp_error.to_string e));
+  (match Service.await service id2 with
+  | Error (Pmdp_error.Overloaded _ as e) ->
+      Alcotest.(check bool) "drained-out request is retryable" true
+        (Client.Retry_policy.retryable e)
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok _ -> Alcotest.fail "queued request survived a zero-timeout drain");
+  Service.shutdown service
+
+(* ------------------------------------------------------------------ *)
+(* Disk-cache chaos: torn/corrupt stores and quarantine recovery *)
+
+let bad_files dir =
+  Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".bad")
+
+let test_service_quarantine_recovery () =
+  let dir = temp_dir "pmdp-quarantine" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* torn@0 persists only a prefix of the first envelope; corrupt@1
+     persists the second with a wrong digest.  Both submits still
+     succeed — the disk cache is write-behind, never load-bearing. *)
+  let fault = fault_of_spec "torn@0,corrupt@1" in
+  let s1 = Service.create ~workers:2 ~cache_dir:dir ~fault ~machine:xeon () in
+  (match Service.submit s1 (Service.request ~scale:32 "blur") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit under torn write failed: %s" (Pmdp_error.to_string e));
+  (match Service.submit s1 (Service.request ~scale:32 "unsharp") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit under corrupt write failed: %s" (Pmdp_error.to_string e));
+  Service.shutdown s1;
+  (* restart clean: the torn file is unparseable (quarantined at scan),
+     the corrupt one fails the admission gate's digest check
+     (quarantined at warm-load); neither poisons the cache *)
+  let s2 = Service.create ~workers:2 ~cache_dir:dir ~machine:xeon () in
+  Fun.protect ~finally:(fun () -> Service.shutdown s2) @@ fun () ->
+  Alcotest.(check int) "nothing warm-loaded from damaged envelopes" 0
+    (total_cache s2).Plan_cache.loads;
+  (match (Service.stats s2).Service.disk with
+  | Some d -> Alcotest.(check int) "both envelopes quarantined" 2 d.Disk_cache.quarantined
+  | None -> Alcotest.fail "disk stats missing");
+  Alcotest.(check int) "quarantine files on disk" 2 (List.length (bad_files dir));
+  (* both plans recompile cleanly and re-persist *)
+  List.iter
+    (fun app ->
+      match Service.submit s2 (Service.request ~scale:32 app) with
+      | Ok r ->
+          Alcotest.(check bool) (app ^ " recompiled, not served stale") false r.Service.cache_hit
+      | Error e -> Alcotest.failf "%s recompile failed: %s" app (Pmdp_error.to_string e))
+    [ "blur"; "unsharp" ];
+  Alcotest.(check int) "recompiled both" 2 (total_cache s2).Plan_cache.compiles;
+  Service.shutdown s2;
+  (* third generation warm-loads the repaired envelopes *)
+  let s3 = Service.create ~workers:2 ~cache_dir:dir ~machine:xeon () in
+  Fun.protect ~finally:(fun () -> Service.shutdown s3) @@ fun () ->
+  Alcotest.(check int) "repaired envelopes warm-load" 2 (total_cache s3).Plan_cache.loads;
+  match Service.submit s3 (Service.request ~scale:32 "blur") with
+  | Ok r -> Alcotest.(check bool) "served warm after repair" true r.Service.cache_hit
+  | Error e -> Alcotest.failf "warm submit failed: %s" (Pmdp_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
 (* Protocol codecs *)
 
 let test_protocol_request_codec () =
@@ -676,6 +971,8 @@ let test_protocol_error_codec () =
       Pmdp_error.Pool_shutdown { context = "c" };
       Pmdp_error.Overloaded { shard = 2; depth = 9; limit = 8; context = "c" };
       Pmdp_error.Deadline_exceeded { deadline = 0.5; waited = 0.75; context = "c" };
+      Pmdp_error.Circuit_open
+        { fingerprint = "0123abcd"; failures = 3; retry_after = 1.5; context = "c" };
     ]
   in
   List.iter
@@ -731,8 +1028,45 @@ let test_protocol_stats_json () =
           Alcotest.(check bool) "disk is null without --cache-dir" true
             (Json.member "disk" doc = Some Json.Null))
 
+let test_protocol_health_codec () =
+  let h =
+    {
+      Service.draining = true;
+      shards =
+        [|
+          { Shard.shard = 0; alive = true; queue_depth = 2; running = 1; restarts = 0 };
+          { Shard.shard = 1; alive = false; queue_depth = 0; running = 0; restarts = 3 };
+        |];
+      breaker =
+        { Breaker.trips = 2; rejects = 5; probes = 1; closes = 1; open_now = 1; tracked = 2 };
+      circuits =
+        [
+          { Breaker.fingerprint = "abcd"; state = Breaker.Open; failures = 4; trips = 2 };
+          { Breaker.fingerprint = "ef01"; state = Breaker.Half_open; failures = 3; trips = 1 };
+        ];
+    }
+  in
+  (match Protocol.health_of_json (Protocol.json_of_health h) with
+  | Ok h' ->
+      Alcotest.(check bool) "draining survives" true h'.Service.draining;
+      Alcotest.(check bool) "shards survive" true (h'.Service.shards = h.Service.shards);
+      Alcotest.(check bool) "breaker counters survive" true
+        (h'.Service.breaker = h.Service.breaker);
+      Alcotest.(check bool) "circuits survive" true (h'.Service.circuits = h.Service.circuits)
+  | Error e -> Alcotest.failf "health decode failed: %s" (Pmdp_error.to_string e));
+  (* malformed frames come back typed, not as exceptions *)
+  match Protocol.health_of_json (Json.String "nope") with
+  | Error (Pmdp_error.Plan_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Pmdp_error.to_string e)
+  | Ok _ -> Alcotest.fail "malformed health frame decoded"
+
 (* ------------------------------------------------------------------ *)
 (* Load generator (in-process) *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
 
 let test_load_inproc () =
   let service = Service.create ~workers:2 ~machine:xeon () in
@@ -745,6 +1079,9 @@ let test_load_inproc () =
   Alcotest.(check bool) "p50 <= p95 <= p99" true
     (report.Load.p50_ms <= report.Load.p95_ms && report.Load.p95_ms <= report.Load.p99_ms);
   Alcotest.(check bool) "cache hits observed" true (report.Load.cache_hits > 0);
+  Alcotest.(check int) "one attempt per request (no-retry policy)" 30
+    report.Load.retry.Client.attempts;
+  Alcotest.(check int) "nothing retried" 0 report.Load.retry.Client.retried;
   (* the report document parses back and carries the percentiles *)
   match Json.of_string (Json.to_string (Load.to_json report)) with
   | Error e -> Alcotest.failf "report JSON unparseable: %s" e
@@ -753,15 +1090,66 @@ let test_load_inproc () =
         (fun key ->
           Alcotest.(check bool) (key ^ " present") true
             (Option.bind (Json.member key doc) Json.to_float_opt <> None))
-        [ "throughput_rps"; "p50_ms"; "p95_ms"; "p99_ms" ]
+        [ "throughput_rps"; "p50_ms"; "p95_ms"; "p99_ms" ];
+      Alcotest.(check (option int)) "schema version stamped" (Some Load.schema_version)
+        (Option.bind (Json.member "schema_version" doc) Json.to_int_opt);
+      Alcotest.(check (option int)) "retry totals in the document" (Some 30)
+        (Option.bind
+           (Option.bind (Json.member "retry" doc) (Json.member "attempts"))
+           Json.to_int_opt)
+
+let test_load_inproc_retries_through_faults () =
+  (* One dispatcher kill mid-run: the affected requests settle with a
+     retryable error, the load generator's retry loop resubmits them,
+     and the run still ends with every request succeeding. *)
+  let fault = fault_of_spec "shardkill@1" in
+  let service = Service.create ~workers:2 ~fault ~machine:xeon () in
+  let retry = Client.Retry_policy.create ~max_attempts:6 ~base_delay:0.02 () in
+  let cfg = Load.config ~clients:2 ~requests:12 ~apps:[ "blur" ] ~scale:32 ~retry () in
+  let report = Load.run_inproc service cfg in
+  Service.shutdown service;
+  Alcotest.(check int) "every request eventually succeeds" 12 report.Load.succeeded;
+  Alcotest.(check int) "none failed for good" 0 report.Load.failed;
+  Alcotest.(check bool) "the kill forced at least one retry" true
+    (report.Load.retry.Client.retried >= 1);
+  Alcotest.(check bool) "attempts exceed requests" true
+    (report.Load.retry.Client.attempts > 12);
+  Alcotest.(check int) "nothing gave up" 0 report.Load.retry.Client.gave_up
+
+let test_load_write_json_schema () =
+  let dir = temp_dir "pmdp-load-json" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let service = Service.create ~workers:2 ~machine:xeon () in
+  let report =
+    Load.run_inproc service (Load.config ~clients:2 ~requests:4 ~apps:[ "blur" ] ~scale:32 ())
+  in
+  Service.shutdown service;
+  let path = Filename.concat dir "LOAD_test.json" in
+  (* fresh file: fine *)
+  (match Load.write_json ~path report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh write failed: %s" (Pmdp_error.to_string e));
+  (* replacing a same-schema report: fine *)
+  (match Load.write_json ~path report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "same-schema rewrite failed: %s" (Pmdp_error.to_string e));
+  let refused what content =
+    write_file path content;
+    match Load.write_json ~path report with
+    | Error (Pmdp_error.Plan_invalid _) -> ()
+    | Error e -> Alcotest.failf "%s: wrong error: %s" what (Pmdp_error.to_string e)
+    | Ok () -> Alcotest.failf "%s overwritten anyway" what
+  in
+  (* wrong schema version, missing version, foreign document, garbage:
+     all refused with the typed Plan_invalid *)
+  refused "older-schema report" {|{"kind": "pmdp-load", "schema_version": 1}|};
+  refused "versionless report" {|{"kind": "pmdp-load"}|};
+  refused "foreign document"
+    (Printf.sprintf {|{"kind": "pmdp-bench", "schema_version": %d}|} Load.schema_version);
+  refused "unparseable file" "{not json"
 
 (* ------------------------------------------------------------------ *)
 (* Bench schema validation (shares the JSON parser) *)
-
-let write_file path s =
-  let oc = open_out path in
-  output_string oc s;
-  close_out oc
 
 let test_bench_merge_schema () =
   let dir = Filename.temp_file "pmdp-bench" "" in
@@ -819,6 +1207,7 @@ let () =
           Alcotest.test_case "round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "pretty round trip" `Quick test_json_roundtrip_pretty;
           Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "float round trip" `Quick test_json_float_roundtrip;
           Alcotest.test_case "escapes" `Quick test_json_escapes;
           Alcotest.test_case "errors" `Quick test_json_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
@@ -856,14 +1245,37 @@ let () =
           Alcotest.test_case "deadline expiry" `Quick test_service_deadline_expiry;
           Alcotest.test_case "sharded submits" `Quick test_service_sharded_submits;
         ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trip, probe, close" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "failed probe re-trips" `Quick test_breaker_probe_failure_retrips;
+          Alcotest.test_case "poison plan trips the service" `Quick test_service_breaker_trips;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "health baseline" `Quick test_service_health_baseline;
+          Alcotest.test_case "dispatcher respawn" `Quick test_service_supervisor_respawn;
+          Alcotest.test_case "pool self-heal under load" `Quick
+            test_service_pool_self_heal_under_load;
+          Alcotest.test_case "drain refuses new work" `Quick test_service_drain_refuses_new_work;
+          Alcotest.test_case "drain timeout is retryable" `Quick
+            test_service_drain_timeout_retryable;
+          Alcotest.test_case "quarantine recovery" `Quick test_service_quarantine_recovery;
+        ] );
       ( "protocol",
         [
           Alcotest.test_case "request codec" `Quick test_protocol_request_codec;
           Alcotest.test_case "error codec" `Quick test_protocol_error_codec;
           Alcotest.test_case "stats document" `Quick test_protocol_stats_json;
+          Alcotest.test_case "health codec" `Quick test_protocol_health_codec;
         ] );
       ( "load",
-        [ Alcotest.test_case "in-process run" `Quick test_load_inproc ] );
+        [
+          Alcotest.test_case "in-process run" `Quick test_load_inproc;
+          Alcotest.test_case "retries through faults" `Quick
+            test_load_inproc_retries_through_faults;
+          Alcotest.test_case "report schema guard" `Quick test_load_write_json_schema;
+        ] );
       ( "bench-merge",
         [ Alcotest.test_case "schema validation" `Quick test_bench_merge_schema ] );
     ]
