@@ -21,6 +21,7 @@ type outcome = {
   wall_seconds : float list;  (** effective, one per rep, in run order *)
   host_wall_seconds : float list;  (** what the host actually took *)
   simulated : bool;  (** effective times reconstructed from per-tile durations *)
+  backend : string;  (** resilient step that answered the last rep, e.g. "native" *)
   median_s : float;
   min_s : float;
   max_abs_diff : float;  (** vs {!Reference.run}; 0.0 = bitwise valid *)
@@ -81,6 +82,7 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
           let collector = Profile.collector ~pipeline:p.Pipeline.name ~workers:w in
           let host_walls = ref [] and diff = ref 0.0 in
           let failure = ref None and degraded = ref false in
+          let backend = ref "none" in
           (* Reps run through the resilient driver sharing the one
              plan, so a dying rep records which fallback step it
              reached (Profile.steps / the case's "resilience" JSON)
@@ -92,9 +94,12 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
               Resilient.run_plan ?pool ?sched:pool_sched ~profile:collector ~machine plan
                 ~inputs
             with
-            | Ok { Resilient.results; degraded = d; attempts = _ } ->
+            | Ok { Resilient.results; degraded = d; attempts } ->
                 host_walls := (Unix.gettimeofday () -. t0) :: !host_walls;
                 if d then degraded := true;
+                (match List.rev attempts with
+                | (st, None) :: _ -> backend := Resilient.step_name st
+                | _ -> ());
                 List.iter
                   (fun (n, b) ->
                     match List.assoc_opt n reference with
@@ -130,7 +135,11 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
             Profile.set_counters collector
               (counter_delta ~before:totals_before (Trace.counter_totals ()));
           let host_wall_seconds = List.rev !host_walls in
-          let simulated = w > 1 && host_cores < w in
+          (* Native kernels parallelize with real OS threads inside the
+             shared object, so their host wall-clock is the effective
+             time — the multicore substitution only models the
+             interpreter pool's tile distribution. *)
+          let simulated = w > 1 && host_cores < w && !backend <> "native" in
           let wall_seconds =
             if (not simulated) || !failure <> None then host_wall_seconds
             else
@@ -150,6 +159,7 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
               wall_seconds;
               host_wall_seconds;
               simulated;
+              backend = !backend;
               median_s = median_of sorted;
               min_s = List.hd sorted;
               max_abs_diff = !diff;
@@ -161,9 +171,10 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
             }
           in
           log
-            (Printf.sprintf "%-15s %-8s %2d workers  median %8.2f ms  min %8.2f ms%s%s%s"
+            (Printf.sprintf "%-15s %-8s %2d workers  median %8.2f ms  min %8.2f ms%s%s%s%s"
                o.app_name (Scheduler.to_string scheduler) w (o.median_s *. 1000.0)
                (o.min_s *. 1000.0)
+               (if o.backend = "native" then "  [native]" else "")
                (if simulated then "  (simulated)" else "")
                (if o.degraded then "  DEGRADED" else "")
                (match o.failure with
@@ -190,6 +201,7 @@ let json_of_outcome o =
       ("wall_seconds", Json.List (List.map (fun f -> Json.Float f) o.wall_seconds));
       ("host_wall_seconds", Json.List (List.map (fun f -> Json.Float f) o.host_wall_seconds));
       ("simulated", Json.Bool o.simulated);
+      ("backend", Json.String o.backend);
       ("median_seconds", Json.Float o.median_s);
       ("min_seconds", Json.Float o.min_s);
       ("valid", Json.Bool (valid o));

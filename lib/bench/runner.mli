@@ -16,7 +16,13 @@ type outcome = {
           effective times are then makespan reconstructions from
           sequentially measured per-tile durations (the DESIGN.md
           multicore substitution), while the real pooled runs still
-          execute for validation and profiling *)
+          execute for validation and profiling; never set for
+          native-backed reps, whose in-kernel threads are real *)
+  backend : string;
+      (** the {!Pmdp_exec.Resilient} step that answered the last
+          repetition — ["native"] when a compiled kernel ran,
+          ["tiled-parallel"]/["tiled-serial"] for the interpreter,
+          ["none"] when every rep failed *)
   median_s : float;  (** median of [wall_seconds] (upper for even reps) *)
   min_s : float;
   max_abs_diff : float;  (** vs the reference executor; 0.0 = bitwise valid *)

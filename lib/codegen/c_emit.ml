@@ -19,12 +19,26 @@ let float_lit f =
 let buf name = "buf_" ^ name
 let scratch name = "scr_" ^ name
 
+(* A C double literal: "%.17g" round-trips every finite double, and a
+   bare integer rendering ("4") is already an exact double in C. *)
+let double_lit f = spf "%.17g" f
+
 type ctx = {
   p : Pipeline.t;
   ga : Group_analysis.t;
   member : int;  (* current consumer member index *)
   in_group : string -> int option;  (* member index of an in-group stage *)
+  f64 : bool;
+      (* double-precision kernel mode: every float32 spelling (literal
+         suffix, cast, libm call) switches to its double form, and
+         Floor/Mod mirror the interpreter's int round-trip exactly so
+         the compiled kernel can be bitwise-compared against
+         [Pmdp_exec.Reference] *)
 }
+
+let lit ctx f = if ctx.f64 then double_lit f else float_lit f
+let cast ctx = if ctx.f64 then "(double)" else "(float)"
+let libm ctx name = if ctx.f64 then name else name ^ "f"
 
 (* Bounds of a stage's own domain, as C constants. *)
 let dim_bounds (d : Stage.dim) = (d.Stage.lo, d.Stage.lo + d.Stage.extent - 1)
@@ -47,7 +61,7 @@ let rec coord_to_c ctx (c : Expr.coord) =
         let r = scale.Rational.den * offset.Rational.den in
         spf "FDIV(%d * %s + %d, %d)" p (var_name var) q r
       end
-  | Expr.Cdyn e -> spf "(int) floorf(%s)" (expr_to_c ctx e)
+  | Expr.Cdyn e -> spf "(int) %s(%s)" (libm ctx "floor") (expr_to_c ctx e)
 
 (* A load: clamp each coordinate into the producer's box, then index.
    In-group non-live-out producers use the tile-local scratch buffer
@@ -94,8 +108,8 @@ and load_to_c ctx name coords =
 
 and expr_to_c ctx (e : Expr.t) =
   match e with
-  | Expr.Const f -> float_lit f
-  | Expr.Var i -> spf "(float) %s" (var_name i)
+  | Expr.Const f -> lit ctx f
+  | Expr.Var i -> spf "%s %s" (cast ctx) (var_name i)
   | Expr.Load (name, coords) -> load_to_c ctx name coords
   | Expr.Binop (op, a, b) -> (
       let ca = expr_to_c ctx a and cb = expr_to_c ctx b in
@@ -104,20 +118,24 @@ and expr_to_c ctx (e : Expr.t) =
       | Expr.Sub -> spf "(%s - %s)" ca cb
       | Expr.Mul -> spf "(%s * %s)" ca cb
       | Expr.Div -> spf "(%s / %s)" ca cb
-      | Expr.Min -> spf "fminf(%s, %s)" ca cb
-      | Expr.Max -> spf "fmaxf(%s, %s)" ca cb
-      | Expr.Mod -> spf "(float) ((int) (%s) %% (int) (%s))" ca cb)
+      | Expr.Min -> spf "%s(%s, %s)" (libm ctx "fmin") ca cb
+      | Expr.Max -> spf "%s(%s, %s)" (libm ctx "fmax") ca cb
+      | Expr.Mod -> spf "%s ((int) (%s) %% (int) (%s))" (cast ctx) ca cb)
   | Expr.Unop (op, a) -> (
       let ca = expr_to_c ctx a in
       match op with
       | Expr.Neg -> spf "(-%s)" ca
-      | Expr.Abs -> spf "fabsf(%s)" ca
-      | Expr.Sqrt -> spf "sqrtf(%s)" ca
-      | Expr.Exp -> spf "expf(%s)" ca
-      | Expr.Log -> spf "logf(%s)" ca
-      | Expr.Floor -> spf "floorf(%s)" ca
-      | Expr.Sin -> spf "sinf(%s)" ca
-      | Expr.Cos -> spf "cosf(%s)" ca)
+      | Expr.Abs -> spf "%s(%s)" (libm ctx "fabs") ca
+      | Expr.Sqrt -> spf "%s(%s)" (libm ctx "sqrt") ca
+      | Expr.Exp -> spf "%s(%s)" (libm ctx "exp") ca
+      | Expr.Log -> spf "%s(%s)" (libm ctx "log") ca
+      | Expr.Floor ->
+          (* The interpreter rounds through int ([Float.of_int
+             (int_of_float (Float.floor x))]); the double kernel must
+             spell exactly that to stay bitwise-comparable. *)
+          if ctx.f64 then spf "(double) (int) floor(%s)" ca else spf "floorf(%s)" ca
+      | Expr.Sin -> spf "%s(%s)" (libm ctx "sin") ca
+      | Expr.Cos -> spf "%s(%s)" (libm ctx "cos") ca)
   | Expr.Select (c, a, b) ->
       spf "(%s ? %s : %s)" (cond_to_c ctx c) (expr_to_c ctx a) (expr_to_c ctx b)
 
@@ -255,7 +273,7 @@ let emit (spec : Schedule_spec.t) =
               (scratch sname) k (var_name k)
           done;
           let inner_ind = ind ^ String.make (2 * own_nd) ' ' in
-          let ctx = { p; ga; member = m; in_group } in
+          let ctx = { p; ga; member = m; in_group; f64 = false } in
           ignore ctx.member;
           let dest =
             let parts =
@@ -336,6 +354,201 @@ let emit_to_file spec path =
   let oc = open_out path in
   output_string oc (emit spec);
   close_out oc
+
+(* ---- Native kernel emission (double precision, per-group ABI) ------ *)
+
+let kernel_abi_version = Pmdp_plan.kernel_abi_version
+let kernel_symbol gi = spf "pmdp_kernel_group_%d" gi
+
+let kernel_slots (p : Pipeline.t) (ir : Pmdp_plan.t) =
+  Array.to_list
+    (Array.map (fun (i : Pipeline.input) -> i.Pipeline.in_name) p.Pipeline.inputs)
+  @ ir.Pmdp_plan.liveouts
+
+let emit_kernels (p : Pipeline.t) (ir : Pmdp_plan.t) =
+  if ir.Pmdp_plan.pipeline <> p.Pipeline.name then
+    invalid_arg
+      (spf "C_emit.emit_kernels: plan is for pipeline %S, not %S" ir.Pmdp_plan.pipeline
+         p.Pipeline.name);
+  let b = Buffer.create (64 * 1024) in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  out "// pmdp native kernels (double precision); pipeline: %s; abi %d" p.Pipeline.name
+    kernel_abi_version;
+  out "// plan digest: %s" (Pmdp_plan.digest ir);
+  out "#include <math.h>";
+  out "#include <stdlib.h>";
+  out "#define CLAMPI(x, lo, hi) ((x) < (lo) ? (lo) : ((x) > (hi) ? (hi) : (x)))";
+  out "#define FDIV(a, b) ((a) >= 0 ? (a) / (b) : -((-(a) + (b) - 1) / (b)))";
+  out "#define CDIV(a, b) ((a) >= 0 ? ((a) + (b) - 1) / (b) : -((-(a)) / (b)))";
+  out "";
+  let slots = kernel_slots p ir in
+  let n_inputs = Array.length p.Pipeline.inputs in
+  Array.iteri
+    (fun gi (group : Pmdp_plan.group) ->
+      let ga = Pmdp_plan.group_analysis p group in
+      let tile = group.Pmdp_plan.tile in
+      let nd = ga.Group_analysis.n_dims in
+      let names =
+        String.concat ", "
+          (Array.to_list
+             (Array.map (fun sid -> (Pipeline.stage p sid).Stage.name) ga.Group_analysis.members))
+      in
+      out "// ---- group %d: {%s}, tile [%s]" gi names
+        (String.concat " x " (Array.to_list (Array.map string_of_int tile)));
+      out "void %s(double **bufs, int n_threads) {" (kernel_symbol gi);
+      List.iteri
+        (fun i name ->
+          if i < n_inputs then out "  const double *%s = bufs[%d]; (void) %s;" (buf name) i (buf name)
+          else out "  double *%s = bufs[%d]; (void) %s;" (buf name) i (buf name))
+        slots;
+      out "  (void) n_threads;";
+      let tiles_per_dim =
+        Array.init nd (fun d ->
+            let e = Group_analysis.dim_extent ga d in
+            (e + tile.(d) - 1) / tile.(d))
+      in
+      let in_group name =
+        let rec go m =
+          if m = Array.length ga.Group_analysis.members then None
+          else if (Pipeline.stage p ga.Group_analysis.members.(m)).Stage.name = name then Some m
+          else go (m + 1)
+        in
+        go 0
+      in
+      (* Per-thread scratch arenas live on the heap (per-tile regions
+         of the larger apps overflow a thread stack), allocated once
+         per thread for the whole tile sweep.  Without OpenMP the
+         pragmas are ignored and the block runs once, serially. *)
+      out "#pragma omp parallel num_threads(n_threads)";
+      out "  {";
+      Array.iteri
+        (fun m _sid ->
+          let stage = Pipeline.stage p ga.Group_analysis.members.(m) in
+          let allocs = scratch_alloc_extents ga ~member:m ~tile in
+          let max_ext = Array.fold_left ( * ) 1 allocs in
+          out "  double *%s = (double *) malloc(%d * sizeof(double));" (scratch stage.Stage.name)
+            max_ext)
+        ga.Group_analysis.members;
+      out "#pragma omp for schedule(static) collapse(%d)" (min 2 nd);
+      for d = 0 to nd - 1 do
+        out "  %sfor (int t%d = 0; t%d < %d; t%d++) {" (String.make (2 * d) ' ') d d
+          tiles_per_dim.(d) d
+      done;
+      let ind = String.make (2 * (nd + 1)) ' ' in
+      for d = 0 to nd - 1 do
+        out "  %sint tlo%d = %d + t%d * %d;" ind d ga.Group_analysis.dim_lo.(d) d tile.(d);
+        out "  %sint thi%d = tlo%d + %d - 1; if (thi%d > %d) thi%d = %d;" ind d d tile.(d) d
+          ga.Group_analysis.dim_hi.(d) d ga.Group_analysis.dim_hi.(d)
+      done;
+      Array.iteri
+        (fun m sid ->
+          let stage = Pipeline.stage p sid in
+          let sname = stage.Stage.name in
+          let own_nd = Stage.ndims stage in
+          out "  %s// tile of function %s" ind sname;
+          for k = 0 to own_nd - 1 do
+            let g = ga.Group_analysis.dim_of_stage.(m).(k) in
+            let s = ga.Group_analysis.scales.(m).(g) in
+            let elo, ehi = ga.Group_analysis.expansions.(m).(g) in
+            let lo, hi = dim_bounds stage.Stage.dims.(k) in
+            out "  %sint %s_lo%d = CLAMPI(FDIV(tlo%d - %d, %d), %d, %d);" ind (scratch sname) k g
+              elo s lo hi;
+            out "  %sint %s_hi%d = CLAMPI(CDIV(thi%d + %d, %d), %d, %d);" ind (scratch sname) k g
+              ehi s lo hi
+          done;
+          let liveout = ga.Group_analysis.liveouts.(m) in
+          for k = own_nd - 1 downto 0 do
+            if k = own_nd - 1 then out "  %sint %s_st%d = 1;" ind (scratch sname) k
+            else
+              out "  %sint %s_st%d = %s_st%d * (%s_hi%d - %s_lo%d + 1);" ind (scratch sname) k
+                (scratch sname) (k + 1) (scratch sname) (k + 1) (scratch sname) (k + 1)
+          done;
+          for k = 0 to own_nd - 1 do
+            if k = own_nd - 1 then out "%s" "#pragma ivdep";
+            out "  %s%sfor (int %s = %s_lo%d; %s <= %s_hi%d; %s++) {" ind
+              (String.make (2 * k) ' ') (var_name k) (scratch sname) k (var_name k)
+              (scratch sname) k (var_name k)
+          done;
+          let inner_ind = ind ^ String.make (2 * own_nd) ' ' in
+          let ctx = { p; ga; member = m; in_group; f64 = true } in
+          ignore ctx.member;
+          let dest =
+            let parts =
+              List.init own_nd (fun d ->
+                  spf "(%s - %s_lo%d) * %s_st%d" (var_name d) (scratch sname) d (scratch sname) d)
+            in
+            spf "%s[%s]" (scratch sname) (String.concat " + " parts)
+          in
+          (match stage.Stage.def with
+          | Stage.Pointwise body -> out "  %s%s = %s;" inner_ind dest (expr_to_c ctx body)
+          | Stage.Reduction { op; init; rdom; body } ->
+              out "  %sdouble acc = %s;" inner_ind (double_lit init);
+              Array.iteri
+                (fun r (lo, ext) ->
+                  out "  %sfor (int %s = %d; %s < %d; %s++) {" inner_ind
+                    (var_name (own_nd + r)) lo (var_name (own_nd + r)) (lo + ext)
+                    (var_name (own_nd + r)))
+                rdom;
+              let acc_op =
+                match op with
+                | Stage.Rsum -> spf "acc += %s;" (expr_to_c ctx body)
+                | Stage.Rmax -> spf "acc = fmax(acc, %s);" (expr_to_c ctx body)
+                | Stage.Rmin -> spf "acc = fmin(acc, %s);" (expr_to_c ctx body)
+              in
+              out "  %s  %s" inner_ind acc_op;
+              Array.iteri (fun _ _ -> out "  %s}" inner_ind) rdom;
+              out "  %s%s = acc;" inner_ind dest);
+          for k = own_nd - 1 downto 0 do
+            out "  %s%s}" ind (String.make (2 * k) ' ')
+          done;
+          if liveout then begin
+            out "  %s// copy exact tile of %s to its full buffer" ind sname;
+            for k = 0 to own_nd - 1 do
+              let g = ga.Group_analysis.dim_of_stage.(m).(k) in
+              let s = ga.Group_analysis.scales.(m).(g) in
+              let dlo, dhi = dim_bounds stage.Stage.dims.(k) in
+              out "  %sint cp_%s_lo%d = CDIV(tlo%d, %d); if (cp_%s_lo%d < %d) cp_%s_lo%d = %d;"
+                ind sname k g s sname k dlo sname k dlo;
+              out "  %sint cp_%s_hi%d = FDIV(thi%d, %d); if (cp_%s_hi%d > %d) cp_%s_hi%d = %d;"
+                ind sname k g s sname k dhi sname k dhi
+            done;
+            let dims = stage.Stage.dims in
+            let nown = Array.length dims in
+            let stride = Array.make nown 1 in
+            for d = nown - 2 downto 0 do
+              stride.(d) <- stride.(d + 1) * dims.(d + 1).Stage.extent
+            done;
+            for k = 0 to own_nd - 1 do
+              out "  %s%sfor (int %s = cp_%s_lo%d; %s <= cp_%s_hi%d; %s++) {" ind
+                (String.make (2 * k) ' ') (var_name k) sname k (var_name k) sname k (var_name k)
+            done;
+            let buf_idx =
+              String.concat " + "
+                (List.init nown (fun d ->
+                     spf "(%s - %d) * %d" (var_name d) dims.(d).Stage.lo stride.(d)))
+            in
+            let scr_idx =
+              String.concat " + "
+                (List.init own_nd (fun d ->
+                     spf "(%s - %s_lo%d) * %s_st%d" (var_name d) (scratch sname) d (scratch sname) d))
+            in
+            out "  %s%s[%s] = %s[%s];" inner_ind (buf sname) buf_idx (scratch sname) scr_idx;
+            for k = own_nd - 1 downto 0 do
+              out "  %s%s}" ind (String.make (2 * k) ' ')
+            done
+          end)
+        ga.Group_analysis.members;
+      for d = nd - 1 downto 0 do
+        out "  %s}  // tile-space loop t%d" (String.make (2 * d) ' ') d
+      done;
+      Array.iter
+        (fun sid -> out "  free(%s);" (scratch (Pipeline.stage p sid).Stage.name))
+        ga.Group_analysis.members;
+      out "  }  // omp parallel";
+      out "}";
+      out "")
+    ir.Pmdp_plan.groups;
+  Buffer.contents b
 
 let emit_with_harness (spec : Schedule_spec.t) =
   let p = spec.Schedule_spec.pipeline in

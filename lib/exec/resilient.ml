@@ -5,13 +5,29 @@ module Machine = Pmdp_machine.Machine
 module Pmdp_error = Pmdp_util.Pmdp_error
 module Trace = Pmdp_trace.Trace
 
-type step = Plan_step | Tiled_parallel | Tiled_serial | Reference_fallback
+type step = Plan_step | Native | Tiled_parallel | Tiled_serial | Reference_fallback
 
 let step_name = function
   | Plan_step -> "plan"
+  | Native -> "native"
   | Tiled_parallel -> "tiled-parallel"
   | Tiled_serial -> "tiled-serial"
   | Reference_fallback -> "reference"
+
+type native_runner =
+  plan:Tiled_exec.plan ->
+  workers:int ->
+  inputs:(string * Buffer.t) list ->
+  (string * Buffer.t) list
+
+(* Installed by [Pmdp_kernel.Native_exec.install]; a hook (rather than
+   a direct dependency) because pmdp_kernel sits above pmdp_exec in
+   the library graph — same pattern as [Pmdp_baselines.Schedulers.
+   install].  When no backend is installed the native step is not
+   attempted (and not recorded), so interpreter-only runs stay
+   undegraded. *)
+let native_hook : native_runner option ref = ref None
+let set_native_runner r = native_hook := r
 
 type outcome = {
   results : (string * Buffer.t) list;
@@ -204,6 +220,27 @@ let run_chain ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout ~planne
           end
           else tiled ~use_pool:false
         in
+        let try_native () =
+          match !native_hook with
+          | None -> None
+          | Some runner ->
+              (* The backend mirrors inputs and live-outs into
+                 Bigarray storage, so a native run holds roughly two
+                 copies of the working set. *)
+              let required = 2 * resident in
+              if required > budget then begin
+                over_budget Native required;
+                None
+              end
+              else
+                let workers =
+                  match pool with Some p -> Pool.n_workers p | None -> 1
+                in
+                attempt Native (fun ~cancel:_ -> runner ~plan ~workers ~inputs)
+        in
+        match try_native () with
+        | Some r -> finish r
+        | None -> (
         match try_parallel () with
         | Some r -> finish r
         | None -> (
@@ -219,7 +256,7 @@ let run_chain ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout ~planne
                     | _ ->
                         Error
                           (Pmdp_error.Plan_invalid
-                             { context = "Resilient"; reason = "no strategy available" }))))
+                             { context = "Resilient"; reason = "no strategy available" })))))
       end)
 
 let run ?pool ?sched ?profile ?machine ?mem_budget ?fault ?timeout spec ~inputs =

@@ -7,6 +7,9 @@
     demand against a budget before allocating, and then walks a chain
     of execution strategies until one completes:
 
+    + [native] — the compiled-kernel backend, when one has been
+      installed via {!set_native_runner} (a missing toolchain, failed
+      compile, or rejected kernel degrades to the next step);
     + [tiled-parallel] — the pool-backed tiled executor (only when a
       pool is supplied and the parallel scratch fits the budget);
     + [tiled-serial] — the tiled executor with the pool bypassed (one
@@ -28,10 +31,28 @@
     random injection positions are resolved against the plan's total
     tile count, so a seed fully determines the fault. *)
 
-type step = Plan_step | Tiled_parallel | Tiled_serial | Reference_fallback
+type step = Plan_step | Native | Tiled_parallel | Tiled_serial | Reference_fallback
 
 val step_name : step -> string
-(** "plan", "tiled-parallel", "tiled-serial", "reference". *)
+(** "plan", "native", "tiled-parallel", "tiled-serial", "reference". *)
+
+type native_runner =
+  plan:Tiled_exec.plan ->
+  workers:int ->
+  inputs:(string * Buffer.t) list ->
+  (string * Buffer.t) list
+(** A compiled-kernel executor: run [plan] natively with [workers]
+    OpenMP threads and return the live-out buffers.  Raises (typically
+    a typed [Kernel_unavailable]) to make the chain fall through to
+    the interpreter. *)
+
+val set_native_runner : native_runner option -> unit
+(** Install (or clear) the process-wide native backend — called by
+    [Pmdp_kernel.Native_exec.install].  A hook rather than a library
+    dependency, because the kernel backend layers {e above} this
+    library; when none is installed the native step is skipped without
+    being recorded, so interpreter-only runs are not flagged
+    degraded. *)
 
 type outcome = {
   results : (string * Buffer.t) list;

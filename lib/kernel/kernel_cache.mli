@@ -1,0 +1,67 @@
+(** Persistent on-disk kernel cache: compiled shared objects, one per
+    {!Pmdp_plan.kernel_digest}, so a restarted process answers its
+    first hot request without re-invoking the C compiler.
+
+    Each entry is two files, [<kernel_digest>.so] (the artifact) and
+    [<kernel_digest>.json] (provenance: pipeline name, plan digest,
+    emitter ABI, compiler line, and the validation verdict the kernel
+    was admitted under), plus an MD5 of the shared object.  {!load}
+    refuses — and quarantines to [.bad], the same convention as
+    {!Pmdp_service.Disk_cache} — entries whose checksum, ABI, or
+    metadata do not hold up, so a tampered or stale object is
+    recompiled, never [dlopen]ed.
+
+    Writes are atomic (temp file + rename, [.so] before metadata) and
+    best-effort: a full or read-only disk degrades the cache to a
+    no-op, counted in {!stats}, never failing a request. *)
+
+type t
+
+type meta = {
+  pipeline : string;
+  plan_digest : string;  (** {!Pmdp_plan.digest} of the plan the kernel executes *)
+  abi : int;  (** {!Pmdp_plan.kernel_abi_version} at emission time *)
+  so_md5 : string;  (** hex MD5 of the shared object as stored *)
+  compiler : string;  (** first line of [cc --version] *)
+  openmp : bool;  (** compiled with [-fopenmp] *)
+  validation : string;  (** admission verdict: ["bitwise"] or ["epsilon"] *)
+  max_abs_diff : float;  (** worst |native - reference| at admission *)
+}
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/pmdp/kernels], falling back to
+    [~/.cache/pmdp/kernels] (or a temp-dir-rooted path when even
+    [$HOME] is unset). *)
+
+val create : dir:string -> unit -> t
+(** Create [dir] (and parents) if needed.
+    @raise Invalid_argument when [dir] exists but is not a directory.
+    @raise Unix.Unix_error when it cannot be created. *)
+
+val dir : t -> string
+
+val store : t -> kernel_digest:string -> meta -> so_src:string -> unit
+(** Copy the compiled object at [so_src] into the cache and write its
+    metadata beside it, both atomically.  Failures are swallowed (and
+    counted) — persistence is an optimization. *)
+
+val load : t -> kernel_digest:string -> abi:int -> (string * meta) option
+(** The path of a verified shared object and its metadata, or [None]
+    after counting a miss.  Any damaged entry — orphaned half,
+    unparseable metadata, ABI mismatch, checksum mismatch — is
+    quarantined on the way out.  The caller still owns semantic
+    admission (re-validating against the reference executor). *)
+
+val quarantine : t -> kernel_digest:string -> reason:string -> unit
+(** Rename both entry files to [.bad]: out of the lookup namespace,
+    still on disk for inspection.  Best-effort, idempotent, counted. *)
+
+type stats = {
+  stores : int;  (** entries written *)
+  store_failures : int;  (** writes that failed (disk full, perms) *)
+  hits : int;  (** loads that returned a verified object *)
+  misses : int;  (** loads that found nothing usable *)
+  quarantined : int;  (** entries renamed to [.bad] *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,330 @@
+module Pipeline = Pmdp_dsl.Pipeline
+module C_emit = Pmdp_codegen.C_emit
+module Tiled_exec = Pmdp_exec.Tiled_exec
+module Buffer = Pmdp_exec.Buffer
+module Reference = Pmdp_exec.Reference
+module Resilient = Pmdp_exec.Resilient
+module Fault = Pmdp_runtime.Fault
+module Pmdp_error = Pmdp_util.Pmdp_error
+module Rng = Pmdp_util.Rng
+module Trace = Pmdp_trace.Trace
+
+external dl_open : string -> nativeint = "pmdp_dl_open"
+external dl_sym : nativeint -> string -> nativeint = "pmdp_dl_sym"
+external dl_close : nativeint -> unit = "pmdp_dl_close"
+
+external call_kernel :
+  nativeint ->
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t array ->
+  int ->
+  unit = "pmdp_call_kernel"
+
+let _ = dl_close (* handles live for the process; kept for completeness *)
+
+type kernel = {
+  handle : nativeint;
+  group_fns : nativeint array;  (* one per plan group, execution order *)
+  slots : string list;  (* inputs then live-outs; the bufs vector order *)
+  validation : string;  (* "bitwise" | "epsilon" *)
+}
+
+type stats = {
+  compiles : int;
+  compile_failures : int;
+  validations : int;
+  validation_failures : int;
+  disk_hits : int;
+  runs : int;
+  unavailable : int;
+}
+
+type t = {
+  toolchain : Toolchain.t option;
+  cache : Kernel_cache.t option;
+  fault : Fault.t option;
+  eps : float;
+  keep_sources : bool;
+  table : (string, kernel) Hashtbl.t;
+  failed : (string, Pmdp_error.t) Hashtbl.t;
+  lock : Mutex.t;
+  mutable compiles : int;
+  mutable compile_failures : int;
+  mutable validations : int;
+  mutable validation_failures : int;
+  mutable disk_hits : int;
+  mutable runs : int;
+  mutable unavailable : int;
+}
+
+let create ?fault ?cache_dir ?cc ?(eps = 1e-6) () =
+  {
+    toolchain = Toolchain.probe ?cc ();
+    cache = Option.map (fun dir -> Kernel_cache.create ~dir ()) cache_dir;
+    fault;
+    eps;
+    keep_sources = Sys.getenv_opt "PMDP_KEEP_KERNEL_SRC" <> None;
+    table = Hashtbl.create 16;
+    failed = Hashtbl.create 16;
+    lock = Mutex.create ();
+    compiles = 0;
+    compile_failures = 0;
+    validations = 0;
+    validation_failures = 0;
+    disk_hits = 0;
+    runs = 0;
+    unavailable = 0;
+  }
+
+let toolchain t = t.toolchain
+let cache_stats t = Option.map Kernel_cache.stats t.cache
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      compiles = t.compiles;
+      compile_failures = t.compile_failures;
+      validations = t.validations;
+      validation_failures = t.validation_failures;
+      disk_hits = t.disk_hits;
+      runs = t.runs;
+      unavailable = t.unavailable;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let bump t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+(* ---- raw execution -------------------------------------------------- *)
+
+let ba_of_data (data : float array) =
+  Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout data
+
+(* Run the compiled groups over Bigarray mirrors of the buffers.
+   Inputs are copied in, live-outs zero-initialized (every domain
+   point is covered by some tile's copy-out, but zeroing keeps the
+   failure mode of a short write deterministic), and live-outs copied
+   back into fresh interpreter-side buffers afterwards. *)
+let exec_kernel kernel plan ~workers ~inputs =
+  let p = Tiled_exec.pipeline plan in
+  Reference.check_inputs p inputs;
+  let outs = ref [] in
+  let bufs =
+    Array.of_list
+      (List.map
+         (fun name ->
+           match List.assoc_opt name inputs with
+           | Some (b : Buffer.t) -> ba_of_data b.Buffer.data
+           | None ->
+               let b = Buffer.of_stage (Pipeline.stage p (Pipeline.stage_id p name)) in
+               let ba = ba_of_data b.Buffer.data in
+               outs := (name, b, ba) :: !outs;
+               ba)
+         kernel.slots)
+  in
+  Array.iter (fun fn -> call_kernel fn bufs workers) kernel.group_fns;
+  List.rev_map
+    (fun ((name : string), (b : Buffer.t), ba) ->
+      for k = 0 to Array.length b.Buffer.data - 1 do
+        b.Buffer.data.(k) <- Bigarray.Array1.unsafe_get ba k
+      done;
+      (name, b))
+    !outs
+
+(* ---- the validation gate -------------------------------------------- *)
+
+let validation_inputs (p : Pipeline.t) =
+  Array.to_list
+    (Array.map
+       (fun (i : Pipeline.input) ->
+         let b = Buffer.create i.Pipeline.in_name i.Pipeline.in_dims in
+         let rng = Rng.create (Hashtbl.hash i.Pipeline.in_name) in
+         for k = 0 to Array.length b.Buffer.data - 1 do
+           b.Buffer.data.(k) <- Rng.float rng 1.0
+         done;
+         (i.Pipeline.in_name, b))
+       p.Pipeline.inputs)
+
+let max_abs (b : Buffer.t) = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 b.Buffer.data
+
+(* Admission: the kernel's live-outs on deterministic inputs must be
+   bitwise equal to {!Reference.run}, or within [eps] relative when
+   libm or rounding drift sneaks in.  Anything worse is rejected. *)
+let validate t kernel plan =
+  bump t (fun t -> t.validations <- t.validations + 1);
+  let p = Tiled_exec.pipeline plan in
+  let inputs = validation_inputs p in
+  let native = exec_kernel kernel plan ~workers:1 ~inputs in
+  let reference = Reference.run p ~inputs in
+  let worst_abs = ref 0.0 and worst_rel = ref 0.0 in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name reference with
+      | None -> ()
+      | Some r ->
+          let d = Buffer.max_abs_diff b r in
+          worst_abs := Float.max !worst_abs d;
+          worst_rel := Float.max !worst_rel (d /. Float.max 1e-30 (max_abs r)))
+    native;
+  if !worst_abs = 0.0 then Ok ("bitwise", 0.0)
+  else if !worst_rel <= t.eps then Ok ("epsilon", !worst_abs)
+  else begin
+    bump t (fun t -> t.validation_failures <- t.validation_failures + 1);
+    Error
+      (Printf.sprintf "validation failed: max |native - reference| = %g (relative %g > %g)"
+         !worst_abs !worst_rel t.eps)
+  end
+
+(* ---- admission ------------------------------------------------------ *)
+
+let dlopen_kernel ~n_groups ~slots so_path =
+  let handle = dl_open so_path in
+  let group_fns = Array.init n_groups (fun gi -> dl_sym handle (C_emit.kernel_symbol gi)) in
+  { handle; group_fns; slots; validation = "" }
+
+let try_disk t plan ~kd ~n_groups ~slots =
+  match t.cache with
+  | None -> None
+  | Some cache -> (
+      match Kernel_cache.load cache ~kernel_digest:kd ~abi:Pmdp_plan.kernel_abi_version with
+      | None -> None
+      | Some (so_path, _meta) -> (
+          match dlopen_kernel ~n_groups ~slots so_path with
+          | exception Failure reason ->
+              Kernel_cache.quarantine cache ~kernel_digest:kd ~reason;
+              None
+          | kernel -> (
+              (* Checksummed or not, nothing reaches the executor
+                 without passing the gate in this process. *)
+              match validate t kernel plan with
+              | Ok (verdict, _) ->
+                  bump t (fun t -> t.disk_hits <- t.disk_hits + 1);
+                  Some { kernel with validation = verdict }
+              | Error reason ->
+                  Kernel_cache.quarantine cache ~kernel_digest:kd ~reason;
+                  None)))
+
+let compile_fresh t plan ~kd ~n_groups ~slots =
+  match t.toolchain with
+  | None -> Error "no working C compiler (tried $PMDP_CC, cc, gcc, clang)"
+  | Some tc -> (
+      let p = Tiled_exec.pipeline plan in
+      let ir = Tiled_exec.ir plan in
+      bump t (fun t -> t.compiles <- t.compiles + 1);
+      let src = Filename.temp_file ("pmdp_kernel_" ^ kd) ".c" in
+      let so = Filename.temp_file ("pmdp_kernel_" ^ kd) ".so" in
+      let cleanup () =
+        if not t.keep_sources then begin
+          (try Sys.remove src with Sys_error _ -> ());
+          (try Sys.remove so with Sys_error _ -> ())
+        end
+      in
+      let oc = open_out src in
+      output_string oc (C_emit.emit_kernels p ir);
+      close_out oc;
+      match Toolchain.compile ?fault:t.fault tc ~src ~out:so with
+      | Error reason ->
+          bump t (fun t -> t.compile_failures <- t.compile_failures + 1);
+          cleanup ();
+          Error ("compile failed: " ^ reason)
+      | exception Fault.Injected reason ->
+          bump t (fun t -> t.compile_failures <- t.compile_failures + 1);
+          cleanup ();
+          Error reason
+      | Ok () -> (
+          match dlopen_kernel ~n_groups ~slots so with
+          | exception Failure reason ->
+              cleanup ();
+              Error ("dlopen failed: " ^ reason)
+          | kernel -> (
+              match validate t kernel plan with
+              | Error reason ->
+                  cleanup ();
+                  Error reason
+              | Ok (verdict, worst) ->
+                  Option.iter
+                    (fun cache ->
+                      Kernel_cache.store cache ~kernel_digest:kd
+                        {
+                          Kernel_cache.pipeline = p.Pipeline.name;
+                          plan_digest = Pmdp_plan.digest ir;
+                          abi = Pmdp_plan.kernel_abi_version;
+                          so_md5 = Digest.to_hex (Digest.file so);
+                          compiler = tc.Toolchain.version;
+                          openmp = tc.Toolchain.openmp;
+                          validation = verdict;
+                          max_abs_diff = worst;
+                        }
+                        ~so_src:so)
+                    t.cache;
+                  cleanup ();
+                  Ok { kernel with validation = verdict })))
+
+let acquire t plan =
+  let ir = Tiled_exec.ir plan in
+  let kd = Pmdp_plan.kernel_digest ir in
+  Mutex.lock t.lock;
+  let hit = Hashtbl.find_opt t.table kd in
+  let dead = Hashtbl.find_opt t.failed kd in
+  Mutex.unlock t.lock;
+  match (hit, dead) with
+  | Some k, _ -> Ok k
+  | None, Some e -> Error e
+  | None, None -> (
+      let p = Tiled_exec.pipeline plan in
+      let slots = C_emit.kernel_slots p ir in
+      let n_groups = Pmdp_plan.n_groups ir in
+      let admit () =
+        match try_disk t plan ~kd ~n_groups ~slots with
+        | Some kernel -> Ok kernel
+        | None -> compile_fresh t plan ~kd ~n_groups ~slots
+      in
+      match (try admit () with e -> Error (Printexc.to_string e)) with
+      | Ok kernel ->
+          bump t (fun t -> Hashtbl.replace t.table kd kernel);
+          if Trace.on () then
+            Trace.instant ~cat:"kernel"
+              ~args:
+                [
+                  ("kernel", Trace.Str kd);
+                  ("pipeline", Trace.Str p.Pipeline.name);
+                  ("validation", Trace.Str kernel.validation);
+                ]
+              "kernel.admitted";
+          Ok kernel
+      | Error reason ->
+          let e = Pmdp_error.Kernel_unavailable { reason; context = "Native_exec" } in
+          bump t (fun t ->
+              Hashtbl.replace t.failed kd e;
+              t.unavailable <- t.unavailable + 1);
+          if Trace.on () then
+            Trace.instant ~cat:"kernel"
+              ~args:[ ("kernel", Trace.Str kd); ("reason", Trace.Str reason) ]
+              "kernel.unavailable";
+          Error e)
+
+let run t plan ~workers ~inputs =
+  match acquire t plan with
+  | Error e -> Pmdp_error.raise_ e
+  | Ok kernel ->
+      bump t (fun t -> t.runs <- t.runs + 1);
+      let body () = exec_kernel kernel plan ~workers ~inputs in
+      if not (Trace.on ()) then body ()
+      else begin
+        Trace.count "kernel.native.runs" 1;
+        Trace.with_span ~cat:"kernel"
+          ~args:
+            [
+              ("pipeline", Trace.Str (Tiled_exec.pipeline plan).Pipeline.name);
+              ("workers", Trace.Int workers);
+              ("validation", Trace.Str kernel.validation);
+            ]
+          "kernel.run" body
+      end
+
+let install t = Resilient.set_native_runner (Some (fun ~plan ~workers ~inputs -> run t plan ~workers ~inputs))
+let uninstall () = Resilient.set_native_runner None

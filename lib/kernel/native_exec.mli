@@ -1,0 +1,85 @@
+(** The native kernel backend: compile, cache, validate, and execute
+    the emitted C.
+
+    For each plan ({!Pmdp_exec.Tiled_exec.plan}) the backend obtains a
+    compiled kernel keyed by {!Pmdp_plan.kernel_digest}:
+
+    + process memo table — already admitted this process;
+    + {!Kernel_cache} — a checksum-verified shared object from a
+      previous process, [dlopen]ed and re-validated;
+    + fresh compile — {!Pmdp_codegen.C_emit.emit_kernels} through
+      {!Toolchain.compile}, then [dlopen].
+
+    Whatever the path, {b nothing executes a request before passing
+    the validation gate}: the kernel runs once on deterministic seeded
+    inputs and its live-outs are compared against
+    {!Pmdp_exec.Reference.run} — bitwise equality expected (the
+    kernels mirror the interpreter's double arithmetic and are
+    compiled with [-ffp-contract=off]), an [eps] relative tolerance
+    accepted, anything worse rejected (and quarantined, when it came
+    from disk).  Admission failures are memoized per digest, so a
+    missing toolchain costs one probe, not one per request.
+
+    Execution copies inputs into Bigarray storage (data outside the
+    OCaml heap, stable across GC), releases the runtime lock, and
+    calls each group's [pmdp_kernel_group_<i>(double **bufs,
+    n_threads)] in plan order.
+
+    {!install} registers the backend as
+    {!Pmdp_exec.Resilient.set_native_runner}, making [native] the
+    first step of the fallback chain; every failure mode above
+    surfaces as a typed [Kernel_unavailable] that degrades the run to
+    the interpreter instead of failing it. *)
+
+type t
+
+val create :
+  ?fault:Pmdp_runtime.Fault.t ->
+  ?cache_dir:string ->
+  ?cc:string ->
+  ?eps:float ->
+  unit ->
+  t
+(** Probe the toolchain and open the on-disk cache ([cache_dir]
+    omitted = no persistence).  [cc] forces a single compiler
+    candidate (tests use an impossible one to simulate a host without
+    a toolchain); [fault] arms the seeded compile-failure injection;
+    [eps] (default [1e-6]) is the relative tolerance of the
+    validation gate. *)
+
+val toolchain : t -> Toolchain.t option
+(** [None] on a host with no working C compiler. *)
+
+val run :
+  t ->
+  Pmdp_exec.Tiled_exec.plan ->
+  workers:int ->
+  inputs:(string * Pmdp_exec.Buffer.t) list ->
+  (string * Pmdp_exec.Buffer.t) list
+(** Execute the plan natively with [workers] OpenMP threads; returns
+    the live-out buffers by stage name (the same contract as
+    {!Pmdp_exec.Tiled_exec.run}).
+    @raise Pmdp_util.Pmdp_error.Error ([Kernel_unavailable]) when no
+    kernel can be admitted — the signal the resilient chain folds
+    into a degraded interpreter run. *)
+
+val install : t -> unit
+(** Register this backend as the process-wide native runner of
+    {!Pmdp_exec.Resilient}. *)
+
+val uninstall : unit -> unit
+(** Clear the process-wide native runner (tests; also useful to pin
+    an interpreter-only run). *)
+
+type stats = {
+  compiles : int;  (** fresh compiler invocations *)
+  compile_failures : int;  (** including seeded [kernel@K] injections *)
+  validations : int;  (** gate runs (fresh and disk-loaded kernels) *)
+  validation_failures : int;  (** kernels rejected by the gate *)
+  disk_hits : int;  (** kernels admitted from the on-disk cache *)
+  runs : int;  (** native executions *)
+  unavailable : int;  (** digests memoized as unavailable *)
+}
+
+val stats : t -> stats
+val cache_stats : t -> Kernel_cache.stats option

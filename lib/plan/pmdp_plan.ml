@@ -463,15 +463,27 @@ let of_json j =
 
 let digest t = Digest.to_hex (Digest.string (Json.to_string (to_json t)))
 
+(* The kernel digest keys compiled shared objects, so it must change
+   whenever either the plan content or the extern ABI the emitter
+   produces changes — hence the ABI-version salt. *)
+let kernel_abi_version = 1
+
+let kernel_digest t =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "pmdp-kernel-abi-%d:%s" kernel_abi_version (digest t)))
+
 (* On-disk envelope: the IR plus the digest it was written with, so a
    reader can detect both tampering (recomputed digest differs) and
-   drift (digest differs from a freshly lowered plan). *)
+   drift (digest differs from a freshly lowered plan).  The kernel
+   digest rides along so cache tooling can map a plan envelope to its
+   compiled-kernel artifact without re-deriving the salt. *)
 let write path t =
   Json.to_file path
     (Json.Obj
        [
          ("schema_version", Json.Int 1);
          ("digest", Json.String (digest t));
+         ("kernel_digest", Json.String (kernel_digest t));
          ("plan", to_json t);
        ])
 

@@ -106,10 +106,23 @@ val of_json : Pmdp_report.Json.t -> (t, string) result
 val digest : t -> string
 (** Hex content digest of the compact {!to_json} rendering. *)
 
+val kernel_abi_version : int
+(** Version of the native-kernel extern ABI
+    ({!Pmdp_codegen.C_emit.emit_kernels} tracks it); salted into
+    {!kernel_digest}. *)
+
+val kernel_digest : t -> string
+(** Content address of the plan's compiled native kernel: {!digest}
+    salted with {!kernel_abi_version}, so an emitter-ABI change
+    re-keys every cached shared object instead of loading stale ones
+    with the wrong signature.  The key of {!Pmdp_kernel.Kernel_cache}
+    entries. *)
+
 val write : string -> t -> unit
-(** Write [{ "schema_version"; "digest"; "plan" }] (pretty JSON) to a
-    file — the on-disk format of the golden-plan corpus and
-    [pmdp check --plan-out]. *)
+(** Write [{ "schema_version"; "digest"; "kernel_digest"; "plan" }]
+    (pretty JSON) to a file — the on-disk format of the golden-plan
+    corpus and [pmdp check --plan-out].  {!read} ignores the kernel
+    digest (it is derivable); it is recorded for cache tooling. *)
 
 val read : string -> (t * string, string) result
 (** Parse a {!write}-format file into the IR and the digest it

@@ -12,6 +12,7 @@ type action =
   | Shard_kill
   | Torn_write
   | Corrupt_write
+  | Kernel_fail
 
 type spec = { action : action; at : int }
 
@@ -28,6 +29,7 @@ type t = {
   frames : int Atomic.t;
   stores : int Atomic.t;
   batches : int Atomic.t;
+  kernels : int Atomic.t;
   mutable resolved : bool;
 }
 
@@ -41,6 +43,7 @@ let create ?(seed = 0) specs =
     frames = Atomic.make 0;
     stores = Atomic.make 0;
     batches = Atomic.make 0;
+    kernels = Atomic.make 0;
     resolved = false;
   }
 
@@ -58,6 +61,7 @@ let spec_to_string s =
   | Shard_kill -> "shardkill@" ^ pos
   | Torn_write -> "torn@" ^ pos
   | Corrupt_write -> "corrupt@" ^ pos
+  | Kernel_fail -> "kernel@" ^ pos
 
 let parse s =
   let parse_pos p =
@@ -96,11 +100,12 @@ let parse s =
         | "shardkill" -> plain Shard_kill
         | "torn" -> plain Torn_write
         | "corrupt" -> plain Corrupt_write
+        | "kernel" -> plain Kernel_fail
         | _ ->
             Error
               (Printf.sprintf
                  "unknown injection action %S \
-                  (crash|kill|alloc|sleep|drop|truncate|garbage|fdelay|shardkill|torn|corrupt)"
+                  (crash|kill|alloc|sleep|drop|truncate|garbage|fdelay|shardkill|torn|corrupt|kernel)"
                  act))
   in
   let items = String.split_on_char ',' (String.trim s) in
@@ -152,6 +157,11 @@ let shard_tick t =
   hit t t.batches
     (function Shard_kill -> true | _ -> false)
     (fun _ i -> Printf.sprintf "injected shard dispatcher kill at batch %d" i)
+
+let kernel_tick t =
+  hit t t.kernels
+    (function Kernel_fail -> true | _ -> false)
+    (fun _ i -> Printf.sprintf "injected kernel compile failure at compile %d" i)
 
 (* Like [hit], but for sites where the caller enacts the fault itself
    (mangling a frame, tearing a write): return a directive instead of

@@ -35,6 +35,7 @@ type action =
   | Shard_kill  (** raise inside a shard dispatcher thread: the shard dies *)
   | Torn_write  (** disk cache persists only a prefix of the envelope *)
   | Corrupt_write  (** disk cache persists an envelope with a wrong digest *)
+  | Kernel_fail  (** native kernel compile fails (toolchain invocation seeded to die) *)
 
 type spec = { action : action; at : int  (** 0-based tick; [-1] = seeded random *) }
 
@@ -50,8 +51,8 @@ val create : ?seed:int -> spec list -> t
 val parse : string -> (spec list, string) result
 (** Comma-separated spec syntax: [crash@K], [kill@K], [alloc@K],
     [sleep@K:SECONDS], [drop@K], [truncate@K], [garbage@K],
-    [fdelay@K:SECONDS], [shardkill@K], [torn@K], [corrupt@K], with [K]
-    a tick number or [r] (seeded random).  E.g.
+    [fdelay@K:SECONDS], [shardkill@K], [torn@K], [corrupt@K],
+    [kernel@K], with [K] a tick number or [r] (seeded random).  E.g.
     ["crash@12,sleep@0:0.05"] or ["drop@3,shardkill@2,torn@0"]. *)
 
 val spec_to_string : spec -> string
@@ -69,6 +70,13 @@ val shard_tick : t -> unit
     execution; fires [Shard_kill] specs by raising {!Injected}, which
     escapes the dispatcher loop and kills the thread (the shard
     supervisor is expected to notice and respawn). *)
+
+val kernel_tick : t -> unit
+(** Called by the native backend's toolchain driver before every
+    kernel compile; fires [Kernel_fail] specs by raising {!Injected},
+    which the backend folds into a typed [Kernel_unavailable] — the
+    seeded way to prove the interpreter fallback path end to end
+    without uninstalling the compiler. *)
 
 val frame_tick : t -> [ `Pass | `Drop | `Truncate | `Garbage | `Delay of float ]
 (** Called by the server before writing each reply frame.  Unlike the

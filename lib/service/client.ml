@@ -34,7 +34,11 @@ module Retry_policy = struct
     | Pmdp_error.Worker_crash _ | Pmdp_error.Cancelled _ | Pmdp_error.Circuit_open _ ->
         true
     | Pmdp_error.Plan_invalid _ | Pmdp_error.Arity_mismatch _ | Pmdp_error.Unresolved_external _
-    | Pmdp_error.Scratch_over_budget _ | Pmdp_error.Pool_shutdown _ ->
+    | Pmdp_error.Scratch_over_budget _ | Pmdp_error.Pool_shutdown _
+    (* a missing toolchain or unloadable kernel is deterministic —
+       and the server falls back to the interpreter anyway, so this
+       should never surface to a client *)
+    | Pmdp_error.Kernel_unavailable _ ->
         false
 
   (* Full-jitter-ish exponential backoff: the k-th retry sleeps in

@@ -68,6 +68,7 @@ type t = {
   ring : Shard.Ring.t;
   shards : Shard.t array;
   disk : Disk_cache.t option;
+  kernel : Pmdp_kernel.Native_exec.t option;
   max_inflight : int;
   tickets : (int, Shard.pending) Hashtbl.t;
   mutable next_id : int;
@@ -119,7 +120,8 @@ let warm_load t disk =
 
 let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
     ?(validate = false) ?(shards = 1) ?(queue_limit = 128) ?cache_dir ?fault
-    ?(breaker_threshold = 3) ?(breaker_cooldown = 5.0) ~machine () =
+    ?(breaker_threshold = 3) ?(breaker_cooldown = 5.0) ?(native = false) ?kernel_cache_dir
+    ~machine () =
   if workers < 1 then invalid_arg "Service.create: workers < 1";
   if max_inflight < 1 then invalid_arg "Service.create: max_inflight < 1";
   if shards < 1 then invalid_arg "Service.create: shards < 1";
@@ -143,6 +145,13 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
       queued = 0;
     }
   in
+  (* Naming a kernel cache dir is enough of an opt-in: persistence
+     only makes sense when kernels run. *)
+  let kernel =
+    if native || kernel_cache_dir <> None then
+      Some (Pmdp_kernel.Native_exec.create ?fault ?cache_dir:kernel_cache_dir ())
+    else None
+  in
   let t =
     {
       shared;
@@ -151,6 +160,7 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
         Array.init shards (fun index ->
             Shard.create ~index ~shared ~workers ~batch_window ~queue_limit);
       disk = Option.map (fun dir -> Disk_cache.create ?fault ~dir ()) cache_dir;
+      kernel;
       max_inflight;
       tickets = Hashtbl.create 64;
       next_id = 1;
@@ -159,8 +169,12 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
       unrouted_rejected = 0;
     }
   in
+  Option.iter Pmdp_kernel.Native_exec.install kernel;
   Option.iter (warm_load t) t.disk;
   t
+
+let kernel_stats t = Option.map Pmdp_kernel.Native_exec.stats t.kernel
+let kernel_cache_stats t = Option.bind t.kernel Pmdp_kernel.Native_exec.cache_stats
 
 (* ------------------------------------------------------------------ *)
 (* Admission *)
@@ -457,7 +471,10 @@ let shutdown t =
     t.stop <- true;
     Array.iter Shard.signal_stop t.shards;
     Mutex.unlock t.shared.Shard.lock;
-    Array.iter Shard.join t.shards
+    Array.iter Shard.join t.shards;
+    (* The native runner is a process-wide hook; a service that
+       installed it takes it back down with the shards. *)
+    if t.kernel <> None then Pmdp_kernel.Native_exec.uninstall ()
   end
 
 (* Graceful drain: refuse new admissions, wait (bounded) for in-flight

@@ -134,6 +134,8 @@ val create :
   ?fault:Pmdp_runtime.Fault.t ->
   ?breaker_threshold:int ->
   ?breaker_cooldown:float ->
+  ?native:bool ->
+  ?kernel_cache_dir:string ->
   machine:Pmdp_machine.Machine.t ->
   unit ->
   t
@@ -162,7 +164,15 @@ val create :
     executions.  [breaker_threshold] (default 3) consecutive
     compile/execution failures of one fingerprint trip its circuit
     open; [breaker_cooldown] (default 5s) later a half-open probe is
-    admitted. *)
+    admitted.  [native] (default false) — or naming a
+    [kernel_cache_dir] — creates a {!Pmdp_kernel.Native_exec} backend
+    and installs it as the resilient chain's first step, so shard
+    executions run the compiled-C kernels when one is admitted for
+    the plan and degrade to the interpreter when not; executions then
+    count the [service.kernel.native] / [service.kernel.fallback]
+    trace counters.  [kernel_cache_dir] persists compiled kernels so
+    a restarted service answers its first request without invoking
+    the C compiler. *)
 
 val machine : t -> Pmdp_machine.Machine.t
 val mem_budget : t -> int
@@ -195,6 +205,14 @@ val status : t -> int -> status option
     ids never issued or already collected. *)
 
 val stats : t -> stats
+
+val kernel_stats : t -> Pmdp_kernel.Native_exec.stats option
+(** Native-backend ledger (compiles, validations, disk hits, runs);
+    [None] unless the service was created with [~native:true] or a
+    [~kernel_cache_dir]. *)
+
+val kernel_cache_stats : t -> Pmdp_kernel.Kernel_cache.stats option
+(** On-disk kernel-cache ledger; [None] without a [~kernel_cache_dir]. *)
 
 val health : t -> health
 (** Liveness snapshot: per-shard dispatcher state, queue depths,

@@ -318,6 +318,23 @@ let execute_batch t key (batch : pending list) =
     Trace.count "service.batch" 1;
     Trace.count "service.batch.requests" size
   end;
+  (* Per-execution kernel accounting: answered by the native step, or
+     native attempted and the chain fell back to the interpreter.  An
+     execution with no native attempt (no backend installed) counts as
+     neither. *)
+  (if Trace.on () then
+     match result with
+     | Error _ -> ()
+     | Ok { Resilient.attempts; _ } -> (
+         match List.rev attempts with
+         | (step, None) :: _ when Resilient.step_name step = "native" ->
+             Trace.count "service.kernel.native" 1
+         | _ ->
+             if
+               List.exists
+                 (fun (st, e) -> Resilient.step_name st = "native" && e <> None)
+                 attempts
+             then Trace.count "service.kernel.fallback" 1));
   let outcome_of p =
     match result with
     | Error e -> Error e

@@ -10,6 +10,7 @@ type t =
   | Overloaded of { shard : int; depth : int; limit : int; context : string }
   | Deadline_exceeded of { deadline : float; waited : float; context : string }
   | Circuit_open of { fingerprint : string; failures : int; retry_after : float; context : string }
+  | Kernel_unavailable of { reason : string; context : string }
 
 exception Error of t
 
@@ -25,6 +26,7 @@ let kind = function
   | Overloaded _ -> "overloaded"
   | Deadline_exceeded _ -> "deadline-exceeded"
   | Circuit_open _ -> "circuit-open"
+  | Kernel_unavailable _ -> "kernel-unavailable"
 
 let message = function
   | Plan_invalid { context; reason } -> Printf.sprintf "%s: %s" context reason
@@ -48,6 +50,8 @@ let message = function
   | Circuit_open { fingerprint; failures; retry_after; context } ->
       Printf.sprintf "%s: circuit for plan %s is open after %d failures, retry in %gs" context
         fingerprint failures retry_after
+  | Kernel_unavailable { reason; context } ->
+      Printf.sprintf "%s: native kernel unavailable (%s)" context reason
 
 let pp ppf e = Format.fprintf ppf "%s: %s" (kind e) (message e)
 let to_string e = Format.asprintf "%a" pp e
@@ -80,6 +84,8 @@ let fields = function
         ("retry_after", Float retry_after);
         ("context", Str context);
       ]
+  | Kernel_unavailable { reason; context } ->
+      [ ("reason", Str reason); ("context", Str context) ]
 
 let raise_ e = raise (Error e)
 let of_exn = function Error e -> Some e | _ -> None

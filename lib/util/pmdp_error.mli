@@ -50,6 +50,13 @@ type t =
           request without compiling or queueing it.  [retry_after] is
           the remaining cooldown in seconds before a half-open probe
           will be admitted. *)
+  | Kernel_unavailable of { reason : string; context : string }
+      (** The native kernel backend could not produce or load a
+          compiled kernel for this plan — no C toolchain on the host,
+          a failed compile or [dlopen], or a kernel that failed the
+          validation gate against the reference executor.  Always
+          recoverable: the resilient chain records it and falls back
+          to the interpreter. *)
 
 exception Error of t
 

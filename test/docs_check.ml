@@ -167,6 +167,63 @@ let check_cli_line file lineno line =
   scan None toks
 
 (* ------------------------------------------------------------------ *)
+(* Flag-reference documents: service.md and tuning.md document flags
+   outside `pmdp <sub> ...` command lines (tables, prose), so the
+   line-scan above cannot anchor them to a subcommand.  Sweep every
+   backticked `-f`/`--flag` token in those files and require the
+   union of the file's subcommands' --help to accept it — a flag we
+   renamed or dropped fails the build instead of lingering in the
+   docs. *)
+
+let check_flag_inventory file content subs =
+  let helps = List.filter_map help_of subs in
+  if List.length helps <> List.length subs then
+    err "%s: some of its reference subcommands (%s) have no --help" file
+      (String.concat ", " subs)
+  else begin
+    let n = String.length content in
+    let i = ref 0 in
+    while !i < n do
+      (if content.[!i] = '`' then
+         match String.index_from_opt content (!i + 1) '`' with
+         | None -> i := n - 1
+         | Some close ->
+             let toks = split_ws (String.sub content (!i + 1) (close - !i - 1)) in
+             (* A span carrying its own `pmdp <sub> --flag` anchor is
+                already validated (against the right subcommand) by
+                the line scanner. *)
+             let self_anchored =
+               match toks with
+               | p :: s :: _ -> p = "pmdp" && is_subcommand_name s
+               | _ -> false
+             in
+             if not self_anchored then
+             List.iter
+               (fun tok ->
+                 match flag_prefix (trim_token tok) with
+                 | Some flag ->
+                     (* only option-looking tokens: dashes then a
+                        letter, so prose dashes and negative numbers
+                        in examples stay out *)
+                     let first =
+                       let j = ref 0 in
+                       while !j < String.length flag && flag.[!j] = '-' do incr j done;
+                       if !j < String.length flag then Some flag.[!j] else None
+                     in
+                     if
+                       (match first with Some c -> c >= 'a' && c <= 'z' | None -> false)
+                       && not (List.exists (fun h -> mentions_flag h flag) helps)
+                     then
+                       err "%s: documented flag %s is not accepted by any of: pmdp %s" file
+                         flag (String.concat ", pmdp " subs)
+                 | None -> ())
+               toks;
+             i := close);
+      incr i
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
 (* `pmdp list` inventory: both sections populated, every listed
    scheduler accepted by `pmdp schedule`, every listed pipeline
    actually buildable (cheap probe: `pmdp dot <app> --scale 32`). *)
@@ -227,7 +284,12 @@ let check_file file =
   check_links file content;
   List.iteri
     (fun i line -> check_cli_line file (i + 1) line)
-    (String.split_on_char '\n' content)
+    (String.split_on_char '\n' content);
+  match Filename.basename file with
+  | "service.md" -> check_flag_inventory file content [ "serve"; "load" ]
+  | "tuning.md" ->
+      check_flag_inventory file content [ "run"; "bench"; "serve"; "load" ]
+  | _ -> ()
 
 let () =
   let root = ref "." in

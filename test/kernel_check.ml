@@ -1,0 +1,223 @@
+(* Native-kernel checks: every registry pipeline compiled to C,
+   dlopen'ed, and executed through the native backend must match the
+   reference executor bitwise (or within the epsilon gate); the
+   on-disk kernel cache must serve a warm restart without recompiling,
+   quarantine a corrupted shared object and recompile around it; and a
+   host without a toolchain — or a seeded compile failure — must
+   degrade every request to the interpreter, never fail it.
+   Run directly or via `dune build @kernelcheck` / `dune runtest`. *)
+
+module Machine = Pmdp_machine.Machine
+module Scheduler = Pmdp_core.Scheduler
+module Tiled_exec = Pmdp_exec.Tiled_exec
+module Resilient = Pmdp_exec.Resilient
+module Reference = Pmdp_exec.Reference
+module Buffer = Pmdp_exec.Buffer
+module Fault = Pmdp_runtime.Fault
+module Pmdp_error = Pmdp_util.Pmdp_error
+module Registry = Pmdp_apps.Registry
+module Toolchain = Pmdp_kernel.Toolchain
+module Kernel_cache = Pmdp_kernel.Kernel_cache
+module Native_exec = Pmdp_kernel.Native_exec
+
+let failed = ref false
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      failed := true;
+      Printf.printf "  FAIL %s\n%!" msg)
+    fmt
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let scale = 32
+
+let plan_of (app : Registry.app) =
+  let p = app.Registry.build ~scale in
+  let config = Pmdp_core.Cost_model.default_config Machine.xeon in
+  let spec = Scheduler.schedule (Scheduler.for_pipeline Scheduler.Dp p) config p in
+  match Tiled_exec.plan_result spec with
+  | Ok plan -> (p, spec, plan)
+  | Error e ->
+      fail "%s: plan failed: %s" app.Registry.name (Pmdp_error.to_string e);
+      exit 1
+
+let max_abs b = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 b.Buffer.data
+
+(* Worst absolute and relative live-out divergence vs the reference. *)
+let divergence results reference =
+  List.fold_left
+    (fun (wa, wr) (name, b) ->
+      match List.assoc_opt name reference with
+      | None -> (wa, wr)
+      | Some r ->
+          let d = Buffer.max_abs_diff b r in
+          (Float.max wa d, Float.max wr (d /. Float.max 1e-30 (max_abs r))))
+    (0.0, 0.0) results
+
+(* 1. The sweep: every app executes natively, equal to the reference. *)
+let sweep backend =
+  Printf.printf "native-vs-reference sweep (scale %d):\n%!" scale;
+  List.iter
+    (fun (app : Registry.app) ->
+      let p, spec, plan = plan_of app in
+      let inputs = app.Registry.inputs ~seed:1 p in
+      let reference = Reference.run p ~inputs in
+      (match Native_exec.run backend plan ~workers:2 ~inputs with
+      | exception e ->
+          fail "%s: native run raised %s" app.Registry.name (Printexc.to_string e)
+      | results ->
+          let wa, wr = divergence results reference in
+          if wa = 0.0 then Printf.printf "  ok   %-16s bitwise\n%!" app.Registry.name
+          else if wr <= 1e-6 then
+            Printf.printf "  ok   %-16s epsilon (max abs %g, rel %g)\n%!" app.Registry.name
+              wa wr
+          else fail "%s: native diverges: max abs %g, rel %g" app.Registry.name wa wr);
+      (* Same plan through the resilient chain: the native step must be
+         the one that answers, with no degradation recorded. *)
+      Native_exec.install backend;
+      (match Resilient.run ~machine:Machine.xeon spec ~inputs with
+      | Error e ->
+          fail "%s: resilient run failed: %s" app.Registry.name (Pmdp_error.to_string e)
+      | Ok { Resilient.results; degraded; attempts } ->
+          if degraded then fail "%s: native-backed run marked degraded" app.Registry.name;
+          (match List.rev attempts with
+          | (step, None) :: _ when Resilient.step_name step = "native" -> ()
+          | _ -> fail "%s: native was not the answering step" app.Registry.name);
+          let wa, wr = divergence results reference in
+          if wa <> 0.0 && wr > 1e-6 then
+            fail "%s: resilient native diverges: max abs %g" app.Registry.name wa);
+      Native_exec.uninstall ())
+    Registry.all
+
+(* 2/3. Cache lifecycle on one app: cold compile, warm restart served
+   from disk, corrupted object quarantined and recompiled. *)
+let cache_lifecycle () =
+  Printf.printf "kernel cache lifecycle:\n%!";
+  let dir = temp_dir "pmdp_kernel_check" in
+  let app = Registry.find_exn "blur" in
+  let p, _spec, plan = plan_of app in
+  let inputs = app.Registry.inputs ~seed:1 p in
+  let reference = Reference.run p ~inputs in
+  let check_run label backend =
+    match Native_exec.run backend plan ~workers:1 ~inputs with
+    | exception e -> fail "%s: raised %s" label (Printexc.to_string e)
+    | results ->
+        let wa, wr = divergence results reference in
+        if wa <> 0.0 && wr > 1e-6 then fail "%s: diverges by %g" label wa
+  in
+  (* cold: compile and persist *)
+  let a = Native_exec.create ~cache_dir:dir () in
+  check_run "cold" a;
+  let sa = Native_exec.stats a in
+  if sa.Native_exec.compiles <> 1 then fail "cold: %d compiles (want 1)" sa.Native_exec.compiles;
+  if sa.Native_exec.disk_hits <> 0 then fail "cold: unexpected disk hit";
+  (match Native_exec.cache_stats a with
+  | Some cs when cs.Kernel_cache.stores = 1 -> ()
+  | Some cs -> fail "cold: %d stores (want 1)" cs.Kernel_cache.stores
+  | None -> fail "cold: no cache stats");
+  Printf.printf "  ok   cold compile persisted\n%!";
+  (* warm: a fresh backend on the same dir loads, revalidates, never compiles *)
+  let b = Native_exec.create ~cache_dir:dir () in
+  check_run "warm" b;
+  let sb = Native_exec.stats b in
+  if sb.Native_exec.compiles <> 0 then fail "warm: %d compiles (want 0)" sb.Native_exec.compiles;
+  if sb.Native_exec.disk_hits <> 1 then
+    fail "warm: %d disk hits (want 1)" sb.Native_exec.disk_hits;
+  if sb.Native_exec.validations <> 1 then
+    fail "warm: disk-loaded kernel skipped the validation gate";
+  Printf.printf "  ok   warm restart served from disk\n%!";
+  (* corrupt: flip bytes in the stored object; the checksum must send
+     it to quarantine and the next backend recompiles cleanly *)
+  (match Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".so") with
+  | [ so ] ->
+      let path = Filename.concat dir so in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.write_substring fd "corrupted!" 0 10);
+      Unix.close fd
+  | l -> fail "corrupt: expected 1 cached .so, found %d" (List.length l));
+  let c = Native_exec.create ~cache_dir:dir () in
+  check_run "corrupt" c;
+  let sc = Native_exec.stats c in
+  if sc.Native_exec.compiles <> 1 then
+    fail "corrupt: %d compiles (want 1 recompile)" sc.Native_exec.compiles;
+  (match Native_exec.cache_stats c with
+  | Some cs when cs.Kernel_cache.quarantined >= 1 -> ()
+  | _ -> fail "corrupt: damaged object was not quarantined");
+  if
+    not
+      (Sys.readdir dir |> Array.exists (fun f -> Filename.check_suffix f ".bad"))
+  then fail "corrupt: no .bad quarantine file on disk";
+  Printf.printf "  ok   corrupted object quarantined and recompiled\n%!"
+
+(* 4/5. Unavailability: no toolchain, then a seeded compile failure.
+   Both must leave the resilient chain answering bitwise-correctly via
+   the interpreter, with the native failure on the attempt ledger. *)
+let expect_fallback label backend spec ~inputs ~reference =
+  Native_exec.install backend;
+  (match Resilient.run ~machine:Machine.xeon spec ~inputs with
+  | Error e -> fail "%s: hard error %s" label (Pmdp_error.to_string e)
+  | Ok { Resilient.results; degraded; attempts } ->
+      if not degraded then fail "%s: run not marked degraded" label;
+      (match
+         List.find_opt
+           (fun (step, e) -> Resilient.step_name step = "native" && e <> None)
+           attempts
+       with
+      | Some (_, Some e) ->
+          if Pmdp_error.kind e <> "kernel-unavailable" then
+            fail "%s: native failed with %s (want kernel-unavailable)" label
+              (Pmdp_error.kind e)
+      | _ -> fail "%s: no failed native attempt on the ledger" label);
+      let wa, _ = divergence results reference in
+      if wa <> 0.0 then fail "%s: fallback diverges by %g" label wa);
+  Native_exec.uninstall ()
+
+let fallbacks () =
+  Printf.printf "interpreter fallback:\n%!";
+  let app = Registry.find_exn "harris" in
+  let p, spec, _plan = plan_of app in
+  let inputs = app.Registry.inputs ~seed:1 p in
+  let reference = Reference.run p ~inputs in
+  (* a host without any working compiler *)
+  let none = Native_exec.create ~cc:"/nonexistent/pmdp-cc" () in
+  if Native_exec.toolchain none <> None then fail "no-toolchain: probe found /nonexistent/pmdp-cc";
+  expect_fallback "no-toolchain" none spec ~inputs ~reference;
+  Printf.printf "  ok   no toolchain degrades to interpreter\n%!";
+  (* a seeded compile failure (fault spec kernel@0) *)
+  let fault = Fault.create [ { Fault.action = Fault.Kernel_fail; at = 0 } ] in
+  let injected = Native_exec.create ~fault () in
+  expect_fallback "kernel@0" injected spec ~inputs ~reference;
+  let si = Native_exec.stats injected in
+  if si.Native_exec.compile_failures <> 1 then
+    fail "kernel@0: %d compile failures (want 1)" si.Native_exec.compile_failures;
+  (* the failure is memoized: a second request neither recompiles nor
+     re-probes, it degrades straight away *)
+  expect_fallback "kernel@0-memo" injected spec ~inputs ~reference;
+  let si' = Native_exec.stats injected in
+  if si'.Native_exec.compiles <> si.Native_exec.compiles then
+    fail "kernel@0-memo: retried the compiler for a memoized failure";
+  if si'.Native_exec.unavailable <> 1 then
+    fail "kernel@0-memo: %d unavailable digests (want 1)" si'.Native_exec.unavailable;
+  Printf.printf "  ok   seeded compile failure degrades and is memoized\n%!"
+
+let () =
+  Pmdp_baselines.Schedulers.install ();
+  (match Toolchain.probe () with
+  | None ->
+      (* The container bakes in gcc; a missing toolchain here is a
+         broken environment, not a pass. *)
+      fail "no working C compiler on this host"
+  | Some tc ->
+      Printf.printf "toolchain: %s (openmp: %b)\n%!" tc.Toolchain.version tc.Toolchain.openmp;
+      let dir = temp_dir "pmdp_kernel_sweep" in
+      sweep (Native_exec.create ~cache_dir:dir ());
+      cache_lifecycle ();
+      fallbacks ());
+  if !failed then exit 1;
+  print_endline "kernelcheck OK"
