@@ -11,6 +11,7 @@
      check [app]                  — static legality/bounds/race/lint verification
      serve                        — sharded pipeline-execution service (Unix or TCP socket)
      load                         — drive a service and report latency/throughput
+     tune calibrate|<app>         — fit the cost model to bench data / autotune tile sizes
 *)
 
 open Cmdliner
@@ -103,8 +104,46 @@ let native_t =
                     (default)." );
         ])
 
-let make_schedule scheduler machine pipeline =
-  Scheduler.schedule scheduler (Pmdp_core.Cost_model.default_config machine) pipeline
+(* -march=native is a separate opt-in from --native: it forfeits
+   bitwise reproducibility (the kernels are admitted under the epsilon
+   gate only), so asking for it must be explicit.  It implies the
+   native backend. *)
+let native_march_t =
+  Arg.(
+    value & flag
+    & info [ "native-march" ]
+        ~doc:
+          "Compile native kernels with -march=native (implies --native): the compiler may \
+           vectorize with FMA and wider registers, so kernels can no longer match the \
+           interpreter bitwise and are admitted under the relative-epsilon gate only. \
+           Compiled objects are cached under a separate key from plain builds.")
+
+(* Every scheduling path in the CLI builds its config through this one
+   constructor, so a loaded calibration reaches all of them the same
+   way. *)
+let make_schedule ?calib scheduler machine pipeline =
+  Scheduler.schedule scheduler (Pmdp_core.Cost_model.config_of_machine ?calib machine) pipeline
+
+(* CALIB_<machine>.json -> the fitted weights, with the artifact's
+   digest/schema/machine checks applied; any failure is fatal (a
+   silently ignored calibration would be worse than none). *)
+let load_calib machine path =
+  match Pmdp_tune.Calibration.validate path ~machine:machine.Pmdp_machine.Machine.name with
+  | Ok c -> c.Pmdp_tune.Calibration.weights
+  | Error msg ->
+      Printf.eprintf "pmdp: calibration %s: %s\n" path msg;
+      exit 1
+
+let calib_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calib-file" ] ~docv:"FILE"
+        ~doc:
+          "Load fitted cost-model weights from a $(i,CALIB_<machine>.json) artifact (written \
+           by $(b,pmdp tune calibrate)) and schedule under the calibrated model instead of \
+           the analytic defaults. The artifact's schema version, content digest, and machine \
+           name are verified first.")
 
 let build (app : Registry.app) scale = app.Registry.build ~scale
 
@@ -153,16 +192,36 @@ let run_cmd =
      fault injection) and validate against the reference executor."
   in
   let run (app : Registry.app) scale machine scheduler workers pool_sched profile mem_budget
-      inject seed timeout native trace =
+      inject seed timeout native native_march trace =
     let pipeline = build app scale in
     let inputs = app.Registry.inputs ~seed:1 pipeline in
     let sched = make_schedule scheduler machine pipeline in
     trace_begin trace;
-    if native then Pmdp_kernel.Native_exec.install (Pmdp_kernel.Native_exec.create ());
+    if native || native_march then
+      Pmdp_kernel.Native_exec.install (Pmdp_kernel.Native_exec.create ~march:native_march ());
     let pool = if workers > 1 then Some (Pool.create workers) else None in
     let collector =
       Pmdp_report.Profile.collector ~pipeline:pipeline.Pmdp_dsl.Pipeline.name ~workers
     in
+    (* --profile prints predicted cost next to measured wall per group;
+       the predictions come from the same config the schedule was
+       built under. *)
+    if profile then begin
+      let config = Pmdp_core.Cost_model.config_of_machine machine in
+      Pmdp_report.Profile.set_predicted collector
+        (List.filteri
+           (fun _ (_, c) -> Float.is_finite c)
+           (List.mapi
+              (fun i (g : Pmdp_core.Schedule_spec.group) ->
+                match
+                  Pmdp_core.Cost_model.group_features config pipeline
+                    ~stages:g.Pmdp_core.Schedule_spec.stages
+                    ~tile:g.Pmdp_core.Schedule_spec.tile_sizes
+                with
+                | Some f -> (i, Pmdp_core.Cost_model.predict config f)
+                | None -> (i, Float.nan))
+              sched.Pmdp_core.Schedule_spec.groups))
+    end;
     let fault = Option.map (fun specs -> Pmdp_runtime.Fault.create ~seed specs) inject in
     let t0 = Unix.gettimeofday () in
     let outcome =
@@ -171,7 +230,7 @@ let run_cmd =
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     Option.iter Pool.shutdown pool;
-    if native then Pmdp_kernel.Native_exec.uninstall ();
+    if native || native_march then Pmdp_kernel.Native_exec.uninstall ();
     if Trace.on () then Pmdp_report.Profile.set_counters collector (Trace.counter_totals ());
     trace_end trace;
     match outcome with
@@ -250,7 +309,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ app_t $ scale_t $ machine_t $ scheduler_t $ workers_t $ pool_sched_t
-          $ profile_t $ mem_budget_t $ inject_t $ seed_t $ timeout_t $ native_t $ trace_t)
+          $ profile_t $ mem_budget_t $ inject_t $ seed_t $ timeout_t $ native_t
+          $ native_march_t $ trace_t)
 
 let bench_cmd =
   let doc =
@@ -258,15 +318,17 @@ let bench_cmd =
      against the reference executor, and write the results (median/min wall-clock and \
      per-group profiles) as JSON."
   in
-  let run machine scale reps workers schedulers pool_sched output apps quiet native trace =
+  let run machine scale reps workers schedulers pool_sched output apps quiet native
+      native_march trace =
     let apps = match apps with [] -> Registry.all | apps -> apps in
     let log = if quiet then fun _ -> () else print_endline in
     trace_begin trace;
-    if native then Pmdp_kernel.Native_exec.install (Pmdp_kernel.Native_exec.create ());
+    if native || native_march then
+      Pmdp_kernel.Native_exec.install (Pmdp_kernel.Native_exec.create ~march:native_march ());
     let outcomes =
       Pmdp_bench.Runner.run_all ?pool_sched ~log ~reps ~scale ~machine ~workers ~schedulers apps
     in
-    if native then Pmdp_kernel.Native_exec.uninstall ();
+    if native || native_march then Pmdp_kernel.Native_exec.uninstall ();
     trace_end trace;
     let path =
       match output with Some p -> p | None -> Pmdp_bench.Runner.default_path machine
@@ -311,7 +373,7 @@ let bench_cmd =
   let quiet_t = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-case progress lines.") in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ machine_t $ scale_t $ reps_t $ workers_t $ schedulers_t $ pool_sched_t
-          $ out_t $ apps_t $ quiet_t $ native_t $ trace_t)
+          $ out_t $ apps_t $ quiet_t $ native_t $ native_march_t $ trace_t)
 
 let trace_cmd =
   let doc =
@@ -619,12 +681,16 @@ let serve_cmd =
   in
   let run machine workers mem_budget max_inflight batch_window validate shards queue_limit
       cache_dir breaker_threshold breaker_cooldown drain_timeout socket endpoint native
-      kernel_cache_dir trace =
+      kernel_cache_dir native_march calib_file retune trace =
     trace_begin trace;
+    let calib = Option.map (load_calib machine) calib_file in
+    let retune =
+      if retune then Some Pmdp_service.Retune.default_config else None
+    in
     let service =
       Pmdp_service.Service.create ~workers ?mem_budget ~max_inflight ~batch_window ~validate
         ~shards ~queue_limit ?cache_dir ~breaker_threshold ~breaker_cooldown ~native
-        ?kernel_cache_dir ~machine ()
+        ?kernel_cache_dir ~native_march ?calib ?retune ~machine ()
     in
     let server =
       Pmdp_service.Server.start ~service ~endpoint:(resolve_endpoint endpoint socket) ()
@@ -681,6 +747,15 @@ let serve_cmd =
       s.Pmdp_service.Service.breaker.Pmdp_service.Breaker.trips
       s.Pmdp_service.Service.breaker.Pmdp_service.Breaker.rejects
       s.Pmdp_service.Service.breaker.Pmdp_service.Breaker.closes;
+    (match s.Pmdp_service.Service.retune with
+    | None -> ()
+    | Some r ->
+        Printf.printf
+          "pmdp serve: retune — %d observed, %d hot, %d attempts, %d wins, %d losses, %d \
+           swaps\n%!"
+          r.Pmdp_service.Retune.observed r.Pmdp_service.Retune.hot
+          r.Pmdp_service.Retune.started r.Pmdp_service.Retune.wins
+          r.Pmdp_service.Retune.losses r.Pmdp_service.Retune.swaps);
     (match Pmdp_service.Service.kernel_stats service with
     | None -> ()
     | Some k ->
@@ -762,11 +837,22 @@ let serve_cmd =
                    without invoking the C compiler. Implies --native; loaded objects are \
                    checksum-verified and re-validated before use.")
   in
+  let retune_t =
+    Arg.(
+      value & flag
+      & info [ "retune" ]
+          ~doc:
+            "Enable online re-optimization: per-fingerprint latency EWMAs mark hot plans, a \
+             background tuner searches for better tile sizes under the (calibrated) cost \
+             model, and the cached plan is atomically swapped only after the candidate wins \
+             a guarded A/B comparison. Watch the service.retune.start/win/lose/swap trace \
+             counters and the retune block of the stats op.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ machine_t $ workers_t $ mem_budget_t $ max_inflight_t $ batch_window_t
           $ validate_t $ shards_t $ queue_limit_t $ cache_dir_t $ breaker_threshold_t
           $ breaker_cooldown_t $ drain_timeout_t $ socket_t $ endpoint_t $ native_t
-          $ kernel_cache_dir_t $ trace_t)
+          $ kernel_cache_dir_t $ native_march_t $ calib_file_t $ retune_t $ trace_t)
 
 let load_cmd =
   let doc =
@@ -875,6 +961,225 @@ let load_cmd =
           $ rate_t $ apps_t $ scale_t $ scheduler_t $ seeds_t $ retries_t $ backoff_t
           $ workers_t $ out_t $ quiet_t)
 
+let tune_cmd =
+  let doc =
+    "Calibrate the cost model against measured bench data, or autotune an app's tile sizes \
+     by seeded local search.  $(b,pmdp tune calibrate) fits the model weights to a bench \
+     file's per-group timings and writes a digest-stamped CALIB_<machine>.json artifact; \
+     $(b,pmdp tune APP) searches neighborhood moves over the DP-chosen tiles, scoring \
+     candidates by measured wall time (or the model with --model-only), and validates the \
+     winner bitwise against the reference executor."
+  in
+  let module Calibration = Pmdp_tune.Calibration in
+  let module Search = Pmdp_tune.Search in
+  let run target machine scale scheduler bench output check calib_file budget seed reps
+      plan_out model_only =
+    let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("pmdp tune: " ^ msg); exit 1) fmt in
+    if target = "calibrate" then begin
+      let machine_name = machine.Pmdp_machine.Machine.name in
+      if check then begin
+        (* Dry-run artifact validation: schema, digest, machine match,
+           sanity — runs nothing. *)
+        let path =
+          match (calib_file, output) with
+          | Some p, _ -> p
+          | None, Some p -> p
+          | None, None -> Calibration.default_path machine_name
+        in
+        match Calibration.validate path ~machine:machine_name with
+        | Error msg -> fail "%s: %s" path msg
+        | Ok c ->
+            Format.printf "%s: ok@.%a@." path Calibration.pp c
+      end
+      else begin
+        let bench_path =
+          match bench with Some p -> p | None -> Pmdp_bench.Runner.default_path machine
+        in
+        match Calibration.samples_of_bench bench_path with
+        | Error msg -> fail "%s: %s" bench_path msg
+        | Ok (bench_machine, samples) -> (
+            let fit_machine =
+              match Pmdp_machine.Machine.by_name bench_machine with
+              | Some m -> m
+              | None -> fail "%s: unknown machine %S in bench file" bench_path bench_machine
+            in
+            match
+              Calibration.fit ~machine:fit_machine ~source:(Filename.basename bench_path)
+                samples
+            with
+            | Error msg -> fail "fit failed: %s" msg
+            | Ok c ->
+                let path =
+                  match output with
+                  | Some p -> p
+                  | None -> Calibration.default_path fit_machine.Pmdp_machine.Machine.name
+                in
+                Calibration.write path c;
+                Format.printf "%a@.wrote %s@." Calibration.pp c path)
+      end
+    end
+    else begin
+      let app =
+        match Registry.find target with
+        | Some app -> app
+        | None ->
+            fail "unknown target %S (expected \"calibrate\" or one of: %s)" target
+              (Registry.names ())
+      in
+      let pipeline = build app scale in
+      let inputs = app.Registry.inputs ~seed:1 pipeline in
+      let calib = Option.map (load_calib machine) calib_file in
+      let config = Pmdp_core.Cost_model.config_of_machine ?calib machine in
+      let scheduler = Scheduler.for_pipeline scheduler pipeline in
+      let sched = Scheduler.schedule scheduler config pipeline in
+      (* Every candidate is re-validated end to end before it is ever
+         executed: lower to the plan IR, whole-plan analyzer, then the
+         resilient driver — the same gates a served plan passes. *)
+      let plan_of_spec spec =
+        match Pmdp_plan.of_spec_result spec with
+        | Error _ -> None
+        | Ok ir -> (
+            match Pmdp_verify.Verify.check_plan_result pipeline ir with
+            | Error _ -> None
+            | Ok () -> (
+                match Pmdp_exec.Tiled_exec.instantiate_result pipeline ir with
+                | Error _ -> None
+                | Ok plan -> Some plan))
+      in
+      let measure plan =
+        let walls =
+          Array.init (max 1 reps) (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              match Pmdp_exec.Resilient.run_plan ~machine plan ~inputs with
+              | Ok _ -> Unix.gettimeofday () -. t0
+              | Error _ -> Float.infinity)
+        in
+        let m = Pmdp_util.Stats.median walls in
+        if Float.is_finite m then Some m else None
+      in
+      let evaluate =
+        if model_only then Search.model_evaluate config
+        else fun spec -> Option.bind (plan_of_spec spec) measure
+      in
+      let init_score = evaluate sched in
+      let tuned, result = Search.tune_spec ~seed ~budget ~evaluate sched in
+      let pp_tiles ppf (spec : Pmdp_core.Schedule_spec.t) =
+        List.iteri
+          (fun i (g : Pmdp_core.Schedule_spec.group) ->
+            Format.fprintf ppf "  group %d [%s]: %s@." i
+              (String.concat " "
+                 (List.map
+                    (fun s -> (Pmdp_dsl.Pipeline.stage pipeline s).Pmdp_dsl.Stage.name)
+                    g.Pmdp_core.Schedule_spec.stages))
+              (String.concat "x"
+                 (Array.to_list
+                    (Array.map string_of_int g.Pmdp_core.Schedule_spec.tile_sizes))))
+          spec.Pmdp_core.Schedule_spec.groups
+      in
+      let unit = if model_only then "cost" else "s" in
+      Format.printf "%s via %s, %d evaluations (%d accepted, %d rejected), budget %d@."
+        app.Registry.name (Scheduler.to_string scheduler) result.Search.stats.Search.evaluated
+        result.Search.stats.Search.accepted result.Search.stats.Search.rejected budget;
+      (match init_score with
+      | Some s -> Format.printf "initial: %.6g %s@.%a" s unit pp_tiles sched
+      | None -> fail "the initial schedule does not evaluate");
+      Format.printf "tuned:   %.6g %s@.%a" result.Search.score unit pp_tiles tuned;
+      (* The tuned schedule must still be exactly the pipeline: run it
+         through the interpreter and demand bitwise agreement with the
+         reference executor. *)
+      (match plan_of_spec tuned with
+      | None -> fail "tuned schedule failed re-validation"
+      | Some plan -> (
+          match Pmdp_exec.Resilient.run_plan ~machine plan ~inputs with
+          | Error e -> fail "tuned schedule failed to execute: %s" (Pmdp_util.Pmdp_error.to_string e)
+          | Ok { Pmdp_exec.Resilient.results; _ } ->
+              let reference = Pmdp_exec.Reference.run pipeline ~inputs in
+              let worst =
+                List.fold_left
+                  (fun acc (n, b) ->
+                    match List.assoc_opt n reference with
+                    | Some r -> Float.max acc (Pmdp_exec.Buffer.max_abs_diff b r)
+                    | None -> acc)
+                  0.0 results
+              in
+              if worst <> 0.0 then fail "tuned schedule diverged from reference (max |diff| %g)" worst;
+              Format.printf "validated: tuned plan matches the reference bitwise@."));
+      match plan_out with
+      | None -> ()
+      | Some path -> (
+          match Pmdp_plan.of_spec_result tuned with
+          | Error e -> fail "plan lowering failed: %s" (Pmdp_util.Pmdp_error.to_string e)
+          | Ok ir ->
+              Pmdp_plan.write path ir;
+              Format.printf "wrote %s (digest %s)@." path (Pmdp_plan.digest ir))
+    end
+  in
+  let target_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"$(b,calibrate) to fit the cost model, or a pipeline name to autotune.")
+  in
+  let bench_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"FILE"
+          ~doc:
+            "Schema-v3 bench file with per-group timings to calibrate from (default \
+             BENCH_<machine>.json, as written by $(b,pmdp bench)).")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Calibration artifact to write (default CALIB_<machine>.json).")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Dry-run: validate an existing calibration artifact (schema version, content \
+             digest, machine match, weight sanity) without fitting or running anything. \
+             Checks --calib-file, -o, or the default CALIB_<machine>.json, in that order.")
+  in
+  let budget_t =
+    Arg.(
+      value & opt int 32
+      & info [ "budget" ]
+          ~doc:"Evaluation budget of the local search (the initial point counts).")
+  in
+  let seed_t =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Search seed; the walk is deterministic per seed.")
+  in
+  let reps_t =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~doc:"Executions per measured candidate (median is scored).")
+  in
+  let plan_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan-out" ] ~docv:"FILE"
+          ~doc:"Write the tuned schedule's plan IR (digest-stamped golden-plan envelope) to \
+                $(docv).")
+  in
+  let model_only_t =
+    Arg.(
+      value & flag
+      & info [ "model-only" ]
+          ~doc:
+            "Score candidates by the (calibrated) cost model instead of executing them — \
+             deterministic and fast; use with --calib-file for predictions in seconds.")
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(const run $ target_t $ machine_t $ scale_t $ scheduler_t $ bench_t $ out_t $ check_t
+          $ calib_file_t $ budget_t $ seed_t $ reps_t $ plan_out_t $ model_only_t)
+
 let () =
   (* Executors validate schedules on entry; with the oracle installed
      they also refuse illegal or racy ones.  The baseline schedulers
@@ -887,4 +1192,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; schedule_cmd; run_cmd; bench_cmd; trace_cmd; emit_c_cmd; cachesim_cmd;
-            dot_cmd; storage_cmd; check_cmd; serve_cmd; load_cmd ]))
+            dot_cmd; storage_cmd; check_cmd; serve_cmd; load_cmd; tune_cmd ]))

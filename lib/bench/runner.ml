@@ -13,6 +13,18 @@ module Registry = Pmdp_apps.Registry
 module Profile = Pmdp_report.Profile
 module Json = Pmdp_report.Json
 
+(* One row of the calibration corpus: what the model predicted for a
+   group's tile choice next to what a sequential timed run measured.
+   Identical across a schedule's worker counts (computed once per
+   schedule), duplicated into each case so every bench row is
+   self-contained. *)
+type group_cost = {
+  gc_group : int;
+  gc_features : Cost_model.features;
+  gc_predicted : float;  (** model cost of the chosen tile (calibrated = seconds) *)
+  gc_wall : float;  (** median across reps of the group's summed tile durations *)
+}
+
 type outcome = {
   app_name : string;
   scheduler : Scheduler.t;  (** as requested *)
@@ -30,6 +42,7 @@ type outcome = {
   profile : Profile.t;  (** of the last rep *)
   failure : string option;  (** rendered typed error of a dead rep *)
   degraded : bool;  (** some rep needed a resilience fallback step *)
+  group_costs : group_cost list;  (** predicted vs measured per group (schema v3) *)
 }
 
 let valid o = o.failure = None && o.max_abs_diff = 0.0
@@ -63,7 +76,7 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
   let p = app.Registry.build ~scale in
   let inputs = app.Registry.inputs ~seed:1 p in
   let reference = Reference.run p ~inputs in
-  let config = Cost_model.default_config machine in
+  let config = Cost_model.config_of_machine machine in
   List.concat_map
     (fun scheduler ->
       let resolved = Scheduler.for_pipeline scheduler p in
@@ -76,6 +89,48 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
          multicore substitution).  Measured lazily, once per schedule. *)
       let timed_reps =
         lazy (List.init reps (fun _ -> snd (Tiled_exec.run_timed plan ~inputs)))
+      in
+      (* Predicted-vs-measured per group: the schedule's tile features
+         under the model next to the median summed tile durations of
+         the sequential timed runs — the calibration corpus
+         (lib/tune).  Computed once per schedule; a schedule whose
+         timed run dies contributes no rows rather than killing the
+         sweep. *)
+      let group_costs =
+        lazy
+          (let timings = try Lazy.force timed_reps with _ -> [] in
+           let walls_per_rep =
+             List.map
+               (fun reps ->
+                 List.map
+                   (fun (gt : Tiled_exec.group_timing) ->
+                     Array.fold_left ( +. ) 0.0 gt.Tiled_exec.tile_durations)
+                   reps)
+               timings
+           in
+           List.mapi
+             (fun gi (g : Schedule_spec.group) ->
+                  match
+                    Cost_model.group_features config p ~stages:g.Schedule_spec.stages
+                      ~tile:g.Schedule_spec.tile_sizes
+                  with
+                  | None -> None
+                  | Some f -> (
+                      let per_rep =
+                        List.filter_map (fun rep -> List.nth_opt rep gi) walls_per_rep
+                      in
+                      match List.sort compare per_rep with
+                      | [] -> None
+                      | sorted ->
+                          Some
+                            {
+                              gc_group = gi;
+                              gc_features = f;
+                              gc_predicted = Cost_model.predict config f;
+                              gc_wall = median_of sorted;
+                            }))
+             spec.Schedule_spec.groups
+           |> List.filter_map Fun.id)
       in
       List.map
         (fun w ->
@@ -150,6 +205,9 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
           let sorted =
             match List.sort compare wall_seconds with [] -> [ Float.nan ] | s -> s
           in
+          let gcs = Lazy.force group_costs in
+          Profile.set_predicted collector
+            (List.map (fun gc -> (gc.gc_group, gc.gc_predicted)) gcs);
           let o =
             {
               app_name = app.Registry.name;
@@ -168,6 +226,7 @@ let run_app ?pool_sched ?(log = fun _ -> ()) ~reps ~scale ~machine ~workers ~sch
               profile = Profile.result collector;
               failure = !failure;
               degraded = !degraded;
+              group_costs = gcs;
             }
           in
           log
@@ -191,6 +250,19 @@ let run_all ?pool_sched ?log ~reps ~scale ~machine ~workers ~schedulers apps =
     (fun app -> run_app ?pool_sched ?log ~reps ~scale ~machine ~workers ~schedulers app)
     apps
 
+let json_of_group_cost gc =
+  let f = gc.gc_features in
+  Json.Obj
+    [
+      ("group", Json.Int gc.gc_group);
+      ("f_mem", Json.Float f.Cost_model.f_mem);
+      ("f_idle", Json.Float f.Cost_model.f_idle);
+      ("f_overlap", Json.Float f.Cost_model.f_overlap);
+      ("f_mismatch", Json.Float f.Cost_model.f_mismatch);
+      ("predicted_cost", Json.Float gc.gc_predicted);
+      ("median_wall_seconds", Json.Float gc.gc_wall);
+    ]
+
 let json_of_outcome o =
   Json.Obj
     [
@@ -211,9 +283,13 @@ let json_of_outcome o =
       ("failure", match o.failure with None -> Json.Null | Some e -> Json.String e);
       ("degraded", Json.Bool o.degraded);
       ("profile", Profile.to_json o.profile);
+      ("group_costs", Json.List (List.map json_of_group_cost o.group_costs));
     ]
 
-let schema_version = 2
+(* v3 added per-case "group_costs" (predicted-vs-measured per group,
+   the calibration corpus); v2 files are refused for merge like any
+   other foreign schema. *)
+let schema_version = 3
 
 let to_json ~machine ~scale ~reps outcomes =
   Json.Obj
@@ -228,9 +304,10 @@ let to_json ~machine ~scale ~reps outcomes =
 
 (* A pre-existing output file is merged into, not clobbered: its cases
    survive unless this run re-measured the same (app, scheduler,
-   workers) cell.  Anything that is not verifiably a schema-v2 bench
-   file is refused with a typed error — merging fields into a file
-   written under a different schema would silently corrupt it. *)
+   workers) cell.  Anything that is not verifiably a current-schema
+   bench file is refused with a typed error — merging fields into a
+   file written under a different schema (v1, v2, ...) would silently
+   corrupt it. *)
 let load_for_merge path =
   if not (Sys.file_exists path) then Ok None
   else

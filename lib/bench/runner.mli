@@ -4,6 +4,18 @@
     executor's per-group {!Pmdp_report.Profile} attached, serialized
     to the repository's [BENCH_<machine>.json] trajectory files. *)
 
+type group_cost = {
+  gc_group : int;  (** group position in the schedule *)
+  gc_features : Pmdp_core.Cost_model.features;  (** regressors of the chosen tile *)
+  gc_predicted : float;  (** model cost (calibrated configs predict seconds) *)
+  gc_wall : float;
+      (** median across reps of the group's summed sequential tile
+          durations, seconds *)
+}
+(** One row of the calibration corpus ({!Pmdp_tune.Calibration}):
+    predicted vs measured for one schedule group.  Computed once per
+    schedule and attached to every worker case of that schedule. *)
+
 type outcome = {
   app_name : string;
   scheduler : Pmdp_core.Scheduler.t;  (** as requested *)
@@ -37,6 +49,9 @@ type outcome = {
   degraded : bool;
       (** some repetition completed only via a
           {!Pmdp_exec.Resilient} fallback step *)
+  group_costs : group_cost list;
+      (** predicted-vs-measured per group (empty when the timed run
+          died or no group analyzed) *)
 }
 
 val valid : outcome -> bool

@@ -7,15 +7,37 @@ module Stage = Pmdp_dsl.Stage
 
 type w2_mode = Idle_penalty | Literal
 
+(* Weights fitted to measured per-group wall times (lib/tune).  The
+   analytic Table-1 weights are dimensionless rankings; calibrated
+   weights carry units of seconds-per-feature, so a calibrated cost is
+   a wall-time prediction for one group. *)
+type calibration = {
+  cal_machine : string;
+  c0 : float;  (* per-group overhead intercept, seconds *)
+  c_mem : float;  (* weight of the load-cost locality term (w1's slot) *)
+  c_idle : float;  (* cleanup-wave idle-core term (w2's slot) *)
+  c_overlap : float;  (* relative-overlap term (w3's slot) *)
+  c_mismatch : float;  (* dimension-mismatch term (w4's slot) *)
+}
+
 type config = {
   machine : Machine.t;
   paper_n_tiles : bool;
   w2_mode : w2_mode;
   fuse_reductions : bool;
+  calibrated : calibration option;
 }
 
-let default_config machine =
-  { machine; paper_n_tiles = false; w2_mode = Idle_penalty; fuse_reductions = false }
+let config_of_machine ?calib machine =
+  {
+    machine;
+    paper_n_tiles = false;
+    w2_mode = Idle_penalty;
+    fuse_reductions = false;
+    calibrated = calib;
+  }
+
+let default_config machine = config_of_machine machine
 
 type level = L1 | L2
 
@@ -29,6 +51,31 @@ type verdict = {
   level : level;
   analysis : Group_analysis.t option;
 }
+
+(* The model's four regressors for one (group, tile) choice — exactly
+   the terms the analytic weights multiply, so a calibration fitted
+   over these features is a drop-in reweighting of the same model. *)
+type features = {
+  f_mem : float;  (* load_cost * (live-in + live-out tile bytes) / compute volume *)
+  f_idle : float;  (* idle cores in the cleanup wave / number of waves *)
+  f_overlap : float;  (* redundant compute as a fraction of tile volume *)
+  f_mismatch : float;  (* mean CV of member extents across group dims *)
+}
+
+let analytic_of_features (m : Machine.t) f =
+  (m.Machine.w1 *. f.f_mem) +. (m.Machine.w2 *. f.f_idle)
+  +. (m.Machine.w3 *. f.f_overlap)
+  +. (m.Machine.w4 *. f.f_mismatch)
+
+let calibrated_of_features c f =
+  c.c0 +. (c.c_mem *. f.f_mem) +. (c.c_idle *. f.f_idle)
+  +. (c.c_overlap *. f.f_overlap)
+  +. (c.c_mismatch *. f.f_mismatch)
+
+let predict config f =
+  match config.calibrated with
+  | Some c -> calibrated_of_features c f
+  | None -> analytic_of_features config.machine f
 
 (* COMPUTETILESIZES (Alg. 2, lines 30-45).  Tile sizes live in the
    group's scaled iteration space. *)
@@ -80,6 +127,36 @@ let dim_size_mismatch (ga : Group_analysis.t) =
     done;
     !total /. float_of_int ga.Group_analysis.n_dims
   end
+
+(* Regressors for an explicit tile choice (clamped to the group's
+   scaled extents) — the same terms COSTFORCACHESIZE combines, exposed
+   so bench export and tile search can score tiles the DP did not
+   pick.  Always uses the actual per-dimension tile-count product
+   (measured executions tile that way regardless of ablation flags). *)
+let features_for_tile config (ga : Group_analysis.t) ~tile =
+  let machine = config.machine in
+  let tile = Footprint.clamp_tile ga tile in
+  let livein_tile = Footprint.livein_tile_bytes ga ~tile in
+  let liveout_tile = Footprint.liveout_tile_bytes ga ~tile in
+  let comp_vol = Float.max 1.0 (Footprint.tile_compute_volume ga ~tile) in
+  let n_tiles = Footprint.n_tiles ga ~tile in
+  let overlap = Footprint.overlap_points ga ~tile in
+  let cores = machine.Machine.cores in
+  let idle_cores = (cores - (n_tiles mod cores)) mod cores in
+  let waves = max 1 ((n_tiles + cores - 1) / cores) in
+  {
+    f_mem = load_cost *. ((livein_tile +. liveout_tile) /. comp_vol);
+    f_idle = float_of_int idle_cores /. float_of_int waves;
+    f_overlap = overlap /. comp_vol;
+    f_mismatch = dim_size_mismatch ga;
+  }
+
+let group_features config pipeline ~stages ~tile =
+  match
+    Group_analysis.analyze ~allow_fused_reductions:config.fuse_reductions pipeline stages
+  with
+  | Error _ -> None
+  | Ok ga -> Some (features_for_tile config ga ~tile)
 
 (* COSTFORCACHESIZE (Alg. 2, lines 12-28). *)
 let cost_for_cache_size config (ga : Group_analysis.t) ~cache_bytes =
@@ -137,11 +214,26 @@ let cost_for_cache_size config (ga : Group_analysis.t) ~cache_bytes =
      this puts the w1 term in the same currency as the w3 overlap
      penalty, making the implicit overlap tolerance w2*(C-1)/w3 ≈ 3%
      the actual fusion/recompute trade-off. *)
+  let f_mem = load_cost *. ((livein_tile +. liveout_tile) /. comp_vol) in
   let cost =
-    (machine.Machine.w1 *. load_cost *. ((livein_tile +. liveout_tile) /. comp_vol))
-    +. w2_term
-    +. (machine.Machine.w3 *. relative_overlap)
-    +. (machine.Machine.w4 *. dim_diff)
+    match config.calibrated with
+    | Some c ->
+        (* Calibrated mode predicts seconds; the idle regressor is the
+           Idle_penalty form over the same n_tiles the analytic path
+           used, so ablation flags keep their meaning. *)
+        let waves = max 1 ((n_tiles + cores - 1) / cores) in
+        calibrated_of_features c
+          {
+            f_mem;
+            f_idle = float_of_int idle_cores /. float_of_int waves;
+            f_overlap = relative_overlap;
+            f_mismatch = dim_diff;
+          }
+    | None ->
+        (machine.Machine.w1 *. f_mem)
+        +. w2_term
+        +. (machine.Machine.w3 *. relative_overlap)
+        +. (machine.Machine.w4 *. dim_diff)
   in
   (cost, tile, overlap)
 

@@ -43,6 +43,7 @@ type t = {
   cache : Kernel_cache.t option;
   fault : Fault.t option;
   eps : float;
+  march : bool;
   keep_sources : bool;
   table : (string, kernel) Hashtbl.t;
   failed : (string, Pmdp_error.t) Hashtbl.t;
@@ -56,12 +57,13 @@ type t = {
   mutable unavailable : int;
 }
 
-let create ?fault ?cache_dir ?cc ?(eps = 1e-6) () =
+let create ?fault ?cache_dir ?cc ?(eps = 1e-6) ?(march = false) () =
   {
-    toolchain = Toolchain.probe ?cc ();
+    toolchain = Toolchain.probe ?cc ~march ();
     cache = Option.map (fun dir -> Kernel_cache.create ~dir ()) cache_dir;
     fault;
     eps;
+    march;
     keep_sources = Sys.getenv_opt "PMDP_KEEP_KERNEL_SRC" <> None;
     table = Hashtbl.create 16;
     failed = Hashtbl.create 16;
@@ -170,8 +172,11 @@ let validate t kernel plan =
           worst_abs := Float.max !worst_abs d;
           worst_rel := Float.max !worst_rel (d /. Float.max 1e-30 (max_abs r)))
     native;
-  if !worst_abs = 0.0 then Ok ("bitwise", 0.0)
-  else if !worst_rel <= t.eps then Ok ("epsilon", !worst_abs)
+  (* -march=native kernels are never admitted "bitwise", even when a
+     particular run happens to match exactly: the label is a promise
+     about the compilation mode, not one lucky comparison. *)
+  if !worst_abs = 0.0 && not t.march then Ok ("bitwise", 0.0)
+  else if !worst_rel <= t.eps then Ok ("epsilon", Float.max !worst_abs 0.0)
   else begin
     bump t (fun t -> t.validation_failures <- t.validation_failures + 1);
     Error
@@ -266,7 +271,13 @@ let compile_fresh t plan ~kd ~n_groups ~slots =
 
 let acquire t plan =
   let ir = Tiled_exec.ir plan in
-  let kd = Pmdp_plan.kernel_digest ir in
+  (* March objects get their own cache/memoization key: a plain build
+     must never dlopen a vectorized object (or vice versa) from a
+     previous process. *)
+  let kd =
+    let kd = Pmdp_plan.kernel_digest ir in
+    if t.march then kd ^ "+march" else kd
+  in
   Mutex.lock t.lock;
   let hit = Hashtbl.find_opt t.table kd in
   let dead = Hashtbl.find_opt t.failed kd in

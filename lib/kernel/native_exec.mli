@@ -38,6 +38,7 @@ val create :
   ?cache_dir:string ->
   ?cc:string ->
   ?eps:float ->
+  ?march:bool ->
   unit ->
   t
 (** Probe the toolchain and open the on-disk cache ([cache_dir]
@@ -45,7 +46,12 @@ val create :
     candidate (tests use an impossible one to simulate a host without
     a toolchain); [fault] arms the seeded compile-failure injection;
     [eps] (default [1e-6]) is the relative tolerance of the
-    validation gate. *)
+    validation gate.  [march] (default false, the `--native-march`
+    opt-in) compiles kernels with [-march=native]: vectorization may
+    contract/reorder float arithmetic, so bitwise admission is
+    disabled — kernels are admitted under the [eps] gate only, and
+    compiled objects are cached under a salted key so plain and march
+    builds never share artifacts. *)
 
 val toolchain : t -> Toolchain.t option
 (** [None] on a host with no working C compiler. *)

@@ -18,6 +18,7 @@ type t = {
   degraded : bool;
   steps : step list;
   counters : (string * int) list;
+  predicted : (int * float) list;
 }
 
 type collector = {
@@ -27,6 +28,7 @@ type collector = {
   mutable c_steps : step list;  (* reverse order *)
   mutable c_degraded : bool;
   mutable c_counters : (string * int) list;
+  mutable c_predicted : (int * float) list;
 }
 
 let collector ~pipeline ~workers =
@@ -37,12 +39,14 @@ let collector ~pipeline ~workers =
     c_steps = [];
     c_degraded = false;
     c_counters = [];
+    c_predicted = [];
   }
 
 let add_group c g = c.c_groups <- g :: c.c_groups
 let add_step c ~name ~error = c.c_steps <- { step_name = name; step_error = error } :: c.c_steps
 let set_degraded c d = c.c_degraded <- d
 let set_counters c totals = c.c_counters <- totals
+let set_predicted c preds = c.c_predicted <- preds
 
 let result c =
   let groups = List.rev c.c_groups in
@@ -54,13 +58,15 @@ let result c =
     degraded = c.c_degraded;
     steps = List.rev c.c_steps;
     counters = c.c_counters;
+    predicted = c.c_predicted;
   }
 
 let clear c =
   c.c_groups <- [];
   c.c_steps <- [];
   c.c_degraded <- false;
-  c.c_counters <- []
+  c.c_counters <- [];
+  c.c_predicted <- []
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s: %.3f ms over %d groups, %d workers%s@," t.pipeline
@@ -69,11 +75,14 @@ let pp ppf t =
   List.iter
     (fun g ->
       Format.fprintf ppf
-        "  group %d {%s}: %d tiles, %.3f ms, occupancy %d/%d, scratch %d B, copy-out %d B@,"
+        "  group %d {%s}: %d tiles, %.3f ms, occupancy %d/%d, scratch %d B, copy-out %d B%s@,"
         g.index
         (String.concat "," g.stages)
         g.tiles (g.wall_seconds *. 1000.0) g.occupancy t.workers g.scratch_bytes
-        g.copy_out_bytes)
+        g.copy_out_bytes
+        (match List.assoc_opt g.index t.predicted with
+        | Some c -> Printf.sprintf ", predicted %.4g" c
+        | None -> ""))
     t.groups;
   List.iter
     (fun s ->
@@ -106,6 +115,11 @@ let step_to_json s =
     ]
 
 let to_json t =
+  let group_json g =
+    match (group_to_json g, List.assoc_opt g.index t.predicted) with
+    | Json.Obj fields, Some c -> Json.Obj (fields @ [ ("predicted_cost", Json.Float c) ])
+    | j, _ -> j
+  in
   Json.Obj
     [
       ("pipeline", Json.String t.pipeline);
@@ -114,5 +128,5 @@ let to_json t =
       ("degraded", Json.Bool t.degraded);
       ("resilience", Json.List (List.map step_to_json t.steps));
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters));
-      ("groups", Json.List (List.map group_to_json t.groups));
+      ("groups", Json.List (List.map group_json t.groups));
     ]

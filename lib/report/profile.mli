@@ -33,6 +33,11 @@ type t = {
   counters : (string * int) list;
       (** trace counter totals ({!Pmdp_trace.Trace.counter_totals})
           for the run, when tracing was enabled; [] otherwise *)
+  predicted : (int * float) list;
+      (** model-predicted cost per group index, when a caller attached
+          one ({!set_predicted}) — rendered next to the measured
+          wall-clock by [pp]/[to_json] so predicted-vs-measured reads
+          off one report *)
 }
 
 type collector
@@ -50,6 +55,11 @@ val set_counters : collector -> (string * int) list -> unit
 (** Attach trace counter totals (typically the per-run delta of
     {!Pmdp_trace.Trace.counter_totals}) so profiles and bench JSON
     carry the same numbers the trace does. *)
+
+val set_predicted : collector -> (int * float) list -> unit
+(** Attach model-predicted costs keyed by group index (the executor
+    does not know the cost model; schedulers and the bench runner
+    do).  Cleared by {!clear} with everything else. *)
 
 val result : collector -> t
 (** Snapshot of everything collected so far, in execution order. *)

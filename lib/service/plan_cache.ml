@@ -87,11 +87,13 @@ let build_pipeline (app : Registry.app) ~scale =
 
 (* Full scheduling + lowering, with every raising boundary folded into
    the typed taxonomy: a cache must return errors, not leak them. *)
-let compile ~fp ~(app : Registry.app) ~pipeline ~scheduler ~machine =
+let compile ?calib ~fp ~(app : Registry.app) ~pipeline ~scheduler ~machine () =
   wrap_raises ~context:("plan-cache: " ^ app.Registry.name) (fun () ->
       let resolved = Scheduler.for_pipeline scheduler pipeline in
       let spec =
-        Scheduler.schedule resolved (Pmdp_core.Cost_model.default_config machine) pipeline
+        Scheduler.schedule resolved
+          (Pmdp_core.Cost_model.config_of_machine ?calib machine)
+          pipeline
       in
       match Pmdp_plan.of_spec_result spec with
       | Error e -> Error e
@@ -113,7 +115,7 @@ let admit_loaded ~fp ~(app : Registry.app) ~pipeline ~scheduler ~ir ~digest =
 
 let load ~pipeline ~ir ~digest = admit_ir ~pipeline ~ir ~digest
 
-let get t ?load ?store ?quarantine ~(app : Registry.app) ~scale ~scheduler ~machine () =
+let get t ?load ?store ?quarantine ?calib ~(app : Registry.app) ~scale ~scheduler ~machine () =
   let fp = fingerprint ~app:app.Registry.name ~scale ~scheduler ~machine in
   Mutex.lock t.lock;
   let rec obtain () =
@@ -157,7 +159,7 @@ let get t ?load ?store ?quarantine ~(app : Registry.app) ~scale ~scheduler ~mach
               match loaded with
               | Some e -> (`Loaded, rejected, Ok e)
               | None ->
-                  let r = compile ~fp ~app ~pipeline ~scheduler ~machine in
+                  let r = compile ?calib ~fp ~app ~pipeline ~scheduler ~machine () in
                   (match (r, store) with
                   | Ok e, Some put -> put ~ir:e.ir ~digest:e.digest
                   | _ -> ());
@@ -203,6 +205,23 @@ let preload t ~(app : Registry.app) ~scale ~scheduler ~machine ~ir ~digest =
       Condition.broadcast t.built;
       Mutex.unlock t.lock;
       Result.map (fun _ -> ()) r)
+
+(* Atomically replace a Ready slot — the online retuner's swap.  Only
+   an existing, successfully built entry may be replaced (a Building
+   slot has a requester waiting on it; an absent one means the
+   fingerprint was never served here), so a racing eviction or a
+   late-arriving tuner loses cleanly. *)
+let swap t ~fingerprint ~entry =
+  Mutex.lock t.lock;
+  let swapped =
+    match Hashtbl.find_opt t.table fingerprint with
+    | Some (Ready (Ok _)) ->
+        Hashtbl.replace t.table fingerprint (Ready (Ok entry));
+        true
+    | _ -> false
+  in
+  Mutex.unlock t.lock;
+  swapped
 
 let stats t =
   Mutex.lock t.lock;

@@ -61,6 +61,7 @@ val get :
   ?load:(unit -> (Pmdp_plan.t * string) option) ->
   ?store:(ir:Pmdp_plan.t -> digest:string -> unit) ->
   ?quarantine:(unit -> unit) ->
+  ?calib:Pmdp_core.Cost_model.calibration ->
   app:Pmdp_apps.Registry.app ->
   scale:int ->
   scheduler:Pmdp_core.Scheduler.t ->
@@ -78,6 +79,11 @@ val get :
     the bad envelope aside), and discarded.  Otherwise the requester
     compiles
     ([`Miss]) and, on success, offers the fresh IR to [store].
+    [calib] threads fitted cost-model weights into the scheduling
+    config ({!Pmdp_core.Cost_model.config_of_machine}); it does not
+    enter the fingerprint — a server runs one calibration
+    process-wide, and cached plans swap via {!swap} when the online
+    retuner wins, so keys stay stable across calibration updates.
     Never raises: compile failures surface as the cached typed error.
     A slot only becomes [Ready] after its plan IR passes the digest
     check and the whole-plan static analyzer
@@ -114,6 +120,15 @@ val load :
     errors; only then is the IR instantiated.  Every rejection is a
     typed [Plan_invalid] — nothing is ever executed from a plan that
     fails the gate. *)
+
+val swap : t -> fingerprint:string -> entry:entry -> bool
+(** Atomically replace the Ready entry for [fingerprint] — the online
+    retuner's commit.  [false] (and no change) unless the slot
+    currently holds a successfully built entry: a Building slot has a
+    requester waiting on it and an absent slot was never served here,
+    so a late-arriving tuner loses cleanly.  The caller is responsible
+    for having passed the new entry's IR through the same admission
+    gate as every other path ({!load}). *)
 
 type stats = {
   hits : int;  (** requests served from a ready slot (incl. waiters) *)

@@ -54,6 +54,7 @@ type stats = {
   total : counters;
   disk : Disk_cache.stats option;
   breaker : Breaker.counters;
+  retune : Retune.counters option;
 }
 
 type health = {
@@ -121,7 +122,7 @@ let warm_load t disk =
 let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
     ?(validate = false) ?(shards = 1) ?(queue_limit = 128) ?cache_dir ?fault
     ?(breaker_threshold = 3) ?(breaker_cooldown = 5.0) ?(native = false) ?kernel_cache_dir
-    ~machine () =
+    ?(native_march = false) ?calib ?retune ~machine () =
   if workers < 1 then invalid_arg "Service.create: workers < 1";
   if max_inflight < 1 then invalid_arg "Service.create: max_inflight < 1";
   if shards < 1 then invalid_arg "Service.create: shards < 1";
@@ -130,6 +131,32 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
     match mem_budget with Some b -> b | None -> Machine.default_mem_budget machine
   in
   Pmdp_baselines.Schedulers.install ();
+  let disk = Option.map (fun dir -> Disk_cache.create ?fault ~dir ()) cache_dir in
+  (* The retuner commits through the same paths as a fresh compile:
+     the owning shard's cache slot (atomic swap) and the disk cache,
+     so the tuned plan survives a restart. *)
+  let retuner =
+    Option.map
+      (fun config ->
+        Retune.create ?calib ~config ~machine
+          ~commit:(fun (j : Retune.job) entry ->
+            let swapped =
+              Plan_cache.swap j.Retune.cache ~fingerprint:j.Retune.fingerprint ~entry
+            in
+            if swapped then
+              Option.iter
+                (fun d ->
+                  let meta =
+                    Disk_cache.meta_of_request ~app:j.Retune.app.Registry.name
+                      ~scale:j.Retune.scale ~scheduler:j.Retune.scheduler ~machine
+                  in
+                  Disk_cache.store d meta ~fingerprint:j.Retune.fingerprint
+                    ~ir:entry.Plan_cache.ir)
+                disk;
+            swapped)
+          ())
+      retune
+  in
   let shared =
     {
       Shard.lock = Mutex.create ();
@@ -139,6 +166,8 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
       validate;
       breaker = Breaker.create ~threshold:breaker_threshold ~cooldown:breaker_cooldown ();
       fault;
+      calib;
+      retune = retuner;
       draining = false;
       unfinished = 0;
       inflight_bytes = 0;
@@ -146,10 +175,14 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
     }
   in
   (* Naming a kernel cache dir is enough of an opt-in: persistence
-     only makes sense when kernels run. *)
+     only makes sense when kernels run.  [native_march] implies the
+     backend too — asking for vectorized kernels is asking for
+     kernels. *)
   let kernel =
-    if native || kernel_cache_dir <> None then
-      Some (Pmdp_kernel.Native_exec.create ?fault ?cache_dir:kernel_cache_dir ())
+    if native || native_march || kernel_cache_dir <> None then
+      Some
+        (Pmdp_kernel.Native_exec.create ?fault ?cache_dir:kernel_cache_dir
+           ~march:native_march ())
     else None
   in
   let t =
@@ -159,7 +192,7 @@ let create ?(workers = 4) ?mem_budget ?(max_inflight = 64) ?(batch_window = 0.0)
       shards =
         Array.init shards (fun index ->
             Shard.create ~index ~shared ~workers ~batch_window ~queue_limit);
-      disk = Option.map (fun dir -> Disk_cache.create ?fault ~dir ()) cache_dir;
+      disk;
       kernel;
       max_inflight;
       tickets = Hashtbl.create 64;
@@ -239,8 +272,9 @@ let submit_async t (req : request) =
           t.disk
       in
       match
-        Plan_cache.get (Shard.cache shard) ?load ?store ?quarantine ~app ~scale:req.scale
-          ~scheduler:req.scheduler ~machine:t.shared.Shard.machine ()
+        Plan_cache.get (Shard.cache shard) ?load ?store ?quarantine
+          ?calib:t.shared.Shard.calib ~app ~scale:req.scale ~scheduler:req.scheduler
+          ~machine:t.shared.Shard.machine ()
       with
       | Error e ->
           (* A compile failure is a plan failure: it feeds the breaker
@@ -447,6 +481,7 @@ let stats t =
     total;
     disk = Option.map Disk_cache.stats t.disk;
     breaker = Breaker.counters t.shared.Shard.breaker;
+    retune = Option.map Retune.counters t.shared.Shard.retune;
   }
 
 let health t =
@@ -471,6 +506,7 @@ let shutdown t =
     t.stop <- true;
     Array.iter Shard.signal_stop t.shards;
     Mutex.unlock t.shared.Shard.lock;
+    Option.iter Retune.shutdown t.shared.Shard.retune;
     Array.iter Shard.join t.shards;
     (* The native runner is a process-wide hook; a service that
        installed it takes it back down with the shards. *)

@@ -111,6 +111,7 @@ type stats = {
           before a shard was chosen (unknown app) *)
   disk : Disk_cache.stats option;  (** when created with [?cache_dir] *)
   breaker : Breaker.counters;  (** fleet-wide circuit-breaker ledger *)
+  retune : Retune.counters option;  (** when created with [?retune] *)
 }
 
 type health = {
@@ -136,6 +137,9 @@ val create :
   ?breaker_cooldown:float ->
   ?native:bool ->
   ?kernel_cache_dir:string ->
+  ?native_march:bool ->
+  ?calib:Pmdp_core.Cost_model.calibration ->
+  ?retune:Retune.config ->
   machine:Pmdp_machine.Machine.t ->
   unit ->
   t
@@ -172,7 +176,18 @@ val create :
     count the [service.kernel.native] / [service.kernel.fallback]
     trace counters.  [kernel_cache_dir] persists compiled kernels so
     a restarted service answers its first request without invoking
-    the C compiler. *)
+    the C compiler.  [native_march] (default false, the
+    [--native-march] flag) additionally compiles kernels with
+    [-march=native] — implies the native backend, forfeits bitwise
+    admission (epsilon gate only; see {!Pmdp_kernel.Native_exec}).
+    [calib] threads fitted cost-model weights
+    ({!Pmdp_tune.Calibration}) into every plan compile and into the
+    retuner's tile search; it does not change plan fingerprints.
+    [retune] starts the online re-optimizer ({!Retune}): hot
+    fingerprints are re-tiled under the (calibrated) model and the
+    cached plan is swapped only after the candidate wins a guarded
+    A/B — watch it via [stats.retune] and the [service.retune.*]
+    trace counters. *)
 
 val machine : t -> Pmdp_machine.Machine.t
 val mem_budget : t -> int

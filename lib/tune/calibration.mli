@@ -1,0 +1,68 @@
+(** Cost-model calibration: fit the model's four weights (plus a
+    per-group intercept) to measured per-group wall times, and persist
+    the result as a versioned, digest-stamped [CALIB_<machine>.json]
+    artifact that {!Pmdp_core.Cost_model.config_of_machine} can load.
+
+    The corpus comes from schema-v3 bench files (lib/bench), whose
+    cases carry predicted-vs-measured [group_costs] rows.  The fit is
+    weighted least squares with weights [1/wall²] — i.e. it minimizes
+    mean squared {e relative} error, so microsecond groups count as
+    much as millisecond ones — and is guarded never to read worse (on
+    mean relative error) than the best single-scale reweighting of the
+    analytic defaults, which it nests. *)
+
+type sample = {
+  s_app : string;
+  s_scheduler : string;
+  s_group : int;
+  s_features : Pmdp_core.Cost_model.features;
+  s_predicted : float;  (** analytic model cost recorded at bench time *)
+  s_wall : float;  (** measured median per-group wall, seconds *)
+}
+
+type t = {
+  machine : string;
+  weights : Pmdp_core.Cost_model.calibration;
+  load_cost_scale : float;
+      (** fitted memory-term weight relative to the analytic w1 — the
+          factor by which measurement rescales the LOAD_COST currency *)
+  n_samples : int;
+  mean_rel_err : float;  (** calibrated model, on the fit corpus *)
+  analytic_mean_rel_err : float;
+      (** raw analytic costs read as seconds — the unscaled default *)
+  scaled_analytic_mean_rel_err : float;
+      (** the best single-scale analytic baseline (the fair one) *)
+  source : string;  (** digest/name of the bench corpus fitted from *)
+}
+
+val schema_version : int
+
+val fit :
+  machine:Pmdp_machine.Machine.t -> ?source:string -> sample list -> (t, string) result
+(** Weighted least squares over the samples.  Guaranteed
+    [mean_rel_err <= scaled_analytic_mean_rel_err]. *)
+
+val evaluate : t -> sample list -> float
+(** Mean relative error of the calibrated weights on a corpus (not
+    necessarily the one fitted on). *)
+
+val samples_of_bench : string -> (string * sample list, string) result
+(** Parse a schema-v3 bench JSON into [(machine_name, samples)],
+    keeping one row per (app, scheduler, group) from valid cases.
+    Typed refusal of other schema versions. *)
+
+val to_json : t -> Pmdp_report.Json.t
+val write : string -> t -> unit
+
+val read : string -> (t, string) result
+(** Parse and verify an artifact: schema version, digest over the
+    payload's canonical serialization, weight fields. *)
+
+val validate : string -> machine:string -> (t, string) result
+(** {!read} plus the machine-name match and basic sanity (the
+    [pmdp tune calibrate --check] gate); runs nothing. *)
+
+val default_path : string -> string
+(** ["CALIB_<machine>.json"]. *)
+
+val pp : Format.formatter -> t -> unit

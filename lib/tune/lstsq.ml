@@ -1,0 +1,76 @@
+(* Dense weighted least squares via normal equations — small systems
+   only (the calibration fits an intercept plus four weights).
+   Gaussian elimination with partial pivoting; a tiny ridge keeps
+   rank-deficient designs (e.g. a feature constant across all
+   samples) solvable instead of exploding. *)
+
+let solve a b =
+  let n = Array.length b in
+  let m = Array.map Array.copy a in
+  let b = Array.copy b in
+  let singular = ref false in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs m.(r).(col) > Float.abs m.(!piv).(col) then piv := r
+    done;
+    if !piv <> col then begin
+      let t = m.(col) in
+      m.(col) <- m.(!piv);
+      m.(!piv) <- t;
+      let t = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- t
+    end;
+    let p = m.(col).(col) in
+    if Float.abs p < 1e-300 then singular := true
+    else
+      for r = col + 1 to n - 1 do
+        let f = m.(r).(col) /. p in
+        if f <> 0.0 then begin
+          for c = col to n - 1 do
+            m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+          done;
+          b.(r) <- b.(r) -. (f *. b.(col))
+        end
+      done
+  done;
+  if !singular then None
+  else begin
+    let x = Array.make n 0.0 in
+    for r = n - 1 downto 0 do
+      let s = ref b.(r) in
+      for c = r + 1 to n - 1 do
+        s := !s -. (m.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. m.(r).(r)
+    done;
+    if Array.for_all Float.is_finite x then Some x else None
+  end
+
+let fit ~rows ~ys ~weights =
+  let n = Array.length rows in
+  if n = 0 || Array.length ys <> n || Array.length weights <> n then None
+  else begin
+    let k = Array.length rows.(0) in
+    let g = Array.make_matrix k k 0.0 in
+    let h = Array.make k 0.0 in
+    for i = 0 to n - 1 do
+      let r = rows.(i) and w = weights.(i) and y = ys.(i) in
+      for a = 0 to k - 1 do
+        h.(a) <- h.(a) +. (w *. r.(a) *. y);
+        for b = 0 to k - 1 do
+          g.(a).(b) <- g.(a).(b) +. (w *. r.(a) *. r.(b))
+        done
+      done
+    done;
+    let trace = ref 0.0 in
+    for a = 0 to k - 1 do
+      trace := !trace +. g.(a).(a)
+    done;
+    let ridge = 1e-9 *. ((!trace /. float_of_int k) +. 1e-30) in
+    for a = 0 to k - 1 do
+      g.(a).(a) <- g.(a).(a) +. ridge
+    done;
+    solve g h
+  end

@@ -288,7 +288,8 @@ let check_file file =
   match Filename.basename file with
   | "service.md" -> check_flag_inventory file content [ "serve"; "load" ]
   | "tuning.md" ->
-      check_flag_inventory file content [ "run"; "bench"; "serve"; "load" ]
+      check_flag_inventory file content [ "run"; "bench"; "serve"; "load"; "tune" ]
+  | "tuning-loop.md" -> check_flag_inventory file content [ "tune"; "serve"; "run" ]
   | _ -> ()
 
 let () =
